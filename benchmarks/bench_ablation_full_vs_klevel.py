@@ -1,0 +1,89 @@
+"""E10 (ablation) — full hierarchy (§4) vs k-level hierarchy (§5).
+
+The paper motivates the k cut-off with two costs of deep hierarchies:
+label size and construction time (§5: "as the number of levels h
+increases, the label size ... also increases").  This ablation builds both
+variants on the two most hierarchy-friendly datasets and quantifies the
+trade-off: the full hierarchy answers from labels alone (no bi-Dijkstra)
+but pays in label entries and build time.
+"""
+
+import pytest
+
+from repro.bench import emit, fmt_bytes, fmt_ms, render_table, run_query_workload
+from repro.core.index import ISLabelIndex
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import random_query_pairs
+
+DATASETS = ("google", "wikitalk")
+QUERIES = 400
+SCALE = 0.5
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_ablation_full_build(benchmark, dataset):
+    graph = load_dataset(dataset, SCALE)
+    index = benchmark.pedantic(
+        ISLabelIndex.build, args=(graph,), kwargs={"full": True}, rounds=1, iterations=1
+    )
+    assert index.hierarchy.is_full
+
+
+def test_ablation_full_vs_klevel_emit(benchmark):
+    rows = []
+    measured = {}
+    for name in DATASETS:
+        graph = load_dataset(name, SCALE)
+        pairs = random_query_pairs(graph, QUERIES, seed=29)
+        k_index = ISLabelIndex.build(graph, sigma=0.95, storage="memory")
+        f_index = ISLabelIndex.build(graph, full=True, storage="memory")
+        k_summary = run_query_workload(k_index, pairs)
+        f_summary = run_query_workload(f_index, pairs)
+        # Same answers, by construction.
+        for s, t in pairs[:50]:
+            assert k_index.distance(s, t) == f_index.distance(s, t)
+        measured[name] = (k_index, f_index, k_summary, f_summary)
+        rows.append(
+            (
+                name,
+                f"k={k_index.k}",
+                f"h+1={f_index.k}",
+                k_index.stats.label_entries,
+                f_index.stats.label_entries,
+                fmt_bytes(k_index.stats.label_bytes),
+                fmt_bytes(f_index.stats.label_bytes),
+                f"{k_index.stats.build_seconds:.2f}s",
+                f"{f_index.stats.build_seconds:.2f}s",
+                fmt_ms(k_summary.avg_time_b_ms),
+                fmt_ms(f_summary.avg_time_b_ms),
+            )
+        )
+    benchmark(lambda: measured)
+
+    emit(
+        "ablation_full_vs_klevel",
+        render_table(
+            "Ablation — k-level (σ=0.95) vs full hierarchy "
+            "(label entries / bytes / build / query CPU)",
+            (
+                "dataset",
+                "k",
+                "full",
+                "entries k",
+                "entries full",
+                "bytes k",
+                "bytes full",
+                "build k",
+                "build full",
+                "query k",
+                "query full",
+            ),
+            rows,
+        ),
+    )
+
+    for name in DATASETS:
+        k_index, f_index, _, _ = measured[name]
+        assert f_index.stats.label_entries >= k_index.stats.label_entries, (
+            f"{name}: the full hierarchy cannot have fewer label entries"
+        )

@@ -1,0 +1,96 @@
+"""E11 (ablation) — the label-intersection pruning bound µ (Algorithm 1).
+
+Algorithm 1 seeds the bidirectional search's stopping bound µ from the
+label intersection (lines 4–6).  This ablation runs the same Type-2 query
+workload with and without the µ seed and reports how many G_k vertices the
+search settles — quantifying how much of the paper's query speed comes
+from the labels *pruning* the search rather than merely seeding it.
+"""
+
+import pytest
+
+from repro.bench import built_index, emit, render_table
+from repro.core.labels import eq1_distance
+from repro.core.query import label_bidijkstra
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import random_query_pairs
+
+DATASETS = ("web", "skitter", "google")
+QUERIES = 300
+
+
+def _run(index, pairs, use_mu0):
+    """Run the Type-2 search stage with or without the µ0 seed.
+
+    The Equation-1 bound is applied to the *answer* in both variants
+    (paths that never enter G_k are not the search's job either way);
+    ``use_mu0`` only controls whether it seeds the pruning bound.
+    """
+    settled = 0
+    answered = []
+    for s, t in pairs:
+        label_s = index.label(s)
+        label_t = index.label(t)
+        seeds_f = [(w, d) for w, d in label_s if index.gk.has_vertex(w)]
+        seeds_r = [(w, d) for w, d in label_t if index.gk.has_vertex(w)]
+        mu0 = eq1_distance(label_s, label_t)
+        if not seeds_f or not seeds_r:
+            answered.append(mu0)
+            continue
+        result = label_bidijkstra(
+            lambda v: index.gk.neighbors(v).items(),
+            lambda v: index.gk.neighbors(v).items(),
+            seeds_f,
+            seeds_r,
+            initial_mu=mu0 if use_mu0 else float("inf"),
+        )
+        answered.append(min(result.distance, mu0))
+        settled += result.stats.settled_total
+    return settled / len(pairs), answered
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_ablation_pruning_one(benchmark, dataset):
+    index = built_index(dataset, storage="memory")
+    pairs = random_query_pairs(load_dataset(dataset), 64, seed=31)
+    benchmark.pedantic(_run, args=(index, pairs, True), rounds=1, iterations=1)
+
+
+def test_ablation_pruning_emit(benchmark):
+    rows = []
+    measured = {}
+    for name in DATASETS:
+        index = built_index(name, storage="memory")
+        pairs = random_query_pairs(load_dataset(name), QUERIES, seed=31)
+        with_mu, answers_with = _run(index, pairs, True)
+        without_mu, answers_without = _run(index, pairs, False)
+        # Same exact answers either way: µ0 only prunes.
+        mismatches = sum(
+            1 for a, b in zip(answers_with, answers_without) if a != b
+        )
+        measured[name] = (with_mu, without_mu, mismatches)
+        rows.append(
+            (
+                name,
+                f"{with_mu:.1f}",
+                f"{without_mu:.1f}",
+                f"{without_mu / with_mu:.2f}x" if with_mu else "-",
+                mismatches,
+            )
+        )
+    benchmark(lambda: measured)
+
+    emit(
+        "ablation_pruning",
+        render_table(
+            "Ablation — Algorithm 1 with vs without the label-derived µ seed "
+            "(avg settled G_k vertices per query)",
+            ("dataset", "settled with µ0", "settled without", "ratio", "answer diffs"),
+            rows,
+        ),
+    )
+
+    for name in DATASETS:
+        with_mu, without_mu, mismatches = measured[name]
+        assert mismatches == 0, f"{name}: µ0 must not change answers"
+        assert with_mu <= without_mu, f"{name}: µ0 can only prune work"

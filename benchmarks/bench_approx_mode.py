@@ -1,0 +1,83 @@
+"""E16 (extension) — the §3.2 approximate mode, speed vs error.
+
+The paper remarks that "approximation can be applied on top of our method
+(e.g., on the graph G_k)".  This bench quantifies the realisation in
+``repro.core.approx``: landmark-oracle estimates versus the exact Type-2
+search, sweeping the landmark budget.
+"""
+
+import itertools
+import time
+
+import pytest
+
+from repro.bench import built_index, emit, fmt_ms, render_table
+from repro.core.approx import ApproximateDistanceOracle
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import random_query_pairs
+
+DATASET = "skitter"
+QUERIES = 400
+LANDMARK_BUDGETS = (2, 8, 32)
+
+
+@pytest.mark.parametrize("landmarks", LANDMARK_BUDGETS)
+def test_approx_query_latency(benchmark, landmarks):
+    index = built_index(DATASET, storage="memory")
+    oracle = ApproximateDistanceOracle(index, num_landmarks=landmarks)
+    pairs = itertools.cycle(random_query_pairs(load_dataset(DATASET), 64, seed=61))
+    benchmark(lambda: oracle.distance_upper_bound(*next(pairs)))
+
+
+def test_approx_emit(benchmark):
+    index = built_index(DATASET, storage="memory")
+    graph = load_dataset(DATASET)
+    pairs = random_query_pairs(graph, QUERIES, seed=61)
+
+    started = time.perf_counter()
+    exact = [index.distance(s, t) for s, t in pairs]
+    exact_ms = 1000.0 * (time.perf_counter() - started) / len(pairs)
+
+    rows = []
+    for budget in LANDMARK_BUDGETS:
+        oracle = ApproximateDistanceOracle(index, num_landmarks=budget)
+        started = time.perf_counter()
+        estimates = [oracle.distance_upper_bound(s, t) for s, t in pairs]
+        approx_ms = 1000.0 * (time.perf_counter() - started) / len(pairs)
+
+        errors = []
+        exact_hits = 0
+        for truth, estimate in zip(exact, estimates):
+            assert estimate >= truth, "estimates must be upper bounds"
+            if truth == estimate:
+                exact_hits += 1
+            if truth not in (0, float("inf")):
+                errors.append((estimate - truth) / truth)
+        rows.append(
+            (
+                budget,
+                fmt_ms(approx_ms),
+                fmt_ms(exact_ms),
+                f"{exact_hits / len(pairs):.1%}",
+                f"{sum(errors) / len(errors):.2%}" if errors else "-",
+                f"{max(errors):.2%}" if errors else "-",
+            )
+        )
+    benchmark(lambda: rows)
+
+    emit(
+        "approx_mode",
+        render_table(
+            f"§3.2 extension — landmark approximation on G_k ({DATASET}, "
+            f"{QUERIES} queries, all estimates verified as upper bounds)",
+            (
+                "landmarks",
+                "approx ms",
+                "exact ms",
+                "exact answers",
+                "mean rel err",
+                "max rel err",
+            ),
+            rows,
+        ),
+    )

@@ -1,0 +1,82 @@
+"""E9 / Figures 1–3 — the paper's running example, executed.
+
+Replays the 9-vertex example with the paper's exact level assignment and
+asserts the published hierarchy, augmenting edges, Figure 2(b) labels (with
+the documented label(f) erratum corrected), the Example 4/6 query answers,
+and Example 5's k = 2 labels.
+"""
+
+import itertools
+
+from repro.bench import emit, render_table
+from repro.core.hierarchy import build_hierarchy_with_levels
+from repro.core.index import ISLabelIndex
+from repro.core.labeling import top_down_labels
+from repro.workloads.paper_example import (
+    EXAMPLE5_K2_LABELS,
+    EXAMPLE_QUERIES,
+    FIGURE2_LABELS,
+    PAPER_LEVELS,
+    VERTEX_IDS,
+    VERTEX_NAMES,
+    paper_example_graph,
+)
+
+
+def test_figure1_walkthrough(benchmark):
+    graph = paper_example_graph()
+    levels = [[VERTEX_IDS[c] for c in level] for level in PAPER_LEVELS]
+    hierarchy = build_hierarchy_with_levels(graph, levels, with_hints=True)
+
+    # Figure 1: five levels, empty G6, the three augmenting edges.
+    assert hierarchy.k == 6 and hierarchy.is_full
+    named_hints = {
+        (VERTEX_NAMES[a], VERTEX_NAMES[b]): VERTEX_NAMES[m]
+        for (a, b), m in hierarchy.hints.items()
+    }
+    assert named_hints == {("e", "h"): "f", ("e", "g"): "d", ("a", "g"): "e"}
+
+    # Figure 2(b): every label verbatim (label(f) per the erratum).
+    labels, _ = top_down_labels(hierarchy)
+    rows = []
+    for name, expected in FIGURE2_LABELS.items():
+        got = {
+            VERTEX_NAMES[w]: d for w, d in labels[VERTEX_IDS[name]].items()
+        }
+        assert got == expected, f"label({name}): {got} != {expected}"
+        rows.append(
+            (name, ", ".join(f"({a},{d})" for a, d in sorted(got.items())))
+        )
+
+    # Examples 4 and 6: published query answers, on the full hierarchy and
+    # the greedy auto-built index alike.
+    full_index = ISLabelIndex.build(graph, full=True)
+    auto_index = ISLabelIndex.build(graph)
+    for s, t, expected_distance in EXAMPLE_QUERIES:
+        assert full_index.distance(VERTEX_IDS[s], VERTEX_IDS[t]) == expected_distance
+        assert auto_index.distance(VERTEX_IDS[s], VERTEX_IDS[t]) == expected_distance
+
+    # Example 5: the k = 2 labels of c, f, i.
+    k2 = build_hierarchy_with_levels(graph, levels[:1])
+    k2_labels, _ = top_down_labels(k2)
+    for name, expected in EXAMPLE5_K2_LABELS.items():
+        got = {VERTEX_NAMES[w]: d for w, d in k2_labels[VERTEX_IDS[name]].items()}
+        assert got == expected
+
+    queries = itertools.cycle(EXAMPLE_QUERIES)
+
+    def one_query():
+        s, t, _ = next(queries)
+        return full_index.distance(VERTEX_IDS[s], VERTEX_IDS[t])
+
+    benchmark(one_query)
+
+    emit(
+        "figure1_walkthrough",
+        render_table(
+            "Figures 1-3 — running example labels (all match the paper; "
+            "label(f) per the documented erratum)",
+            ("vertex", "label"),
+            rows,
+        ),
+    )

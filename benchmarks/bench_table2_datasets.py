@@ -1,0 +1,71 @@
+"""E1 / Table 2 — dataset statistics.
+
+Regenerates the paper's dataset table for the scaled synthetic stand-ins
+and prints it next to the published numbers.  The scale factor per dataset
+is |V|_paper / |V|_ours; every other column should preserve the paper's
+*ordering* (btc largest and sparsest, wikitalk the most hub-skewed, ...).
+"""
+
+from repro.bench import emit, fmt_count, render_table
+from repro.bench.paper import DATASET_ORDER, TABLE2
+from repro.graph.stats import graph_stats, human_bytes
+from repro.workloads.datasets import load_dataset
+
+
+def test_table2_dataset_stats(benchmark):
+    stats = {}
+    for name in DATASET_ORDER:
+        graph = load_dataset(name)
+        stats[name] = graph_stats(graph)
+
+    # Benchmark the stats computation itself on the largest dataset.
+    benchmark(graph_stats, load_dataset("btc"))
+
+    rows = []
+    for name in DATASET_ORDER:
+        s = stats[name]
+        p_v, p_e, p_avg, p_max, p_disk = TABLE2[name]
+        rows.append(
+            (
+                name,
+                fmt_count(s.num_vertices),
+                fmt_count(p_v),
+                fmt_count(s.num_edges),
+                fmt_count(p_e),
+                f"{s.avg_degree:.2f}",
+                f"{p_avg:.2f}",
+                fmt_count(s.max_degree),
+                fmt_count(p_max),
+                human_bytes(s.disk_size_bytes),
+                p_disk,
+            )
+        )
+    emit(
+        "table2",
+        render_table(
+            "Table 2 — datasets (measured stand-in vs paper original)",
+            (
+                "dataset",
+                "|V|",
+                "|V| paper",
+                "|E|",
+                "|E| paper",
+                "avg deg",
+                "paper",
+                "max deg",
+                "paper",
+                "disk",
+                "paper",
+            ),
+            rows,
+        ),
+    )
+
+    # Shape assertions: orderings the paper's table exhibits.
+    sizes = [stats[n].num_vertices for n in ("btc", "web", "wikitalk", "google")]
+    assert sizes == sorted(sizes, reverse=True), "|V| ordering must match paper"
+    assert stats["btc"].avg_degree < 3.5, "btc must stay the sparsest family"
+    hub_ratio = {n: stats[n].max_degree / stats[n].num_vertices for n in DATASET_ORDER}
+    assert hub_ratio["wikitalk"] == max(hub_ratio.values()), (
+        "wikitalk has the most extreme hub, as in the paper"
+    )

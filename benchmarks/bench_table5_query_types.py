@@ -1,0 +1,82 @@
+"""E4 / Table 5 — query time by query type (btc and web).
+
+Type 1: both endpoints in G_k (labels are implicit ``{(v,0)}`` — no label
+I/O at all); Type 2: one endpoint in G_k (one label fetched); Type 3:
+neither (two labels fetched).  Paper shape: Time (a) ≈ 0 / one fetch / two
+fetches respectively, while Time (b) barely varies across types.
+"""
+
+import itertools
+
+import pytest
+
+from repro.bench import built_index, emit, fmt_ms, render_table, run_query_workload
+from repro.bench.paper import TABLE5
+from repro.workloads.queries import typed_query_pairs
+
+DATASETS = ("btc", "web")
+QUERIES_PER_TYPE = 300
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("query_type", (1, 2, 3))
+def test_table5_single_type(benchmark, dataset, query_type):
+    index = built_index(dataset, storage="disk")
+    pairs = itertools.cycle(typed_query_pairs(index, 128, query_type, seed=11))
+    result = benchmark(lambda: index.query(*next(pairs)))
+    assert result.query_type == query_type
+
+
+def test_table5_emit_table(benchmark):
+    rows = []
+    summaries = {}
+    for name in DATASETS:
+        index = built_index(name, storage="disk")
+        for qtype in (1, 2, 3):
+            pairs = typed_query_pairs(index, QUERIES_PER_TYPE, qtype, seed=11)
+            summary = run_query_workload(index, pairs)
+            summaries[(name, qtype)] = summary
+            p_total, p_a, p_b = TABLE5[name][qtype]
+            rows.append(
+                (
+                    name,
+                    index.k,
+                    qtype,
+                    fmt_ms(summary.avg_total_ms),
+                    fmt_ms(p_total),
+                    fmt_ms(summary.avg_time_a_ms),
+                    fmt_ms(p_a),
+                    fmt_ms(summary.avg_time_b_ms),
+                    fmt_ms(p_b),
+                )
+            )
+    benchmark(lambda: summaries)
+
+    emit(
+        "table5",
+        render_table(
+            "Table 5 — query time by type (measured vs paper)",
+            (
+                "dataset",
+                "k",
+                "type",
+                "total ms",
+                "paper",
+                "Time(a) ms",
+                "paper",
+                "Time(b) ms",
+                "paper",
+            ),
+            rows,
+        ),
+    )
+
+    for name in DATASETS:
+        t1, t2, t3 = (summaries[(name, q)] for q in (1, 2, 3))
+        assert t1.avg_time_a_ms == 0.0, "Type 1 reads no labels"
+        assert 0.0 < t2.avg_time_a_ms < t3.avg_time_a_ms, (
+            "Type 2 reads one label, Type 3 reads two"
+        )
+        assert t3.avg_total_ms > t1.avg_total_ms, (
+            "label I/O makes Type 3 the most expensive, as in the paper"
+        )

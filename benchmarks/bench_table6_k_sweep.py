@@ -1,0 +1,106 @@
+"""E5 / Table 6 — effect of the k value (btc and web).
+
+The paper rebuilds btc with k ∈ {5,6,7} and web with k ∈ {18,19,20} —
+the auto-selected k and its neighbours — and shows the trade-off: larger k
+gives a smaller G_k and faster bi-Dijkstra but larger labels, longer
+construction and more label I/O.  We sweep k* − 1, k*, k* + 1 around our
+auto-selected k* per dataset and assert the same monotone trade-offs.
+"""
+
+import pytest
+
+from repro.bench import built_index, emit, fmt_bytes, fmt_count, fmt_ms, render_table
+from repro.bench.paper import TABLE6
+from repro.core.index import ISLabelIndex
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import random_query_pairs
+from repro.bench.harness import run_query_workload
+
+DATASETS = ("btc", "web")
+QUERIES = 400
+
+
+def _sweep(name):
+    auto_k = built_index(name, storage="disk").k
+    graph = load_dataset(name)
+    sweep = {}
+    for k in (auto_k - 1, auto_k, auto_k + 1):
+        index = ISLabelIndex.build(graph, sigma=None, k=k, storage="disk")
+        pairs = random_query_pairs(graph, QUERIES, seed=13)
+        summary = run_query_workload(index, pairs)
+        sweep[k] = (index, summary)
+    return auto_k, sweep
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table6_build_at_explicit_k(benchmark, dataset):
+    graph = load_dataset(dataset)
+    auto_k = built_index(dataset, storage="disk").k
+    index = benchmark.pedantic(
+        ISLabelIndex.build,
+        args=(graph,),
+        kwargs={"sigma": None, "k": auto_k + 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert index.k <= auto_k + 1
+
+
+def test_table6_emit_table(benchmark):
+    rows = []
+    shapes = {}
+    for name in DATASETS:
+        auto_k, sweep = _sweep(name)
+        shapes[name] = (auto_k, sweep)
+        paper_rows = sorted(TABLE6[name].items())
+        for offset, (k, (index, summary)) in enumerate(sorted(sweep.items())):
+            p_k, (p_gkv, p_gke, p_label, p_secs, p_query) = paper_rows[offset]
+            st = index.stats
+            rows.append(
+                (
+                    name,
+                    k,
+                    p_k,
+                    fmt_count(st.gk_vertices),
+                    fmt_count(p_gkv),
+                    fmt_bytes(st.label_bytes),
+                    p_label,
+                    f"{st.build_seconds:.2f}",
+                    f"{p_secs:.2f}",
+                    fmt_ms(summary.avg_total_ms),
+                    fmt_ms(p_query),
+                )
+            )
+    benchmark(lambda: shapes)
+
+    emit(
+        "table6",
+        render_table(
+            "Table 6 — k sweep around the auto-selected k (measured vs paper)",
+            (
+                "dataset",
+                "k",
+                "k paper",
+                "|V_Gk|",
+                "paper",
+                "label size",
+                "paper",
+                "build s",
+                "paper s",
+                "query ms",
+                "paper ms",
+            ),
+            rows,
+        ),
+    )
+
+    # The paper's trade-off: G_k shrinks and labels grow as k increases.
+    for name in DATASETS:
+        _, sweep = shapes[name]
+        ks = sorted(sweep)
+        gk_sizes = [sweep[k][0].stats.gk_vertices for k in ks]
+        label_sizes = [sweep[k][0].stats.label_bytes for k in ks]
+        assert gk_sizes[0] >= gk_sizes[1] >= gk_sizes[2], f"{name}: G_k shrinks with k"
+        assert label_sizes[0] <= label_sizes[1] <= label_sizes[2], (
+            f"{name}: label size grows with k"
+        )

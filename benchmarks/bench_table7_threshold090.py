@@ -1,0 +1,96 @@
+"""E6 / Table 7 — the σ = 0.90 threshold.
+
+A laxer threshold stops peeling earlier: smaller (or equal) k, larger
+``G_k``, *smaller* labels and faster construction, at the cost of more
+bi-Dijkstra work per query — "a trade-off for the smaller indexing costs".
+"""
+
+import pytest
+
+from repro.bench import (
+    built_index,
+    emit,
+    fmt_bytes,
+    fmt_count,
+    fmt_ms,
+    render_table,
+    run_query_workload,
+)
+from repro.bench.paper import DATASET_ORDER, TABLE7
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import random_query_pairs
+
+QUERIES = 400
+
+
+@pytest.mark.parametrize("dataset", DATASET_ORDER)
+def test_table7_build_sigma090(benchmark, dataset):
+    graph = load_dataset(dataset)
+    from repro.core.index import ISLabelIndex
+
+    index = benchmark.pedantic(
+        ISLabelIndex.build, args=(graph,), kwargs={"sigma": 0.90}, rounds=1, iterations=1
+    )
+    assert index.k >= 2
+
+
+def test_table7_emit_table(benchmark):
+    rows = []
+    measured = {}
+    for name in DATASET_ORDER:
+        graph = load_dataset(name)
+        index95 = built_index(name, sigma=0.95, storage="disk")
+        index90 = built_index(name, sigma=0.90, storage="disk")
+        pairs = random_query_pairs(graph, QUERIES, seed=17)
+        summary = run_query_workload(index90, pairs)
+        measured[name] = (index95, index90, summary)
+        p_k, p_gkv, p_gke, p_label, p_secs, p_query = TABLE7[name]
+        st = index90.stats
+        rows.append(
+            (
+                name,
+                st.k,
+                p_k,
+                fmt_count(st.gk_vertices),
+                fmt_count(p_gkv),
+                fmt_bytes(st.label_bytes),
+                p_label,
+                f"{st.build_seconds:.2f}",
+                f"{p_secs:.2f}",
+                fmt_ms(summary.avg_total_ms),
+                fmt_ms(p_query),
+            )
+        )
+    benchmark(lambda: measured)
+
+    emit(
+        "table7",
+        render_table(
+            "Table 7 — σ=0.90 construction and query time (measured vs paper)",
+            (
+                "dataset",
+                "k",
+                "k paper",
+                "|V_Gk|",
+                "paper",
+                "label size",
+                "paper",
+                "build s",
+                "paper s",
+                "query ms",
+                "paper ms",
+            ),
+            rows,
+        ),
+    )
+
+    # Paper shape: σ=0.90 gives smaller-or-equal k, larger G_k, smaller labels.
+    for name in DATASET_ORDER:
+        index95, index90, _ = measured[name]
+        assert index90.k <= index95.k, f"{name}: smaller threshold, smaller k"
+        assert index90.stats.gk_vertices >= index95.stats.gk_vertices, (
+            f"{name}: earlier stop leaves a larger G_k"
+        )
+        assert index90.stats.label_bytes <= index95.stats.label_bytes, (
+            f"{name}: earlier stop gives smaller labels"
+        )

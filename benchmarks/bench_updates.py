@@ -1,0 +1,112 @@
+"""E15 / §8.3 — dynamic update maintenance.
+
+Applies a batch of vertex insertions (and then deletions) to a built index,
+measuring per-update cost and query quality before the periodic rebuild the
+paper prescribes.  Insertions keep answers as exact-or-overestimate
+(verified); deletions flip the index to its documented approximate state.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.bench import emit, fmt_ms, render_table
+from repro.core.updates import DynamicISLabelIndex
+from repro.workloads.datasets import load_dataset
+
+DATASET = "google"
+SCALE = 0.3
+INSERTS = 40
+QUERIES = 250
+
+
+def test_update_insert_latency(benchmark):
+    graph = load_dataset(DATASET, SCALE)
+    dyn = DynamicISLabelIndex(graph)
+    rng = random.Random(53)
+    vertices = sorted(graph.vertices())
+    counter = [10_000_000]
+
+    def insert_one():
+        counter[0] += 1
+        neighbours = {v: rng.randint(1, 3) for v in rng.sample(vertices, 3)}
+        dyn.insert_vertex(counter[0], neighbours)
+
+    benchmark.pedantic(insert_one, rounds=20, iterations=1)
+
+
+def test_updates_emit(benchmark):
+    graph = load_dataset(DATASET, SCALE)
+    dyn = DynamicISLabelIndex(graph)
+    rng = random.Random(53)
+    vertices = sorted(graph.vertices())
+
+    started = time.perf_counter()
+    new_ids = []
+    for i in range(INSERTS):
+        vid = 20_000_000 + i
+        neighbours = {
+            v: rng.randint(1, 3) for v in rng.sample(sorted(dyn.graph.vertices()), rng.randint(1, 4))
+        }
+        dyn.insert_vertex(vid, neighbours)
+        new_ids.append(vid)
+    insert_ms = 1000.0 * (time.perf_counter() - started) / INSERTS
+
+    # Query quality after inserts: exact or overestimate, never under.
+    pool = sorted(dyn.graph.vertices())
+    exact = over = under = 0
+    for _ in range(QUERIES):
+        s, t = rng.choice(pool), rng.choice(pool)
+        truth = dijkstra_distance(dyn.graph, s, t)
+        answer = dyn.distance(s, t)
+        if answer == truth:
+            exact += 1
+        elif answer > truth:
+            over += 1
+        else:
+            under += 1
+    assert under == 0, "lazy insertion must never underestimate distances"
+
+    started = time.perf_counter()
+    dyn.rebuild()
+    rebuild_s = time.perf_counter() - started
+    for _ in range(60):
+        s, t = rng.choice(pool), rng.choice(pool)
+        assert dyn.distance(s, t) == dijkstra_distance(dyn.graph, s, t)
+
+    started = time.perf_counter()
+    for vid in new_ids[:10]:
+        dyn.delete_vertex(vid)
+    delete_ms = 1000.0 * (time.perf_counter() - started) / 10
+    assert dyn.approximate or dyn.deletes_applied == 10
+
+    benchmark(lambda: (exact, over, under))
+
+    emit(
+        "updates",
+        render_table(
+            "§8.3 — lazy update maintenance (google stand-in)",
+            (
+                "inserts",
+                "avg insert ms",
+                "exact",
+                "overestimate",
+                "underestimate",
+                "rebuild s",
+                "avg delete ms",
+            ),
+            [
+                (
+                    INSERTS,
+                    fmt_ms(insert_ms),
+                    f"{exact}/{QUERIES}",
+                    f"{over}/{QUERIES}",
+                    f"{under}/{QUERIES}",
+                    f"{rebuild_s:.2f}",
+                    fmt_ms(delete_ms),
+                )
+            ],
+        ),
+    )

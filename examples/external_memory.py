@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The I/O-efficient construction pipeline of §6, step by step.
+
+Runs Algorithm 2 (external independent set), Algorithm 3 (external
+reduction) and Algorithm 4 (block nested-loop labeling) on a simulated
+block device with a deliberately tiny memory budget, reporting the I/O
+traffic of every stage and verifying each against its in-memory twin.
+
+Run:  python examples/external_memory.py
+"""
+
+from repro.core.hierarchy import build_hierarchy
+from repro.core.independent_set import external_independent_set, greedy_independent_set
+from repro.core.labeling import external_top_down_labels, top_down_labels
+from repro.core.reduce import external_reduce, reduce_graph
+from repro.extmem import BlockDevice, CostModel, ExternalGraph
+from repro.extmem.extgraph import pack_row
+from repro.graph.generators import ensure_connected, powerlaw_configuration
+
+
+def main() -> None:
+    graph = ensure_connected(
+        powerlaw_configuration(1200, 2.3, seed=55, min_degree=1), seed=55
+    )
+    # 1 KB blocks, 16 KB of "main memory": the graph does not fit.
+    model = CostModel(block_size=1024, memory=16 * 1024)
+    device = BlockDevice(model)
+    on_disk = ExternalGraph.from_graph(device, graph, "G1")
+    print(
+        f"G1 on disk: {on_disk.num_vertices} vertices, {on_disk.num_edges} "
+        f"edges, {on_disk.data.num_blocks} blocks of {model.block_size} B "
+        f"(memory budget {model.memory} B = {model.blocks_in_memory} blocks)"
+    )
+
+    # --- Algorithm 2: I/O-efficient independent set -------------------
+    device.stats.reset()
+    adj_l1, _ = external_independent_set(device, on_disk, excluded_buffer_capacity=400)
+    selected = [v for v, _ in adj_l1.rows()]
+    mem_selected, mem_adj = greedy_independent_set(graph)
+    assert set(selected) == set(mem_selected)
+    print(
+        f"Algorithm 2: |L1| = {len(selected)} "
+        f"({device.stats.total_ios} block I/Os; matches in-memory greedy)"
+    )
+
+    # --- Algorithm 3: I/O-efficient reduction -------------------------
+    device.stats.reset()
+    adj_file = device.create("ADJ_L1")
+    for v in sorted(mem_adj):
+        adj_file.append(pack_row(v, mem_adj[v]))
+    adj_file.close()
+    adj_graph = ExternalGraph(device, adj_file, len(mem_adj), 0)
+    g2_disk = external_reduce(device, on_disk, set(mem_selected), adj_graph, "G2")
+    g2_mem = reduce_graph(graph, mem_selected, mem_adj)
+    assert g2_disk.to_graph() == g2_mem
+    print(
+        f"Algorithm 3: |G2| = {g2_disk.num_vertices} vertices, "
+        f"{g2_disk.num_edges} edges "
+        f"({device.stats.total_ios} block I/Os; distances preserved)"
+    )
+
+    # --- Algorithm 4: block nested-loop labeling ----------------------
+    hierarchy = build_hierarchy(graph)
+    label_device = BlockDevice(model)
+    external_labels, io = external_top_down_labels(
+        hierarchy, label_device, block_vertices=64
+    )
+    in_memory_labels, _ = top_down_labels(hierarchy)
+    assert external_labels == in_memory_labels
+    total_entries = sum(len(l) for l in external_labels.values())
+    print(
+        f"Algorithm 4: {total_entries} label entries across "
+        f"{len(external_labels)} vertices "
+        f"({io.total_ios} block I/Os for the BNL join; matches in-memory)"
+    )
+    print(
+        f"simulated label-join time at {model.io_latency_s * 1000:.0f} ms/IO: "
+        f"{model.time_for(io.total_ios):.1f} s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Route-length queries on a road-style grid with shortest-path output.
+
+Roads are where hierarchy-based distance indexes came from (contraction
+hierarchies, §3.1); IS-LABEL works there too.  This example builds a city
+grid with random segment lengths, answers route-length queries, and prints
+an actual turn-by-turn shortest path via the §8.1 reconstruction.
+
+Run:  python examples/road_network.py
+"""
+
+import time
+
+from repro import ISLabelIndex, PathReconstructor
+from repro.baselines.dijkstra import dijkstra_path
+from repro.core.paths import path_length
+from repro.graph.generators import grid_graph
+from repro.workloads.queries import random_query_pairs
+
+ROWS, COLS = 40, 50
+
+
+def intersection(v: int) -> str:
+    return f"({v // COLS},{v % COLS})"
+
+
+def main() -> None:
+    # 40x50 street grid; segment lengths 1..9 (think travel minutes).
+    city = grid_graph(ROWS, COLS, seed=9, max_weight=9)
+    print(f"city grid: {city.num_vertices} intersections, {city.num_edges} segments")
+
+    started = time.perf_counter()
+    index = ISLabelIndex.build(city, with_paths=True)
+    print(
+        f"index built in {time.perf_counter() - started:.2f}s "
+        f"(k={index.k}, |V_Gk|={index.gk.num_vertices})"
+    )
+    reconstructor = PathReconstructor(index)
+
+    # One detailed route.
+    source, target = 0, ROWS * COLS - 1  # opposite corners
+    dist, route = reconstructor.shortest_path(source, target)
+    ref_dist, _ = dijkstra_path(city, source, target)
+    assert dist == ref_dist and path_length(city, route) == dist
+    corners = " -> ".join(intersection(v) for v in route[:6])
+    print(
+        f"route {intersection(source)} -> {intersection(target)}: "
+        f"{dist} minutes over {len(route) - 1} segments"
+    )
+    print(f"  first hops: {corners} ...")
+
+    # Batch routing throughput.
+    queries = random_query_pairs(city, 300, seed=11)
+    started = time.perf_counter()
+    for s, t in queries:
+        index.distance(s, t)
+    per_query = 1000 * (time.perf_counter() - started) / len(queries)
+    print(f"300 route-length queries: {per_query:.3f} ms/query")
+
+
+if __name__ == "__main__":
+    main()

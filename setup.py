@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+``pip install -e .`` needs the ``wheel`` package inside its build
+environment; on fully offline machines that may be unavailable, in which
+case ``python setup.py develop`` installs the same editable package using
+only setuptools.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

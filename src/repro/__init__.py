@@ -1,0 +1,67 @@
+"""IS-LABEL: independent-set based labeling for P2P distance queries.
+
+A full reproduction of Fu, Wu, Cheng, Chu and Wong, *"IS-LABEL: an
+Independent-Set based Labeling Scheme for Point-to-Point Distance Querying
+on Large Graphs"* (VLDB 2013, arXiv:1211.2367).
+
+Quickstart::
+
+    from repro import Graph, ISLabelIndex
+
+    g = Graph([(1, 2), (2, 3), (3, 4, 2), (4, 1)])
+    index = ISLabelIndex.build(g)
+    index.distance(2, 4)     # -> 2
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table.
+"""
+
+from repro.core import (
+    DirectedISLabelIndex,
+    DynamicISLabelIndex,
+    ISLabelIndex,
+    IndexStats,
+    PathReconstructor,
+    QueryResult,
+    VertexHierarchy,
+    build_hierarchy,
+    load_index,
+    save_index,
+)
+from repro.errors import (
+    GraphError,
+    IndexBuildError,
+    QueryError,
+    ReproError,
+    StaleIndexError,
+    StorageError,
+    ValidationError,
+)
+from repro.graph import CSRGraph, DiGraph, Graph, graph_stats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "CSRGraph",
+    "graph_stats",
+    "ISLabelIndex",
+    "IndexStats",
+    "QueryResult",
+    "VertexHierarchy",
+    "build_hierarchy",
+    "PathReconstructor",
+    "DirectedISLabelIndex",
+    "DynamicISLabelIndex",
+    "save_index",
+    "load_index",
+    "ReproError",
+    "GraphError",
+    "ValidationError",
+    "IndexBuildError",
+    "QueryError",
+    "StorageError",
+    "StaleIndexError",
+    "__version__",
+]

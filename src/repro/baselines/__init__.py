@@ -1,0 +1,26 @@
+"""Baseline algorithms and comparator indexes (§3, §7.3)."""
+
+from repro.baselines.bfs import bfs_distance, bfs_distances
+from repro.baselines.dijkstra import (
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_digraph,
+    dijkstra_digraph_distance,
+    dijkstra_distance,
+    dijkstra_path,
+)
+from repro.baselines.pruned_landmark import PrunedLandmarkIndex
+from repro.baselines.vc_index import VCIndex
+
+__all__ = [
+    "dijkstra",
+    "dijkstra_distance",
+    "dijkstra_path",
+    "bidirectional_dijkstra",
+    "dijkstra_digraph",
+    "dijkstra_digraph_distance",
+    "bfs_distance",
+    "bfs_distances",
+    "VCIndex",
+    "PrunedLandmarkIndex",
+]

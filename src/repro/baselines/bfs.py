@@ -1,0 +1,50 @@
+"""Breadth-first search distances for unweighted graphs.
+
+The paper's BTC graph is unweighted; BFS is the natural reference there and
+a faster oracle than Dijkstra for unit-weight test graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict
+
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+
+__all__ = ["bfs_distances", "bfs_distance"]
+
+
+def bfs_distances(graph: Graph, source: int) -> Dict[int, int]:
+    """Hop counts from ``source`` (weights ignored)."""
+    if not graph.has_vertex(source):
+        raise QueryError(f"vertex {source} not in graph")
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def bfs_distance(graph: Graph, source: int, target: int) -> float:
+    """P2P hop count with early exit (``inf`` if unreachable)."""
+    if not graph.has_vertex(source) or not graph.has_vertex(target):
+        raise QueryError("both endpoints must be in the graph")
+    if source == target:
+        return 0
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in dist:
+                if u == target:
+                    return dist[v] + 1
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return math.inf

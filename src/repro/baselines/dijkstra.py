@@ -1,0 +1,179 @@
+"""Dijkstra-family reference algorithms.
+
+These are both the correctness oracles for every index in the test suite
+and the paper's online baseline: Table 8's **IM-DIJ** is the in-memory
+bidirectional Dijkstra search implemented here.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+
+__all__ = [
+    "dijkstra",
+    "dijkstra_distance",
+    "dijkstra_path",
+    "bidirectional_dijkstra",
+    "dijkstra_digraph",
+    "dijkstra_digraph_distance",
+]
+
+
+def dijkstra(graph: Graph, source: int) -> Dict[int, int]:
+    """Single-source shortest distances from ``source``.
+
+    Returns a dict of reachable vertices only (unreachable = absent).
+    """
+    if not graph.has_vertex(source):
+        raise QueryError(f"vertex {source} not in graph")
+    dist: Dict[int, int] = {}
+    heap: List[Tuple[int, int]] = [(0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in dist:
+            continue
+        dist[v] = d
+        for u, w in graph.neighbors(v).items():
+            if u not in dist:
+                heapq.heappush(heap, (d + w, u))
+    return dist
+
+
+def dijkstra_distance(graph: Graph, source: int, target: int) -> float:
+    """P2P distance with early exit at ``target`` (``inf`` if unreachable)."""
+    if not graph.has_vertex(source):
+        raise QueryError(f"vertex {source} not in graph")
+    if not graph.has_vertex(target):
+        raise QueryError(f"vertex {target} not in graph")
+    if source == target:
+        return 0
+    done: set = set()
+    heap: List[Tuple[int, int]] = [(0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in done:
+            continue
+        if v == target:
+            return d
+        done.add(v)
+        for u, w in graph.neighbors(v).items():
+            if u not in done:
+                heapq.heappush(heap, (d + w, u))
+    return math.inf
+
+
+def dijkstra_path(
+    graph: Graph, source: int, target: int
+) -> Tuple[float, Optional[List[int]]]:
+    """P2P distance and one shortest path (``(inf, None)`` if unreachable)."""
+    if not graph.has_vertex(source) or not graph.has_vertex(target):
+        raise QueryError("both endpoints must be in the graph")
+    if source == target:
+        return 0, [source]
+    parent: Dict[int, int] = {}
+    done: set = set()
+    heap: List[Tuple[int, int, int]] = [(0, source, source)]
+    while heap:
+        d, v, via = heapq.heappop(heap)
+        if v in done:
+            continue
+        done.add(v)
+        parent[v] = via
+        if v == target:
+            path = [v]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            return d, path[::-1]
+        for u, w in graph.neighbors(v).items():
+            if u not in done:
+                heapq.heappush(heap, (d + w, u, v))
+    return math.inf, None
+
+
+def bidirectional_dijkstra(graph: Graph, source: int, target: int) -> float:
+    """Plain bidirectional Dijkstra — the paper's IM-DIJ baseline (§7.3)."""
+    if not graph.has_vertex(source):
+        raise QueryError(f"vertex {source} not in graph")
+    if not graph.has_vertex(target):
+        raise QueryError(f"vertex {target} not in graph")
+    if source == target:
+        return 0
+    dist = ({source: 0}, {target: 0})
+    done: Tuple[Dict[int, int], Dict[int, int]] = ({}, {})
+    heaps: Tuple[List, List] = ([(0, source)], [(0, target)])
+    best = math.inf
+    while True:
+        mins = [_peek(heaps[i], done[i]) for i in (0, 1)]
+        if mins[0] + mins[1] >= best:
+            return best
+        side = 0 if mins[0] <= mins[1] else 1
+        other = 1 - side
+        d, v = heapq.heappop(heaps[side])
+        if v in done[side]:
+            continue
+        done[side][v] = d
+        if v in done[other] and d + done[other][v] < best:
+            best = d + done[other][v]
+        for u, w in graph.neighbors(v).items():
+            if u in done[side]:
+                continue
+            candidate = d + w
+            if candidate < dist[side].get(u, math.inf):
+                dist[side][u] = candidate
+                heapq.heappush(heaps[side], (candidate, u))
+            other_d = done[other].get(u)
+            if other_d is not None and dist[side][u] + other_d < best:
+                best = dist[side][u] + other_d
+
+
+def _peek(heap: List[Tuple[int, int]], done: Dict[int, int]) -> float:
+    while heap and heap[0][1] in done:
+        heapq.heappop(heap)
+    return heap[0][0] if heap else math.inf
+
+
+def dijkstra_digraph(
+    graph: DiGraph, source: int, reverse: bool = False
+) -> Dict[int, int]:
+    """Directed SSSP over successors (or predecessors with ``reverse``)."""
+    if not graph.has_vertex(source):
+        raise QueryError(f"vertex {source} not in graph")
+    expand = graph.predecessors if reverse else graph.successors
+    dist: Dict[int, int] = {}
+    heap: List[Tuple[int, int]] = [(0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in dist:
+            continue
+        dist[v] = d
+        for u, w in expand(v).items():
+            if u not in dist:
+                heapq.heappush(heap, (d + w, u))
+    return dist
+
+
+def dijkstra_digraph_distance(graph: DiGraph, source: int, target: int) -> float:
+    """Directed P2P distance with early exit."""
+    if not graph.has_vertex(source) or not graph.has_vertex(target):
+        raise QueryError("both endpoints must be in the graph")
+    if source == target:
+        return 0
+    done: set = set()
+    heap: List[Tuple[int, int]] = [(0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in done:
+            continue
+        if v == target:
+            return d
+        done.add(v)
+        for u, w in graph.successors(v).items():
+            if u not in done:
+                heapq.heappush(heap, (d + w, u))
+    return math.inf

@@ -1,0 +1,25 @@
+"""Benchmark harness: experiment drivers, paper constants, reporting."""
+
+from repro.bench.harness import (
+    DEFAULT_QUERY_COUNT,
+    WorkloadSummary,
+    built_index,
+    built_vc_index,
+    run_query_workload,
+    time_im_dij,
+)
+from repro.bench.reporting import emit, fmt_bytes, fmt_count, fmt_ms, render_table
+
+__all__ = [
+    "WorkloadSummary",
+    "built_index",
+    "built_vc_index",
+    "run_query_workload",
+    "time_im_dij",
+    "DEFAULT_QUERY_COUNT",
+    "render_table",
+    "emit",
+    "fmt_ms",
+    "fmt_bytes",
+    "fmt_count",
+]

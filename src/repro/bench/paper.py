@@ -1,0 +1,97 @@
+"""The paper's published evaluation numbers (Tables 2–9), transcribed.
+
+Benchmarks print these next to measured values so every run is a direct
+paper-vs-measured comparison.  All times are as published: an Intel 3.3 GHz
+CPU, 4 GB RAM, 7200-RPM SATA disk (~10 ms per random I/O), C++.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE2",
+    "TABLE3",
+    "TABLE4",
+    "TABLE5",
+    "TABLE6",
+    "TABLE7",
+    "TABLE8",
+    "TABLE9",
+    "DATASET_ORDER",
+]
+
+DATASET_ORDER = ("btc", "web", "skitter", "wikitalk", "google")
+
+#: |V|, |E|, average degree, max degree, on-disk size.
+TABLE2 = {
+    "btc": (164_700_000, 361_100_000, 2.19, 105_618, "5.6 GB"),
+    "web": (6_900_000, 113_000_000, 16.40, 31_734, "1.1 GB"),
+    "skitter": (1_700_000, 22_200_000, 13.08, 35_455, "200 MB"),
+    "wikitalk": (2_400_000, 9_300_000, 3.89, 100_029, "100 MB"),
+    "google": (900_000, 8_600_000, 9.87, 6_332, "80 MB"),
+}
+
+#: k, |V_Gk|, |E_Gk|, label size, indexing seconds — threshold σ = 0.95.
+TABLE3 = {
+    "btc": (6, 134_000, 16_400_000, "10.6 GB", 2513.73),
+    "web": (19, 242_000, 14_500_000, "13.1 GB", 2274.36),
+    "skitter": (6, 86_000, 8_500_000, "678.3 MB", 483.65),
+    "wikitalk": (5, 14_000, 2_400_000, "152.5 MB", 239.48),
+    "google": (7, 87_000, 2_500_000, "199.5 MB", 35.13),
+}
+
+#: total query ms, Time (a) ms (label I/O), Time (b) ms (bi-Dijkstra).
+TABLE4 = {
+    "btc": (11.55, 11.47, 0.08),
+    "web": (28.02, 20.08, 7.94),
+    "skitter": (20.05, 12.68, 7.37),
+    "wikitalk": (12.22, 10.85, 1.37),
+    "google": (12.97, 10.37, 2.60),
+}
+
+#: per query type: total ms, Time (a) ms, Time (b) ms.
+TABLE5 = {
+    "btc": {1: (0.08, 0.0, 0.08), 2: (5.85, 5.73, 0.12), 3: (9.03, 8.94, 0.09)},
+    "web": {1: (10.40, 0.0, 10.40), 2: (19.61, 10.14, 9.47), 3: (29.81, 20.37, 9.44)},
+}
+
+#: k sweep: k -> (|V_Gk|, |E_Gk|, label size, indexing s, query ms).
+TABLE6 = {
+    "btc": {
+        5: (167_000, 17_200_000, "7.2 GB", 1555.24, 10.45),
+        6: (134_000, 16_400_000, "10.6 GB", 2513.73, 11.55),
+        7: (114_000, 15_800_000, "17.1 GB", 7227.40, 12.37),
+    },
+    "web": {
+        18: (260_000, 15_200_000, "12.2 GB", 2115.31, 30.72),
+        19: (242_000, 14_500_000, "13.1 GB", 2274.36, 28.02),
+        20: (226_000, 13_800_000, "13.9 GB", 2485.24, 33.65),
+    },
+}
+
+#: threshold σ = 0.90: k, |V_Gk|, |E_Gk|, label size, indexing s, query ms.
+TABLE7 = {
+    "btc": (5, 167_000, 17_200_000, "7.2 GB", 1818.21, 10.64),
+    "web": (7, 808_000, 31_100_000, "1.6 GB", 752.69, 40.85),
+    "skitter": (4, 160_000, 9_300_000, "221.9 MB", 246.69, 18.98),
+    "wikitalk": (4, 17_000, 2_400_000, "99.3 MB", 182.32, 11.38),
+    "google": (6, 107_000, 2_700_000, "127.3 MB", 25.57, 12.96),
+}
+
+#: query ms: IS-LABEL, IM-ISL (in-memory), VC-Index (P2P), IM-DIJ.
+#: None = the paper could not run that configuration ("–").
+TABLE8 = {
+    "btc": (11.55, None, 4246.09, None),
+    "web": (28.02, None, 31655.77, 430.67),
+    "skitter": (20.05, 7.15, 3712.33, 23.16),
+    "wikitalk": (12.22, 1.23, 553.94, 9.97),
+    "google": (12.97, 2.44, 1285.25, 9.09),
+}
+
+#: VC-Index: construction seconds, index size.
+TABLE9 = {
+    "btc": (6221.44, "3.1 GB"),
+    "web": (3544.38, "3.0 GB"),
+    "skitter": (1013.07, "486.5 MB"),
+    "wikitalk": (52.79, "137.1 MB"),
+    "google": (70.37, "211.3 MB"),
+}

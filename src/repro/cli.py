@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+build     Build an IS-LABEL index from an edge-list file.
+query     Answer distance (or path) queries against a saved index.
+stats     Show construction statistics of a saved index.
+dataset   Generate one of the paper's dataset stand-ins as an edge list.
+example   Print the paper's Figure 1-3 walkthrough.
+
+Examples
+--------
+python -m repro dataset google -o google.txt --scale 0.1
+python -m repro build google.txt -o google.islx --with-paths
+python -m repro stats google.islx
+python -m repro query google.islx 3 847 --path
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.index import ISLabelIndex
+from repro.core.paths import PathReconstructor
+from repro.core.serialization import load_index, save_index
+from repro.errors import ReproError
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.stats import graph_stats, human_bytes
+from repro.workloads.datasets import DATASET_NAMES, load_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IS-LABEL: distance labeling for point-to-point queries",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    p_build = commands.add_parser("build", help="build an index from an edge list")
+    p_build.add_argument("graph", help="edge-list file (u v [w] per line)")
+    p_build.add_argument("-o", "--output", required=True, help="index output path")
+    p_build.add_argument("--sigma", type=float, default=0.95, help="σ threshold")
+    p_build.add_argument("--k", type=int, default=None, help="explicit k (overrides σ)")
+    p_build.add_argument("--full", action="store_true", help="full hierarchy (§4)")
+    p_build.add_argument(
+        "--with-paths", action="store_true", help="enable §8.1 path reconstruction"
+    )
+
+    p_query = commands.add_parser("query", help="query a saved index")
+    p_query.add_argument("index", help="index file from `repro build`")
+    p_query.add_argument("source", type=int)
+    p_query.add_argument("target", type=int)
+    p_query.add_argument(
+        "--path", action="store_true", help="print the shortest path too"
+    )
+
+    p_stats = commands.add_parser("stats", help="show index statistics")
+    p_stats.add_argument("index", help="index file from `repro build`")
+    p_stats.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="include the per-level peeling trace and label distribution",
+    )
+
+    p_dataset = commands.add_parser(
+        "dataset", help="generate a dataset stand-in as an edge list"
+    )
+    p_dataset.add_argument("name", choices=DATASET_NAMES)
+    p_dataset.add_argument("-o", "--output", required=True)
+    p_dataset.add_argument("--scale", type=float, default=1.0)
+
+    commands.add_parser("example", help="print the Figure 1-3 walkthrough")
+    return parser
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    started = time.perf_counter()
+    index = ISLabelIndex.build(
+        graph,
+        sigma=None if (args.k is not None or args.full) else args.sigma,
+        k=args.k,
+        full=args.full,
+        with_paths=args.with_paths,
+    )
+    elapsed = time.perf_counter() - started
+    nbytes = save_index(index, args.output)
+    st = index.stats
+    print(
+        f"built k={st.k} index over |V|={st.num_vertices}, |E|={st.num_edges} "
+        f"in {elapsed:.2f}s"
+    )
+    print(
+        f"G_k: {st.gk_vertices} vertices / {st.gk_edges} edges; "
+        f"labels: {st.label_entries} entries ({human_bytes(st.label_bytes)})"
+    )
+    print(f"wrote {args.output} ({human_bytes(nbytes)})")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    if args.path:
+        reconstructor = PathReconstructor(index)
+        dist, path = reconstructor.shortest_path(args.source, args.target)
+        if path is None:
+            print(f"dist({args.source}, {args.target}) = inf (disconnected)")
+        else:
+            print(f"dist({args.source}, {args.target}) = {dist}")
+            print(" -> ".join(str(v) for v in path))
+    else:
+        dist = index.distance(args.source, args.target)
+        rendered = "inf" if math.isinf(dist) else str(dist)
+        print(f"dist({args.source}, {args.target}) = {rendered}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    if getattr(args, "verbose", False):
+        from repro.core.analysis import describe_index
+
+        print(describe_index(index))
+        return 0
+    st = index.stats
+    sigma = "-" if st.sigma is None else f"{st.sigma:.2f}"
+    rows = [
+        ("k", st.k),
+        ("sigma", sigma),
+        ("vertices", st.num_vertices),
+        ("edges", st.num_edges),
+        ("G_k vertices", st.gk_vertices),
+        ("G_k edges", st.gk_edges),
+        ("label entries", st.label_entries),
+        ("label bytes", human_bytes(st.label_bytes)),
+        ("avg entries/vertex", f"{st.avg_label_entries:.2f}"),
+    ]
+    width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        print(f"{name.ljust(width)}  {value}")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.name, args.scale)
+    write_edge_list(graph, args.output)
+    st = graph_stats(graph)
+    print(
+        f"wrote {args.output}: |V|={st.num_vertices}, |E|={st.num_edges}, "
+        f"avg deg {st.avg_degree:.2f}, max deg {st.max_degree}"
+    )
+    return 0
+
+
+def _cmd_example(_: argparse.Namespace) -> int:
+    from repro.workloads.paper_example import render_walkthrough
+
+    print(render_walkthrough())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "build": _cmd_build,
+        "query": _cmd_query,
+        "stats": _cmd_stats,
+        "dataset": _cmd_dataset,
+        "example": _cmd_example,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

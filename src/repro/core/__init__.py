@@ -1,0 +1,82 @@
+"""IS-LABEL core: hierarchy, labeling, index, queries, and extensions."""
+
+from repro.core.analysis import describe_index, hierarchy_report, label_report
+from repro.core.approx import ApproximateDistanceOracle
+from repro.core.directed import DirectedHierarchy, DirectedISLabelIndex
+from repro.core.hierarchy import (
+    DEFAULT_SIGMA,
+    VertexHierarchy,
+    build_hierarchy,
+    build_hierarchy_with_levels,
+)
+from repro.core.independent_set import (
+    external_independent_set,
+    greedy_independent_set,
+    is_independent_set,
+    random_independent_set,
+)
+from repro.core.index import IndexStats, ISLabelIndex, QueryResult
+from repro.core.labeling import (
+    definition3_label,
+    external_top_down_labels,
+    top_down_labels,
+)
+from repro.core.labels import (
+    eq1_distance,
+    eq1_distance_argmin,
+    intersect_labels,
+    sort_label,
+    vertex_set,
+)
+from repro.core.paths import PathReconstructor, is_valid_path, path_length
+from repro.core.query import BiDijkstraResult, SearchStats, label_bidijkstra
+from repro.core.reduce import external_reduce, reduce_graph, reduce_graph_inplace
+from repro.core.serialization import (
+    load_directed_index,
+    load_index,
+    save_directed_index,
+    save_index,
+)
+from repro.core.updates import DynamicISLabelIndex
+
+__all__ = [
+    "ISLabelIndex",
+    "ApproximateDistanceOracle",
+    "describe_index",
+    "hierarchy_report",
+    "label_report",
+    "IndexStats",
+    "QueryResult",
+    "VertexHierarchy",
+    "build_hierarchy",
+    "build_hierarchy_with_levels",
+    "DEFAULT_SIGMA",
+    "greedy_independent_set",
+    "random_independent_set",
+    "external_independent_set",
+    "is_independent_set",
+    "reduce_graph",
+    "reduce_graph_inplace",
+    "external_reduce",
+    "definition3_label",
+    "top_down_labels",
+    "external_top_down_labels",
+    "eq1_distance",
+    "eq1_distance_argmin",
+    "intersect_labels",
+    "sort_label",
+    "vertex_set",
+    "label_bidijkstra",
+    "BiDijkstraResult",
+    "SearchStats",
+    "PathReconstructor",
+    "path_length",
+    "is_valid_path",
+    "DirectedISLabelIndex",
+    "DirectedHierarchy",
+    "DynamicISLabelIndex",
+    "save_index",
+    "load_index",
+    "save_directed_index",
+    "load_directed_index",
+]

@@ -1,0 +1,202 @@
+"""Independent-set selection — Algorithm 2 (§6.1.1).
+
+The hierarchy wants each ``L_i`` as large as possible (fewer levels, smaller
+labels), but maximum independent set is NP-hard, so the paper adopts the
+classic greedy heuristic of Halldórsson & Radhakrishnan [16]: repeatedly
+take the vertex of minimum degree and exclude its neighbours.
+
+Both the in-memory version and the I/O-efficient external version
+(Algorithm 2 verbatim, including the mid-scan purge of the excluded-set
+buffer ``L'``) are provided, plus a random-order variant used by the
+IS-strategy ablation.  All versions return the selected set *and*
+``ADJ(L_i)`` — the adjacency lists of selected vertices — because
+Algorithm 3 consumes exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.extmem.blockdev import BlockDevice
+from repro.extmem.extgraph import ExternalGraph, pack_row, unpack_row
+from repro.extmem.extsort import external_sort
+from repro.graph.graph import Graph
+
+__all__ = [
+    "greedy_independent_set",
+    "random_independent_set",
+    "external_independent_set",
+    "is_independent_set",
+]
+
+Adjacency = List[Tuple[int, int]]
+
+
+def greedy_independent_set(graph: Graph) -> Tuple[List[int], Dict[int, Adjacency]]:
+    """Greedy min-degree independent set of ``graph`` (in-memory Algorithm 2).
+
+    Returns
+    -------
+    (selected, adj_of):
+        ``selected`` lists the independent set in selection order;
+        ``adj_of[v]`` is ``adj_G(v)`` (sorted) for each selected ``v``.
+
+    Vertices are visited in ascending ``(degree, id)`` order — degrees as of
+    the input graph, matching the one-shot sort of Algorithm 2 rather than a
+    dynamically updated bucket queue.  Ties broken by id keep the algorithm
+    deterministic.
+    """
+    order = sorted(graph.vertices(), key=lambda v: (graph.degree(v), v))
+    return _select_in_order(graph, order)
+
+
+def random_independent_set(
+    graph: Graph, seed: Optional[int] = None
+) -> Tuple[List[int], Dict[int, Adjacency]]:
+    """Maximal independent set built in *random* order (ablation baseline).
+
+    Same exclusion rule as the greedy algorithm but with a shuffled visit
+    order, isolating the value of the min-degree heuristic.
+    """
+    order = sorted(graph.vertices())
+    random.Random(seed).shuffle(order)
+    return _select_in_order(graph, order)
+
+
+def _select_in_order(
+    graph: Graph, order: List[int]
+) -> Tuple[List[int], Dict[int, Adjacency]]:
+    selected: List[int] = []
+    adj_of: Dict[int, Adjacency] = {}
+    excluded: Set[int] = set()
+    for u in order:
+        if u in excluded:
+            continue
+        row = graph.neighbors(u)
+        selected.append(u)
+        adj_of[u] = sorted(row.items())
+        excluded.update(row)
+    return selected, adj_of
+
+
+def external_independent_set(
+    device: BlockDevice,
+    graph: ExternalGraph,
+    excluded_buffer_capacity: Optional[int] = None,
+) -> Tuple[ExternalGraph, ExternalGraph]:
+    """I/O-efficient Algorithm 2 on a disk-resident graph.
+
+    Parameters
+    ----------
+    device:
+        The block device holding ``graph`` (and receiving temporaries).
+    graph:
+        Disk-resident ``G_i``.
+    excluded_buffer_capacity:
+        Maximum number of vertex ids the in-memory ``L'`` buffer may hold
+        before the algorithm purges it by rewriting ``G'_i`` (lines 10–11 of
+        Algorithm 2).  Defaults to as many 8-byte ids as fit in the cost
+        model's memory budget.
+
+    Returns
+    -------
+    (adj_li, remainder):
+        ``adj_li`` holds the rows of selected vertices — this *is*
+        ``L_i`` together with ``ADJ(L_i)``; ``remainder`` holds the rows of
+        ``G'_i`` vertices that were excluded (used by tests; Algorithm 3
+        re-reads ``G_i`` itself).
+    """
+    if excluded_buffer_capacity is None:
+        excluded_buffer_capacity = max(1, device.cost_model.memory // 8)
+
+    # Line 3: sort adjacency lists in ascending order of degree.
+    work = external_sort(device, graph.data, key=_degree_key)
+
+    selected_file = device.create()
+    remainder_file = device.create()
+    excluded: Set[int] = set()
+    selected_count = 0
+    selected_slots = 0
+
+    # Lines 4-11: scan in degree order, selecting and excluding.
+    current = work
+    while True:
+        overflow = False
+        resume_after: Optional[bytes] = None
+        for record in current.records():
+            vertex, adjacency = unpack_row(record)
+            if vertex in excluded:
+                remainder_file.append(record)
+                continue
+            selected_file.append(record)
+            selected_count += 1
+            selected_slots += len(adjacency)
+            for u, _ in adjacency:
+                excluded.add(u)
+            if len(excluded) > excluded_buffer_capacity:
+                # Buffer L' is full: purge it by scanning G' and deleting
+                # every excluded vertex (they can never be selected).
+                overflow = True
+                resume_after = record
+                break
+        if not overflow:
+            break
+        current = _purge_excluded(
+            device, current, excluded, resume_after, remainder_file
+        )
+        excluded.clear()
+
+    selected_file.close()
+    remainder_file.close()
+    adj_li = ExternalGraph(
+        device, selected_file, selected_count, 0
+    )  # selected rows are not a closed graph; num_edges unused
+    adj_li.num_edges = selected_slots  # slot count, for I/O reporting
+    remainder = ExternalGraph(device, remainder_file, 0, 0)
+    return adj_li, remainder
+
+
+def _degree_key(record: bytes) -> Tuple[int, int]:
+    vertex, adjacency = unpack_row(record)
+    return (len(adjacency), vertex)
+
+
+def _purge_excluded(
+    device: BlockDevice,
+    current,
+    excluded: Set[int],
+    resume_after: Optional[bytes],
+    remainder_file,
+):
+    """Rewrite the unread remainder of ``current`` without excluded rows.
+
+    Models lines 10–11 of Algorithm 2: "scan G'_i to delete all v in L' and
+    adj(v), and clear L'".  Rows at or before ``resume_after`` were already
+    consumed by the caller's scan and are skipped; purged rows go to the
+    remainder file so callers still see every non-selected row exactly once.
+    """
+    rewritten = device.create()
+    passed_resume = resume_after is None
+    for record in current.records():
+        if not passed_resume:
+            if record == resume_after:
+                passed_resume = True
+            continue
+        vertex, _ = unpack_row(record)
+        if vertex not in excluded:
+            rewritten.append(record)
+        else:
+            remainder_file.append(record)
+    rewritten.close()
+    device.delete(current.name)
+    return rewritten
+
+
+def is_independent_set(graph: Graph, vertices) -> bool:
+    """True iff ``vertices`` is an independent set of ``graph`` (§4.1)."""
+    vs = set(vertices)
+    for v in vs:
+        if any(u in vs for u in graph.neighbors(v)):
+            return False
+    return True

@@ -1,0 +1,346 @@
+"""The IS-LABEL index facade.
+
+:class:`ISLabelIndex` packages hierarchy construction (§4.1/§5.1), top-down
+labeling (§6.1.4) and query processing (§4.3/§5.2) behind the API a
+downstream user works with:
+
+>>> from repro import Graph, ISLabelIndex
+>>> g = Graph([(1, 2), (2, 3), (3, 4, 2)])
+>>> index = ISLabelIndex.build(g)
+>>> index.distance(1, 4)
+4
+
+Two storage modes mirror the paper's two configurations:
+
+* ``storage="disk"`` — labels live in a simulated :class:`LabelStore`;
+  every query charges read I/Os for the labels it touches, and
+  :meth:`query` reports the paper's Time (a) (simulated I/O time at
+  10 ms/IO) and Time (b) (measured search CPU) split.  This is "IS-LABEL"
+  in Tables 4, 5 and 8.
+* ``storage="memory"`` — labels stay in memory, Time (a) is zero.  This is
+  "IM-ISL".
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.hierarchy import DEFAULT_SIGMA, VertexHierarchy, build_hierarchy
+from repro.core.labeling import top_down_labels
+from repro.core.labels import (
+    BYTES_PER_ENTRY,
+    LabelEntryList,
+    eq1_distance_argmin,
+    sort_label,
+)
+from repro.core.query import BiDijkstraResult, SearchStats, label_bidijkstra
+from repro.errors import IndexBuildError, QueryError
+from repro.extmem.iomodel import CostModel, IOStats
+from repro.extmem.labelstore import NO_HINT, LabelStore
+from repro.graph.graph import Graph
+
+__all__ = ["ISLabelIndex", "IndexStats", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Construction-side numbers — the columns of Tables 3, 6 and 7."""
+
+    k: int
+    num_vertices: int
+    num_edges: int
+    gk_vertices: int
+    gk_edges: int
+    label_entries: int
+    label_bytes: int
+    build_seconds: float
+    hierarchy_seconds: float
+    labeling_seconds: float
+    sigma: Optional[float]
+
+    @property
+    def avg_label_entries(self) -> float:
+        labeled = self.num_vertices
+        return self.label_entries / labeled if labeled else 0.0
+
+
+@dataclass
+class QueryResult:
+    """One query's answer plus the cost breakdown of Tables 4 and 5."""
+
+    source: int
+    target: int
+    distance: float
+    #: Table 5 classification: 1 = both endpoints in G_k, 2 = one, 3 = none.
+    query_type: int
+    used_bidijkstra: bool
+    label_ios: int
+    #: Simulated label-retrieval time — the paper's Time (a).
+    time_label_s: float
+    #: Measured search time — the paper's Time (b).
+    time_search_s: float
+    search: Optional[SearchStats] = None
+
+    @property
+    def total_time_s(self) -> float:
+        return self.time_label_s + self.time_search_s
+
+
+class ISLabelIndex:
+    """A built IS-LABEL index over an undirected weighted graph."""
+
+    def __init__(
+        self,
+        hierarchy: VertexHierarchy,
+        labels: Dict[int, List[Tuple[int, int]]],
+        preds: Optional[Dict[int, Dict[int, Optional[int]]]],
+        store: Optional[LabelStore],
+        cost_model: CostModel,
+        labeling_seconds: float,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.gk = hierarchy.gk
+        self._labels = labels
+        self._preds = preds
+        self._store = store
+        self.cost_model = cost_model
+        self._labeling_seconds = labeling_seconds
+        self.io_stats = store.stats if store is not None else IOStats()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        sigma: Optional[float] = DEFAULT_SIGMA,
+        k: Optional[int] = None,
+        full: bool = False,
+        storage: str = "memory",
+        cost_model: Optional[CostModel] = None,
+        with_paths: bool = False,
+        is_strategy: str = "min_degree",
+        seed: Optional[int] = None,
+        cache_blocks: Optional[int] = None,
+    ) -> "ISLabelIndex":
+        """Build the index; see :func:`repro.core.hierarchy.build_hierarchy`
+        for the hierarchy knobs (``sigma``, ``k``, ``full``, strategy).
+
+        ``storage`` selects ``"memory"`` (IM-ISL) or ``"disk"`` (IS-LABEL
+        with simulated label I/O); ``with_paths`` records the §8.1
+        bookkeeping needed by :class:`repro.core.paths.PathReconstructor`;
+        ``cache_blocks`` (disk mode) puts an LRU block cache in front of
+        the label store, modelling the OS page cache the paper's testbed
+        benefited from.
+        """
+        if storage not in ("memory", "disk"):
+            raise IndexBuildError(f"unknown storage mode {storage!r}")
+        model = cost_model or CostModel()
+
+        hierarchy = build_hierarchy(
+            graph,
+            sigma=sigma,
+            k=k,
+            full=full,
+            is_strategy=is_strategy,
+            seed=seed,
+            with_hints=with_paths,
+        )
+        labeling_started = time.perf_counter()
+        label_maps, preds = top_down_labels(hierarchy, with_preds=with_paths)
+        labels = {v: sort_label(m) for v, m in label_maps.items()}
+        labeling_seconds = time.perf_counter() - labeling_started
+
+        store = None
+        if storage == "disk":
+            store = LabelStore(model, with_hints=with_paths)
+            for v, entries in labels.items():
+                if with_paths:
+                    pred_v = preds[v]  # type: ignore[index]
+                    store.put(
+                        v,
+                        [
+                            (w, d, NO_HINT if pred_v[w] is None else pred_v[w])
+                            for w, d in entries
+                        ],
+                    )
+                else:
+                    store.put(v, entries)
+            store.stats.reset()  # construction traffic is not query traffic
+            if cache_blocks is not None:
+                from repro.extmem.cache import CachedLabelStore
+
+                store = CachedLabelStore(store, cache_blocks)
+
+        return cls(hierarchy, labels, preds, store, model, labeling_seconds)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> float:
+        """Exact ``dist_G(source, target)`` (``inf`` when disconnected)."""
+        return self.query(source, target).distance
+
+    def distances(self, pairs) -> List[float]:
+        """Batch form of :meth:`distance` over an iterable of (s, t) pairs."""
+        return [self.query(s, t).distance for s, t in pairs]
+
+    def reachable(self, source: int, target: int) -> bool:
+        """True iff the endpoints are connected in ``G``."""
+        return not math.isinf(self.query(source, target).distance)
+
+    def query(
+        self, source: int, target: int, keep_parents: bool = False
+    ) -> QueryResult:
+        """Answer a P2P distance query with the Table 4/5 cost breakdown."""
+        result, _ = self._query_detailed(source, target, keep_parents)
+        return result
+
+    def _query_detailed(
+        self, source: int, target: int, keep_parents: bool = False
+    ) -> Tuple[QueryResult, Optional[BiDijkstraResult]]:
+        """Query plus the raw search result (path reconstruction needs it)."""
+        self._check_vertex(source)
+        self._check_vertex(target)
+        s_in_gk = self.hierarchy.in_gk(source)
+        t_in_gk = self.hierarchy.in_gk(target)
+        table5_type = 1 if (s_in_gk and t_in_gk) else (2 if (s_in_gk or t_in_gk) else 3)
+
+        if source == target:
+            return (
+                QueryResult(source, target, 0, table5_type, False, 0, 0.0, 0.0),
+                None,
+            )
+
+        ios_before = self.io_stats.block_reads
+        label_s = self._fetch_label(source)
+        label_t = self._fetch_label(target)
+        label_ios = self.io_stats.block_reads - ios_before
+        time_label_s = self.cost_model.time_for(label_ios)
+
+        search_started = time.perf_counter()
+        mu0, _ = eq1_distance_argmin(label_s, label_t)
+
+        seeds_f = self._gk_seeds(label_s)
+        seeds_r = self._gk_seeds(label_t)
+        # Type 1 (§5.2): no gateway into G_k on at least one side — the
+        # whole shortest path lies below level k and Equation 1 is exact.
+        # With a full hierarchy G_k is empty and every query lands here.
+        if not seeds_f or not seeds_r:
+            elapsed = time.perf_counter() - search_started
+            return (
+                QueryResult(
+                    source,
+                    target,
+                    mu0,
+                    table5_type,
+                    False,
+                    label_ios,
+                    time_label_s,
+                    elapsed,
+                ),
+                None,
+            )
+
+        result = label_bidijkstra(
+            self._gk_adjacency,
+            self._gk_adjacency,
+            seeds_f,
+            seeds_r,
+            initial_mu=mu0,
+            keep_parents=keep_parents,
+        )
+        elapsed = time.perf_counter() - search_started
+        return (
+            QueryResult(
+                source,
+                target,
+                result.distance,
+                table5_type,
+                True,
+                label_ios,
+                time_label_s,
+                elapsed,
+                result.stats,
+            ),
+            result,
+        )
+
+    def _gk_adjacency(self, v: int):
+        return self.gk.neighbors(v).items()
+
+    def _gk_seeds(self, label: LabelEntryList) -> List[Tuple[int, int]]:
+        """Label entries whose ancestor lies in ``G_k`` (Algorithm 1 seeds)."""
+        gk = self.gk
+        return [(w, d) for w, d in label if gk.has_vertex(w)]
+
+    def _fetch_label(self, v: int) -> LabelEntryList:
+        """Label of ``v``; G_k vertices are implicit ``{(v, 0)}`` at no I/O.
+
+        Table 5 relies on this: Type 1 queries (both endpoints in ``G_k``)
+        show Time (a) = 0 because "there is no need to lookup the labels".
+        Dynamically inserted vertices (§8.3) live in ``G_k`` but may carry
+        an enriched label, which must genuinely be fetched.
+        """
+        if self.hierarchy.in_gk(v) and len(self._labels.get(v, ())) <= 1:
+            return [(v, 0)]
+        if self._store is not None:
+            return self._store.fetch(v)
+        return self._labels[v]
+
+    def _fetch_preds(self, v: int) -> Dict[int, Optional[int]]:
+        """Predecessor map of ``label(v)`` (path mode only)."""
+        if self._preds is None:
+            raise QueryError("index was built without with_paths=True")
+        if self.hierarchy.in_gk(v):
+            return {v: None}
+        return self._preds[v]
+
+    def _check_vertex(self, v: int) -> None:
+        if v not in self.hierarchy.level_of:
+            raise QueryError(f"vertex {v} is not covered by this index")
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> IndexStats:
+        label_entries = sum(len(entries) for entries in self._labels.values())
+        entry_bytes = 24 if self._preds is not None else BYTES_PER_ENTRY
+        hierarchy = self.hierarchy
+        original_edges = (hierarchy.sizes[0] - hierarchy.num_vertices) if hierarchy.sizes else 0
+        return IndexStats(
+            k=hierarchy.k,
+            num_vertices=hierarchy.num_vertices,
+            num_edges=original_edges,
+            gk_vertices=self.gk.num_vertices,
+            gk_edges=self.gk.num_edges,
+            label_entries=label_entries,
+            label_bytes=label_entries * entry_bytes,
+            build_seconds=hierarchy.build_seconds + self._labeling_seconds,
+            hierarchy_seconds=hierarchy.build_seconds,
+            labeling_seconds=self._labeling_seconds,
+            sigma=hierarchy.sigma,
+        )
+
+    @property
+    def k(self) -> int:
+        return self.hierarchy.k
+
+    def label(self, v: int) -> LabelEntryList:
+        """Public read access to ``label(v)`` (no I/O accounting)."""
+        self._check_vertex(v)
+        if self.hierarchy.in_gk(v):
+            return [(v, 0)]
+        return self._labels[v]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats
+        return (
+            f"ISLabelIndex(k={s.k}, |V|={s.num_vertices}, "
+            f"|V_Gk|={s.gk_vertices}, entries={s.label_entries})"
+        )

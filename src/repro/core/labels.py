@@ -1,0 +1,98 @@
+"""Label containers and label algebra (§4.2, §4.3).
+
+A vertex label is a set of ``(ancestor, d(v, ancestor))`` pairs.  During
+construction labels live as dicts (``{ancestor: distance}``); for querying
+they are *sorted pair lists*, matching the paper's on-disk layout ("entries
+... are sorted by the vertex ID's of the ancestors", §6.2), so that label
+intersection is a linear merge.
+
+This module also implements Equation 1 — the pure-label distance answer —
+and the vertex-extraction / intersection operators of §4.3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "LabelEntryList",
+    "sort_label",
+    "vertex_set",
+    "intersect_labels",
+    "eq1_distance",
+    "eq1_distance_argmin",
+    "label_nbytes",
+]
+
+#: A query-time label: ``(ancestor, distance)`` pairs sorted by ancestor id.
+LabelEntryList = Sequence[Tuple[int, int]]
+
+#: Bytes per stored label entry (8-byte ancestor + 8-byte distance),
+#: matching :mod:`repro.extmem.labelstore` and the Table 3 size column.
+BYTES_PER_ENTRY = 16
+
+
+def sort_label(label: Dict[int, int]) -> List[Tuple[int, int]]:
+    """Freeze a build-time label dict into the sorted query-time form."""
+    return sorted(label.items())
+
+
+def vertex_set(label: LabelEntryList) -> List[int]:
+    """``V[label(v)]`` — the vertex-extraction operator of §4.3."""
+    return [anc for anc, _ in label]
+
+
+def intersect_labels(
+    label_s: LabelEntryList, label_t: LabelEntryList
+) -> Iterator[Tuple[int, int, int]]:
+    """Merge-intersect two sorted labels.
+
+    Yields ``(w, d(s, w), d(w, t))`` for every common ancestor ``w`` —
+    the set ``X = label(s) ∩ label(t)`` with both distances attached.
+    """
+    i, j = 0, 0
+    n, m = len(label_s), len(label_t)
+    while i < n and j < m:
+        a, da = label_s[i]
+        b, db = label_t[j]
+        if a == b:
+            yield (a, da, db)
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+
+
+def eq1_distance(label_s: LabelEntryList, label_t: LabelEntryList) -> float:
+    """Equation 1: ``min_{w ∈ X} d(s,w) + d(w,t)``, or ``inf`` if X = ∅."""
+    best = math.inf
+    for _, ds, dt in intersect_labels(label_s, label_t):
+        total = ds + dt
+        if total < best:
+            best = total
+    return best
+
+
+def eq1_distance_argmin(
+    label_s: LabelEntryList, label_t: LabelEntryList
+) -> Tuple[float, int]:
+    """Equation 1 plus the minimizing common ancestor (-1 if X = ∅).
+
+    The argmin is the meeting vertex path reconstruction starts from.
+    """
+    best = math.inf
+    best_w = -1
+    for w, ds, dt in intersect_labels(label_s, label_t):
+        total = ds + dt
+        if total < best:
+            best = total
+            best_w = w
+    return best, best_w
+
+
+def label_nbytes(label: Iterable) -> int:
+    """Storage footprint of one label at 16 bytes/entry."""
+    return BYTES_PER_ENTRY * sum(1 for _ in label)

@@ -1,0 +1,128 @@
+"""Shortest-*path* queries — §8.1.
+
+Distance labels answer "how far"; to answer "which way" the paper keeps,
+for every augmenting edge, the intermediate vertex whose removal created it,
+and for every label entry the neighbour the minimum routed through.  A path
+then unfolds recursively:
+
+* a label entry ``(w, d)`` of ``v`` expands into edge ``(v, pred)`` followed
+  by ``pred``'s path to ``w`` (``pred = φ`` means the entry *is* an edge);
+* an edge of any ``G_i`` expands through its intermediate-vertex hint chain
+  until only original edges of ``G`` remain — the hint chain terminates
+  because intermediates always have strictly lower level than the edge's
+  endpoints.
+
+The expansion cost is ``O(|SP_G(s,t)|)``, as the paper notes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.core.index import ISLabelIndex
+from repro.core.labels import eq1_distance_argmin
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+
+__all__ = ["PathReconstructor", "path_length", "is_valid_path"]
+
+_MISSING = object()
+
+
+class PathReconstructor:
+    """Reconstructs shortest paths from an index built ``with_paths=True``."""
+
+    def __init__(self, index: ISLabelIndex) -> None:
+        if index.hierarchy.hints is None or index._preds is None:
+            raise QueryError(
+                "path reconstruction needs an index built with with_paths=True"
+            )
+        self.index = index
+        self._hints = index.hierarchy.hints
+
+    def shortest_path(
+        self, source: int, target: int
+    ) -> Tuple[float, Optional[List[int]]]:
+        """Return ``(dist_G(s, t), path)``; path is ``None`` if disconnected."""
+        index = self.index
+        result, search = index._query_detailed(source, target, keep_parents=True)
+        if math.isinf(result.distance):
+            return math.inf, None
+        if source == target:
+            return 0, [source]
+
+        if search is None or search.meet_vertex is None:
+            # Either a Type-1/full-hierarchy query, or the bidirectional
+            # search never beat the label-intersection bound: the meeting
+            # point is the Equation-1 argmin ancestor.
+            _, w = eq1_distance_argmin(index.label(source), index.label(target))
+            if w == -1:
+                raise QueryError(
+                    f"query ({source}, {target}) returned {result.distance} "
+                    "with an empty label intersection"
+                )
+            forward = self._label_path(source, w)
+            backward = self._label_path(target, w)
+        else:
+            meet = search.meet_vertex
+            forward = self._search_path(source, meet, search.parents_forward)
+            backward = self._search_path(target, meet, search.parents_reverse)
+        path = forward + backward[::-1][1:]
+        return result.distance, path
+
+    # ------------------------------------------------------------------
+    # Expansion machinery
+    # ------------------------------------------------------------------
+    def _search_path(self, endpoint: int, meet: int, parents) -> List[int]:
+        """``endpoint -> ... -> meet``: label prefix + expanded G_k edges."""
+        chain = [meet]
+        cursor = meet
+        while parents[cursor] is not None:
+            cursor = parents[cursor]
+            chain.append(cursor)
+        chain.reverse()  # seed vertex first
+        path = self._label_path(endpoint, chain[0])
+        for a, b in zip(chain, chain[1:]):
+            path += self._expand_edge(a, b)[1:]
+        return path
+
+    def _label_path(self, v: int, ancestor: int) -> List[int]:
+        """The path in ``G`` behind label entry ``(ancestor, d)`` of ``v``."""
+        path = [v]
+        cursor = v
+        while cursor != ancestor:
+            pred = self.index._fetch_preds(cursor).get(ancestor, _MISSING)
+            if pred is _MISSING:
+                raise QueryError(
+                    f"label({cursor}) has no entry for ancestor {ancestor}"
+                )
+            if pred is None:
+                path += self._expand_edge(cursor, ancestor)[1:]
+                break
+            path += self._expand_edge(cursor, pred)[1:]
+            cursor = pred
+        return path
+
+    def _expand_edge(self, a: int, b: int) -> List[int]:
+        """Expand one (possibly augmenting) edge into original-graph hops."""
+        mid = self._hints.get((a, b) if a < b else (b, a))
+        if mid is None:
+            return [a, b]
+        left = self._expand_edge(a, mid)
+        right = self._expand_edge(mid, b)
+        return left + right[1:]
+
+
+def path_length(graph: Graph, path: List[int]) -> int:
+    """Sum of original edge weights along ``path`` (raises on a non-path)."""
+    return sum(graph.weight(a, b) for a, b in zip(path, path[1:]))
+
+
+def is_valid_path(graph: Graph, path: List[int]) -> bool:
+    """True iff consecutive path vertices are adjacent in ``graph``."""
+    if not path:
+        return False
+    if any(v not in graph for v in path):
+        return False
+    return all(graph.has_edge(a, b) for a, b in zip(path, path[1:]))

@@ -1,0 +1,188 @@
+"""Query processing — Equation 1 and Algorithm 1 (§4.3, §5.2).
+
+Two query modes:
+
+* **Pure label (Equation 1)** — used for full hierarchies and for Type 1
+  queries (both endpoints below level ``k`` and at least one label that
+  never reaches ``G_k``); implemented in :mod:`repro.core.labels`.
+* **Label-based bidirectional Dijkstra (Algorithm 1)** — used for Type 2
+  queries.  The labels seed both priority queues with the distances to
+  every ``G_k`` ancestor (exact for the relevant gateways, Theorem 4) and
+  the label intersection provides the initial pruning bound ``µ``; the
+  bidirectional search stops as soon as ``min(FQ) + min(RQ) ≥ µ``.
+
+Deviation from the paper's pseudocode (see DESIGN.md §4): ``µ`` is updated
+against the opposite side's *tentative* distances — on every scanned edge
+and on every extraction — not only against settled entries inside the
+improvement branch.  Tentative distances are always realizable path lengths
+(seed + settled prefix + one edge), so ``µ`` stays an upper bound; without
+this, the ``min(FQ) + min(RQ) ≥ µ`` stop can fire between the two
+extractions of the meeting vertex (e.g. when the meeting vertex is a label
+seed) and the published pseudocode returns an overestimate.
+
+The search is written against adjacency *callables* so the directed variant
+(§8.2) can reuse it with successor/predecessor maps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["SearchStats", "BiDijkstraResult", "label_bidijkstra"]
+
+AdjacencyFn = Callable[[int], Iterable[Tuple[int, int]]]
+Seed = Tuple[int, int]  # (G_k vertex, label distance)
+
+
+@dataclass
+class SearchStats:
+    """Work counters for one Algorithm-1 run (ablation E11 reads these)."""
+
+    settled_forward: int = 0
+    settled_reverse: int = 0
+    relaxed_edges: int = 0
+    heap_pushes: int = 0
+
+    @property
+    def settled_total(self) -> int:
+        return self.settled_forward + self.settled_reverse
+
+
+@dataclass
+class BiDijkstraResult:
+    """Outcome of a label-based bidirectional Dijkstra search.
+
+    ``distance`` is ``µ*`` (may be ``inf``).  ``meet_vertex`` is the ``G_k``
+    vertex realising the best meeting, or ``None`` when the initial
+    label-intersection bound was never beaten (the caller then reconstructs
+    through the Equation-1 argmin ancestor instead).  ``parents_*`` map each
+    reached vertex to its search parent (``None`` for label seeds), enabling
+    §8.1 path reconstruction.
+    """
+
+    distance: float
+    meet_vertex: Optional[int]
+    stats: SearchStats
+    parents_forward: Dict[int, Optional[int]] = field(default_factory=dict)
+    parents_reverse: Dict[int, Optional[int]] = field(default_factory=dict)
+
+
+def label_bidijkstra(
+    forward_adj: AdjacencyFn,
+    reverse_adj: AdjacencyFn,
+    seeds_forward: Iterable[Seed],
+    seeds_reverse: Iterable[Seed],
+    initial_mu: float = math.inf,
+    keep_parents: bool = False,
+) -> BiDijkstraResult:
+    """Run Algorithm 1's Stage 2 given the Stage-1 seeds and bound.
+
+    Parameters
+    ----------
+    forward_adj, reverse_adj:
+        Adjacency of ``G_k`` for the forward (from ``s``) and reverse
+        (towards ``t``) searches; identical for undirected graphs.
+    seeds_forward, seeds_reverse:
+        ``(v, d(s, v))`` / ``(v, d(t, v))`` for every ``G_k`` ancestor in
+        the respective label (lines 1–3).
+    initial_mu:
+        The label-intersection bound of lines 4–6 (``inf`` disables the
+        pruning seed — the E11 ablation).
+    keep_parents:
+        Record parent pointers for path reconstruction.
+    """
+    dist_f: Dict[int, int] = {}
+    dist_r: Dict[int, int] = {}
+    settled_f: Dict[int, int] = {}
+    settled_r: Dict[int, int] = {}
+    heap_f: List[Tuple[int, int]] = []
+    heap_r: List[Tuple[int, int]] = []
+    parents_f: Dict[int, Optional[int]] = {}
+    parents_r: Dict[int, Optional[int]] = {}
+    stats = SearchStats()
+
+    for v, d in seeds_forward:
+        if d < dist_f.get(v, math.inf):
+            dist_f[v] = d
+            heapq.heappush(heap_f, (d, v))
+            if keep_parents:
+                parents_f[v] = None
+    for v, d in seeds_reverse:
+        if d < dist_r.get(v, math.inf):
+            dist_r[v] = d
+            heapq.heappush(heap_r, (d, v))
+            if keep_parents:
+                parents_r[v] = None
+
+    mu = initial_mu
+    meet: Optional[int] = None
+
+    while True:
+        min_f = _peek(heap_f, settled_f)
+        min_r = _peek(heap_r, settled_r)
+        if min_f + min_r >= mu:
+            break  # pruning condition of line 8 (covers exhausted queues)
+
+        if min_f <= min_r:
+            side_heap, adj = heap_f, forward_adj
+            dist_x, dist_o, settled_x = dist_f, dist_r, settled_f
+            parents_x = parents_f
+        else:
+            side_heap, adj = heap_r, reverse_adj
+            dist_x, dist_o, settled_x = dist_r, dist_f, settled_r
+            parents_x = parents_r
+
+        d, v = heapq.heappop(side_heap)
+        if v in settled_x:
+            continue
+        settled_x[v] = d
+        if side_heap is heap_f:
+            stats.settled_forward += 1
+        else:
+            stats.settled_reverse += 1
+
+        # µ update at settle time against the other side's best-known
+        # (possibly tentative) distance — covers meetings at label seeds.
+        other = dist_o.get(v)
+        if other is not None and d + other < mu:
+            mu = d + other
+            meet = v
+
+        for u, weight in adj(v):
+            stats.relaxed_edges += 1
+            if u in settled_x:
+                continue
+            candidate = d + weight
+            if candidate < dist_x.get(u, math.inf):
+                dist_x[u] = candidate
+                heapq.heappush(side_heap, (candidate, u))
+                stats.heap_pushes += 1
+                if keep_parents:
+                    parents_x[u] = v
+            # µ update on every scan (DESIGN.md §4): the head may already
+            # carry a distance on the other side whose meeting with this
+            # side was never evaluated.
+            other_u = dist_o.get(u)
+            if other_u is not None:
+                through = dist_x[u] + other_u
+                if through < mu:
+                    mu = through
+                    meet = u
+
+    return BiDijkstraResult(
+        distance=mu,
+        meet_vertex=meet,
+        stats=stats,
+        parents_forward=parents_f,
+        parents_reverse=parents_r,
+    )
+
+
+def _peek(heap: List[Tuple[int, int]], settled: Dict[int, int]) -> float:
+    """Smallest non-stale key in ``heap`` (``inf`` when exhausted)."""
+    while heap and heap[0][1] in settled:
+        heapq.heappop(heap)
+    return heap[0][0] if heap else math.inf

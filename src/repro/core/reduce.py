@@ -1,0 +1,185 @@
+"""Distance-preserving graph reduction — Algorithm 3 (§6.1.2, Lemma 2).
+
+``G_{i+1}`` is ``G_i`` minus the independent set ``L_i``, plus *augmenting
+edges*: for every removed ``v`` and every pair ``u, w ∈ adj_{G_i}(v)``, the
+edge ``(u, w)`` with weight ``ω(u,v) + ω(v,w)`` (min-merged if it already
+exists).  Because ``L_i`` is independent, all of ``v``'s neighbours survive
+into ``G_{i+1}``, so this 2-hop self join is exactly sufficient (the proof
+of Lemma 2).
+
+For §8.1 path reconstruction the reduction optionally records, per edge, the
+*intermediate vertex* whose removal created (or last improved) it.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.extmem.blockdev import BlockDevice
+from repro.extmem.extgraph import ExternalGraph, pack_row, unpack_row
+from repro.extmem.extsort import external_sort
+from repro.graph.graph import Graph
+
+__all__ = ["reduce_graph_inplace", "reduce_graph", "external_reduce", "EdgeHints"]
+
+Adjacency = List[Tuple[int, int]]
+
+#: ``hints[(u, w)] = v`` (with ``u < w``) records that the *current* weight
+#: of edge ``(u, w)`` decomposes as the 2-path ``u - v - w``.  Edges whose
+#: current weight is their original input weight carry no entry (the paper's
+#: ``φ``).
+EdgeHints = Dict[Tuple[int, int], int]
+
+
+def reduce_graph_inplace(
+    graph: Graph,
+    level_set: Iterable[int],
+    adj_of: Dict[int, Adjacency],
+    hints: Optional[EdgeHints] = None,
+) -> Graph:
+    """Turn ``G_i`` into ``G_{i+1}`` in place and return it.
+
+    Parameters
+    ----------
+    graph:
+        ``G_i``; mutated into ``G_{i+1}``.
+    level_set:
+        ``L_i`` — must be an independent set of ``graph``.
+    adj_of:
+        ``ADJ(L_i)`` as produced by Algorithm 2.
+    hints:
+        Optional §8.1 intermediate-vertex map, updated for every augmenting
+        edge inserted or improved.
+    """
+    # Lines 1-2: remove L_i and its adjacency lists.
+    for v in level_set:
+        graph.remove_vertex(v)
+    # Lines 3-8: self join each removed adjacency list into augmenting edges.
+    for v, adjacency in adj_of.items():
+        for a in range(len(adjacency)):
+            u, wu = adjacency[a]
+            for b in range(a + 1, len(adjacency)):
+                w, ww = adjacency[b]
+                weight = wu + ww
+                if graph.merge_edge(u, w, weight) and hints is not None:
+                    hints[(u, w) if u < w else (w, u)] = v
+    return graph
+
+
+def reduce_graph(
+    graph: Graph,
+    level_set: Iterable[int],
+    adj_of: Dict[int, Adjacency],
+    hints: Optional[EdgeHints] = None,
+) -> Graph:
+    """Non-mutating :func:`reduce_graph_inplace` (returns a new graph)."""
+    return reduce_graph_inplace(graph.copy(), level_set, adj_of, hints)
+
+
+def external_reduce(
+    device: BlockDevice,
+    graph: ExternalGraph,
+    level_set: Iterable[int],
+    adj_li: ExternalGraph,
+    output_name: Optional[str] = None,
+) -> ExternalGraph:
+    """I/O-efficient Algorithm 3: build disk-resident ``G_{i+1}``.
+
+    ``adj_li`` holds the ``ADJ(L_i)`` rows written by
+    :func:`repro.core.independent_set.external_independent_set`.
+
+    The implementation follows the paper's three phases: (1) scan ``G_i``
+    dropping ``L_i`` rows and slots, (2) self-join ``ADJ(L_i)`` into the
+    augmenting-edge array ``E_A`` (both directions) and sort it by vertex
+    ids, (3) merge-scan ``E_A`` with the reduced rows, min-merging weights.
+    """
+    removed = set(level_set)
+
+    # Phase 1 (line 2): remove L_i rows and slots pointing into L_i.
+    reduced = device.create()
+    for vertex, adjacency in graph.rows():
+        if vertex in removed:
+            continue
+        kept = [(u, w) for u, w in adjacency if u not in removed]
+        reduced.append(pack_row(vertex, kept))
+    reduced.close()
+
+    # Phase 2 (lines 3-7): emit both directions of each augmenting edge.
+    ea = device.create()
+    for _, adjacency in adj_li.rows():
+        for a in range(len(adjacency)):
+            u, wu = adjacency[a]
+            for b in range(a + 1, len(adjacency)):
+                w, ww = adjacency[b]
+                ea.append(_pack_edge(u, w, wu + ww))
+                ea.append(_pack_edge(w, u, wu + ww))
+    ea.close()
+    ea_sorted = external_sort(device, ea, key=_edge_key)
+    device.delete(ea.name)
+
+    # Phase 3 (line 8): merge E_A into the reduced adjacency file.
+    out = device.create(output_name)
+    num_vertices = 0
+    slot_count = 0
+    edge_stream = _dedup_min(_edges(ea_sorted))
+    pending = next(edge_stream, None)
+    for vertex, adjacency in _rows_of(reduced):
+        merged: Dict[int, int] = dict(adjacency)
+        while pending is not None and pending[0] == vertex:
+            _, head, weight = pending
+            if head not in merged or weight < merged[head]:
+                merged[head] = weight
+            pending = next(edge_stream, None)
+        row = sorted(merged.items())
+        out.append(pack_row(vertex, row))
+        num_vertices += 1
+        slot_count += len(row)
+    if pending is not None:
+        # Augmenting edges always join surviving vertices; leftovers mean
+        # the inputs were inconsistent.
+        raise ValueError(
+            f"augmenting edge {pending} references a vertex outside G_{{i+1}}"
+        )
+    out.close()
+    device.delete(reduced.name)
+    device.delete(ea_sorted.name)
+    return ExternalGraph(device, out, num_vertices, slot_count // 2)
+
+
+# ----------------------------------------------------------------------
+# Edge-record helpers for the E_A file
+# ----------------------------------------------------------------------
+_EDGE = struct.Struct("<qqq")
+
+
+def _pack_edge(u: int, v: int, w: int) -> bytes:
+    return _EDGE.pack(u, v, w)
+
+
+def _edge_key(record: bytes) -> Tuple[int, int, int]:
+    return _EDGE.unpack(record)
+
+
+def _edges(block_file) -> Iterable[Tuple[int, int, int]]:
+    for record in block_file.records():
+        yield _EDGE.unpack(record)
+
+
+def _dedup_min(edges: Iterable[Tuple[int, int, int]]) -> Iterable[Tuple[int, int, int]]:
+    """Collapse duplicate ``(u, v)`` pairs to their minimum weight.
+
+    The sorted ``E_A`` file may contain the same augmenting edge from
+    several removed vertices; the first record after sorting by
+    ``(u, v, w)`` carries the minimum weight.
+    """
+    last: Optional[Tuple[int, int]] = None
+    for u, v, w in edges:
+        if (u, v) != last:
+            last = (u, v)
+            yield (u, v, w)
+
+
+def _rows_of(block_file) -> Iterable[Tuple[int, Adjacency]]:
+    for record in block_file.records():
+        yield unpack_row(record)

@@ -1,0 +1,353 @@
+"""Persisting built indexes to real files and back.
+
+The simulated :class:`LabelStore` models query-time I/O *costs*; this module
+covers the orthogonal need of shipping a built index between processes.  The
+format is a little-endian binary dump of everything :class:`ISLabelIndex`
+holds: level numbers, per-level removal adjacency, ``G_k``, labels (with
+predecessors when present) and augmenting-edge hints.  Directed indexes
+(:class:`DirectedISLabelIndex`) have their own format with per-direction
+adjacency, labels and predecessors.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Dict, List, Optional, Tuple, Union
+
+from repro.core.directed import DirectedHierarchy, DirectedISLabelIndex
+from repro.core.hierarchy import VertexHierarchy
+from repro.core.index import ISLabelIndex
+from repro.errors import StorageError
+from repro.extmem.iomodel import CostModel
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+
+__all__ = [
+    "save_index",
+    "load_index",
+    "save_directed_index",
+    "load_directed_index",
+]
+
+_MAGIC = b"ISLX"
+_VERSION = 1
+
+_HEADER = struct.Struct("<4sHBdq")  # magic, version, flags, sigma, k
+_COUNT = struct.Struct("<q")
+_PAIR = struct.Struct("<qq")
+_TRIPLE = struct.Struct("<qqq")
+
+_FLAG_WITH_PATHS = 1
+_NO_SIGMA = -1.0
+_NO_PRED = -(2 ** 62)
+
+PathLike = Union[str, Path]
+
+
+def save_index(index: ISLabelIndex, path: PathLike) -> int:
+    """Write ``index`` to ``path``; returns bytes written."""
+    hierarchy = index.hierarchy
+    with_paths = index._preds is not None and hierarchy.hints is not None
+    with open(path, "wb") as fh:
+        flags = _FLAG_WITH_PATHS if with_paths else 0
+        sigma = hierarchy.sigma if hierarchy.sigma is not None else _NO_SIGMA
+        fh.write(_HEADER.pack(_MAGIC, _VERSION, flags, sigma, hierarchy.k))
+
+        _write_count(fh, len(hierarchy.sizes))
+        for size in hierarchy.sizes:
+            fh.write(_COUNT.pack(size))
+
+        # Per-level removal adjacency.
+        for peeled in hierarchy.levels:
+            _write_count(fh, len(peeled))
+            for v, adjacency in peeled.items():
+                fh.write(_PAIR.pack(v, len(adjacency)))
+                for u, w in adjacency:
+                    fh.write(_PAIR.pack(u, w))
+
+        # G_k.
+        _write_count(fh, hierarchy.gk.num_vertices)
+        for v in hierarchy.gk.sorted_vertices():
+            fh.write(_COUNT.pack(v))
+        edges = list(hierarchy.gk.edges())
+        _write_count(fh, len(edges))
+        for u, v, w in edges:
+            fh.write(_TRIPLE.pack(u, v, w))
+
+        # Labels (with predecessors when present).
+        _write_count(fh, len(index._labels))
+        for v, entries in index._labels.items():
+            fh.write(_PAIR.pack(v, len(entries)))
+            preds = index._preds[v] if with_paths else None
+            for w, d in entries:
+                if with_paths:
+                    pred = preds[w]
+                    fh.write(_TRIPLE.pack(w, d, _NO_PRED if pred is None else pred))
+                else:
+                    fh.write(_PAIR.pack(w, d))
+
+        # Hints.
+        if with_paths:
+            hints = hierarchy.hints
+            _write_count(fh, len(hints))
+            for (u, w), mid in hints.items():
+                fh.write(_TRIPLE.pack(u, w, mid))
+        position = fh.tell()
+    return position
+
+
+def load_index(path: PathLike, cost_model: Optional[CostModel] = None) -> ISLabelIndex:
+    """Load an index saved by :func:`save_index` (memory-storage mode)."""
+    with open(path, "rb") as fh:
+        header = fh.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise StorageError(f"{path}: truncated header")
+        magic, version, flags, sigma, k = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise StorageError(f"{path}: bad magic {magic!r}")
+        if version != _VERSION:
+            raise StorageError(f"{path}: unsupported version {version}")
+        with_paths = bool(flags & _FLAG_WITH_PATHS)
+
+        sizes = [_read_count(fh) for _ in range(_read_count(fh))]
+
+        levels: List[Dict[int, List[Tuple[int, int]]]] = []
+        level_of: Dict[int, int] = {}
+        for i in range(1, k):
+            count = _read_count(fh)
+            peeled: Dict[int, List[Tuple[int, int]]] = {}
+            for _ in range(count):
+                v, degree = _read_pair(fh)
+                peeled[v] = [_read_pair(fh) for _ in range(degree)]
+                level_of[v] = i
+            levels.append(peeled)
+
+        gk = Graph()
+        for _ in range(_read_count(fh)):
+            v = _read_count(fh)
+            gk.add_vertex(v)
+            level_of[v] = k
+        for _ in range(_read_count(fh)):
+            u, v, w = _read_triple(fh)
+            gk.add_edge(u, v, w)
+
+        labels: Dict[int, List[Tuple[int, int]]] = {}
+        preds: Optional[Dict[int, Dict[int, Optional[int]]]] = (
+            {} if with_paths else None
+        )
+        for _ in range(_read_count(fh)):
+            v, count = _read_pair(fh)
+            entries: List[Tuple[int, int]] = []
+            pred_v: Dict[int, Optional[int]] = {}
+            for _ in range(count):
+                if with_paths:
+                    w, d, pred = _read_triple(fh)
+                    entries.append((w, d))
+                    pred_v[w] = None if pred == _NO_PRED else pred
+                else:
+                    entries.append(_read_pair(fh))
+            labels[v] = entries
+            if preds is not None:
+                preds[v] = pred_v
+
+        hints = None
+        if with_paths:
+            hints = {}
+            for _ in range(_read_count(fh)):
+                u, w, mid = _read_triple(fh)
+                hints[(u, w)] = mid
+
+    hierarchy = VertexHierarchy(
+        levels=levels,
+        gk=gk,
+        level_of=level_of,
+        sizes=sizes,
+        sigma=None if sigma == _NO_SIGMA else sigma,
+        hints=hints,
+    )
+    hierarchy.validate_level_numbers()
+    return ISLabelIndex(
+        hierarchy=hierarchy,
+        labels=labels,
+        preds=preds,
+        store=None,
+        cost_model=cost_model or CostModel(),
+        labeling_seconds=0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Directed indexes (§8.2)
+# ----------------------------------------------------------------------
+_DMAGIC = b"ISLD"
+
+
+def save_directed_index(index: DirectedISLabelIndex, path: PathLike) -> int:
+    """Write a directed index to ``path``; returns bytes written."""
+    hierarchy = index.hierarchy
+    with_paths = index._out_preds is not None and hierarchy.hints is not None
+    with open(path, "wb") as fh:
+        flags = _FLAG_WITH_PATHS if with_paths else 0
+        sigma = hierarchy.sigma if hierarchy.sigma is not None else _NO_SIGMA
+        fh.write(_HEADER.pack(_DMAGIC, _VERSION, flags, sigma, hierarchy.k))
+
+        _write_count(fh, len(hierarchy.sizes))
+        for size in hierarchy.sizes:
+            fh.write(_COUNT.pack(size))
+
+        # Per-level removal adjacency, both directions.
+        for peeled in hierarchy.levels:
+            _write_count(fh, len(peeled))
+            for v, (in_adj, out_adj) in peeled.items():
+                fh.write(_TRIPLE.pack(v, len(in_adj), len(out_adj)))
+                for u, w in in_adj:
+                    fh.write(_PAIR.pack(u, w))
+                for u, w in out_adj:
+                    fh.write(_PAIR.pack(u, w))
+
+        # G_k arcs.
+        _write_count(fh, hierarchy.gk.num_vertices)
+        for v in sorted(hierarchy.gk.vertices()):
+            fh.write(_COUNT.pack(v))
+        arcs = sorted(hierarchy.gk.edges())
+        _write_count(fh, len(arcs))
+        for u, v, w in arcs:
+            fh.write(_TRIPLE.pack(u, v, w))
+
+        # Out- and in-labels (with predecessors when present).
+        for table, preds in (
+            (index._out_labels, index._out_preds),
+            (index._in_labels, index._in_preds),
+        ):
+            _write_count(fh, len(table))
+            for v, entries in table.items():
+                fh.write(_PAIR.pack(v, len(entries)))
+                pred_v = preds[v] if with_paths else None
+                for w, d in entries:
+                    if with_paths:
+                        pred = pred_v[w]
+                        fh.write(
+                            _TRIPLE.pack(w, d, _NO_PRED if pred is None else pred)
+                        )
+                    else:
+                        fh.write(_PAIR.pack(w, d))
+
+        # Arc hints.
+        if with_paths:
+            _write_count(fh, len(hierarchy.hints))
+            for (u, w), mid in hierarchy.hints.items():
+                fh.write(_TRIPLE.pack(u, w, mid))
+        position = fh.tell()
+    return position
+
+
+def load_directed_index(path: PathLike) -> DirectedISLabelIndex:
+    """Load a directed index saved by :func:`save_directed_index`."""
+    with open(path, "rb") as fh:
+        header = fh.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise StorageError(f"{path}: truncated header")
+        magic, version, flags, sigma, k = _HEADER.unpack(header)
+        if magic != _DMAGIC:
+            raise StorageError(f"{path}: bad magic {magic!r} (not a directed index)")
+        if version != _VERSION:
+            raise StorageError(f"{path}: unsupported version {version}")
+        with_paths = bool(flags & _FLAG_WITH_PATHS)
+
+        sizes = [_read_count(fh) for _ in range(_read_count(fh))]
+
+        levels: List[Dict[int, Tuple[list, list]]] = []
+        level_of: Dict[int, int] = {}
+        for i in range(1, k):
+            count = _read_count(fh)
+            peeled: Dict[int, Tuple[list, list]] = {}
+            for _ in range(count):
+                v, in_deg, out_deg = _read_triple(fh)
+                in_adj = [_read_pair(fh) for _ in range(in_deg)]
+                out_adj = [_read_pair(fh) for _ in range(out_deg)]
+                peeled[v] = (in_adj, out_adj)
+                level_of[v] = i
+            levels.append(peeled)
+
+        gk = DiGraph()
+        for _ in range(_read_count(fh)):
+            v = _read_count(fh)
+            gk.add_vertex(v)
+            level_of[v] = k
+        for _ in range(_read_count(fh)):
+            u, v, w = _read_triple(fh)
+            gk.add_edge(u, v, w)
+
+        def read_label_table():
+            table: Dict[int, list] = {}
+            preds: Optional[Dict[int, Dict[int, Optional[int]]]] = (
+                {} if with_paths else None
+            )
+            for _ in range(_read_count(fh)):
+                v, count = _read_pair(fh)
+                entries = []
+                pred_v: Dict[int, Optional[int]] = {}
+                for _ in range(count):
+                    if with_paths:
+                        w, d, pred = _read_triple(fh)
+                        entries.append((w, d))
+                        pred_v[w] = None if pred == _NO_PRED else pred
+                    else:
+                        entries.append(_read_pair(fh))
+                table[v] = entries
+                if preds is not None:
+                    preds[v] = pred_v
+            return table, preds
+
+        out_labels, out_preds = read_label_table()
+        in_labels, in_preds = read_label_table()
+
+        hints = None
+        if with_paths:
+            hints = {}
+            for _ in range(_read_count(fh)):
+                u, w, mid = _read_triple(fh)
+                hints[(u, w)] = mid
+
+    hierarchy = DirectedHierarchy(
+        levels=levels,
+        gk=gk,
+        level_of=level_of,
+        sizes=sizes,
+        sigma=None if sigma == _NO_SIGMA else sigma,
+        hints=hints,
+    )
+    return DirectedISLabelIndex(
+        hierarchy=hierarchy,
+        out_labels=out_labels,
+        in_labels=in_labels,
+        labeling_seconds=0.0,
+        out_preds=out_preds,
+        in_preds=in_preds,
+    )
+
+
+def _write_count(fh: BinaryIO, value: int) -> None:
+    fh.write(_COUNT.pack(value))
+
+
+def _read_count(fh: BinaryIO) -> int:
+    data = fh.read(_COUNT.size)
+    if len(data) != _COUNT.size:
+        raise StorageError("truncated index file")
+    return _COUNT.unpack(data)[0]
+
+
+def _read_pair(fh: BinaryIO) -> Tuple[int, int]:
+    data = fh.read(_PAIR.size)
+    if len(data) != _PAIR.size:
+        raise StorageError("truncated index file")
+    return _PAIR.unpack(data)
+
+
+def _read_triple(fh: BinaryIO) -> Tuple[int, int, int]:
+    data = fh.read(_TRIPLE.size)
+    if len(data) != _TRIPLE.size:
+        raise StorageError("truncated index file")
+    return _TRIPLE.unpack(data)

@@ -1,0 +1,233 @@
+"""Dynamic update maintenance — §8.3.
+
+The paper's scheme is deliberately *lazy*: inserted vertices join ``G_k``,
+their low-level neighbours' labels (and those neighbours' descendants) learn
+about them, deleted vertices are scrubbed from the labels that mention them,
+and "we can rebuild the index periodically".
+
+Faithfulness notes (see also DESIGN.md):
+
+* **Insertions.**  We implement the paper's descendant propagation and add
+  one engineering extension the text implies but does not spell out: the new
+  vertex also receives a proper label (the min-merge of its neighbours'
+  labels, shifted by the connecting edge weights) so that queries between
+  the new vertex and arbitrary old vertices keep working through label
+  intersection.  After insertions, answers remain *upper bounds* that are
+  exact whenever the interleaving shortest path is covered by the patched
+  labels — the common case the paper relies on; :meth:`staleness` counts
+  applied updates and :meth:`rebuild` restores exactness guarantees.
+* **Deletions.**  Removing a vertex can invalidate augmenting edges that
+  route through it, so deletions mark the index ``approximate`` (query
+  results may then be under- *or* over-estimates until rebuild), matching
+  the paper's rebuild-periodically stance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.index import ISLabelIndex, QueryResult
+from repro.errors import GraphError, QueryError, StaleIndexError
+from repro.graph.graph import Graph
+
+__all__ = ["DynamicISLabelIndex"]
+
+
+class DynamicISLabelIndex:
+    """An :class:`ISLabelIndex` plus §8.3 update maintenance.
+
+    Keeps the live graph alongside the index so that updates can be applied
+    to both and :meth:`rebuild` can re-index from scratch.
+    """
+
+    def __init__(self, graph: Graph, **build_kwargs) -> None:
+        if build_kwargs.get("with_paths"):
+            raise QueryError("dynamic maintenance supports distance-only indexes")
+        self.graph = graph.copy()
+        self._build_kwargs = dict(build_kwargs)
+        self.index = ISLabelIndex.build(self.graph, **self._build_kwargs)
+        self.inserts_applied = 0
+        self.deletes_applied = 0
+        self.approximate = False
+        self._descendants: Optional[Dict[int, Set[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_vertex(self, vertex: int, adjacency: Mapping[int, int]) -> None:
+        """Insert ``vertex`` with ``{neighbour: weight}`` edges (§8.3).
+
+        The vertex is added to ``G_k``; labels of low-level neighbours and
+        their descendants are patched; the new vertex receives a merged
+        label of its own.
+        """
+        if self.graph.has_vertex(vertex):
+            raise GraphError(f"vertex {vertex} already exists")
+        if not adjacency:
+            raise GraphError("§8.3 insertion requires a non-empty adjacency list")
+        for v in adjacency:
+            if not self.graph.has_vertex(v):
+                raise GraphError(f"insertion references unknown vertex {v}")
+
+        self.graph.add_vertex(vertex)
+        for v, w in adjacency.items():
+            self.graph.add_edge(vertex, v, w)
+
+        index = self.index
+        hierarchy = index.hierarchy
+        descendants = self._descendant_map()
+
+        # The new vertex lives in G_k at level k.
+        hierarchy.gk.add_vertex(vertex)
+        hierarchy.level_of[vertex] = hierarchy.k
+        own_label: Dict[int, int] = {vertex: 0}
+
+        for v, weight in adjacency.items():
+            if hierarchy.in_gk(v):
+                hierarchy.gk.add_edge(vertex, v, weight)
+                own_label[v] = min(own_label.get(v, math.inf), weight)
+                continue
+            # Patch v itself, then every descendant of v, with the distance
+            # through the new edge (v, vertex).
+            self._patch_label(v, vertex, weight, descendants)
+            for w, d_wv in self._entries_mentioning(v, descendants):
+                self._patch_label(w, vertex, d_wv + weight, descendants)
+            # Extension: the new vertex learns v's ancestors.
+            for w, d in index._labels[v]:
+                candidate = weight + d
+                if candidate < own_label.get(w, math.inf):
+                    own_label[w] = candidate
+
+        index._labels[vertex] = sorted(own_label.items())
+        for w in own_label:
+            if w != vertex:
+                descendants.setdefault(w, set()).add(vertex)
+        if index._store is not None:
+            index._store.put(vertex, index._labels[vertex])
+        self.inserts_applied += 1
+
+    def delete_vertex(self, vertex: int) -> None:
+        """Delete ``vertex`` and its incident edges (§8.3 lazy deletion)."""
+        if not self.graph.has_vertex(vertex):
+            raise GraphError(f"vertex {vertex} does not exist")
+        self.graph.remove_vertex(vertex)
+
+        index = self.index
+        hierarchy = index.hierarchy
+        descendants = self._descendant_map()
+        mentioned = descendants.get(vertex, set())
+
+        if hierarchy.in_gk(vertex):
+            if vertex in hierarchy.gk:
+                hierarchy.gk.remove_vertex(vertex)
+        else:
+            # Peeled vertex: its augmenting edges may shortcut through it.
+            self.approximate = True
+        if mentioned:
+            for w in list(mentioned):
+                label = index._labels.get(w)
+                if label is None:
+                    continue
+                index._labels[w] = [(a, d) for a, d in label if a != vertex]
+                if index._store is not None:
+                    index._store.put(w, index._labels[w])
+            self.approximate = True
+        descendants.pop(vertex, None)
+        index._labels.pop(vertex, None)
+        hierarchy.level_of.pop(vertex, None)
+        for peeled in hierarchy.levels:
+            peeled.pop(vertex, None)
+        self.deletes_applied += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> float:
+        """Distance under the lazily-maintained index.
+
+        Exactness caveats after updates are documented in the module
+        docstring; use :meth:`rebuild` to restore full guarantees.
+        """
+        return self.index.distance(source, target)
+
+    def query(self, source: int, target: int) -> QueryResult:
+        return self.index.query(source, target)
+
+    def exact_distance(self, source: int, target: int) -> float:
+        """Distance with guaranteed exactness (rebuilds first if stale)."""
+        if self.approximate:
+            raise StaleIndexError(
+                f"index is approximate after {self.deletes_applied} deletions; "
+                "call rebuild()"
+            )
+        return self.index.distance(source, target)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    @property
+    def staleness(self) -> int:
+        """Number of updates applied since the last rebuild."""
+        return self.inserts_applied + self.deletes_applied
+
+    def rebuild(self) -> None:
+        """Re-index the live graph from scratch (the paper's periodic rebuild)."""
+        self.index = ISLabelIndex.build(self.graph, **self._build_kwargs)
+        self.inserts_applied = 0
+        self.deletes_applied = 0
+        self.approximate = False
+        self._descendants = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _descendant_map(self) -> Dict[int, Set[int]]:
+        """``ancestor -> vertices whose label mentions it`` (built lazily)."""
+        if self._descendants is None:
+            table: Dict[int, Set[int]] = {}
+            for v, entries in self.index._labels.items():
+                for w, _ in entries:
+                    if w != v:
+                        table.setdefault(w, set()).add(v)
+            self._descendants = table
+        return self._descendants
+
+    def _entries_mentioning(
+        self, v: int, descendants: Dict[int, Set[int]]
+    ) -> Iterable[Tuple[int, int]]:
+        """Yield ``(w, d(w, v))`` for every vertex ``w`` whose label has ``v``."""
+        for w in descendants.get(v, ()):  # descendants of v
+            for anc, d in self.index._labels.get(w, ()):
+                if anc == v:
+                    yield (w, d)
+                    break
+
+    def _patch_label(
+        self,
+        w: int,
+        new_vertex: int,
+        distance: int,
+        descendants: Dict[int, Set[int]],
+    ) -> None:
+        """Min-merge entry ``(new_vertex, distance)`` into ``label(w)``."""
+        index = self.index
+        label = index._labels[w]
+        for pos, (anc, d) in enumerate(label):
+            if anc == new_vertex:
+                if distance < d:
+                    label[pos] = (new_vertex, distance)
+                    self._flush(w)
+                return
+            if anc > new_vertex:
+                label.insert(pos, (new_vertex, distance))
+                descendants.setdefault(new_vertex, set()).add(w)
+                self._flush(w)
+                return
+        label.append((new_vertex, distance))
+        descendants.setdefault(new_vertex, set()).add(w)
+        self._flush(w)
+
+    def _flush(self, w: int) -> None:
+        if self.index._store is not None:
+            self.index._store.put(w, self.index._labels[w])

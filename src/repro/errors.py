@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single except clause while still
+being able to distinguish graph-shape problems from index/build/query
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """An operation on a graph was invalid (unknown vertex, bad weight...)."""
+
+
+class ValidationError(GraphError):
+    """A graph failed structural validation (self loop, non-positive weight...)."""
+
+
+class IndexBuildError(ReproError):
+    """Index construction failed or was given inconsistent parameters."""
+
+
+class QueryError(ReproError):
+    """A distance/path query was malformed (e.g. unknown endpoint)."""
+
+
+class StorageError(ReproError):
+    """The simulated external-memory substrate was misused or corrupted."""
+
+
+class StaleIndexError(ReproError):
+    """An index no longer matches its graph after dynamic updates."""

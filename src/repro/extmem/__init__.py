@@ -1,0 +1,31 @@
+"""External-memory substrate: simulated disk, I/O model, sort, storage."""
+
+from repro.extmem.blockdev import BlockDevice, BlockFile
+from repro.extmem.buffer import MemoryBudget
+from repro.extmem.extgraph import ExternalGraph, pack_row, unpack_row
+from repro.extmem.extsort import external_sort
+from repro.extmem.iomodel import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_MEMORY,
+    PAPER_IO_LATENCY_S,
+    CostModel,
+    IOStats,
+)
+from repro.extmem.labelstore import NO_HINT, LabelStore
+
+__all__ = [
+    "BlockDevice",
+    "BlockFile",
+    "MemoryBudget",
+    "ExternalGraph",
+    "pack_row",
+    "unpack_row",
+    "external_sort",
+    "CostModel",
+    "IOStats",
+    "LabelStore",
+    "NO_HINT",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_MEMORY",
+    "PAPER_IO_LATENCY_S",
+]

@@ -1,0 +1,157 @@
+"""A simulated block device with I/O accounting.
+
+The paper's construction algorithms are specified as sequences of scans and
+sorts over disk-resident files (§6).  We simulate the disk: data lives in
+fixed-size blocks held in Python memory, and every block transfer is counted
+in :class:`IOStats` so experiments can report I/O counts and convert them to
+simulated time with the paper's 10 ms/IO benchmark.
+
+Two layers are provided:
+
+* :class:`BlockDevice` — allocates named files, owns the counters;
+* :class:`BlockFile` — an append-only stream of length-prefixed records
+  packed into blocks (records may span block boundaries, as adjacency lists
+  larger than a block do on a real disk).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import StorageError
+from repro.extmem.iomodel import CostModel, IOStats
+
+__all__ = ["BlockDevice", "BlockFile"]
+
+_LEN = struct.Struct("<I")
+
+
+class BlockFile:
+    """An append-only record file on a :class:`BlockDevice`.
+
+    Records are arbitrary byte strings, written with a 4-byte length prefix
+    and packed contiguously into blocks.  Writing buffers at most one block
+    (allowed: ``B <= M/2``); reading streams the blocks sequentially.
+    """
+
+    def __init__(self, device: "BlockDevice", name: str) -> None:
+        self._device = device
+        self.name = name
+        self._blocks: List[bytes] = []
+        self._write_buf = bytearray()
+        self._num_records = 0
+        self._closed = False
+
+    # -- writing -------------------------------------------------------
+    def append(self, record: bytes) -> None:
+        """Append one record; flushes full blocks to the device."""
+        if self._closed:
+            raise StorageError(f"file {self.name!r} is closed for writing")
+        self._write_buf += _LEN.pack(len(record)) + record
+        block_size = self._device.cost_model.block_size
+        while len(self._write_buf) >= block_size:
+            self._device._write(self, bytes(self._write_buf[:block_size]))
+            del self._write_buf[:block_size]
+        self._num_records += 1
+
+    def close(self) -> None:
+        """Flush the trailing partial block; the file becomes read-only."""
+        if self._closed:
+            return
+        if self._write_buf:
+            self._device._write(self, bytes(self._write_buf))
+            self._write_buf = bytearray()
+        self._closed = True
+
+    # -- reading -------------------------------------------------------
+    def records(self) -> Iterator[bytes]:
+        """Sequentially scan all records (1 read I/O per block touched)."""
+        self.close()
+        pending = bytearray()
+        need: Optional[int] = None
+        for block_index in range(len(self._blocks)):
+            pending += self._device._read(self, block_index)
+            while True:
+                if need is None:
+                    if len(pending) < _LEN.size:
+                        break
+                    need = _LEN.unpack(pending[: _LEN.size])[0]
+                    del pending[: _LEN.size]
+                if len(pending) < need:
+                    break
+                yield bytes(pending[:need])
+                del pending[:need]
+                need = None
+        if pending or need is not None:
+            raise StorageError(f"file {self.name!r} ends with a truncated record")
+
+    # -- metadata ------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks) + (1 if self._write_buf else 0)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(len(b) for b in self._blocks) + len(self._write_buf)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlockFile({self.name!r}, records={self._num_records}, blocks={self.num_blocks})"
+
+
+class BlockDevice:
+    """A collection of block files sharing one set of I/O counters."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.cost_model = cost_model or CostModel()
+        self.stats = IOStats()
+        self._files: Dict[str, BlockFile] = {}
+        self._anon = 0
+
+    def create(self, name: Optional[str] = None) -> BlockFile:
+        """Create (or truncate) a file and return it."""
+        if name is None:
+            self._anon += 1
+            name = f"__anon_{self._anon}"
+        handle = BlockFile(self, name)
+        self._files[name] = handle
+        return handle
+
+    def open(self, name: str) -> BlockFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"no such file {name!r}") from None
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    @property
+    def files(self) -> Dict[str, BlockFile]:
+        return dict(self._files)
+
+    def total_bytes(self) -> int:
+        return sum(f.nbytes for f in self._files.values())
+
+    # -- internal block transfer hooks (called by BlockFile) ------------
+    def _write(self, handle: BlockFile, data: bytes) -> None:
+        if len(data) > self.cost_model.block_size:
+            raise StorageError("block overflow")
+        handle._blocks.append(data)
+        self.stats.block_writes += 1
+        self.stats.bytes_written += len(data)
+
+    def _read(self, handle: BlockFile, index: int) -> bytes:
+        try:
+            data = handle._blocks[index]
+        except IndexError:
+            raise StorageError(
+                f"file {handle.name!r}: block {index} out of range"
+            ) from None
+        self.stats.block_reads += 1
+        self.stats.bytes_read += len(data)
+        return data

@@ -1,0 +1,53 @@
+"""A byte-budget tracker standing in for bounded main memory.
+
+The external algorithms of §6 are correct only if they stay within the
+memory budget ``M``.  :class:`MemoryBudget` is a strict accountant the
+implementations charge for every buffered structure; overdrawing raises,
+so tests can *prove* an algorithm respected its budget instead of hoping.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+
+__all__ = ["MemoryBudget"]
+
+
+class MemoryBudget:
+    """Tracks bytes charged against a fixed budget."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise StorageError("memory budget must be positive")
+        self.capacity = capacity
+        self.used = 0
+        self.high_water = 0
+
+    def fits(self, nbytes: int) -> bool:
+        """Would charging ``nbytes`` more stay within budget?"""
+        return self.used + nbytes <= self.capacity
+
+    def charge(self, nbytes: int) -> None:
+        """Charge ``nbytes``; raises :class:`StorageError` on overdraw."""
+        if nbytes < 0:
+            raise StorageError("cannot charge a negative size")
+        if self.used + nbytes > self.capacity:
+            raise StorageError(
+                f"memory budget exceeded: {self.used} + {nbytes} > {self.capacity}"
+            )
+        self.used += nbytes
+        self.high_water = max(self.high_water, self.used)
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the budget."""
+        if nbytes < 0 or nbytes > self.used:
+            raise StorageError(f"cannot release {nbytes} of {self.used} used bytes")
+        self.used -= nbytes
+
+    def drain(self) -> None:
+        """Release everything (e.g. after flushing a buffer to disk)."""
+        self.used = 0
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.used

@@ -1,0 +1,113 @@
+"""External merge sort over block files (the ``sort(N)`` primitive of §6).
+
+Algorithm 2 sorts adjacency lists by degree and Algorithm 3 sorts the
+augmenting-edge array by vertex ids; both rely on this routine when the data
+exceeds the memory budget.  Classic two-phase multiway merge sort:
+
+1. *Run formation*: fill the memory budget with records, sort in memory,
+   emit a sorted run.
+2. *Merge*: heap-merge up to ``M/B - 1`` runs at a time until one run
+   remains.
+
+I/O accounting happens implicitly through :class:`BlockFile` reads/writes,
+so measured counts can be compared against ``CostModel.sort_cost``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.extmem.blockdev import BlockDevice, BlockFile
+
+__all__ = ["external_sort"]
+
+Key = Callable[[bytes], Tuple]
+
+
+def external_sort(
+    device: BlockDevice,
+    source: BlockFile,
+    key: Key,
+    output_name: Optional[str] = None,
+) -> BlockFile:
+    """Sort ``source``'s records by ``key`` into a new file.
+
+    ``key`` maps a record's bytes to a comparable tuple.  The memory budget
+    and block size come from the device's :class:`CostModel`.
+    """
+    budget = device.cost_model.memory
+    fan_in = max(2, device.cost_model.blocks_in_memory - 1)
+
+    # ------------------------------------------------------------------
+    # Phase 1: sorted run formation under the memory budget.
+    # ------------------------------------------------------------------
+    runs: List[BlockFile] = []
+    buf: List[bytes] = []
+    used = 0
+
+    def flush_run() -> None:
+        nonlocal buf, used
+        if not buf:
+            return
+        buf.sort(key=key)
+        run = device.create()
+        for record in buf:
+            run.append(record)
+        run.close()
+        runs.append(run)
+        buf = []
+        used = 0
+
+    for record in source.records():
+        buf.append(record)
+        used += len(record) + 4
+        if used >= budget:
+            flush_run()
+    flush_run()
+
+    if not runs:
+        empty = device.create(output_name)
+        empty.close()
+        return empty
+
+    # ------------------------------------------------------------------
+    # Phase 2: multiway merge passes.
+    # ------------------------------------------------------------------
+    while len(runs) > 1:
+        merged: List[BlockFile] = []
+        for i in range(0, len(runs), fan_in):
+            group = runs[i : i + fan_in]
+            is_final = len(runs) <= fan_in
+            out = device.create(output_name if is_final else None)
+            _merge_group(group, out, key)
+            merged.append(out)
+            for run in group:
+                device.delete(run.name)
+        runs = merged
+
+    result = runs[0]
+    if output_name is not None and result.name != output_name:
+        # Single-run input: re-register under the requested name (no extra
+        # I/O; the blocks are shared).
+        device.delete(result.name)
+        result.name = output_name
+        device._files[output_name] = result
+    return result
+
+
+def _merge_group(group: List[BlockFile], out: BlockFile, key: Key) -> None:
+    """Heap-merge sorted runs into ``out`` (stable within a run)."""
+    streams = [run.records() for run in group]
+    heap: List[Tuple[Tuple, int, bytes]] = []
+    for idx, stream in enumerate(streams):
+        first = next(stream, None)
+        if first is not None:
+            heapq.heappush(heap, (key(first), idx, first))
+    while heap:
+        _, idx, record = heapq.heappop(heap)
+        out.append(record)
+        nxt = next(streams[idx], None)
+        if nxt is not None:
+            heapq.heappush(heap, (key(nxt), idx, nxt))
+    out.close()

@@ -1,0 +1,118 @@
+"""The external-memory cost model (§6, after Aggarwal & Vitter [4]).
+
+The paper analyses every construction algorithm in the standard I/O model:
+``scan(N) = Θ(N/B)`` and ``sort(N) = Θ((N/B) log_{M/B}(N/B))`` where ``N``
+is the data volume, ``M`` the main-memory budget and ``B`` the block size
+(``1 ≪ B ≤ M/2``).  This module provides
+
+* :class:`IOStats` — mutable counters every substrate component reports to;
+* :class:`CostModel` — the (B, M) parameters plus the analytic `scan`/`sort`
+  formulas, and a latency model that converts I/O counts into simulated
+  seconds using the paper's measured "10 ms per disk I/O" benchmark (§7.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+
+__all__ = ["IOStats", "CostModel", "DEFAULT_BLOCK_SIZE", "DEFAULT_MEMORY", "PAPER_IO_LATENCY_S"]
+
+DEFAULT_BLOCK_SIZE = 4096
+DEFAULT_MEMORY = 64 * DEFAULT_BLOCK_SIZE
+
+#: The paper benchmarks its 7200-RPM SATA disk at ~10 ms per random I/O
+#: ("Time (a) is still above 10ms, which is due to the speed of our hard
+#: disk, with a benchmark of 10ms per disk I/O", §7.2).
+PAPER_IO_LATENCY_S = 0.010
+
+
+@dataclass
+class IOStats:
+    """Counters of simulated disk traffic."""
+
+    block_reads: int = 0
+    block_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def total_ios(self) -> int:
+        return self.block_reads + self.block_writes
+
+    def reset(self) -> None:
+        self.block_reads = 0
+        self.block_writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(
+            self.block_reads, self.block_writes, self.bytes_read, self.bytes_written
+        )
+
+    def delta_since(self, earlier: "IOStats") -> "IOStats":
+        """Traffic accumulated since ``earlier`` (a prior :meth:`snapshot`)."""
+        return IOStats(
+            self.block_reads - earlier.block_reads,
+            self.block_writes - earlier.block_writes,
+            self.bytes_read - earlier.bytes_read,
+            self.bytes_written - earlier.bytes_written,
+        )
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            self.block_reads + other.block_reads,
+            self.block_writes + other.block_writes,
+            self.bytes_read + other.bytes_read,
+            self.bytes_written + other.bytes_written,
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """I/O model parameters and analytic cost formulas.
+
+    ``block_size`` (B) and ``memory`` (M) are in bytes; the model requires
+    ``1 < B <= M/2`` exactly as in §6.
+    """
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+    memory: int = DEFAULT_MEMORY
+    io_latency_s: float = PAPER_IO_LATENCY_S
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 1:
+            raise StorageError("block size must exceed 1 byte")
+        if self.block_size > self.memory // 2:
+            raise StorageError(
+                f"I/O model needs B <= M/2; got B={self.block_size}, M={self.memory}"
+            )
+
+    @property
+    def blocks_in_memory(self) -> int:
+        """m = M/B, the number of blocks that fit in memory."""
+        return self.memory // self.block_size
+
+    def blocks_for(self, nbytes: int) -> int:
+        """Number of blocks covering ``nbytes`` of sequential data."""
+        return max(1, math.ceil(nbytes / self.block_size)) if nbytes > 0 else 0
+
+    def scan_cost(self, nbytes: int) -> int:
+        """``scan(N) = Θ(N/B)`` in block transfers."""
+        return self.blocks_for(nbytes)
+
+    def sort_cost(self, nbytes: int) -> int:
+        """``sort(N) = Θ((N/B) log_{M/B}(N/B))`` in block transfers."""
+        n_blocks = self.blocks_for(nbytes)
+        if n_blocks <= 1:
+            return n_blocks
+        fan = max(2, self.blocks_in_memory)
+        passes = max(1, math.ceil(math.log(n_blocks, fan)))
+        return n_blocks * passes
+
+    def time_for(self, ios: int) -> float:
+        """Simulated seconds for ``ios`` block transfers."""
+        return ios * self.io_latency_s

@@ -1,0 +1,153 @@
+"""Disk-resident vertex labels (§6.2).
+
+"For processing large datasets, the vertex labels may not fit in main
+memory and are stored on disk.  The entries in each label(v) are stored
+sequentially on disk and are sorted by the vertex ID's of the ancestors."
+
+:class:`LabelStore` models that layout: each vertex's label occupies
+``ceil(bytes / B)`` consecutive blocks, and fetching a label costs that many
+read I/Os — "from our experiments, the vertex labels are small in size and
+retrieving a vertex label from disk takes only one I/O".  The store powers
+the Time (a) column of Tables 4, 5 and 8.
+
+Entries are ``(ancestor, distance)`` pairs, optionally extended with the
+intermediate-vertex *hint* used for path reconstruction (§8.1); a hint of
+``-1`` encodes the paper's ``φ`` (no intermediate vertex).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.extmem.iomodel import CostModel, IOStats
+
+__all__ = ["LabelStore", "NO_HINT"]
+
+NO_HINT = -1
+
+_ENTRY = struct.Struct("<qq")  # ancestor id, distance
+_ENTRY_HINTED = struct.Struct("<qqq")  # ancestor id, distance, intermediate
+
+
+class LabelStore:
+    """On-disk vertex labels with per-fetch I/O accounting.
+
+    Parameters
+    ----------
+    cost_model:
+        Block size and latency used to charge fetches.
+    with_hints:
+        Store the §8.1 intermediate-vertex hint with every entry (24 bytes
+        per entry instead of 16).
+    stats:
+        Optional shared :class:`IOStats`; a private one is created if absent.
+    """
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        with_hints: bool = False,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        self.cost_model = cost_model or CostModel()
+        self.with_hints = with_hints
+        self.stats = stats if stats is not None else IOStats()
+        self._blobs: Dict[int, bytes] = {}
+        self._entry_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Writing (index construction)
+    # ------------------------------------------------------------------
+    def put(self, vertex: int, entries: Iterable[Tuple[int, ...]]) -> None:
+        """Store ``label(vertex)``; entries are sorted by ancestor id.
+
+        Each entry is ``(ancestor, distance)`` or
+        ``(ancestor, distance, hint)`` when the store keeps hints.
+        """
+        fmt = _ENTRY_HINTED if self.with_hints else _ENTRY
+        ordered = sorted(entries)
+        parts = []
+        for entry in ordered:
+            if self.with_hints:
+                if len(entry) == 2:
+                    entry = (entry[0], entry[1], NO_HINT)
+                parts.append(fmt.pack(entry[0], entry[1], entry[2]))
+            else:
+                if len(entry) != 2:
+                    raise StorageError(
+                        "plain label store takes (ancestor, distance) entries"
+                    )
+                parts.append(fmt.pack(entry[0], entry[1]))
+        blob = b"".join(parts)
+        self._blobs[vertex] = blob
+        self._entry_counts[vertex] = len(ordered)
+        self.stats.block_writes += self.cost_model.blocks_for(len(blob))
+        self.stats.bytes_written += len(blob)
+
+    # ------------------------------------------------------------------
+    # Reading (query time)
+    # ------------------------------------------------------------------
+    def fetch(self, vertex: int) -> List[Tuple[int, int]]:
+        """Fetch ``(ancestor, distance)`` pairs; charges read I/Os."""
+        blob = self._charge_fetch(vertex)
+        fmt = _ENTRY_HINTED if self.with_hints else _ENTRY
+        return [
+            (e[0], e[1]) for e in (fmt.unpack_from(blob, i) for i in range(0, len(blob), fmt.size))
+        ]
+
+    def fetch_hinted(self, vertex: int) -> List[Tuple[int, int, int]]:
+        """Fetch ``(ancestor, distance, hint)`` triples (§8.1 labels)."""
+        if not self.with_hints:
+            raise StorageError("label store was built without path hints")
+        blob = self._charge_fetch(vertex)
+        return [
+            _ENTRY_HINTED.unpack_from(blob, i)
+            for i in range(0, len(blob), _ENTRY_HINTED.size)
+        ]
+
+    def fetch_cost(self, vertex: int) -> int:
+        """Read I/Os a fetch of ``label(vertex)`` costs (no side effects)."""
+        blob = self._blobs.get(vertex)
+        if blob is None:
+            return 0
+        return self.cost_model.blocks_for(len(blob)) or 1
+
+    def _charge_fetch(self, vertex: int) -> bytes:
+        try:
+            blob = self._blobs[vertex]
+        except KeyError:
+            raise StorageError(f"no label stored for vertex {vertex}") from None
+        ios = self.cost_model.blocks_for(len(blob)) or 1  # empty label: 1 seek
+        self.stats.block_reads += ios
+        self.stats.bytes_read += len(blob)
+        return blob
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._blobs
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._blobs)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total label size — the "Label size" column of Table 3."""
+        return sum(len(b) for b in self._blobs.values())
+
+    @property
+    def total_entries(self) -> int:
+        return sum(self._entry_counts.values())
+
+    def entry_count(self, vertex: int) -> int:
+        return self._entry_counts.get(vertex, 0)
+
+    @property
+    def average_label_entries(self) -> float:
+        return self.total_entries / len(self._blobs) if self._blobs else 0.0

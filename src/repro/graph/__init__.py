@@ -1,0 +1,38 @@
+"""Graph substrate: data structures, generators, stats and file formats."""
+
+from repro.graph.components import (
+    component_of,
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    read_binary_adjacency,
+    read_edge_list,
+    write_binary_adjacency,
+    write_edge_list,
+)
+from repro.graph.stats import GraphStats, graph_stats, human_bytes
+from repro.graph.validation import validate_digraph, validate_graph
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "CSRGraph",
+    "GraphStats",
+    "graph_stats",
+    "human_bytes",
+    "connected_components",
+    "largest_connected_component",
+    "component_of",
+    "is_connected",
+    "validate_graph",
+    "validate_digraph",
+    "read_edge_list",
+    "write_edge_list",
+    "read_binary_adjacency",
+    "write_binary_adjacency",
+]

@@ -1,0 +1,61 @@
+"""Connected components (used to extract the largest component, §7).
+
+The paper extracts the largest connected component of the Web dataset before
+indexing; our dataset builders do the same, and Type-1 query handling (§5.2)
+depends on components that sit entirely below level ``k``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Set
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "connected_components",
+    "largest_connected_component",
+    "is_connected",
+    "component_of",
+]
+
+
+def component_of(graph: Graph, source: int) -> Set[int]:
+    """Vertices reachable from ``source`` (BFS, weights ignored)."""
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in seen:
+                seen.add(u)
+                queue.append(u)
+    return seen
+
+
+def connected_components(graph: Graph) -> List[Set[int]]:
+    """All connected components, largest first (ties broken arbitrarily)."""
+    remaining = set(graph.vertices())
+    components: List[Set[int]] = []
+    while remaining:
+        source = next(iter(remaining))
+        comp = component_of(graph, source)
+        components.append(comp)
+        remaining -= comp
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """Induced subgraph on the largest component (paper §7 preprocessing)."""
+    if graph.num_vertices == 0:
+        return Graph()
+    return graph.induced_subgraph(connected_components(graph)[0])
+
+
+def is_connected(graph: Graph) -> bool:
+    """True iff the graph has at most one connected component."""
+    if graph.num_vertices == 0:
+        return True
+    source = next(iter(graph.vertices()))
+    return len(component_of(graph, source)) == graph.num_vertices

@@ -1,0 +1,95 @@
+"""Compressed sparse row (CSR) view of a graph.
+
+Query processing (Algorithm 1) runs Dijkstra over ``G_k`` many thousands of
+times; a packed numpy CSR layout with dense ``0..n-1`` ids is markedly
+faster to scan than dict-of-dict adjacency and is what a C++ implementation
+would use.  The view is immutable — build it once after ``G_k`` is fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Immutable CSR adjacency of an undirected weighted graph.
+
+    Attributes
+    ----------
+    indptr, indices, weights:
+        Standard CSR arrays: the neighbours of dense vertex ``i`` are
+        ``indices[indptr[i]:indptr[i+1]]`` with matching ``weights``.
+    id_of, dense_of:
+        Mappings between original vertex ids and dense ``0..n-1`` ids.
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "id_of", "dense_of")
+
+    def __init__(self, graph: Graph) -> None:
+        order = graph.sorted_vertices()
+        self.dense_of: Dict[int, int] = {v: i for i, v in enumerate(order)}
+        self.id_of: List[int] = order
+        n = len(order)
+        degrees = np.zeros(n + 1, dtype=np.int64)
+        for i, v in enumerate(order):
+            degrees[i + 1] = graph.degree(v)
+        self.indptr = np.cumsum(degrees)
+        m2 = int(self.indptr[-1])
+        self.indices = np.empty(m2, dtype=np.int64)
+        self.weights = np.empty(m2, dtype=np.int64)
+        pos = 0
+        for v in order:
+            for u, w in sorted(graph.neighbors(v).items()):
+                self.indices[pos] = self.dense_of[u]
+                self.weights[pos] = w
+                pos += 1
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.id_of)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices) // 2
+
+    def has_vertex(self, v: int) -> bool:
+        """True if original vertex id ``v`` is present."""
+        return v in self.dense_of
+
+    def neighbors_dense(self, i: int) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(dense neighbour, weight)`` of dense vertex ``i``."""
+        start, stop = int(self.indptr[i]), int(self.indptr[i + 1])
+        idx = self.indices
+        wts = self.weights
+        for p in range(start, stop):
+            yield int(idx[p]), int(wts[p])
+
+    def neighbor_slices(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Numpy views of the neighbour/weight arrays of dense vertex ``i``."""
+        start, stop = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[start:stop], self.weights[start:stop]
+
+    def degree_dense(self, i: int) -> int:
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    def dense(self, v: int) -> int:
+        """Dense id of original vertex ``v``."""
+        try:
+            return self.dense_of[v]
+        except KeyError:
+            raise GraphError(f"vertex {v} not in CSR graph") from None
+
+    def original(self, i: int) -> int:
+        """Original id of dense vertex ``i``."""
+        return self.id_of[i]
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the CSR arrays."""
+        return int(self.indptr.nbytes + self.indices.nbytes + self.weights.nbytes)

@@ -1,0 +1,182 @@
+"""Weighted directed simple graphs (for the §8.2 directed extension).
+
+:class:`DiGraph` mirrors :class:`repro.graph.graph.Graph` but keeps separate
+successor and predecessor maps so that the directed labeling can walk both
+out-edges (for out-labels) and in-edges (for in-labels) efficiently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Set, Tuple
+
+from repro.errors import GraphError
+
+__all__ = ["DiGraph"]
+
+Edge = Tuple[int, int, int]
+
+
+class DiGraph:
+    """A weighted directed simple graph with integer vertices.
+
+    Duplicate arcs keep the minimum weight, matching the undirected
+    :meth:`Graph.merge_edge` convention.
+    """
+
+    __slots__ = ("_succ", "_pred", "_num_edges")
+
+    def __init__(self, edges: Iterable[Tuple[int, ...]] = ()) -> None:
+        self._succ: Dict[int, Dict[int, int]] = {}
+        self._pred: Dict[int, Dict[int, int]] = {}
+        self._num_edges = 0
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge  # type: ignore[misc]
+                self.merge_edge(u, v, 1)
+            else:
+                u, v, w = edge  # type: ignore[misc]
+                self.merge_edge(u, v, w)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> None:
+        if v not in self._succ:
+            self._succ[v] = {}
+            self._pred[v] = {}
+
+    def add_edge(self, u: int, v: int, weight: int = 1) -> None:
+        """Add arc ``u -> v`` overwriting any existing weight."""
+        self._check_edge(u, v, weight)
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v not in self._succ[u]:
+            self._num_edges += 1
+        self._succ[u][v] = weight
+        self._pred[v][u] = weight
+
+    def merge_edge(self, u: int, v: int, weight: int = 1) -> bool:
+        """Add arc ``u -> v`` keeping the minimum weight; True on change."""
+        self._check_edge(u, v, weight)
+        self.add_vertex(u)
+        self.add_vertex(v)
+        old = self._succ[u].get(v)
+        if old is None or weight < old:
+            if old is None:
+                self._num_edges += 1
+            self._succ[u][v] = weight
+            self._pred[v][u] = weight
+            return True
+        return False
+
+    def remove_vertex(self, v: int) -> None:
+        """Remove ``v`` with all incident arcs."""
+        if v not in self._succ:
+            raise GraphError(f"vertex {v} not in graph")
+        for w in self._succ.pop(v):
+            del self._pred[w][v]
+            self._num_edges -= 1
+        for u in self._pred.pop(v):
+            del self._succ[u][v]
+            self._num_edges -= 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def has_vertex(self, v: int) -> bool:
+        return v in self._succ
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._succ.get(u, ())
+
+    def weight(self, u: int, v: int) -> int:
+        try:
+            return self._succ[u][v]
+        except KeyError:
+            raise GraphError(f"arc ({u}, {v}) not in graph") from None
+
+    def successors(self, v: int) -> Mapping[int, int]:
+        """Out-neighbours as a ``{head: weight}`` view."""
+        try:
+            return self._succ[v]
+        except KeyError:
+            raise GraphError(f"vertex {v} not in graph") from None
+
+    def predecessors(self, v: int) -> Mapping[int, int]:
+        """In-neighbours as a ``{tail: weight}`` view."""
+        try:
+            return self._pred[v]
+        except KeyError:
+            raise GraphError(f"vertex {v} not in graph") from None
+
+    def out_degree(self, v: int) -> int:
+        return len(self.successors(v))
+
+    def in_degree(self, v: int) -> int:
+        return len(self.predecessors(v))
+
+    def undirected_neighbors(self, v: int) -> Set[int]:
+        """Neighbours ignoring direction — §8.2 computes independent sets
+        "by simply ignoring the direction of the edges"."""
+        return set(self.successors(v)) | set(self.predecessors(v))
+
+    def undirected_degree(self, v: int) -> int:
+        return len(self.undirected_neighbors(v))
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over arcs as ``(u, v, w)``."""
+        for u, row in self._succ.items():
+            for v, w in row.items():
+                yield (u, v, w)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """``|G| = |V_G| + |E_G|``."""
+        return self.num_vertices + self.num_edges
+
+    def __contains__(self, v: object) -> bool:
+        return v in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+    def copy(self) -> "DiGraph":
+        g = DiGraph()
+        g._succ = {u: dict(row) for u, row in self._succ.items()}
+        g._pred = {u: dict(row) for u, row in self._pred.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    def reversed(self) -> "DiGraph":
+        """Graph with every arc flipped (used to label in-ancestors)."""
+        g = DiGraph()
+        g._succ = {u: dict(row) for u, row in self._pred.items()}
+        g._pred = {u: dict(row) for u, row in self._succ.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    @staticmethod
+    def _check_edge(u: int, v: int, weight: int) -> None:
+        if u == v:
+            raise GraphError(f"self loop ({u}, {v}) not allowed in a simple graph")
+        if not isinstance(weight, int) or isinstance(weight, bool) or weight <= 0:
+            raise GraphError(
+                f"arc ({u}, {v}) weight must be a positive integer, got {weight!r}"
+            )

@@ -1,0 +1,577 @@
+"""Synthetic graph generators.
+
+The paper evaluates on five real graphs (Table 2): BTC (RDF), UK Web,
+as-Skitter (internet topology), wiki-Talk (communication), and web-Google.
+Those datasets are not redistributable here, so ``repro.workloads.datasets``
+builds *scaled stand-ins* from the families below, chosen to match each
+original's average degree and degree skew.  All generators are seeded and
+deterministic, return simple undirected :class:`Graph` instances with
+positive integer weights, and are independently useful for tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graph.components import connected_components
+from repro.graph.graph import Graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "erdos_renyi",
+    "barabasi_albert",
+    "powerlaw_cluster",
+    "watts_strogatz",
+    "rmat",
+    "powerlaw_configuration",
+    "random_tree",
+    "attach_forest",
+    "attach_hubs",
+    "attach_chains",
+    "attach_trees",
+    "overlay_random_edges",
+    "ensure_connected",
+    "random_weights",
+]
+
+WeightFn = Callable[[random.Random, int, int], int]
+
+
+# ----------------------------------------------------------------------
+# Deterministic structured graphs (test fixtures and road-like inputs)
+# ----------------------------------------------------------------------
+def path_graph(n: int, weight: int = 1) -> Graph:
+    """Path ``0 - 1 - ... - n-1`` with uniform edge weight."""
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for v in range(n - 1):
+        g.add_edge(v, v + 1, weight)
+    return g
+
+
+def cycle_graph(n: int, weight: int = 1) -> Graph:
+    """Cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise GraphError("cycle needs at least 3 vertices")
+    g = path_graph(n, weight)
+    g.add_edge(n - 1, 0, weight)
+    return g
+
+
+def complete_graph(n: int, weight: int = 1) -> Graph:
+    """Complete graph ``K_n``."""
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v, weight)
+    return g
+
+
+def star_graph(n_leaves: int, weight: int = 1) -> Graph:
+    """Star: centre 0 joined to leaves ``1..n_leaves``."""
+    g = Graph()
+    g.add_vertex(0)
+    for v in range(1, n_leaves + 1):
+        g.add_edge(0, v, weight)
+    return g
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    seed: Optional[int] = None,
+    max_weight: int = 1,
+) -> Graph:
+    """``rows x cols`` grid — a road-network-like input.
+
+    With ``max_weight > 1`` edge weights are drawn uniformly from
+    ``1..max_weight`` (seeded), mimicking road segment lengths.
+    """
+    rng = random.Random(seed)
+    g = Graph()
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            g.add_vertex(vid(r, c))
+    for r in range(rows):
+        for c in range(cols):
+            w = rng.randint(1, max_weight) if max_weight > 1 else 1
+            if c + 1 < cols:
+                g.add_edge(vid(r, c), vid(r, c + 1), w)
+            w = rng.randint(1, max_weight) if max_weight > 1 else 1
+            if r + 1 < rows:
+                g.add_edge(vid(r, c), vid(r + 1, c), w)
+    return g
+
+
+# ----------------------------------------------------------------------
+# Random families
+# ----------------------------------------------------------------------
+def erdos_renyi(
+    n: int,
+    num_edges: int,
+    seed: Optional[int] = None,
+    max_weight: int = 1,
+) -> Graph:
+    """G(n, m): exactly ``num_edges`` distinct uniform random edges."""
+    max_edges = n * (n - 1) // 2
+    if num_edges > max_edges:
+        raise GraphError(f"cannot place {num_edges} edges in a {n}-vertex simple graph")
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    placed = 0
+    while placed < num_edges:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or g.has_edge(u, v):
+            continue
+        w = rng.randint(1, max_weight) if max_weight > 1 else 1
+        g.add_edge(u, v, w)
+        placed += 1
+    return g
+
+
+def barabasi_albert(
+    n: int,
+    m_attach: int,
+    seed: Optional[int] = None,
+    max_weight: int = 1,
+) -> Graph:
+    """Preferential attachment (the as-Skitter-like family).
+
+    Each new vertex attaches to ``m_attach`` distinct existing vertices
+    sampled proportionally to degree, yielding a power-law degree tail.
+    """
+    if m_attach < 1 or n <= m_attach:
+        raise GraphError("need n > m_attach >= 1")
+    rng = random.Random(seed)
+    g = Graph()
+    # Seed clique-ish core: a path over the first m_attach + 1 vertices.
+    for v in range(m_attach + 1):
+        g.add_vertex(v)
+    repeated: List[int] = []  # vertex id repeated once per incident edge end
+    for v in range(m_attach):
+        g.add_edge(v, v + 1)
+        repeated += [v, v + 1]
+    for v in range(m_attach + 1, n):
+        targets: set = set()
+        while len(targets) < m_attach:
+            # Mix preferential and uniform choices to avoid rare stalls.
+            if repeated and rng.random() < 0.9:
+                targets.add(rng.choice(repeated))
+            else:
+                candidate = rng.randrange(v)
+                targets.add(candidate)
+        g.add_vertex(v)
+        for t in targets:
+            w = rng.randint(1, max_weight) if max_weight > 1 else 1
+            g.add_edge(v, t, w)
+            repeated += [v, t]
+    return g
+
+
+def powerlaw_cluster(
+    n: int,
+    m_attach: int,
+    p_triangle: float,
+    seed: Optional[int] = None,
+    max_weight: int = 1,
+) -> Graph:
+    """Holme–Kim power-law graph with tunable clustering (web-like).
+
+    Like :func:`barabasi_albert` but after each preferential attachment,
+    with probability ``p_triangle`` the next link closes a triangle by
+    attaching to a random neighbour of the previous target.
+    """
+    if not 0.0 <= p_triangle <= 1.0:
+        raise GraphError("p_triangle must be within [0, 1]")
+    if m_attach < 1 or n <= m_attach:
+        raise GraphError("need n > m_attach >= 1")
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(m_attach + 1):
+        g.add_vertex(v)
+    repeated: List[int] = []
+    for v in range(m_attach):
+        g.add_edge(v, v + 1)
+        repeated += [v, v + 1]
+    for v in range(m_attach + 1, n):
+        g.add_vertex(v)
+        links = 0
+        last_target: Optional[int] = None
+        guard = 0
+        while links < m_attach and guard < 50 * m_attach:
+            guard += 1
+            if (
+                last_target is not None
+                and rng.random() < p_triangle
+                and g.degree(last_target) > 0
+            ):
+                candidate = rng.choice(list(g.neighbors(last_target)))
+            elif repeated:
+                candidate = rng.choice(repeated)
+            else:
+                candidate = rng.randrange(v)
+            if candidate == v or g.has_edge(v, candidate):
+                continue
+            w = rng.randint(1, max_weight) if max_weight > 1 else 1
+            g.add_edge(v, candidate, w)
+            repeated += [v, candidate]
+            last_target = candidate
+            links += 1
+    return g
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    p_rewire: float,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Small-world ring lattice with rewiring (clustering + short paths)."""
+    if k % 2 or k <= 0 or k >= n:
+        raise GraphError("k must be even with 0 < k < n")
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for v in range(n):
+        for j in range(1, k // 2 + 1):
+            u = (v + j) % n
+            if not g.has_edge(v, u):
+                g.add_edge(v, u)
+    # Rewire each lattice edge with probability p.
+    for u, v, _ in list(g.edges()):
+        if rng.random() < p_rewire:
+            candidates = [x for x in (rng.randrange(n) for _ in range(8))]
+            for new_v in candidates:
+                if new_v != u and not g.has_edge(u, new_v):
+                    g.remove_edge(u, v)
+                    g.add_edge(u, new_v)
+                    break
+    return g
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    probabilities: Tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    seed: Optional[int] = None,
+    max_weight: int = 1,
+) -> Graph:
+    """Recursive-matrix (R-MAT/Kronecker) graph — the Graph500 generator.
+
+    Produces ``2^scale`` vertex slots and about ``edge_factor * 2^scale``
+    edges by recursively descending into adjacency-matrix quadrants with
+    the given probabilities; self loops and duplicates are dropped.  R-MAT
+    graphs exhibit the skew and community structure of social/Web graphs
+    and are a standard stress input for graph indexes.
+    """
+    a, b, c, d = probabilities
+    if abs(a + b + c + d - 1.0) > 1e-9 or min(probabilities) < 0:
+        raise GraphError("R-MAT probabilities must be non-negative and sum to 1")
+    if scale < 1:
+        raise GraphError("scale must be at least 1")
+    rng = random.Random(seed)
+    n = 1 << scale
+    g = Graph()
+    target_edges = edge_factor * n
+    attempts = 0
+    while g.num_edges < target_edges and attempts < 20 * target_edges:
+        attempts += 1
+        u = v = 0
+        for _ in range(scale):
+            r = rng.random()
+            u <<= 1
+            v <<= 1
+            if r < a:
+                pass
+            elif r < a + b:
+                v |= 1
+            elif r < a + b + c:
+                u |= 1
+            else:
+                u |= 1
+                v |= 1
+        if u == v or g.has_edge(u, v):
+            continue
+        w = rng.randint(1, max_weight) if max_weight > 1 else 1
+        g.add_edge(u, v, w)
+    return g
+
+
+def powerlaw_configuration(
+    n: int,
+    exponent: float,
+    seed: Optional[int] = None,
+    min_degree: int = 1,
+    max_degree: Optional[int] = None,
+) -> Graph:
+    """Configuration-model graph with a power-law degree sequence.
+
+    Degrees are sampled from ``P(d) ∝ d^-exponent`` on
+    ``[min_degree, max_degree]``; stubs are paired uniformly and self loops
+    or duplicate edges are dropped (so realised degrees are approximate,
+    like the RDF-style BTC graph with avg degree ~2.2 but 100k-degree hubs).
+    """
+    rng = random.Random(seed)
+    if max_degree is None:
+        max_degree = max(min_degree + 1, n // 10)
+    # Inverse-CDF sampling over the discrete power law.
+    weights = [d ** (-exponent) for d in range(min_degree, max_degree + 1)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+
+    def sample_degree() -> int:
+        r = rng.random()
+        lo, hi = 0, len(cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < r:
+                lo = mid + 1
+            else:
+                hi = mid
+        return min_degree + lo
+
+    degrees = [sample_degree() for _ in range(n)]
+    if sum(degrees) % 2:
+        degrees[rng.randrange(n)] += 1
+    stubs: List[int] = []
+    for v, d in enumerate(degrees):
+        stubs += [v] * d
+    rng.shuffle(stubs)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+# ----------------------------------------------------------------------
+# Post-processing helpers
+# ----------------------------------------------------------------------
+def attach_hubs(
+    graph: Graph,
+    num_hubs: int,
+    hub_degree: int,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Attach ``num_hubs`` high-degree hubs to random existing vertices.
+
+    Models the extreme-degree vertices of wiki-Talk (max degree 100k at avg
+    degree 3.9) and BTC.  Mutates and returns ``graph``.
+    """
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    if not vertices:
+        raise GraphError("cannot attach hubs to an empty graph")
+    next_id = vertices[-1] + 1
+    for h in range(num_hubs):
+        hub = next_id + h
+        graph.add_vertex(hub)
+        spokes = min(hub_degree, len(vertices))
+        for v in rng.sample(vertices, spokes):
+            graph.merge_edge(hub, v, 1)
+    return graph
+
+
+def random_tree(n: int, seed: Optional[int] = None, start_id: int = 0) -> Graph:
+    """Uniform random recursive tree on ``n`` vertices.
+
+    Vertex ``start_id + i`` attaches to a uniformly random earlier vertex.
+    Trees peel level after level with no augmenting-edge growth (a leaf
+    removal adds nothing; a degree-2 removal contracts a path), so they are
+    the substrate behind deep vertex hierarchies — and a useful minimal
+    fixture in tests.
+    """
+    if n < 1:
+        raise GraphError("tree needs at least one vertex")
+    rng = random.Random(seed)
+    g = Graph()
+    g.add_vertex(start_id)
+    for i in range(1, n):
+        g.add_edge(start_id + i, start_id + rng.randrange(i), 1)
+    return g
+
+
+def attach_forest(
+    graph: Graph,
+    total_vertices: int,
+    num_trees: int,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Attach ``num_trees`` random trees totalling ``total_vertices``.
+
+    Each tree's root is glued to a random existing vertex; models the deep
+    site-structure periphery of Web-scale graphs.  Mutates and returns
+    ``graph``.
+    """
+    rng = random.Random(seed)
+    anchors = sorted(graph.vertices())
+    if not anchors:
+        raise GraphError("cannot attach a forest to an empty graph")
+    next_id = anchors[-1] + 1
+    per_tree = max(1, total_vertices // max(1, num_trees))
+    remaining = total_vertices
+    while remaining > 0:
+        size = min(per_tree, remaining)
+        tree = random_tree(size, seed=rng.randrange(2 ** 30), start_id=next_id)
+        for u, v, w in tree.edges():
+            graph.add_vertex(u)
+            graph.add_vertex(v)
+            graph.add_edge(u, v, w)
+        if size == 1:
+            graph.add_vertex(next_id)
+        graph.merge_edge(rng.choice(anchors), next_id, 1)
+        next_id += size
+        remaining -= size
+    return graph
+
+
+def attach_chains(
+    graph: Graph,
+    num_chains: int,
+    chain_length: int,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Attach ``num_chains`` paths of ``chain_length`` vertices to the graph.
+
+    Chains model deep low-degree periphery (link trails in Web graphs,
+    traceroute tails in topology graphs).  They peel one IS layer per
+    halving, so they deepen the vertex hierarchy by ``~log2(chain_length)``
+    levels.  Mutates and returns ``graph``.
+    """
+    rng = random.Random(seed)
+    anchors = sorted(graph.vertices())
+    if not anchors:
+        raise GraphError("cannot attach chains to an empty graph")
+    next_id = anchors[-1] + 1
+    for _ in range(num_chains):
+        previous = rng.choice(anchors)
+        for _ in range(chain_length):
+            graph.add_vertex(next_id)
+            graph.merge_edge(previous, next_id, 1)
+            previous = next_id
+            next_id += 1
+    return graph
+
+
+def attach_trees(
+    graph: Graph,
+    num_trees: int,
+    depth: int,
+    branching: int,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Attach ``num_trees`` complete ``branching``-ary trees of ``depth``.
+
+    Models site-structure periphery (pages within a site) in Web-like
+    graphs.  Tree roots are glued to random existing vertices.  Mutates and
+    returns ``graph``.
+    """
+    rng = random.Random(seed)
+    anchors = sorted(graph.vertices())
+    if not anchors:
+        raise GraphError("cannot attach trees to an empty graph")
+    next_id = anchors[-1] + 1
+    for _ in range(num_trees):
+        root = next_id
+        graph.add_vertex(root)
+        graph.merge_edge(rng.choice(anchors), root, 1)
+        next_id += 1
+        frontier = [root]
+        for _ in range(depth):
+            new_frontier = []
+            for parent in frontier:
+                for _ in range(branching):
+                    graph.add_vertex(next_id)
+                    graph.merge_edge(parent, next_id, 1)
+                    new_frontier.append(next_id)
+                    next_id += 1
+            frontier = new_frontier
+    return graph
+
+
+def overlay_random_edges(
+    graph: Graph,
+    num_edges: int,
+    seed: Optional[int] = None,
+    max_weight: int = 1,
+    among: Optional[Sequence[int]] = None,
+) -> Graph:
+    """Add ``num_edges`` uniform random edges among ``among`` (default all).
+
+    Lifts the average degree of a generated topology without disturbing its
+    periphery when ``among`` is restricted to core vertices.  Mutates and
+    returns ``graph``.
+    """
+    rng = random.Random(seed)
+    pool = sorted(among) if among is not None else sorted(graph.vertices())
+    if len(pool) < 2:
+        raise GraphError("need at least two candidate vertices")
+    added = 0
+    attempts = 0
+    while added < num_edges and attempts < 20 * num_edges + 100:
+        attempts += 1
+        u, v = rng.choice(pool), rng.choice(pool)
+        if u == v or graph.has_edge(u, v):
+            continue
+        w = rng.randint(1, max_weight) if max_weight > 1 else 1
+        graph.add_edge(u, v, w)
+        added += 1
+    return graph
+
+
+def ensure_connected(graph: Graph, seed: Optional[int] = None) -> Graph:
+    """Connect all components by bridging each to the largest one.
+
+    Mutates and returns ``graph``.  Bridge edges get weight 1 and join a
+    random vertex of each smaller component to a random vertex of the
+    largest — a minimal perturbation of the generated topology.
+    """
+    rng = random.Random(seed)
+    components = connected_components(graph)
+    if len(components) <= 1:
+        return graph
+    main = sorted(components[0])
+    for comp in components[1:]:
+        graph.merge_edge(rng.choice(main), rng.choice(sorted(comp)), 1)
+    return graph
+
+
+def random_weights(
+    graph: Graph,
+    max_weight: int,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Re-draw every edge weight uniformly from ``1..max_weight``.
+
+    The paper's Web graph carries weights in {1, 2}; this helper applies
+    such weightings to any generated topology.  Mutates and returns
+    ``graph``.
+    """
+    rng = random.Random(seed)
+    for u, v, _ in list(graph.edges()):
+        graph.add_edge(u, v, rng.randint(1, max_weight))
+    return graph

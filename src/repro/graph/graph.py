@@ -1,0 +1,254 @@
+"""Weighted, undirected simple graphs (the paper's input model, §2).
+
+The paper works with ``G = (V_G, E_G, ω_G)`` where ``ω_G`` maps each edge to
+a positive integer.  This module provides :class:`Graph`, a mutable
+adjacency-map implementation tuned for the operations IS-LABEL construction
+needs: vertex removal (peeling an independent set), neighbourhood iteration
+(the 2-hop self join of Algorithm 3), and min-merging of parallel edge
+weights (augmenting edges).
+
+Vertices are integers.  Edges are stored symmetrically, so mutating helpers
+keep the invariant ``v in adj[u] iff u in adj[v]`` with equal weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+from repro.errors import GraphError
+
+__all__ = ["Graph"]
+
+Edge = Tuple[int, int, int]
+
+
+class Graph:
+    """A weighted, undirected simple graph with integer vertices.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v, w)`` or ``(u, v)`` tuples; missing
+        weights default to 1.  Duplicate edges keep the *minimum* weight,
+        which is the merge rule used throughout the paper.
+
+    Examples
+    --------
+    >>> g = Graph([(1, 2), (2, 3, 5)])
+    >>> g.weight(2, 3)
+    5
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, edges: Iterable[Tuple[int, ...]] = ()) -> None:
+        self._adj: Dict[int, Dict[int, int]] = {}
+        self._num_edges = 0
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge  # type: ignore[misc]
+                self.merge_edge(u, v, 1)
+            else:
+                u, v, w = edge  # type: ignore[misc]
+                self.merge_edge(u, v, w)
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> None:
+        """Add an isolated vertex (no-op if it already exists)."""
+        if v not in self._adj:
+            self._adj[v] = {}
+
+    def add_edge(self, u: int, v: int, weight: int = 1) -> None:
+        """Add edge ``(u, v)``, overwriting any existing weight.
+
+        Raises
+        ------
+        GraphError
+            For self loops or non-positive/non-integer weights (the paper
+            requires ``ω: E → N+``).
+        """
+        self._check_edge(u, v, weight)
+        was_present = v in self._adj.get(u, ())
+        self._adj.setdefault(u, {})[v] = weight
+        self._adj.setdefault(v, {})[u] = weight
+        if not was_present:
+            self._num_edges += 1
+
+    def merge_edge(self, u: int, v: int, weight: int = 1) -> bool:
+        """Add edge ``(u, v)`` keeping the minimum weight if it exists.
+
+        This is the augmenting-edge merge rule of Algorithm 3 (§6.1.2):
+        ``ω(u, w) = min(ω_old(u, w), ω_new(u, w))``.
+
+        Returns
+        -------
+        bool
+            True if the edge was inserted or its weight decreased.
+        """
+        self._check_edge(u, v, weight)
+        row = self._adj.setdefault(u, {})
+        self._adj.setdefault(v, {})
+        old = row.get(v)
+        if old is None:
+            row[v] = weight
+            self._adj[v][u] = weight
+            self._num_edges += 1
+            return True
+        if weight < old:
+            row[v] = weight
+            self._adj[v][u] = weight
+            return True
+        return False
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove edge ``(u, v)``; raises :class:`GraphError` if absent."""
+        try:
+            del self._adj[u][v]
+            del self._adj[v][u]
+        except KeyError:
+            raise GraphError(f"edge ({u}, {v}) not in graph") from None
+        self._num_edges -= 1
+
+    def remove_vertex(self, v: int) -> None:
+        """Remove ``v`` and all incident edges (used when peeling ``L_i``)."""
+        try:
+            incident = self._adj.pop(v)
+        except KeyError:
+            raise GraphError(f"vertex {v} not in graph") from None
+        for u in incident:
+            del self._adj[u][v]
+        self._num_edges -= len(incident)
+
+    def remove_vertices(self, vertices: Iterable[int]) -> None:
+        """Remove a batch of vertices (order-independent)."""
+        for v in vertices:
+            self.remove_vertex(v)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def has_vertex(self, v: int) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj.get(u, ())
+
+    def weight(self, u: int, v: int) -> int:
+        """Weight of edge ``(u, v)``; raises :class:`GraphError` if absent."""
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"edge ({u}, {v}) not in graph") from None
+
+    def neighbors(self, v: int) -> Mapping[int, int]:
+        """Read-only view of ``adj_G(v)`` as a ``{neighbor: weight}`` map."""
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise GraphError(f"vertex {v} not in graph") from None
+
+    def degree(self, v: int) -> int:
+        """``deg_G(v) = |adj_G(v)|`` (§2)."""
+        return len(self.neighbors(v))
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over vertex ids (insertion order)."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over ``(u, v, w)`` with ``u < v`` (each edge once)."""
+        for u, row in self._adj.items():
+            for v, w in row.items():
+                if u < v:
+                    yield (u, v, w)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """``|G| = |V_G| + |E_G|`` — the paper's graph-size measure (§2)."""
+        return self.num_vertices + self.num_edges
+
+    def total_degree(self) -> int:
+        return 2 * self._num_edges
+
+    def __contains__(self, v: object) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Deep copy (adjacency maps are duplicated)."""
+        g = Graph()
+        g._adj = {u: dict(row) for u, row in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> "Graph":
+        """Subgraph induced by ``vertices`` (edges with both ends kept)."""
+        keep = set(vertices)
+        g = Graph()
+        for v in keep:
+            if v not in self._adj:
+                raise GraphError(f"vertex {v} not in graph")
+            g.add_vertex(v)
+        for v in keep:
+            for u, w in self._adj[v].items():
+                if u in keep and v < u:
+                    g.add_edge(v, u, w)
+        return g
+
+    def relabeled(self) -> Tuple["Graph", Dict[int, int]]:
+        """Return a copy with vertices renumbered ``0..n-1``.
+
+        Returns the new graph and the ``old id -> new id`` mapping.  Useful
+        before converting to CSR or writing compact binary formats.
+        """
+        mapping = {v: i for i, v in enumerate(sorted(self._adj))}
+        g = Graph()
+        for v in self._adj:
+            g.add_vertex(mapping[v])
+        for u, v, w in self.edges():
+            g.add_edge(mapping[u], mapping[v], w)
+        return g, mapping
+
+    def sorted_vertices(self) -> List[int]:
+        """Vertex ids in ascending order (the paper's storage order, §2)."""
+        return sorted(self._adj)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_edge(u: int, v: int, weight: int) -> None:
+        if u == v:
+            raise GraphError(f"self loop ({u}, {v}) not allowed in a simple graph")
+        if not isinstance(weight, int) or isinstance(weight, bool) or weight <= 0:
+            raise GraphError(
+                f"edge ({u}, {v}) weight must be a positive integer, got {weight!r}"
+            )

@@ -1,0 +1,117 @@
+"""Graph file formats.
+
+Two formats are provided:
+
+* a human-readable weighted edge list (``u v w`` per line, ``#`` comments),
+  matching the common SNAP-style distribution format of the paper's
+  datasets; and
+* a compact little-endian binary adjacency format mirroring how the paper
+  stores graphs on disk ("adjacency list representation ... vertices are
+  ordered in ascending order of their vertex IDs", §2), which is also the
+  layout the external-memory substrate assumes.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+from repro.errors import StorageError
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "write_binary_adjacency",
+    "read_binary_adjacency",
+]
+
+_MAGIC = b"ISLG"
+_HEADER = struct.Struct("<4sQQ")  # magic, |V|, |E|
+_VERTEX = struct.Struct("<qq")  # vertex id, degree
+_SLOT = struct.Struct("<qq")  # neighbour id, weight
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: Union[Graph, DiGraph], path: PathLike) -> None:
+    """Write ``u v w`` lines; undirected edges are written once (u < v)."""
+    directed = isinstance(graph, DiGraph)
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(f"# repro edge list directed={int(directed)}\n")
+        fh.write(f"# |V|={graph.num_vertices} |E|={graph.num_edges}\n")
+        for v in sorted(graph.vertices()):
+            fh.write(f"v {v}\n")
+        for u, v, w in sorted(graph.edges()):
+            fh.write(f"{u} {v} {w}\n")
+
+
+def read_edge_list(path: PathLike, directed: bool = False) -> Union[Graph, DiGraph]:
+    """Read an edge list written by :func:`write_edge_list`.
+
+    Lines starting with ``#`` are comments; ``v <id>`` lines declare
+    (possibly isolated) vertices; other lines are ``u v [w]``.
+    """
+    graph: Union[Graph, DiGraph] = DiGraph() if directed else Graph()
+    with open(path, "r", encoding="ascii") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if parts[0] == "v":
+                graph.add_vertex(int(parts[1]))
+                continue
+            if len(parts) == 2:
+                u, v, w = int(parts[0]), int(parts[1]), 1
+            elif len(parts) == 3:
+                u, v, w = int(parts[0]), int(parts[1]), int(parts[2])
+            else:
+                raise StorageError(f"{path}:{lineno}: malformed edge line {line!r}")
+            graph.merge_edge(u, v, w)
+    return graph
+
+
+def write_binary_adjacency(graph: Graph, path: PathLike) -> int:
+    """Write the compact binary adjacency file; returns bytes written."""
+    written = 0
+    with open(path, "wb") as fh:
+        written += fh.write(_HEADER.pack(_MAGIC, graph.num_vertices, graph.num_edges))
+        for v in graph.sorted_vertices():
+            row = graph.neighbors(v)
+            written += fh.write(_VERTEX.pack(v, len(row)))
+            for u, w in sorted(row.items()):
+                written += fh.write(_SLOT.pack(u, w))
+    return written
+
+
+def read_binary_adjacency(path: PathLike) -> Graph:
+    """Read a file produced by :func:`write_binary_adjacency`."""
+    graph = Graph()
+    with open(path, "rb") as fh:
+        header = fh.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise StorageError(f"{path}: truncated header")
+        magic, num_vertices, num_edges = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise StorageError(f"{path}: bad magic {magic!r}")
+        for _ in range(num_vertices):
+            vh = fh.read(_VERTEX.size)
+            if len(vh) != _VERTEX.size:
+                raise StorageError(f"{path}: truncated vertex header")
+            v, degree = _VERTEX.unpack(vh)
+            graph.add_vertex(v)
+            for _ in range(degree):
+                slot = fh.read(_SLOT.size)
+                if len(slot) != _SLOT.size:
+                    raise StorageError(f"{path}: truncated adjacency slot")
+                u, w = _SLOT.unpack(slot)
+                graph.merge_edge(v, u, w)
+    if graph.num_vertices != num_vertices or graph.num_edges != num_edges:
+        raise StorageError(
+            f"{path}: header promised |V|={num_vertices}, |E|={num_edges}; "
+            f"got |V|={graph.num_vertices}, |E|={graph.num_edges}"
+        )
+    return graph

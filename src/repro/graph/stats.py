@@ -1,0 +1,61 @@
+"""Dataset statistics in the shape of the paper's Table 2.
+
+Table 2 reports ``|V|``, ``|E|``, average degree, max degree, and on-disk
+size for each dataset.  :func:`graph_stats` computes the same columns;
+``disk_size_bytes`` estimates the adjacency-list file footprint the same way
+the external substrate lays it out (one 8-byte id + 8-byte weight per
+directed edge slot plus an 8-byte degree header per vertex).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import Graph
+
+__all__ = ["GraphStats", "graph_stats", "human_bytes"]
+
+_BYTES_PER_EDGE_SLOT = 16  # neighbour id + weight, 8 bytes each
+_BYTES_PER_VERTEX_HEADER = 16  # vertex id + degree
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of one dataset (one Table 2 row)."""
+
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    max_degree: int
+    disk_size_bytes: int
+
+    def row(self) -> tuple:
+        """Values in Table 2 column order."""
+        return (
+            self.num_vertices,
+            self.num_edges,
+            round(self.avg_degree, 2),
+            self.max_degree,
+            human_bytes(self.disk_size_bytes),
+        )
+
+
+def graph_stats(graph: Graph) -> GraphStats:
+    """Compute the Table 2 columns for ``graph``."""
+    n = graph.num_vertices
+    m = graph.num_edges
+    max_deg = max((graph.degree(v) for v in graph.vertices()), default=0)
+    avg_deg = (2.0 * m / n) if n else 0.0
+    disk = n * _BYTES_PER_VERTEX_HEADER + 2 * m * _BYTES_PER_EDGE_SLOT
+    return GraphStats(n, m, avg_deg, max_deg, disk)
+
+
+def human_bytes(num: float) -> str:
+    """Render a byte count the way the paper does (``5.6 GB``, ``200 MB``)."""
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(num) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(num)} {unit}"
+            return f"{num:.1f} {unit}"
+        num /= 1024.0
+    raise AssertionError("unreachable")

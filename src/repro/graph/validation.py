@@ -1,0 +1,63 @@
+"""Structural validation for graphs.
+
+The paper's model (§2) requires weighted, undirected *simple* graphs with
+positive integer weights.  :class:`Graph` enforces most of that at mutation
+time; :func:`validate_graph` re-checks the full invariant set so tests and
+loaders can assert integrity after deserialization or generation.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import ValidationError
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+
+__all__ = ["validate_graph", "validate_digraph"]
+
+
+def validate_graph(graph: Graph) -> None:
+    """Raise :class:`ValidationError` unless ``graph`` is a valid input.
+
+    Checks: symmetric adjacency with equal weights, no self loops, positive
+    integer weights, and an edge count consistent with the adjacency maps.
+    """
+    seen_slots = 0
+    for v in graph.vertices():
+        for u, w in graph.neighbors(v).items():
+            seen_slots += 1
+            if u == v:
+                raise ValidationError(f"self loop at vertex {v}")
+            _check_weight(u, v, w)
+            if not graph.has_edge(u, v) or graph.weight(u, v) != w:
+                raise ValidationError(f"asymmetric edge ({v}, {u})")
+    if seen_slots != 2 * graph.num_edges:
+        raise ValidationError(
+            f"edge count {graph.num_edges} inconsistent with "
+            f"{seen_slots} adjacency slots"
+        )
+
+
+def validate_digraph(graph: DiGraph) -> None:
+    """Raise :class:`ValidationError` unless ``graph`` is a valid digraph."""
+    arcs = 0
+    for v in graph.vertices():
+        for u, w in graph.successors(v).items():
+            arcs += 1
+            if u == v:
+                raise ValidationError(f"self loop at vertex {v}")
+            _check_weight(v, u, w)
+            if graph.predecessors(u).get(v) != w:
+                raise ValidationError(f"successor/predecessor mismatch on ({v}, {u})")
+    if arcs != graph.num_edges:
+        raise ValidationError(
+            f"arc count {graph.num_edges} inconsistent with {arcs} successor slots"
+        )
+
+
+def _check_weight(u: int, v: int, w: Union[int, object]) -> None:
+    if not isinstance(w, int) or isinstance(w, bool) or w <= 0:
+        raise ValidationError(
+            f"edge ({u}, {v}) has non-positive-integer weight {w!r}"
+        )

@@ -1,0 +1,18 @@
+"""Workloads: dataset stand-ins and query generators for the evaluation."""
+
+from repro.workloads.datasets import (
+    DATASET_NAMES,
+    PAPER_TABLE2,
+    dataset_builders,
+    load_dataset,
+)
+from repro.workloads.queries import random_query_pairs, typed_query_pairs
+
+__all__ = [
+    "DATASET_NAMES",
+    "PAPER_TABLE2",
+    "dataset_builders",
+    "load_dataset",
+    "random_query_pairs",
+    "typed_query_pairs",
+]

@@ -1,0 +1,138 @@
+"""The paper's running example (Figures 1–3, Examples 1–6), as data.
+
+The 9-vertex graph of Figure 1, the exact level assignment
+``L1 = {c,f,i}, L2 = {b,d,h}, L3 = {e}, L4 = {a}, L5 = {g}``, and the
+published labels of Figure 2(b).  Tests and the walkthrough example replay
+the construction against these constants.
+
+Graph reconstruction.  The paper draws the graph but spells out enough in
+the text to recover it exactly: ``adj(c) = {b}`` (Example 3), ``(e, f)``
+has weight 3 and everything else weight 1, the augmenting edges are
+``(e, h, 4)`` in G2 (via f), ``(e, g, 2)`` in G3 (via d), and
+``(a, g, 3)`` in G4 (via e), and every label in Figure 2(b) pins down the
+removal-time adjacency of its vertex.
+
+**Erratum.** Figure 2(b) prints ``label(f) ∋ (g, 5)``; Definition 3
+applied to the published graph and levels gives ``(g, 2)`` — when ``h``
+(level 2) is unmarked, it relaxes ``g`` with ``d(f,h) + ω_G2(h,g) =
+1 + 1 = 2``.  The ``5`` would arise only if ``h``'s edge to ``g`` were
+skipped; both values are valid upper bounds (Lemma 5 needs exactness only
+at max-level vertices), so no query answer in the paper changes.
+``FIGURE2_LABELS`` carries the corrected value and
+``FIGURE2_PUBLISHED_LABEL_F`` the printed one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "VERTEX_IDS",
+    "VERTEX_NAMES",
+    "paper_example_graph",
+    "PAPER_LEVELS",
+    "FIGURE2_LABELS",
+    "FIGURE2_PUBLISHED_LABEL_F",
+    "EXAMPLE5_K2_LABELS",
+    "EXAMPLE_QUERIES",
+    "render_walkthrough",
+]
+
+#: ``a..i`` -> 1..9, the paper's vertices as integers.
+VERTEX_IDS: Dict[str, int] = {c: i for i, c in enumerate("abcdefghi", start=1)}
+VERTEX_NAMES: Dict[int, str] = {v: c for c, v in VERTEX_IDS.items()}
+
+_EDGES: List[Tuple[str, str, int]] = [
+    ("a", "b", 1),
+    ("a", "e", 1),
+    ("b", "c", 1),
+    ("b", "e", 1),
+    ("d", "e", 1),
+    ("d", "g", 1),
+    ("e", "f", 3),  # the one non-unit weight (Example 1)
+    ("e", "i", 1),
+    ("f", "h", 1),
+    ("g", "h", 1),
+]
+
+#: Figure 1's level assignment, L1 .. L5 (vertex names).
+PAPER_LEVELS: List[List[str]] = [
+    ["c", "f", "i"],
+    ["b", "d", "h"],
+    ["e"],
+    ["a"],
+    ["g"],
+]
+
+#: Figure 2(b), with the label(f) erratum corrected (see module docstring).
+FIGURE2_LABELS: Dict[str, Dict[str, int]] = {
+    "c": {"a": 2, "b": 1, "c": 0, "e": 2, "g": 4},
+    "f": {"a": 4, "e": 3, "f": 0, "g": 2, "h": 1},
+    "i": {"a": 2, "e": 1, "g": 3, "i": 0},
+    "b": {"a": 1, "b": 0, "e": 1, "g": 3},
+    "d": {"a": 2, "d": 0, "e": 1, "g": 1},
+    "h": {"a": 5, "e": 4, "g": 1, "h": 0},
+    "e": {"a": 1, "e": 0, "g": 2},
+    "a": {"a": 0, "g": 3},
+    "g": {"g": 0},
+}
+
+#: The value as printed in the paper (for the erratum test).
+FIGURE2_PUBLISHED_LABEL_F: Dict[str, int] = {"a": 4, "e": 3, "f": 0, "g": 5, "h": 1}
+
+#: Example 5: labels of the L1 vertices under the k = 2 hierarchy.
+EXAMPLE5_K2_LABELS: Dict[str, Dict[str, int]] = {
+    "c": {"b": 1, "c": 0},
+    "f": {"e": 3, "f": 0, "h": 1},
+    "i": {"e": 1, "i": 0},
+}
+
+#: (source, target, distance): Example 4's queries and Example 6's query.
+EXAMPLE_QUERIES: List[Tuple[str, str, int]] = [
+    ("h", "e", 3),
+    ("a", "g", 3),
+    ("c", "i", 3),
+]
+
+
+def paper_example_graph() -> Graph:
+    """Figure 1's 9-vertex weighted graph (vertex ids per VERTEX_IDS)."""
+    return Graph(
+        [(VERTEX_IDS[u], VERTEX_IDS[v], w) for u, v, w in _EDGES]
+    )
+
+
+def render_walkthrough() -> str:
+    """The Figure 1-3 walkthrough as text (used by the CLI and docs)."""
+    from repro.core.hierarchy import build_hierarchy_with_levels
+    from repro.core.index import ISLabelIndex
+    from repro.core.labeling import top_down_labels
+
+    graph = paper_example_graph()
+    levels = [[VERTEX_IDS[c] for c in level] for level in PAPER_LEVELS]
+    hierarchy = build_hierarchy_with_levels(graph, levels, with_hints=True)
+    labels, _ = top_down_labels(hierarchy)
+    index = ISLabelIndex.build(graph, full=True)
+
+    lines = ["Figure 1 — vertex hierarchy:"]
+    for i, level in enumerate(PAPER_LEVELS, start=1):
+        lines.append(f"  L{i} = {{{', '.join(level)}}}")
+    lines.append("Augmenting edges (Example 1):")
+    for (a, b), mid in sorted(hierarchy.hints.items()):
+        lines.append(
+            f"  ({VERTEX_NAMES[a]}, {VERTEX_NAMES[b]}) via {VERTEX_NAMES[mid]}"
+        )
+    lines.append("Figure 2(b) — labels (label(f) per the documented erratum):")
+    for name in FIGURE2_LABELS:
+        entries = sorted(
+            (VERTEX_NAMES[w], d) for w, d in labels[VERTEX_IDS[name]].items()
+        )
+        rendered = ", ".join(f"({w},{d})" for w, d in entries)
+        lines.append(f"  label({name}) = {{{rendered}}}")
+    lines.append("Queries (Examples 4 and 6):")
+    for s, t, expected in EXAMPLE_QUERIES:
+        got = index.distance(VERTEX_IDS[s], VERTEX_IDS[t])
+        lines.append(f"  dist({s}, {t}) = {got}  (paper: {expected})")
+    return "\n".join(lines)

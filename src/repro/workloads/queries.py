@@ -1,0 +1,103 @@
+"""Query workload generation (§7.2).
+
+The paper evaluates with "1000 randomly generated queries" per dataset, and
+Table 5 additionally splits queries by endpoint location: Type 1 (both
+endpoints in ``G_k``), Type 2 (exactly one), Type 3 (neither).  The helpers
+here generate both kinds of workloads deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.index import ISLabelIndex
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+
+__all__ = ["random_query_pairs", "typed_query_pairs", "zipf_query_pairs"]
+
+QueryPair = Tuple[int, int]
+
+
+def random_query_pairs(
+    graph: Graph, count: int, seed: Optional[int] = None
+) -> List[QueryPair]:
+    """``count`` uniform random (s, t) pairs over the graph's vertices."""
+    vertices = sorted(graph.vertices())
+    if len(vertices) < 2:
+        raise QueryError("need at least two vertices to build query pairs")
+    rng = random.Random(seed)
+    return [(rng.choice(vertices), rng.choice(vertices)) for _ in range(count)]
+
+
+def zipf_query_pairs(
+    graph: Graph,
+    count: int,
+    seed: Optional[int] = None,
+    exponent: float = 1.0,
+) -> List[QueryPair]:
+    """``count`` pairs with Zipf-skewed endpoint popularity.
+
+    Real query logs are heavily skewed towards popular endpoints; skewed
+    workloads are what make label caching effective (the cache ablation
+    uses this).  Endpoint ranks follow ``P(rank r) ∝ 1 / r^exponent`` over
+    a degree-descending ordering (popular ≈ high degree).
+    """
+    vertices = sorted(graph.vertices(), key=lambda v: (-graph.degree(v), v))
+    if len(vertices) < 2:
+        raise QueryError("need at least two vertices to build query pairs")
+    if exponent <= 0:
+        raise QueryError("Zipf exponent must be positive")
+    rng = random.Random(seed)
+    weights = [1.0 / (r ** exponent) for r in range(1, len(vertices) + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def draw() -> int:
+        x = rng.random()
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return vertices[lo]
+
+    return [(draw(), draw()) for _ in range(count)]
+
+
+def typed_query_pairs(
+    index: ISLabelIndex, count: int, query_type: int, seed: Optional[int] = None
+) -> List[QueryPair]:
+    """``count`` pairs of a fixed Table-5 type against ``index``.
+
+    Type 1: both endpoints in ``G_k``; Type 2: exactly one; Type 3: neither.
+    """
+    if query_type not in (1, 2, 3):
+        raise QueryError(f"query type must be 1, 2 or 3, got {query_type}")
+    in_gk = sorted(index.gk.vertices())
+    below = sorted(v for v in index.hierarchy.level_of if not index.hierarchy.in_gk(v))
+    if query_type == 1 and len(in_gk) < 2:
+        raise QueryError("G_k has fewer than two vertices; no Type-1 queries exist")
+    if query_type == 2 and (not in_gk or not below):
+        raise QueryError("graph lacks vertices on one side for Type-2 queries")
+    if query_type == 3 and len(below) < 2:
+        raise QueryError("fewer than two below-k vertices; no Type-3 queries exist")
+
+    rng = random.Random(seed)
+    pairs: List[QueryPair] = []
+    for _ in range(count):
+        if query_type == 1:
+            pairs.append((rng.choice(in_gk), rng.choice(in_gk)))
+        elif query_type == 2:
+            s, t = rng.choice(in_gk), rng.choice(below)
+            pairs.append((s, t) if rng.random() < 0.5 else (t, s))
+        else:
+            pairs.append((rng.choice(below), rng.choice(below)))
+    return pairs

@@ -1,0 +1,49 @@
+"""Unit tests for BFS distances."""
+
+import math
+
+import pytest
+
+from repro.baselines.bfs import bfs_distance, bfs_distances
+from repro.baselines.dijkstra import dijkstra
+from repro.errors import QueryError
+from repro.graph.generators import erdos_renyi, path_graph, star_graph
+
+
+def test_hop_counts_on_path():
+    g = path_graph(10)
+    assert bfs_distances(g, 0) == {v: v for v in range(10)}
+
+
+def test_star_single_hop():
+    g = star_graph(5)
+    dist = bfs_distances(g, 0)
+    assert all(dist[v] == 1 for v in range(1, 6))
+
+
+def test_matches_dijkstra_on_unit_weights():
+    g = erdos_renyi(80, 200, seed=91)  # weight 1 edges
+    source = 0
+    assert bfs_distances(g, source) == dijkstra(g, source)
+
+
+def test_p2p_early_exit():
+    g = path_graph(50)
+    assert bfs_distance(g, 5, 25) == 20
+
+
+def test_p2p_self():
+    g = path_graph(3)
+    assert bfs_distance(g, 1, 1) == 0
+
+
+def test_unreachable(disconnected):
+    assert math.isinf(bfs_distance(disconnected, 0, 10))
+    assert 10 not in bfs_distances(disconnected, 0)
+
+
+def test_missing_vertex_raises(triangle):
+    with pytest.raises(QueryError):
+        bfs_distances(triangle, 42)
+    with pytest.raises(QueryError):
+        bfs_distance(triangle, 1, 42)

@@ -1,0 +1,121 @@
+"""Unit tests for the Dijkstra family, cross-checked against networkx."""
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import (
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_digraph,
+    dijkstra_digraph_distance,
+    dijkstra_distance,
+    dijkstra_path,
+)
+from repro.errors import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_graph
+from repro.graph.graph import Graph
+
+from tests.conftest import nx_distance, random_pairs
+
+
+class TestSSSP:
+    def test_matches_networkx(self, random_graph):
+        import networkx as nx
+
+        from tests.conftest import to_networkx
+
+        source = next(iter(random_graph.vertices()))
+        truth = nx.single_source_dijkstra_path_length(
+            to_networkx(random_graph), source
+        )
+        assert dijkstra(random_graph, source) == truth
+
+    def test_unreachable_vertices_absent(self, disconnected):
+        dist = dijkstra(disconnected, 0)
+        assert set(dist) == {0, 1, 2}
+
+    def test_source_missing_raises(self, triangle):
+        with pytest.raises(QueryError):
+            dijkstra(triangle, 99)
+
+
+class TestP2P:
+    def test_matches_networkx(self, random_graph):
+        for s, t in random_pairs(random_graph, 60, seed=1):
+            assert dijkstra_distance(random_graph, s, t) == nx_distance(
+                random_graph, s, t
+            )
+
+    def test_self_distance(self, triangle):
+        assert dijkstra_distance(triangle, 1, 1) == 0
+
+    def test_unreachable_is_inf(self, disconnected):
+        assert math.isinf(dijkstra_distance(disconnected, 0, 10))
+
+    def test_early_exit_correct_on_path(self):
+        g = path_graph(100, weight=3)
+        assert dijkstra_distance(g, 10, 20) == 30
+
+    def test_missing_endpoint_raises(self, triangle):
+        with pytest.raises(QueryError):
+            dijkstra_distance(triangle, 1, 99)
+
+
+class TestPathVariant:
+    def test_path_matches_distance(self, random_graph):
+        for s, t in random_pairs(random_graph, 40, seed=2):
+            dist, path = dijkstra_path(random_graph, s, t)
+            assert dist == nx_distance(random_graph, s, t)
+            if path is not None:
+                assert path[0] == s and path[-1] == t
+                total = sum(
+                    random_graph.weight(a, b) for a, b in zip(path, path[1:])
+                )
+                assert total == dist
+
+    def test_unreachable_pair(self, disconnected):
+        dist, path = dijkstra_path(disconnected, 0, 10)
+        assert math.isinf(dist) and path is None
+
+    def test_self_path(self, triangle):
+        assert dijkstra_path(triangle, 2, 2) == (0, [2])
+
+
+class TestBidirectional:
+    def test_matches_unidirectional(self, random_graph):
+        for s, t in random_pairs(random_graph, 80, seed=3):
+            assert bidirectional_dijkstra(random_graph, s, t) == dijkstra_distance(
+                random_graph, s, t
+            )
+
+    def test_disconnected(self, disconnected):
+        assert math.isinf(bidirectional_dijkstra(disconnected, 0, 20))
+
+    def test_self(self, triangle):
+        assert bidirectional_dijkstra(triangle, 3, 3) == 0
+
+    def test_missing_endpoint_raises(self, triangle):
+        with pytest.raises(QueryError):
+            bidirectional_dijkstra(triangle, 99, 1)
+
+
+class TestDirected:
+    @pytest.fixture
+    def dg(self):
+        return DiGraph([(0, 1, 2), (1, 2, 3), (2, 0, 1), (0, 3, 10), (3, 2, 1)])
+
+    def test_forward_distances(self, dg):
+        assert dijkstra_digraph(dg, 0) == {0: 0, 1: 2, 2: 5, 3: 10}
+
+    def test_reverse_distances(self, dg):
+        assert dijkstra_digraph(dg, 2, reverse=True) == {2: 0, 1: 3, 0: 5, 3: 1}
+
+    def test_p2p(self, dg):
+        assert dijkstra_digraph_distance(dg, 0, 2) == 5
+        assert dijkstra_digraph_distance(dg, 2, 3) == 11  # 2->0->3
+
+    def test_unreachable(self):
+        dg = DiGraph([(0, 1, 1)])
+        assert math.isinf(dijkstra_digraph_distance(dg, 1, 0))

@@ -1,0 +1,72 @@
+"""Unit tests for the pruned-landmark 2-hop baseline."""
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.baselines.pruned_landmark import PrunedLandmarkIndex
+from repro.errors import QueryError
+from repro.graph.generators import complete_graph, path_graph
+from repro.graph.graph import Graph
+
+from tests.conftest import random_pairs
+
+
+class TestCorrectness:
+    def test_matches_dijkstra(self, random_graph):
+        pll = PrunedLandmarkIndex.build(random_graph)
+        for s, t in random_pairs(random_graph, 100, seed=1):
+            assert pll.distance(s, t) == dijkstra_distance(random_graph, s, t)
+
+    def test_self_distance(self, triangle):
+        pll = PrunedLandmarkIndex.build(triangle)
+        assert pll.distance(2, 2) == 0
+
+    def test_disconnected(self):
+        g = Graph([(0, 1), (5, 6)])
+        pll = PrunedLandmarkIndex.build(g)
+        assert math.isinf(pll.distance(0, 6))
+
+    def test_unknown_vertex_raises(self, triangle):
+        pll = PrunedLandmarkIndex.build(triangle)
+        with pytest.raises(QueryError):
+            pll.distance(1, 42)
+
+    def test_custom_order(self):
+        g = path_graph(8)
+        pll = PrunedLandmarkIndex.build(g, order=list(range(8)))
+        for s in range(8):
+            for t in range(8):
+                assert pll.distance(s, t) == abs(s - t)
+
+
+class TestPruning:
+    def test_hub_cover_keeps_labels_small(self):
+        """On a star, every pair is covered by the hub: 2 entries max."""
+        g = Graph([(0, v) for v in range(1, 20)])
+        pll = PrunedLandmarkIndex.build(g)
+        assert all(len(pll.label(v)) <= 2 for v in g.vertices())
+
+    def test_complete_graph_labels_quadratic(self):
+        # On K_n no 2-hop detour (length 2) can certify a direct edge
+        # (length 1), so pruning never fires: n(n+1)/2 entries exactly.
+        g = complete_graph(12)
+        pll = PrunedLandmarkIndex.build(g)
+        assert pll.label_entries == 12 * 13 // 2
+
+    def test_weighted_star_prunes_through_hub(self):
+        # With heavy leaf-leaf distances the hub certifies every pair.
+        g = Graph([(0, v, 5) for v in range(1, 15)])
+        pll = PrunedLandmarkIndex.build(g)
+        assert all(len(pll.label(v)) <= 2 for v in g.vertices())
+
+    def test_index_bytes(self, triangle):
+        pll = PrunedLandmarkIndex.build(triangle)
+        assert pll.index_bytes == 16 * pll.label_entries
+
+    def test_labels_sorted_by_rank(self, random_graph):
+        pll = PrunedLandmarkIndex.build(random_graph)
+        for v in list(random_graph.vertices())[:20]:
+            ranks = [r for r, _ in pll.label(v)]
+            assert ranks == sorted(ranks)

@@ -1,0 +1,89 @@
+"""Unit tests for the VC-Index comparator."""
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra, dijkstra_distance
+from repro.baselines.vc_index import VCIndex
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+
+from tests.conftest import random_pairs
+
+
+@pytest.fixture(scope="module")
+def built(request):
+    from repro.graph.generators import ensure_connected, erdos_renyi
+
+    g = ensure_connected(erdos_renyi(130, 320, seed=95, max_weight=5), seed=95)
+    return g, VCIndex.build(g)
+
+
+class TestCorrectness:
+    def test_p2p_matches_dijkstra(self, built):
+        g, vc = built
+        for s, t in random_pairs(g, 120, seed=1):
+            assert vc.distance(s, t) == dijkstra_distance(g, s, t)
+
+    def test_p2p_per_family(self, random_graph):
+        vc = VCIndex.build(random_graph)
+        for s, t in random_pairs(random_graph, 60, seed=2):
+            assert vc.distance(s, t) == dijkstra_distance(random_graph, s, t)
+
+    def test_sssp_native_query(self, built):
+        g, vc = built
+        for source in list(g.vertices())[:5]:
+            truth = dijkstra(g, source)
+            got = vc.sssp(source)
+            for t in g.vertices():
+                assert got.get(t, math.inf) == truth.get(t, math.inf)
+
+    def test_self_distance(self, built):
+        _, vc = built
+        assert vc.distance(5, 5) == 0
+
+    def test_disconnected(self):
+        g = Graph([(0, 1), (5, 6)])
+        vc = VCIndex.build(g)
+        assert math.isinf(vc.distance(0, 6))
+
+    def test_unknown_vertex_raises(self, built):
+        _, vc = built
+        with pytest.raises(QueryError):
+            vc.distance(0, 10**9)
+
+
+class TestCostAccounting:
+    def test_query_reports_ios(self, built):
+        g, vc = built
+        below = [
+            v for v in g.vertices() if vc.hierarchy.level(v) < vc.k
+        ]
+        result = vc.query(below[0], below[1])
+        assert result.ios > 0
+        assert result.time_io_s == pytest.approx(
+            result.ios * vc.cost_model.io_latency_s
+        )
+        assert result.total_time_s >= result.time_io_s
+
+    def test_gk_target_skips_downward_sweep(self, built):
+        g, vc = built
+        below = [v for v in g.vertices() if vc.hierarchy.level(v) < vc.k]
+        in_gk = [v for v in g.vertices() if vc.hierarchy.level(v) == vc.k]
+        if not in_gk:
+            pytest.skip("hierarchy fully decomposed")
+        cheap = vc.query(below[0], in_gk[0])
+        costly = vc.query(below[0], below[1])
+        assert cheap.ios <= costly.ios
+
+    def test_self_query_free(self, built):
+        _, vc = built
+        result = vc.query(3, 3)
+        assert result.ios == 0 and result.distance == 0
+
+    def test_index_bytes_positive(self, built):
+        _, vc = built
+        assert vc.index_bytes > 0
+        assert vc.build_seconds >= 0
+        assert vc.k == vc.hierarchy.k

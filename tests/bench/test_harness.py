@@ -1,0 +1,69 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    WorkloadSummary,
+    built_index,
+    built_vc_index,
+    run_query_workload,
+    time_im_dij,
+)
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import random_query_pairs
+
+SCALE = 0.06
+
+
+def test_built_index_cached():
+    a = built_index("google", scale=SCALE)
+    b = built_index("google", scale=SCALE)
+    assert a is b
+
+
+def test_built_index_distinct_configs():
+    a = built_index("google", scale=SCALE, sigma=0.95)
+    b = built_index("google", scale=SCALE, sigma=0.90)
+    assert a is not b
+
+
+def test_built_vc_index_cached():
+    assert built_vc_index("google", scale=SCALE) is built_vc_index(
+        "google", scale=SCALE
+    )
+
+
+def test_run_query_workload_aggregates():
+    index = built_index("google", scale=SCALE)
+    pairs = random_query_pairs(load_dataset("google", SCALE), 40, seed=1)
+    summary = run_query_workload(index, pairs)
+    assert summary.queries == 40
+    assert sum(summary.type_counts) == 40
+    assert summary.avg_total_ms == pytest.approx(
+        summary.avg_time_a_ms + summary.avg_time_b_ms
+    )
+    assert summary.avg_time_a_ms >= 0
+    assert summary.avg_label_ios >= 0
+
+
+def test_disk_index_pays_label_io():
+    index = built_index("google", scale=SCALE, storage="disk")
+    pairs = random_query_pairs(load_dataset("google", SCALE), 40, seed=2)
+    summary = run_query_workload(index, pairs)
+    assert summary.avg_label_ios > 0
+    assert summary.avg_time_a_ms > 0
+
+
+def test_time_im_dij_positive():
+    graph = load_dataset("google", SCALE)
+    pairs = random_query_pairs(graph, 10, seed=3)
+    assert time_im_dij(graph, pairs) > 0
+
+
+def test_workload_summary_aggregate_type_counts():
+    index = built_index("google", scale=SCALE)
+    pairs = random_query_pairs(load_dataset("google", SCALE), 25, seed=4)
+    results = [index.query(s, t) for s, t in pairs]
+    summary = WorkloadSummary.aggregate(results)
+    for i, count in enumerate(summary.type_counts, start=1):
+        assert count == sum(1 for r in results if r.query_type == i)

@@ -1,0 +1,69 @@
+"""Unit tests for table rendering and result persistence."""
+
+import pytest
+
+from repro.bench.reporting import (
+    emit,
+    fmt_bytes,
+    fmt_count,
+    fmt_ms,
+    render_table,
+    results_dir,
+)
+
+
+def test_render_alignment():
+    table = render_table(
+        "Title", ("a", "long-header"), [(1, "x"), ("wide-cell", 2.5)]
+    )
+    lines = table.splitlines()
+    assert lines[0] == "Title"
+    assert set(lines[1]) == {"="}
+    widths = {len(line) for line in lines[2:]}
+    assert len(widths) == 1  # every row padded to equal width
+
+
+def test_render_handles_none():
+    table = render_table("t", ("x",), [(None,)])
+    assert "-" in table
+
+
+def test_emit_writes_file(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    emit("unit", "content")
+    assert (tmp_path / "unit.txt").read_text() == "content\n"
+    assert "content" in capsys.readouterr().out
+
+
+def test_results_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "sub"))
+    path = results_dir()
+    assert path == tmp_path / "sub"
+    assert path.is_dir()
+
+
+class TestFormatters:
+    def test_fmt_ms(self):
+        assert fmt_ms(None) == "-"
+        assert fmt_ms(12.345) == "12.35"
+        assert fmt_ms(0.001234) == "0.0012"
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(None) == "-"
+        assert fmt_bytes(100) == "100 B"
+        assert fmt_bytes(10 * 1024 * 1024) == "10.0 MB"
+
+    def test_fmt_count(self):
+        assert fmt_count(None) == "-"
+        assert fmt_count(950) == "950"
+        assert fmt_count(95_000) == "95K"
+        assert fmt_count(2_500_000) == "2.5M"
+
+
+def test_paper_constants_cover_all_datasets():
+    from repro.bench import paper
+
+    for table in (paper.TABLE2, paper.TABLE3, paper.TABLE4, paper.TABLE8, paper.TABLE9):
+        assert set(table) == set(paper.DATASET_ORDER)
+    assert set(paper.TABLE5) == {"btc", "web"}
+    assert set(paper.TABLE6) == {"btc", "web"}

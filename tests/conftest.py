@@ -1,0 +1,94 @@
+"""Shared fixtures and oracle helpers for the test suite.
+
+networkx is used *only here*, as an independent correctness oracle — the
+library itself never imports it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    ensure_connected,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    powerlaw_configuration,
+    random_tree,
+)
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    return Graph([(1, 2, 1), (2, 3, 2), (1, 3, 4)])
+
+
+@pytest.fixture
+def small_weighted() -> Graph:
+    """A 7-vertex graph with interesting shortest paths."""
+    return Graph(
+        [
+            (0, 1, 2),
+            (1, 2, 2),
+            (0, 3, 1),
+            (3, 4, 1),
+            (4, 2, 1),
+            (2, 5, 5),
+            (4, 5, 2),
+            (5, 6, 1),
+        ]
+    )
+
+
+@pytest.fixture
+def disconnected() -> Graph:
+    g = Graph([(0, 1), (1, 2), (10, 11)])
+    g.add_vertex(20)
+    return g
+
+
+@pytest.fixture(params=["er", "ba", "plc", "grid", "tree"])
+def random_graph(request) -> Graph:
+    """A connected random graph from each generator family."""
+    if request.param == "er":
+        return ensure_connected(erdos_renyi(120, 300, seed=1, max_weight=5), seed=1)
+    if request.param == "ba":
+        return ensure_connected(barabasi_albert(150, 3, seed=2), seed=2)
+    if request.param == "plc":
+        return ensure_connected(
+            powerlaw_configuration(140, 2.3, seed=3, min_degree=1), seed=3
+        )
+    if request.param == "grid":
+        return grid_graph(9, 12, seed=4, max_weight=7)
+    return random_tree(130, seed=5)
+
+
+def to_networkx(graph: Graph):
+    """Convert to a networkx graph for oracle computations."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_weighted_edges_from(graph.edges())
+    return g
+
+
+def nx_distance(graph: Graph, s: int, t: int) -> float:
+    """Shortest-path length via networkx (``inf`` when disconnected)."""
+    import networkx as nx
+
+    try:
+        return nx.dijkstra_path_length(to_networkx(graph), s, t)
+    except nx.NetworkXNoPath:
+        return math.inf
+
+
+def random_pairs(graph: Graph, count: int, seed: int):
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    return [(rng.choice(vertices), rng.choice(vertices)) for _ in range(count)]

@@ -1,0 +1,114 @@
+"""Unit tests for directed IS-LABEL (§8.2)."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_digraph_distance
+from repro.core.directed import DirectedISLabelIndex
+from repro.errors import IndexBuildError, QueryError
+from repro.graph.digraph import DiGraph
+
+
+def _random_digraph(n, arcs, seed, max_weight=4):
+    rng = random.Random(seed)
+    dg = DiGraph()
+    for v in range(n):
+        dg.add_vertex(v)
+    placed = 0
+    while placed < arcs:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not dg.has_edge(u, v):
+            dg.add_edge(u, v, rng.randint(1, max_weight))
+            placed += 1
+    return dg
+
+
+@pytest.fixture(scope="module")
+def digraph():
+    return _random_digraph(120, 420, seed=61)
+
+
+@pytest.fixture(scope="module")
+def index(digraph):
+    return DirectedISLabelIndex.build(digraph)
+
+
+class TestCorrectness:
+    def test_matches_directed_dijkstra(self, digraph, index):
+        rng = random.Random(3)
+        for _ in range(150):
+            s, t = rng.randrange(120), rng.randrange(120)
+            assert index.distance(s, t) == dijkstra_digraph_distance(digraph, s, t)
+
+    def test_asymmetry_preserved(self):
+        dg = DiGraph([(0, 1, 2), (1, 2, 2)])
+        index = DirectedISLabelIndex.build(dg)
+        assert index.distance(0, 2) == 4
+        assert math.isinf(index.distance(2, 0))
+
+    def test_self_distance(self, index):
+        assert index.distance(7, 7) == 0
+
+    def test_unknown_vertex_raises(self, index):
+        with pytest.raises(QueryError):
+            index.distance(0, 10**9)
+
+    def test_full_hierarchy_mode(self, digraph):
+        index = DirectedISLabelIndex.build(digraph, full=True)
+        rng = random.Random(5)
+        for _ in range(80):
+            s, t = rng.randrange(120), rng.randrange(120)
+            assert index.distance(s, t) == dijkstra_digraph_distance(digraph, s, t)
+
+    def test_explicit_k(self, digraph):
+        index = DirectedISLabelIndex.build(digraph, k=2)
+        assert index.k == 2
+        rng = random.Random(7)
+        for _ in range(80):
+            s, t = rng.randrange(120), rng.randrange(120)
+            assert index.distance(s, t) == dijkstra_digraph_distance(digraph, s, t)
+
+    def test_k_too_small_rejected(self, digraph):
+        with pytest.raises(IndexBuildError):
+            DirectedISLabelIndex.build(digraph, k=1)
+
+
+class TestLabels:
+    def test_out_label_self_entry(self, index):
+        label = dict(index.out_label(3))
+        assert label[3] == 0
+
+    def test_labels_sorted(self, index):
+        for v in (1, 2, 3):
+            assert index.out_label(v) == sorted(index.out_label(v))
+            assert index.in_label(v) == sorted(index.in_label(v))
+
+    def test_out_entries_upper_bound_forward_distance(self, digraph, index):
+        for v in range(0, 120, 17):
+            for w, d in index.out_label(v):
+                assert d >= dijkstra_digraph_distance(digraph, v, w)
+
+    def test_in_entries_upper_bound_backward_distance(self, digraph, index):
+        for v in range(0, 120, 17):
+            for w, d in index.in_label(v):
+                assert d >= dijkstra_digraph_distance(digraph, w, v)
+
+    def test_label_entries_counter(self, index):
+        assert index.label_entries > 0
+
+
+class TestReachability:
+    def test_reachable_matches_distance(self, digraph, index):
+        rng = random.Random(9)
+        for _ in range(60):
+            s, t = rng.randrange(120), rng.randrange(120)
+            expected = not math.isinf(dijkstra_digraph_distance(digraph, s, t))
+            assert index.reachable(s, t) == expected
+
+    def test_chain_reachability(self):
+        dg = DiGraph([(i, i + 1, 1) for i in range(10)])
+        index = DirectedISLabelIndex.build(dg)
+        assert index.reachable(0, 10)
+        assert not index.reachable(10, 0)

@@ -1,0 +1,108 @@
+"""Unit tests for directed shortest-path reconstruction (§8.1 + §8.2)."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_digraph_distance
+from repro.core.directed import DirectedISLabelIndex
+from repro.errors import QueryError
+from repro.graph.digraph import DiGraph
+
+
+def _arc_path_length(dg: DiGraph, path):
+    return sum(dg.weight(a, b) for a, b in zip(path, path[1:]))
+
+
+def _is_valid_arc_path(dg: DiGraph, path):
+    return all(dg.has_edge(a, b) for a, b in zip(path, path[1:]))
+
+
+def _random_digraph(n, arcs, seed, max_weight=4):
+    rng = random.Random(seed)
+    dg = DiGraph()
+    for v in range(n):
+        dg.add_vertex(v)
+    placed = 0
+    while placed < arcs:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not dg.has_edge(u, v):
+            dg.add_edge(u, v, rng.randint(1, max_weight))
+            placed += 1
+    return dg
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dg = _random_digraph(110, 380, seed=161)
+    return dg, DirectedISLabelIndex.build(dg, with_paths=True)
+
+
+class TestDirectedPaths:
+    def test_paths_valid_and_tight(self, setup):
+        dg, index = setup
+        rng = random.Random(1)
+        for _ in range(200):
+            s, t = rng.randrange(110), rng.randrange(110)
+            dist, path = index.shortest_path(s, t)
+            truth = dijkstra_digraph_distance(dg, s, t)
+            assert dist == truth
+            if math.isinf(truth):
+                assert path is None
+            else:
+                assert path[0] == s and path[-1] == t
+                assert _is_valid_arc_path(dg, path), (s, t, path)
+                assert _arc_path_length(dg, path) == truth
+
+    def test_self_path(self, setup):
+        _, index = setup
+        assert index.shortest_path(4, 4) == (0, [4])
+
+    def test_chain(self):
+        dg = DiGraph([(i, i + 1, 2) for i in range(12)])
+        index = DirectedISLabelIndex.build(dg, with_paths=True)
+        dist, path = index.shortest_path(0, 12)
+        assert dist == 24
+        assert path == list(range(13))
+        dist, path = index.shortest_path(12, 0)
+        assert math.isinf(dist) and path is None
+
+    def test_full_hierarchy_paths(self):
+        dg = _random_digraph(60, 200, seed=162)
+        index = DirectedISLabelIndex.build(dg, full=True, with_paths=True)
+        rng = random.Random(2)
+        for _ in range(120):
+            s, t = rng.randrange(60), rng.randrange(60)
+            dist, path = index.shortest_path(s, t)
+            truth = dijkstra_digraph_distance(dg, s, t)
+            assert dist == truth
+            if path is not None:
+                assert _is_valid_arc_path(dg, path)
+                assert _arc_path_length(dg, path) == truth
+
+    def test_explicit_k_paths(self):
+        dg = _random_digraph(60, 200, seed=163)
+        index = DirectedISLabelIndex.build(dg, k=2, with_paths=True)
+        rng = random.Random(3)
+        for _ in range(120):
+            s, t = rng.randrange(60), rng.randrange(60)
+            dist, path = index.shortest_path(s, t)
+            assert dist == dijkstra_digraph_distance(dg, s, t)
+            if path is not None:
+                assert _arc_path_length(dg, path) == dist
+
+    def test_requires_path_mode(self):
+        dg = _random_digraph(20, 50, seed=164)
+        plain = DirectedISLabelIndex.build(dg)
+        with pytest.raises(QueryError):
+            plain.shortest_path(0, 1)
+
+    def test_paths_have_no_cycles(self, setup):
+        dg, index = setup
+        rng = random.Random(4)
+        for _ in range(100):
+            s, t = rng.randrange(110), rng.randrange(110)
+            _, path = index.shortest_path(s, t)
+            if path is not None:
+                assert len(path) == len(set(path))

@@ -1,0 +1,180 @@
+"""Unit tests for vertex hierarchy construction (Definitions 1 and 4)."""
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.hierarchy import (
+    build_hierarchy,
+    build_hierarchy_with_levels,
+)
+from repro.core.independent_set import is_independent_set
+from repro.errors import IndexBuildError
+from repro.graph.generators import erdos_renyi, path_graph, random_tree
+from repro.graph.graph import Graph
+
+
+def _reconstruct_gi(hierarchy, graph, level):
+    """Rebuild G_level by replaying the peel (test helper)."""
+    from repro.core.reduce import reduce_graph_inplace
+
+    work = graph.copy()
+    for i in range(1, level):
+        peeled = hierarchy.levels[i - 1]
+        reduce_graph_inplace(work, list(peeled), peeled)
+    return work
+
+
+class TestDefinition1:
+    def test_levels_partition_vertices(self, random_graph):
+        h = build_hierarchy(random_graph)
+        seen = set()
+        for peeled in h.levels:
+            assert not (set(peeled) & seen)
+            seen |= set(peeled)
+        seen |= set(h.gk.vertices())
+        assert seen == set(random_graph.vertices())
+
+    def test_each_level_is_independent_in_its_graph(self, random_graph):
+        h = build_hierarchy(random_graph)
+        for i in range(1, h.k):
+            gi = _reconstruct_gi(h, random_graph, i)
+            assert is_independent_set(gi, h.level_vertices(i))
+
+    def test_lemma1_distance_preservation_per_level(self, random_graph):
+        h = build_hierarchy(random_graph)
+        original = {
+            s: dijkstra(random_graph, s)
+            for s in list(random_graph.vertices())[:6]
+        }
+        for i in range(2, h.k + 1):
+            gi = _reconstruct_gi(h, random_graph, i)
+            for s, truth in original.items():
+                if not gi.has_vertex(s):
+                    continue
+                after = dijkstra(gi, s)
+                for t in gi.vertices():
+                    assert after.get(t, math.inf) == truth.get(t, math.inf)
+
+    def test_removal_adjacency_has_higher_levels_only(self, random_graph):
+        h = build_hierarchy(random_graph)
+        for i in range(1, h.k):
+            for v in h.level_vertices(i):
+                for u, _ in h.removal_adjacency(v):
+                    assert h.level(u) > i
+
+
+class TestSigmaRule:
+    def test_sigma_stops_at_first_slow_level(self, random_graph):
+        h = build_hierarchy(random_graph, sigma=0.95)
+        sizes = h.sizes
+        # Every peeled level except the last shrank by at least 5%.
+        for i in range(1, len(sizes) - 1):
+            assert sizes[i] <= 0.95 * sizes[i - 1]
+
+    def test_smaller_sigma_stops_earlier(self):
+        g = random_tree(400, seed=1)
+        strict = build_hierarchy(g, sigma=0.99)
+        lax = build_hierarchy(g, sigma=0.5)
+        assert lax.k <= strict.k
+
+    def test_sigma_out_of_range_rejected(self, triangle):
+        with pytest.raises(IndexBuildError):
+            build_hierarchy(triangle, sigma=0.0)
+        with pytest.raises(IndexBuildError):
+            build_hierarchy(triangle, sigma=1.5)
+
+
+class TestExplicitK:
+    def test_exact_level_count(self, random_graph):
+        h = build_hierarchy(random_graph, k=3)
+        assert h.k == 3
+        assert len(h.levels) == 2
+
+    def test_k_too_small_rejected(self, triangle):
+        with pytest.raises(IndexBuildError):
+            build_hierarchy(triangle, k=1)
+
+    def test_k_larger_than_h_stops_at_empty(self):
+        g = path_graph(4)
+        h = build_hierarchy(g, k=50)
+        assert h.gk.num_vertices == 0
+        assert h.k < 50
+
+    def test_k_and_full_mutually_exclusive(self, triangle):
+        with pytest.raises(IndexBuildError):
+            build_hierarchy(triangle, k=3, full=True)
+
+
+class TestFullHierarchy:
+    def test_decomposes_completely(self, random_graph):
+        h = build_hierarchy(random_graph, full=True)
+        assert h.is_full
+        assert h.gk.num_vertices == 0
+        assert len(h.level_of) == random_graph.num_vertices
+
+    def test_every_vertex_below_k(self, random_graph):
+        h = build_hierarchy(random_graph, full=True)
+        assert all(h.level(v) < h.k for v in random_graph.vertices())
+
+
+class TestAccessors:
+    def test_level_of_unknown_vertex_raises(self, triangle):
+        h = build_hierarchy(triangle)
+        with pytest.raises(IndexBuildError):
+            h.level(42)
+
+    def test_removal_adjacency_of_gk_vertex_raises(self):
+        g = erdos_renyi(30, 120, seed=2)
+        h = build_hierarchy(g, k=2)
+        gk_vertex = next(iter(h.gk.vertices()))
+        with pytest.raises(IndexBuildError):
+            h.removal_adjacency(gk_vertex)
+
+    def test_level_vertices_bounds(self, random_graph):
+        h = build_hierarchy(random_graph)
+        with pytest.raises(IndexBuildError):
+            h.level_vertices(0)
+        with pytest.raises(IndexBuildError):
+            h.level_vertices(h.k)
+
+    def test_validate_level_numbers_passes(self, random_graph):
+        build_hierarchy(random_graph).validate_level_numbers()
+
+    def test_input_graph_not_mutated(self, random_graph):
+        before = random_graph.copy()
+        build_hierarchy(random_graph)
+        assert random_graph == before
+
+    def test_sizes_starts_with_input_size(self, random_graph):
+        h = build_hierarchy(random_graph)
+        assert h.sizes[0] == random_graph.size
+        assert len(h.sizes) == h.k
+
+
+class TestPrescribedLevels:
+    def test_respects_given_sets(self):
+        g = path_graph(5)
+        h = build_hierarchy_with_levels(g, [[0, 2, 4]])
+        assert h.level_vertices(1) == [0, 2, 4]
+        assert sorted(h.gk.vertices()) == [1, 3]
+
+    def test_rejects_dependent_set(self):
+        g = path_graph(5)
+        with pytest.raises(IndexBuildError, match="independent"):
+            build_hierarchy_with_levels(g, [[0, 1]])
+
+    def test_rejects_unknown_vertex(self):
+        g = path_graph(3)
+        with pytest.raises(IndexBuildError):
+            build_hierarchy_with_levels(g, [[99]])
+
+    def test_random_strategy_seeded(self, random_graph):
+        a = build_hierarchy(random_graph, is_strategy="random", seed=7)
+        b = build_hierarchy(random_graph, is_strategy="random", seed=7)
+        assert a.level_of == b.level_of
+
+    def test_unknown_strategy_rejected(self, triangle):
+        with pytest.raises(IndexBuildError):
+            build_hierarchy(triangle, is_strategy="bogus")

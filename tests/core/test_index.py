@@ -1,0 +1,173 @@
+"""Unit tests for the ISLabelIndex facade."""
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.core.index import ISLabelIndex
+from repro.errors import IndexBuildError, QueryError
+from repro.extmem.iomodel import CostModel
+from repro.graph.generators import ensure_connected, erdos_renyi, path_graph
+from repro.graph.graph import Graph
+
+from tests.conftest import random_pairs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ensure_connected(erdos_renyi(150, 380, seed=41, max_weight=6), seed=41)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return ISLabelIndex.build(graph)
+
+
+class TestCorrectness:
+    def test_matches_dijkstra(self, graph, index):
+        for s, t in random_pairs(graph, 120, seed=1):
+            assert index.distance(s, t) == dijkstra_distance(graph, s, t)
+
+    def test_self_distance_zero(self, index):
+        assert index.distance(3, 3) == 0
+
+    def test_disconnected_pair_is_inf(self):
+        g = Graph([(0, 1), (5, 6)])
+        idx = ISLabelIndex.build(g)
+        assert math.isinf(idx.distance(0, 6))
+        assert idx.distance(0, 1) == 1
+        assert idx.distance(5, 6) == 1
+
+    def test_unknown_vertex_raises(self, index):
+        with pytest.raises(QueryError):
+            index.distance(0, 10**9)
+        with pytest.raises(QueryError):
+            index.distance(10**9, 0)
+
+    @pytest.mark.parametrize("mode", ["memory", "disk"])
+    def test_storage_modes_agree(self, graph, mode):
+        idx = ISLabelIndex.build(graph, storage=mode)
+        for s, t in random_pairs(graph, 40, seed=2):
+            assert idx.distance(s, t) == dijkstra_distance(graph, s, t)
+
+    def test_bad_storage_mode_rejected(self, graph):
+        with pytest.raises(IndexBuildError):
+            ISLabelIndex.build(graph, storage="cloud")
+
+
+class TestQueryReport:
+    def test_type_classification(self, graph, index):
+        gk = sorted(index.gk.vertices())
+        below = sorted(
+            v for v in graph.vertices() if not index.hierarchy.in_gk(v)
+        )
+        assert index.query(gk[0], gk[1]).query_type == 1
+        assert index.query(gk[0], below[0]).query_type == 2
+        assert index.query(below[0], below[1]).query_type == 3
+
+    def test_disk_mode_charges_label_ios(self, graph):
+        idx = ISLabelIndex.build(graph, storage="disk")
+        below = sorted(
+            v for v in graph.vertices() if not idx.hierarchy.in_gk(v)
+        )
+        report = idx.query(below[0], below[1])
+        assert report.label_ios >= 2
+        assert report.time_label_s == pytest.approx(
+            report.label_ios * idx.cost_model.io_latency_s
+        )
+
+    def test_memory_mode_no_label_ios(self, graph):
+        idx = ISLabelIndex.build(graph, storage="memory")
+        below = sorted(
+            v for v in graph.vertices() if not idx.hierarchy.in_gk(v)
+        )
+        report = idx.query(below[0], below[1])
+        assert report.label_ios == 0
+        assert report.time_label_s == 0.0
+
+    def test_gk_endpoints_read_no_labels(self, graph):
+        idx = ISLabelIndex.build(graph, storage="disk")
+        gk = sorted(idx.gk.vertices())
+        report = idx.query(gk[0], gk[1])
+        assert report.label_ios == 0
+
+    def test_total_time_is_sum(self, graph, index):
+        report = index.query(*random_pairs(graph, 1, seed=3)[0])
+        assert report.total_time_s == pytest.approx(
+            report.time_label_s + report.time_search_s
+        )
+
+    def test_custom_cost_model_latency(self, graph):
+        slow = CostModel(io_latency_s=1.0)
+        idx = ISLabelIndex.build(graph, storage="disk", cost_model=slow)
+        below = sorted(
+            v for v in graph.vertices() if not idx.hierarchy.in_gk(v)
+        )
+        report = idx.query(below[0], below[1])
+        assert report.time_label_s >= 2.0
+
+
+class TestStats:
+    def test_stats_shape(self, graph, index):
+        st = index.stats
+        assert st.num_vertices == graph.num_vertices
+        assert st.num_edges == graph.num_edges
+        assert st.gk_vertices == index.gk.num_vertices
+        assert st.gk_edges == index.gk.num_edges
+        assert st.k == index.k
+        assert st.label_bytes == 16 * st.label_entries
+        assert st.build_seconds >= st.labeling_seconds
+
+    def test_avg_label_entries(self, index):
+        st = index.stats
+        assert st.avg_label_entries == pytest.approx(
+            st.label_entries / st.num_vertices
+        )
+
+    def test_path_mode_uses_wider_entries(self, graph):
+        idx = ISLabelIndex.build(graph, with_paths=True)
+        assert idx.stats.label_bytes == 24 * idx.stats.label_entries
+
+    def test_label_accessor(self, graph, index):
+        below = next(
+            v for v in graph.vertices() if not index.hierarchy.in_gk(v)
+        )
+        label = index.label(below)
+        assert (below, 0) in label
+        assert label == sorted(label)
+
+    def test_label_of_gk_vertex_is_singleton(self, index):
+        v = next(iter(index.gk.vertices()))
+        assert index.label(v) == [(v, 0)]
+
+    def test_label_of_unknown_vertex_raises(self, index):
+        with pytest.raises(QueryError):
+            index.label(10**9)
+
+
+class TestVariants:
+    def test_full_mode_never_searches(self, graph):
+        idx = ISLabelIndex.build(graph, full=True)
+        for s, t in random_pairs(graph, 30, seed=4):
+            report = idx.query(s, t)
+            assert not report.used_bidijkstra
+            assert report.distance == dijkstra_distance(graph, s, t)
+
+    def test_explicit_k(self, graph):
+        idx = ISLabelIndex.build(graph, k=2)
+        assert idx.k == 2
+        for s, t in random_pairs(graph, 30, seed=5):
+            assert idx.distance(s, t) == dijkstra_distance(graph, s, t)
+
+    def test_random_is_strategy(self, graph):
+        idx = ISLabelIndex.build(graph, is_strategy="random", seed=11)
+        for s, t in random_pairs(graph, 30, seed=6):
+            assert idx.distance(s, t) == dijkstra_distance(graph, s, t)
+
+    def test_path_graph_all_pairs(self):
+        g = path_graph(12, weight=2)
+        idx = ISLabelIndex.build(g)
+        for s in range(12):
+            for t in range(12):
+                assert idx.distance(s, t) == 2 * abs(s - t)

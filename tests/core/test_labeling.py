@@ -1,0 +1,128 @@
+"""Unit tests for vertex labeling (Definition 3 / Algorithm 4)."""
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.hierarchy import build_hierarchy
+from repro.core.labeling import (
+    definition3_label,
+    external_top_down_labels,
+    top_down_labels,
+)
+from repro.extmem.blockdev import BlockDevice
+from repro.extmem.iomodel import CostModel
+from repro.graph.generators import erdos_renyi, path_graph, random_tree
+from repro.graph.graph import Graph
+
+
+class TestTopDownEqualsDefinition3:
+    """Corollary 1: the top-down merge computes exactly Definition 3."""
+
+    def test_on_random_graphs(self, random_graph):
+        h = build_hierarchy(random_graph)
+        labels, _ = top_down_labels(h)
+        for v in list(random_graph.vertices())[::7]:
+            assert labels[v] == definition3_label(h, v)
+
+    def test_on_full_hierarchy(self):
+        g = random_tree(120, seed=9)
+        h = build_hierarchy(g, full=True)
+        labels, _ = top_down_labels(h)
+        for v in list(g.vertices())[::11]:
+            assert labels[v] == definition3_label(h, v)
+
+
+class TestLabelSemantics:
+    def test_self_entry_zero(self, random_graph):
+        h = build_hierarchy(random_graph)
+        labels, _ = top_down_labels(h)
+        for v, label in labels.items():
+            assert label[v] == 0
+
+    def test_entries_upper_bound_true_distance(self, random_graph):
+        h = build_hierarchy(random_graph)
+        labels, _ = top_down_labels(h)
+        for v in list(random_graph.vertices())[::9]:
+            truth = dijkstra(random_graph, v)
+            for w, d in labels[v].items():
+                assert d >= truth[w]
+
+    def test_ancestor_levels_not_lower(self, random_graph):
+        h = build_hierarchy(random_graph)
+        labels, _ = top_down_labels(h)
+        for v, label in labels.items():
+            for w in label:
+                assert h.level(w) >= h.level(v)
+
+    def test_gk_vertices_have_singleton_labels(self, random_graph):
+        h = build_hierarchy(random_graph)
+        labels, _ = top_down_labels(h)
+        for v in h.gk.vertices():
+            assert labels[v] == {v: 0}
+
+    def test_corollary1_vertex_sets(self, random_graph):
+        """V[label(v)] = {v} ∪ U_{u in adj_Gi(v)} V[label(u)]."""
+        h = build_hierarchy(random_graph)
+        labels, _ = top_down_labels(h)
+        for i in range(1, h.k):
+            for v in h.level_vertices(i)[::5]:
+                expected = {v}
+                for u, _ in h.removal_adjacency(v):
+                    expected |= set(labels[u])
+                assert set(labels[v]) == expected
+
+
+class TestPredecessors:
+    def test_preds_cover_every_entry(self, random_graph):
+        h = build_hierarchy(random_graph, with_hints=True)
+        labels, preds = top_down_labels(h, with_preds=True)
+        for v, label in labels.items():
+            assert set(preds[v]) == set(label)
+
+    def test_self_and_direct_entries_have_no_pred(self, random_graph):
+        h = build_hierarchy(random_graph)
+        labels, preds = top_down_labels(h, with_preds=True)
+        for v, pred_v in preds.items():
+            assert pred_v[v] is None
+
+    def test_pred_consistency(self, random_graph):
+        """d(v, w) = ω(v, pred) + d(pred, w) whenever pred is set."""
+        h = build_hierarchy(random_graph)
+        labels, preds = top_down_labels(h, with_preds=True)
+        for i in range(1, h.k):
+            for v in h.level_vertices(i)[::4]:
+                adjacency = dict(h.removal_adjacency(v))
+                for w, pred in preds[v].items():
+                    if pred is None:
+                        continue
+                    assert labels[v][w] == adjacency[pred] + labels[pred][w]
+
+
+class TestExternalLabeling:
+    @pytest.mark.parametrize("block_vertices", [1, 7, 1000])
+    def test_matches_in_memory(self, block_vertices):
+        g = erdos_renyi(80, 200, seed=31, max_weight=4)
+        h = build_hierarchy(g)
+        expected, _ = top_down_labels(h)
+        device = BlockDevice(CostModel(block_size=256, memory=4096))
+        got, io = external_top_down_labels(h, device, block_vertices=block_vertices)
+        assert got == expected
+
+    def test_reports_io_traffic(self):
+        g = erdos_renyi(60, 150, seed=33)
+        h = build_hierarchy(g)
+        _, io = external_top_down_labels(
+            h, BlockDevice(CostModel(block_size=128, memory=2048)), block_vertices=8
+        )
+        assert io.total_ios > 0
+
+    def test_smaller_buffer_more_scans(self):
+        g = erdos_renyi(60, 150, seed=35)
+        h = build_hierarchy(g)
+        _, io_small = external_top_down_labels(
+            h, BlockDevice(CostModel(block_size=128, memory=2048)), block_vertices=2
+        )
+        _, io_large = external_top_down_labels(
+            h, BlockDevice(CostModel(block_size=128, memory=2048)), block_vertices=500
+        )
+        assert io_small.block_reads >= io_large.block_reads

@@ -1,0 +1,67 @@
+"""Unit tests for label algebra and Equation 1."""
+
+import math
+
+from repro.core.labels import (
+    eq1_distance,
+    eq1_distance_argmin,
+    intersect_labels,
+    label_nbytes,
+    sort_label,
+    vertex_set,
+)
+
+
+def test_sort_label():
+    assert sort_label({5: 1, 2: 9, 3: 0}) == [(2, 9), (3, 0), (5, 1)]
+
+
+def test_vertex_set_extraction():
+    assert vertex_set([(2, 9), (3, 0)]) == [2, 3]
+
+
+class TestIntersection:
+    def test_common_ancestors(self):
+        a = [(1, 5), (3, 2), (7, 1)]
+        b = [(2, 4), (3, 3), (7, 9)]
+        assert list(intersect_labels(a, b)) == [(3, 2, 3), (7, 1, 9)]
+
+    def test_disjoint(self):
+        assert list(intersect_labels([(1, 1)], [(2, 2)])) == []
+
+    def test_empty_inputs(self):
+        assert list(intersect_labels([], [(1, 1)])) == []
+        assert list(intersect_labels([], [])) == []
+
+    def test_identical_labels(self):
+        a = [(1, 2), (4, 0)]
+        assert list(intersect_labels(a, a)) == [(1, 2, 2), (4, 0, 0)]
+
+
+class TestEquation1:
+    def test_minimum_over_common(self):
+        a = [(1, 5), (3, 2), (7, 1)]
+        b = [(3, 3), (7, 9)]
+        assert eq1_distance(a, b) == 5  # via 3: 2+3
+
+    def test_empty_intersection_is_inf(self):
+        assert eq1_distance([(1, 0)], [(2, 0)]) == math.inf
+
+    def test_argmin_vertex(self):
+        a = [(1, 5), (3, 2), (7, 1)]
+        b = [(1, 1), (3, 3), (7, 9)]
+        dist, w = eq1_distance_argmin(a, b)
+        assert (dist, w) == (5, 3)
+
+    def test_argmin_empty(self):
+        dist, w = eq1_distance_argmin([(1, 0)], [])
+        assert math.isinf(dist) and w == -1
+
+    def test_self_query_through_shared_vertex(self):
+        label = [(9, 0)]
+        assert eq1_distance(label, label) == 0
+
+
+def test_label_nbytes():
+    assert label_nbytes([(1, 2), (3, 4)]) == 32
+    assert label_nbytes([]) == 0

@@ -1,0 +1,98 @@
+"""Unit tests for shortest-path reconstruction (§8.1)."""
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.core.index import ISLabelIndex
+from repro.core.paths import PathReconstructor, is_valid_path, path_length
+from repro.errors import QueryError
+from repro.graph.generators import ensure_connected, erdos_renyi, path_graph
+from repro.graph.graph import Graph
+
+from tests.conftest import random_pairs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ensure_connected(erdos_renyi(120, 300, seed=51, max_weight=5), seed=51)
+
+
+@pytest.fixture(scope="module")
+def reconstructor(graph):
+    return PathReconstructor(ISLabelIndex.build(graph, with_paths=True))
+
+
+class TestReconstruction:
+    def test_paths_are_real_and_tight(self, graph, reconstructor):
+        for s, t in random_pairs(graph, 120, seed=7):
+            dist, path = reconstructor.shortest_path(s, t)
+            assert dist == dijkstra_distance(graph, s, t)
+            assert path is not None
+            assert path[0] == s and path[-1] == t
+            assert is_valid_path(graph, path)
+            assert path_length(graph, path) == dist
+
+    def test_self_path(self, reconstructor):
+        dist, path = reconstructor.shortest_path(5, 5)
+        assert dist == 0 and path == [5]
+
+    def test_adjacent_pair(self, graph, reconstructor):
+        u, v, w = next(iter(graph.edges()))
+        dist, path = reconstructor.shortest_path(u, v)
+        assert dist <= w
+        assert path[0] == u and path[-1] == v
+
+    def test_disconnected_returns_none(self):
+        g = Graph([(0, 1), (5, 6)])
+        r = PathReconstructor(ISLabelIndex.build(g, with_paths=True))
+        dist, path = r.shortest_path(0, 6)
+        assert math.isinf(dist) and path is None
+
+    def test_no_repeated_vertices(self, graph, reconstructor):
+        for s, t in random_pairs(graph, 60, seed=8):
+            _, path = reconstructor.shortest_path(s, t)
+            assert path is not None
+            assert len(path) == len(set(path)), path
+
+
+class TestModes:
+    def test_full_hierarchy_paths(self, graph):
+        r = PathReconstructor(
+            ISLabelIndex.build(graph, full=True, with_paths=True)
+        )
+        for s, t in random_pairs(graph, 60, seed=9):
+            dist, path = r.shortest_path(s, t)
+            assert dist == dijkstra_distance(graph, s, t)
+            assert path_length(graph, path) == dist
+
+    def test_explicit_k_paths(self, graph):
+        r = PathReconstructor(ISLabelIndex.build(graph, k=2, with_paths=True))
+        for s, t in random_pairs(graph, 60, seed=10):
+            dist, path = r.shortest_path(s, t)
+            assert dist == dijkstra_distance(graph, s, t)
+            assert path_length(graph, path) == dist
+
+    def test_disk_storage_paths(self, graph):
+        r = PathReconstructor(
+            ISLabelIndex.build(graph, with_paths=True, storage="disk")
+        )
+        for s, t in random_pairs(graph, 30, seed=11):
+            dist, path = r.shortest_path(s, t)
+            assert path_length(graph, path) == dist
+
+
+class TestGuards:
+    def test_requires_path_mode(self, graph):
+        plain = ISLabelIndex.build(graph)
+        with pytest.raises(QueryError):
+            PathReconstructor(plain)
+
+    def test_path_helpers(self):
+        g = path_graph(4, weight=3)
+        assert path_length(g, [0, 1, 2]) == 6
+        assert is_valid_path(g, [0, 1, 2, 3])
+        assert not is_valid_path(g, [0, 2])
+        assert not is_valid_path(g, [])
+        assert not is_valid_path(g, [0, 99])

@@ -1,0 +1,138 @@
+"""Unit tests for the distance-preserving reduction (Algorithm 3)."""
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.independent_set import greedy_independent_set
+from repro.core.reduce import external_reduce, reduce_graph, reduce_graph_inplace
+from repro.extmem.blockdev import BlockDevice
+from repro.extmem.extgraph import ExternalGraph
+from repro.extmem.iomodel import CostModel
+from repro.graph.generators import erdos_renyi, path_graph, star_graph
+from repro.graph.graph import Graph
+from repro.graph.validation import validate_graph
+
+
+def _reduced(graph):
+    selected, adj_of = greedy_independent_set(graph)
+    return selected, reduce_graph(graph, selected, adj_of)
+
+
+class TestDistancePreservation:
+    def test_lemma2_on_random_graphs(self, random_graph):
+        """Lemma 2: G_{i+1} preserves all pairwise distances of survivors."""
+        selected, g2 = _reduced(random_graph)
+        survivors = sorted(g2.vertices())
+        for s in survivors[:12]:
+            before = dijkstra(random_graph, s)
+            after = dijkstra(g2, s)
+            for t in survivors:
+                assert after.get(t, math.inf) == before.get(t, math.inf)
+
+    def test_path_contraction(self):
+        g = path_graph(5)  # 0-1-2-3-4
+        g2 = reduce_graph(g, [1, 3], {1: [(0, 1), (2, 1)], 3: [(2, 1), (4, 1)]})
+        assert sorted(g2.vertices()) == [0, 2, 4]
+        assert g2.weight(0, 2) == 2
+        assert g2.weight(2, 4) == 2
+
+    def test_augmenting_edge_keeps_minimum(self):
+        # Removing v creates (a, b) of weight 4, but (a, b) exists at 1.
+        g = Graph([(0, 1, 2), (0, 2, 2), (1, 2, 1)])
+        g2 = reduce_graph(g, [0], {0: [(1, 2), (2, 2)]})
+        assert g2.weight(1, 2) == 1
+
+    def test_augmenting_edge_improves_existing(self):
+        g = Graph([(0, 1, 1), (0, 2, 1), (1, 2, 9)])
+        g2 = reduce_graph(g, [0], {0: [(1, 1), (2, 1)]})
+        assert g2.weight(1, 2) == 2
+
+    def test_star_removal_creates_clique(self):
+        g = star_graph(4)
+        _, g2 = _reduced(Graph([(0, v) for v in (1, 2, 3, 4)]))
+        # greedy removes the 4 leaves (degree 1), leaving hub alone
+        assert g2.num_vertices == 1
+
+    def test_hub_removal_self_join(self):
+        g = star_graph(4)
+        g2 = reduce_graph(g, [0], {0: sorted(g.neighbors(0).items())})
+        # The 4 leaves become a clique of weight-2 edges.
+        assert g2.num_edges == 6
+        assert all(w == 2 for _, _, w in g2.edges())
+
+
+class TestMechanics:
+    def test_inplace_mutates(self, small_weighted):
+        selected, adj_of = greedy_independent_set(small_weighted)
+        result = reduce_graph_inplace(small_weighted, selected, adj_of)
+        assert result is small_weighted
+        assert all(not small_weighted.has_vertex(v) for v in selected)
+
+    def test_non_mutating_copy(self, small_weighted):
+        before = small_weighted.copy()
+        selected, adj_of = greedy_independent_set(small_weighted)
+        reduce_graph(small_weighted, selected, adj_of)
+        assert small_weighted == before
+
+    def test_result_is_valid_graph(self, random_graph):
+        _, g2 = _reduced(random_graph)
+        validate_graph(g2)
+
+    def test_hints_record_intermediates(self):
+        g = path_graph(3)  # 0-1-2
+        hints = {}
+        reduce_graph(g, [1], {1: [(0, 1), (2, 1)]}, hints)
+        assert hints == {(0, 2): 1}
+
+    def test_hints_follow_min_updates(self):
+        # First augmenting edge (1,2,4) via 0; improved via 3 to weight 2.
+        g = Graph([(0, 1, 2), (0, 2, 2), (3, 1, 1), (3, 2, 1)])
+        hints = {}
+        reduce_graph(
+            g,
+            [0, 3],
+            {0: [(1, 2), (2, 2)], 3: [(1, 1), (2, 1)]},
+            hints,
+        )
+        assert hints[(1, 2)] == 3
+
+
+class TestExternal:
+    def test_matches_in_memory(self):
+        g = erdos_renyi(70, 180, seed=21, max_weight=4)
+        selected, adj_of = greedy_independent_set(g)
+        expected = reduce_graph(g, selected, adj_of)
+
+        device = BlockDevice(CostModel(block_size=256, memory=4096))
+        eg = ExternalGraph.from_graph(device, g)
+        adj_li = device.create()
+        from repro.extmem.extgraph import pack_row
+
+        for v in sorted(adj_of):
+            adj_li.append(pack_row(v, adj_of[v]))
+        adj_li.close()
+        adj_li_graph = ExternalGraph(device, adj_li, len(adj_of), 0)
+
+        reduced = external_reduce(device, eg, set(selected), adj_li_graph)
+        assert reduced.to_graph() == expected
+        assert reduced.num_vertices == expected.num_vertices
+        assert reduced.num_edges == expected.num_edges
+
+    def test_tiny_blocks_force_multirun_sort(self):
+        g = erdos_renyi(50, 130, seed=23, max_weight=3)
+        selected, adj_of = greedy_independent_set(g)
+        expected = reduce_graph(g, selected, adj_of)
+
+        device = BlockDevice(CostModel(block_size=64, memory=256))
+        eg = ExternalGraph.from_graph(device, g)
+        from repro.extmem.extgraph import pack_row
+
+        adj_li = device.create()
+        for v in sorted(adj_of):
+            adj_li.append(pack_row(v, adj_of[v]))
+        adj_li.close()
+        adj_li_graph = ExternalGraph(device, adj_li, len(adj_of), 0)
+        reduced = external_reduce(device, eg, set(selected), adj_li_graph)
+        assert reduced.to_graph() == expected

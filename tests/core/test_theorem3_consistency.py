@@ -1,0 +1,84 @@
+"""Theorem 3/4's label-consistency claim, tested directly.
+
+Both proofs rest on this invariant: "the occurrences and contents of such
+label entries will be identical in the labels of vertices in the first k
+levels of any vertex hierarchy H_{<j}, k <= j <= h+1, which is formed by
+limiting the height of a given H."  In other words, truncating the same
+underlying hierarchy at different heights must not change the label
+entries among low-level ancestors.
+"""
+
+import pytest
+
+from repro.core.hierarchy import build_hierarchy
+from repro.core.index import ISLabelIndex
+from repro.core.labeling import top_down_labels
+from repro.graph.generators import ensure_connected, erdos_renyi, random_tree
+
+
+@pytest.fixture(scope="module", params=["er", "tree"])
+def graph(request):
+    if request.param == "er":
+        return ensure_connected(erdos_renyi(120, 280, seed=131, max_weight=4), seed=131)
+    return random_tree(150, seed=132)
+
+
+def test_level_assignment_is_a_prefix_across_k(graph):
+    """The greedy peel is deterministic, so smaller k = a prefix of larger k."""
+    deep = build_hierarchy(graph, k=6)
+    shallow = build_hierarchy(graph, k=3)
+    for i in range(1, shallow.k):
+        assert shallow.level_vertices(i) == deep.level_vertices(i)
+        for v in shallow.level_vertices(i):
+            assert shallow.removal_adjacency(v) == deep.removal_adjacency(v)
+
+
+def test_label_entries_below_cutoff_are_identical(graph):
+    """Entries about ancestors below the smaller cutoff coincide exactly."""
+    k_small, k_large = 3, 6
+    h_small = build_hierarchy(graph, k=k_small)
+    h_large = build_hierarchy(graph, k=k_large)
+    labels_small, _ = top_down_labels(h_small)
+    labels_large, _ = top_down_labels(h_large)
+    for v in graph.vertices():
+        if h_small.level(v) >= k_small:
+            continue  # v only labeled below the smaller cutoff
+        small_low = {
+            w: d for w, d in labels_small[v].items() if h_small.level(w) < k_small
+        }
+        large_low = {
+            w: d for w, d in labels_large[v].items() if h_small.level(w) < k_small
+        }
+        assert small_low == large_low, v
+
+
+def test_gateway_entries_agree_between_k_and_full(graph):
+    """A k-level label's G_k-gateway distances appear in the full
+    hierarchy's label for the same vertex (possibly among more entries)."""
+    h_k = build_hierarchy(graph, k=4)
+    h_full = build_hierarchy(graph, full=True)
+    labels_k, _ = top_down_labels(h_k)
+    labels_full, _ = top_down_labels(h_full)
+    for v in list(graph.vertices())[::5]:
+        if h_k.level(v) >= h_k.k:
+            continue
+        for w, d in labels_k[v].items():
+            full_d = labels_full[v].get(w)
+            if full_d is not None:
+                # The full hierarchy may know a better increasing-level
+                # route (more levels = more routes), never a worse one.
+                assert full_d <= d
+
+
+def test_answers_invariant_across_all_truncations(graph):
+    full = ISLabelIndex.build(graph, full=True)
+    indexes = [ISLabelIndex.build(graph, k=k) for k in range(2, full.k + 1, 2)]
+    import random
+
+    rng = random.Random(7)
+    vs = sorted(graph.vertices())
+    for _ in range(60):
+        s, t = rng.choice(vs), rng.choice(vs)
+        expected = full.distance(s, t)
+        for ix in indexes:
+            assert ix.distance(s, t) == expected

@@ -1,0 +1,144 @@
+"""Unit tests for dynamic update maintenance (§8.3)."""
+
+import random
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.core.updates import DynamicISLabelIndex
+from repro.errors import GraphError, QueryError, StaleIndexError
+from repro.graph.generators import ensure_connected, erdos_renyi
+from repro.graph.graph import Graph
+
+from tests.conftest import random_pairs
+
+
+@pytest.fixture
+def base_graph():
+    return ensure_connected(erdos_renyi(80, 200, seed=71, max_weight=3), seed=71)
+
+
+@pytest.fixture
+def dyn(base_graph):
+    return DynamicISLabelIndex(base_graph)
+
+
+class TestInsertion:
+    def test_insert_then_query_new_vertex(self, dyn):
+        dyn.insert_vertex(1000, {0: 2, 5: 1})
+        truth = dijkstra_distance(dyn.graph, 1000, 17)
+        answer = dyn.distance(1000, 17)
+        assert answer >= truth
+        assert dyn.distance(1000, 0) == 2 or dyn.distance(1000, 0) == 1 + dyn.graph.weight(0, 5)
+
+    def test_insert_never_underestimates(self, dyn):
+        rng = random.Random(3)
+        for i in range(15):
+            neighbours = {
+                v: rng.randint(1, 3)
+                for v in rng.sample(sorted(dyn.graph.vertices()), rng.randint(1, 3))
+            }
+            dyn.insert_vertex(2000 + i, neighbours)
+        for s, t in random_pairs(dyn.graph, 150, seed=4):
+            truth = dijkstra_distance(dyn.graph, s, t)
+            assert dyn.distance(s, t) >= truth
+
+    def test_insert_mostly_exact(self, dyn):
+        rng = random.Random(5)
+        for i in range(10):
+            neighbours = {
+                v: rng.randint(1, 3)
+                for v in rng.sample(sorted(dyn.graph.vertices()), 3)
+            }
+            dyn.insert_vertex(3000 + i, neighbours)
+        pairs = random_pairs(dyn.graph, 200, seed=6)
+        exact = sum(
+            dyn.distance(s, t) == dijkstra_distance(dyn.graph, s, t)
+            for s, t in pairs
+        )
+        assert exact >= 0.9 * len(pairs)
+
+    def test_insert_counts_staleness(self, dyn):
+        dyn.insert_vertex(1000, {0: 1})
+        dyn.insert_vertex(1001, {1000: 1})
+        assert dyn.staleness == 2
+        assert dyn.inserts_applied == 2
+        assert not dyn.approximate  # inserts keep upper-bound guarantees
+
+    def test_duplicate_insert_rejected(self, dyn):
+        dyn.insert_vertex(1000, {0: 1})
+        with pytest.raises(GraphError):
+            dyn.insert_vertex(1000, {1: 1})
+
+    def test_insert_needs_known_neighbours(self, dyn):
+        with pytest.raises(GraphError):
+            dyn.insert_vertex(1000, {424242: 1})
+
+    def test_insert_needs_nonempty_adjacency(self, dyn):
+        with pytest.raises(GraphError):
+            dyn.insert_vertex(1000, {})
+
+    def test_insert_into_gk_neighbours(self, dyn):
+        gk = sorted(dyn.index.gk.vertices())[:2]
+        dyn.insert_vertex(1000, {gk[0]: 1, gk[1]: 2})
+        truth = dijkstra_distance(dyn.graph, 1000, gk[1])
+        assert dyn.distance(1000, gk[1]) == truth
+
+
+class TestDeletion:
+    def test_delete_marks_approximate(self, dyn):
+        victim = sorted(dyn.graph.vertices())[0]
+        dyn.delete_vertex(victim)
+        assert dyn.approximate
+        assert dyn.deletes_applied == 1
+
+    def test_delete_unknown_vertex_rejected(self, dyn):
+        with pytest.raises(GraphError):
+            dyn.delete_vertex(999999)
+
+    def test_deleted_vertex_gone_from_labels(self, dyn):
+        victim = sorted(dyn.graph.vertices())[3]
+        dyn.delete_vertex(victim)
+        for entries in dyn.index._labels.values():
+            assert all(anc != victim for anc, _ in entries)
+
+    def test_exact_distance_guard(self, dyn):
+        victim = sorted(dyn.graph.vertices())[0]
+        dyn.delete_vertex(victim)
+        others = sorted(dyn.graph.vertices())[:2]
+        with pytest.raises(StaleIndexError):
+            dyn.exact_distance(others[0], others[1])
+
+    def test_insert_then_delete_round_trip(self, dyn):
+        dyn.insert_vertex(1000, {0: 1})
+        dyn.delete_vertex(1000)
+        assert not dyn.graph.has_vertex(1000)
+        for s, t in random_pairs(dyn.graph, 40, seed=8):
+            assert dyn.distance(s, t) >= dijkstra_distance(dyn.graph, s, t)
+
+
+class TestRebuild:
+    def test_rebuild_restores_exactness(self, dyn):
+        rng = random.Random(9)
+        for i in range(8):
+            neighbours = {
+                v: rng.randint(1, 3)
+                for v in rng.sample(sorted(dyn.graph.vertices()), 2)
+            }
+            dyn.insert_vertex(4000 + i, neighbours)
+        dyn.delete_vertex(4000)
+        dyn.rebuild()
+        assert dyn.staleness == 0
+        assert not dyn.approximate
+        for s, t in random_pairs(dyn.graph, 80, seed=10):
+            assert dyn.distance(s, t) == dijkstra_distance(dyn.graph, s, t)
+
+    def test_path_mode_rejected(self, base_graph):
+        with pytest.raises(QueryError):
+            DynamicISLabelIndex(base_graph, with_paths=True)
+
+    def test_disk_storage_supported(self, base_graph):
+        dyn = DynamicISLabelIndex(base_graph, storage="disk")
+        dyn.insert_vertex(1000, {0: 1})
+        for s, t in random_pairs(dyn.graph, 30, seed=11):
+            assert dyn.distance(s, t) >= dijkstra_distance(dyn.graph, s, t)

@@ -1,0 +1,101 @@
+"""Unit tests for the simulated block device and record files."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.extmem.blockdev import BlockDevice
+from repro.extmem.iomodel import CostModel
+
+
+@pytest.fixture
+def device() -> BlockDevice:
+    return BlockDevice(CostModel(block_size=64, memory=1024))
+
+
+class TestBlockFile:
+    def test_round_trip_records(self, device):
+        f = device.create("data")
+        records = [b"alpha", b"", b"x" * 200, b"tail"]
+        for r in records:
+            f.append(r)
+        f.close()
+        assert list(f.records()) == records
+        assert f.num_records == 4
+
+    def test_records_spanning_blocks(self, device):
+        f = device.create()
+        big = bytes(range(256)) * 3  # 768 bytes >> 64-byte blocks
+        f.append(big)
+        f.close()
+        assert list(f.records()) == [big]
+        assert f.num_blocks >= 12
+
+    def test_write_counts_ios(self, device):
+        f = device.create()
+        for _ in range(10):
+            f.append(b"y" * 60)
+        f.close()
+        assert device.stats.block_writes == f.num_blocks
+        assert device.stats.bytes_written == f.nbytes
+
+    def test_read_counts_ios(self, device):
+        f = device.create()
+        for _ in range(10):
+            f.append(b"z" * 60)
+        f.close()
+        device.stats.reset()
+        list(f.records())
+        assert device.stats.block_reads == f.num_blocks
+
+    def test_append_after_close_raises(self, device):
+        f = device.create()
+        f.append(b"a")
+        f.close()
+        with pytest.raises(StorageError):
+            f.append(b"b")
+
+    def test_empty_file(self, device):
+        f = device.create()
+        f.close()
+        assert list(f.records()) == []
+        assert f.num_blocks == 0
+
+    def test_rereading_is_stable(self, device):
+        f = device.create()
+        f.append(b"once")
+        assert list(f.records()) == [b"once"]
+        assert list(f.records()) == [b"once"]
+
+
+class TestBlockDevice:
+    def test_named_create_and_open(self, device):
+        created = device.create("mine")
+        assert device.open("mine") is created
+
+    def test_open_missing_raises(self, device):
+        with pytest.raises(StorageError):
+            device.open("ghost")
+
+    def test_anonymous_names_unique(self, device):
+        a, b = device.create(), device.create()
+        assert a.name != b.name
+
+    def test_create_truncates(self, device):
+        f = device.create("data")
+        f.append(b"old")
+        f.close()
+        g = device.create("data")
+        g.close()
+        assert list(device.open("data").records()) == []
+
+    def test_delete(self, device):
+        device.create("gone").close()
+        device.delete("gone")
+        with pytest.raises(StorageError):
+            device.open("gone")
+
+    def test_total_bytes(self, device):
+        f = device.create()
+        f.append(b"x" * 100)
+        f.close()
+        assert device.total_bytes() == f.nbytes

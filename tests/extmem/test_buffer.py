@@ -1,0 +1,61 @@
+"""Unit tests for the memory-budget accountant."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.extmem.buffer import MemoryBudget
+
+
+def test_charge_and_release():
+    b = MemoryBudget(100)
+    b.charge(60)
+    assert b.used == 60 and b.available == 40
+    b.release(20)
+    assert b.used == 40
+
+
+def test_overdraw_raises():
+    b = MemoryBudget(100)
+    b.charge(90)
+    with pytest.raises(StorageError):
+        b.charge(20)
+    assert b.used == 90  # failed charge does not count
+
+
+def test_fits_predicate():
+    b = MemoryBudget(100)
+    b.charge(70)
+    assert b.fits(30)
+    assert not b.fits(31)
+
+
+def test_high_water_mark():
+    b = MemoryBudget(100)
+    b.charge(80)
+    b.release(50)
+    b.charge(10)
+    assert b.high_water == 80
+
+
+def test_drain():
+    b = MemoryBudget(100)
+    b.charge(99)
+    b.drain()
+    assert b.used == 0
+
+
+def test_release_more_than_used_raises():
+    b = MemoryBudget(100)
+    b.charge(10)
+    with pytest.raises(StorageError):
+        b.release(11)
+
+
+def test_negative_charge_raises():
+    with pytest.raises(StorageError):
+        MemoryBudget(10).charge(-1)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(StorageError):
+        MemoryBudget(0)

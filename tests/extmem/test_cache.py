@@ -1,0 +1,122 @@
+"""Unit tests for the LRU block cache and cached label store."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.extmem.cache import CachedLabelStore, LRUBlockCache
+from repro.extmem.iomodel import CostModel
+from repro.extmem.labelstore import LabelStore
+
+
+class TestLRUBlockCache:
+    def test_miss_then_hit(self):
+        cache = LRUBlockCache(4)
+        assert not cache.lookup("a")
+        cache.admit("a", 1)
+        assert cache.lookup("a")
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_eviction_is_lru(self):
+        cache = LRUBlockCache(2)
+        cache.admit("a", 1)
+        cache.admit("b", 1)
+        cache.lookup("a")  # refresh a
+        cache.admit("c", 1)  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_multi_block_entries(self):
+        cache = LRUBlockCache(4)
+        cache.admit("big", 3)
+        cache.admit("small", 1)
+        assert cache.used_blocks == 4
+        cache.admit("other", 2)  # evicts 'big' (LRU, 3 blocks)
+        assert "big" not in cache and cache.used_blocks == 3
+
+    def test_oversized_entry_not_admitted(self):
+        cache = LRUBlockCache(2)
+        cache.admit("huge", 10)
+        assert "huge" not in cache and len(cache) == 0
+
+    def test_readmit_replaces(self):
+        cache = LRUBlockCache(4)
+        cache.admit("a", 1)
+        cache.admit("a", 3)
+        assert cache.used_blocks == 3
+
+    def test_invalidate_and_clear(self):
+        cache = LRUBlockCache(4)
+        cache.admit("a", 2)
+        cache.invalidate("a")
+        assert "a" not in cache and cache.used_blocks == 0
+        cache.admit("b", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            LRUBlockCache(0)
+
+
+class TestCachedLabelStore:
+    @pytest.fixture
+    def cached(self):
+        store = LabelStore(CostModel(block_size=64, memory=1024))
+        store.put(1, [(2, 3), (4, 5)])
+        store.put(2, [(3, 1)])
+        store.stats.reset()
+        return CachedLabelStore(store, capacity_blocks=8)
+
+    def test_first_fetch_charges_io_second_does_not(self, cached):
+        assert cached.fetch(1) == [(2, 3), (4, 5)]
+        first = cached.stats.block_reads
+        assert first >= 1
+        assert cached.fetch(1) == [(2, 3), (4, 5)]
+        assert cached.stats.block_reads == first  # served from cache
+
+    def test_fetch_cost_zero_when_cached(self, cached):
+        assert cached.fetch_cost(1) >= 1
+        cached.fetch(1)
+        assert cached.fetch_cost(1) == 0
+
+    def test_put_invalidates(self, cached):
+        cached.fetch(1)
+        cached.put(1, [(9, 9)])
+        before = cached.stats.block_reads
+        assert cached.fetch(1) == [(9, 9)]
+        assert cached.stats.block_reads > before  # re-read after rewrite
+
+    def test_membership_passthrough(self, cached):
+        assert 1 in cached and 77 not in cached
+        assert cached.total_bytes == cached.store.total_bytes
+
+
+class TestCachedIndex:
+    def test_repeated_queries_get_cheaper(self):
+        from repro.core.index import ISLabelIndex
+        from repro.graph.generators import ensure_connected, erdos_renyi
+
+        g = ensure_connected(erdos_renyi(100, 250, seed=141), seed=141)
+        index = ISLabelIndex.build(g, storage="disk", cache_blocks=10_000)
+        below = sorted(v for v in g.vertices() if not index.hierarchy.in_gk(v))
+        s, t = below[0], below[1]
+        first = index.query(s, t)
+        second = index.query(s, t)
+        assert first.label_ios >= 2
+        assert second.label_ios == 0
+        assert second.distance == first.distance
+
+    def test_tiny_cache_still_correct(self):
+        from repro.baselines.dijkstra import dijkstra_distance
+        from repro.core.index import ISLabelIndex
+        from repro.graph.generators import ensure_connected, erdos_renyi
+
+        g = ensure_connected(erdos_renyi(80, 200, seed=142, max_weight=3), seed=142)
+        index = ISLabelIndex.build(g, storage="disk", cache_blocks=1)
+        import random
+
+        rng = random.Random(3)
+        vs = sorted(g.vertices())
+        for _ in range(60):
+            s, t = rng.choice(vs), rng.choice(vs)
+            assert index.distance(s, t) == dijkstra_distance(g, s, t)

@@ -1,0 +1,63 @@
+"""Unit tests for disk-resident adjacency graphs."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.extmem.blockdev import BlockDevice
+from repro.extmem.extgraph import ExternalGraph, pack_row, unpack_row
+from repro.extmem.iomodel import CostModel
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture
+def device():
+    return BlockDevice(CostModel(block_size=128, memory=2048))
+
+
+def test_pack_unpack_row():
+    row = (7, [(1, 10), (3, 2)])
+    assert unpack_row(pack_row(*row)) == row
+
+
+def test_unpack_truncated_row_raises():
+    data = pack_row(7, [(1, 10)])[:-4]
+    with pytest.raises(StorageError):
+        unpack_row(data)
+
+
+def test_round_trip_graph(device):
+    g = erdos_renyi(40, 90, seed=2, max_weight=5)
+    eg = ExternalGraph.from_graph(device, g)
+    assert eg.num_vertices == 40
+    assert eg.num_edges == 90
+    assert eg.to_graph() == g
+
+
+def test_rows_in_ascending_vertex_order(device, small_weighted):
+    eg = ExternalGraph.from_graph(device, small_weighted)
+    order = [v for v, _ in eg.rows()]
+    assert order == sorted(order)
+
+
+def test_rows_scan_counts_reads(device, small_weighted):
+    eg = ExternalGraph.from_graph(device, small_weighted)
+    device.stats.reset()
+    list(eg.rows())
+    assert device.stats.block_reads == eg.data.num_blocks
+
+
+def test_from_rows(device, small_weighted):
+    eg = ExternalGraph.from_graph(device, small_weighted)
+    copy = ExternalGraph.from_rows(device, eg.rows())
+    assert copy.to_graph() == small_weighted
+
+
+def test_from_rows_rejects_odd_slots(device):
+    rows = iter([(1, [(2, 1)])])  # the mirror slot (2 -> 1) is missing
+    with pytest.raises(StorageError):
+        ExternalGraph.from_rows(device, rows)
+
+
+def test_size_property(device, triangle):
+    eg = ExternalGraph.from_graph(device, triangle)
+    assert eg.size == triangle.size

@@ -1,0 +1,89 @@
+"""Unit tests for external merge sort."""
+
+import random
+import struct
+
+import pytest
+
+from repro.extmem.blockdev import BlockDevice
+from repro.extmem.extsort import external_sort
+from repro.extmem.iomodel import CostModel
+
+_REC = struct.Struct("<q")
+
+
+def _fill(device, values):
+    f = device.create("input")
+    for v in values:
+        f.append(_REC.pack(v))
+    f.close()
+    return f
+
+
+def _key(record):
+    return _REC.unpack(record)
+
+
+@pytest.fixture
+def tiny_device():
+    # 64-byte blocks, 256-byte memory: forces multi-run, multi-pass merges.
+    return BlockDevice(CostModel(block_size=64, memory=256))
+
+
+def test_sorts_random_values(tiny_device):
+    values = random.Random(3).sample(range(10_000), 500)
+    src = _fill(tiny_device, values)
+    out = external_sort(tiny_device, src, key=_key)
+    got = [_REC.unpack(r)[0] for r in out.records()]
+    assert got == sorted(values)
+
+
+def test_sorts_with_duplicates(tiny_device):
+    values = [5, 1, 5, 3, 1, 1, 9] * 30
+    src = _fill(tiny_device, values)
+    out = external_sort(tiny_device, src, key=_key)
+    got = [_REC.unpack(r)[0] for r in out.records()]
+    assert got == sorted(values)
+
+
+def test_empty_input(tiny_device):
+    src = _fill(tiny_device, [])
+    out = external_sort(tiny_device, src, key=_key, output_name="out")
+    assert list(out.records()) == []
+    assert out.name == "out"
+
+
+def test_single_run_renamed(tiny_device):
+    src = _fill(tiny_device, [3, 1, 2])
+    out = external_sort(tiny_device, src, key=_key, output_name="sorted")
+    assert out.name == "sorted"
+    assert tiny_device.open("sorted") is out
+
+
+def test_custom_key_descending(tiny_device):
+    values = [4, 8, 1, 9]
+    src = _fill(tiny_device, values)
+    out = external_sort(tiny_device, src, key=lambda r: (-_REC.unpack(r)[0],))
+    got = [_REC.unpack(r)[0] for r in out.records()]
+    assert got == sorted(values, reverse=True)
+
+
+def test_io_cost_within_model_bound():
+    # Measured sort traffic should be within a small constant of sort(N).
+    device = BlockDevice(CostModel(block_size=128, memory=512))
+    values = random.Random(5).sample(range(100_000), 2000)
+    src = _fill(device, values)
+    nbytes = src.nbytes
+    device.stats.reset()
+    external_sort(device, src, key=_key)
+    predicted = device.cost_model.sort_cost(nbytes)
+    assert device.stats.total_ios <= 6 * predicted
+
+
+def test_large_memory_single_pass():
+    device = BlockDevice(CostModel(block_size=128, memory=1 << 20))
+    values = list(range(300))[::-1]
+    src = _fill(device, values)
+    out = external_sort(device, src, key=_key)
+    got = [_REC.unpack(r)[0] for r in out.records()]
+    assert got == sorted(values)

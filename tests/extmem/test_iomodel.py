@@ -1,0 +1,84 @@
+"""Unit tests for the I/O cost model (§6 / Aggarwal-Vitter)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.extmem.iomodel import PAPER_IO_LATENCY_S, CostModel, IOStats
+
+
+class TestCostModel:
+    def test_defaults_satisfy_b_le_m_over_2(self):
+        m = CostModel()
+        assert m.block_size <= m.memory // 2
+
+    def test_rejects_b_gt_m_over_2(self):
+        with pytest.raises(StorageError):
+            CostModel(block_size=4096, memory=4096)
+
+    def test_rejects_tiny_block(self):
+        with pytest.raises(StorageError):
+            CostModel(block_size=1, memory=1024)
+
+    def test_blocks_for(self):
+        m = CostModel(block_size=100, memory=1000)
+        assert m.blocks_for(0) == 0
+        assert m.blocks_for(1) == 1
+        assert m.blocks_for(100) == 1
+        assert m.blocks_for(101) == 2
+
+    def test_scan_cost_linear(self):
+        m = CostModel(block_size=100, memory=1000)
+        assert m.scan_cost(1000) == 10
+        assert m.scan_cost(2000) == 2 * m.scan_cost(1000)
+
+    def test_sort_cost_at_least_scan(self):
+        m = CostModel(block_size=100, memory=1000)
+        for n in (50, 500, 5000, 500_000):
+            assert m.sort_cost(n) >= m.scan_cost(n)
+
+    def test_sort_cost_grows_with_passes(self):
+        # With only 2 blocks in memory, sorting needs many passes.
+        tight = CostModel(block_size=100, memory=200)
+        roomy = CostModel(block_size=100, memory=10_000)
+        assert tight.sort_cost(100_000) > roomy.sort_cost(100_000)
+
+    def test_time_for_uses_paper_latency(self):
+        m = CostModel()
+        assert m.time_for(1) == pytest.approx(PAPER_IO_LATENCY_S)
+        assert m.time_for(100) == pytest.approx(1.0)
+
+    def test_blocks_in_memory(self):
+        m = CostModel(block_size=100, memory=1000)
+        assert m.blocks_in_memory == 10
+
+
+class TestIOStats:
+    def test_totals(self):
+        s = IOStats(block_reads=3, block_writes=4)
+        assert s.total_ios == 7
+
+    def test_reset(self):
+        s = IOStats(1, 2, 3, 4)
+        s.reset()
+        assert s.total_ios == 0 and s.bytes_read == 0
+
+    def test_snapshot_and_delta(self):
+        s = IOStats()
+        s.block_reads = 5
+        snap = s.snapshot()
+        s.block_reads = 9
+        s.block_writes = 2
+        delta = s.delta_since(snap)
+        assert delta.block_reads == 4
+        assert delta.block_writes == 2
+
+    def test_snapshot_is_independent(self):
+        s = IOStats()
+        snap = s.snapshot()
+        s.block_reads += 1
+        assert snap.block_reads == 0
+
+    def test_add(self):
+        total = IOStats(1, 2, 3, 4) + IOStats(10, 20, 30, 40)
+        assert total.block_reads == 11
+        assert total.bytes_written == 44

@@ -1,0 +1,90 @@
+"""Unit tests for the disk-resident label store (§6.2)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.extmem.iomodel import CostModel
+from repro.extmem.labelstore import NO_HINT, LabelStore
+
+
+@pytest.fixture
+def store():
+    return LabelStore(CostModel(block_size=64, memory=1024))
+
+
+def test_put_fetch_round_trip(store):
+    store.put(5, [(9, 3), (1, 2)])
+    assert store.fetch(5) == [(1, 2), (9, 3)]  # sorted by ancestor id
+
+
+def test_fetch_missing_raises(store):
+    with pytest.raises(StorageError):
+        store.fetch(404)
+
+
+def test_fetch_charges_one_io_for_small_label(store):
+    store.put(1, [(2, 3)])
+    store.stats.reset()
+    store.fetch(1)
+    assert store.stats.block_reads == 1
+
+
+def test_fetch_charges_multiple_ios_for_big_label(store):
+    # 64-byte blocks, 16 bytes per entry: 20 entries -> 5 blocks.
+    store.put(1, [(i, i) for i in range(2, 22)])
+    store.stats.reset()
+    store.fetch(1)
+    assert store.stats.block_reads == 5
+    assert store.fetch_cost(1) == 5
+
+
+def test_fetch_cost_has_no_side_effects(store):
+    store.put(1, [(2, 3)])
+    store.stats.reset()
+    assert store.fetch_cost(1) == 1
+    assert store.stats.block_reads == 0
+
+
+def test_put_counts_writes(store):
+    store.stats.reset()
+    store.put(1, [(2, 3), (4, 5)])
+    assert store.stats.block_writes == 1
+    assert store.stats.bytes_written == 32
+
+
+def test_total_bytes_and_entries(store):
+    store.put(1, [(2, 3)])
+    store.put(2, [(3, 1), (4, 1), (5, 1)])
+    assert store.total_bytes == 4 * 16
+    assert store.total_entries == 4
+    assert store.entry_count(2) == 3
+    assert store.average_label_entries == 2.0
+
+
+def test_membership_and_iteration(store):
+    store.put(7, [(8, 1)])
+    assert 7 in store
+    assert 8 not in store
+    assert list(store.vertices()) == [7]
+    assert len(store) == 1
+
+
+class TestHintedStore:
+    def test_hinted_round_trip(self):
+        store = LabelStore(with_hints=True)
+        store.put(3, [(5, 2, 4), (1, 7)])  # second entry gets NO_HINT
+        assert store.fetch_hinted(3) == [(1, 7, NO_HINT), (5, 2, 4)]
+
+    def test_plain_fetch_from_hinted_store(self):
+        store = LabelStore(with_hints=True)
+        store.put(3, [(5, 2, 4)])
+        assert store.fetch(3) == [(5, 2)]
+
+    def test_hinted_fetch_from_plain_store_raises(self, store):
+        store.put(1, [(2, 3)])
+        with pytest.raises(StorageError):
+            store.fetch_hinted(1)
+
+    def test_plain_store_rejects_triples(self, store):
+        with pytest.raises(StorageError):
+            store.put(1, [(2, 3, 4)])

@@ -1,0 +1,53 @@
+"""Unit tests for connected components."""
+
+from repro.graph.components import (
+    component_of,
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graph.generators import path_graph
+from repro.graph.graph import Graph
+
+
+def test_single_component(triangle):
+    comps = connected_components(triangle)
+    assert len(comps) == 1
+    assert comps[0] == {1, 2, 3}
+    assert is_connected(triangle)
+
+
+def test_component_of_reaches_whole_block(disconnected):
+    assert component_of(disconnected, 0) == {0, 1, 2}
+    assert component_of(disconnected, 10) == {10, 11}
+    assert component_of(disconnected, 20) == {20}
+
+
+def test_components_sorted_by_size(disconnected):
+    comps = connected_components(disconnected)
+    assert [len(c) for c in comps] == [3, 2, 1]
+    assert not is_connected(disconnected)
+
+
+def test_largest_component_is_induced_subgraph(disconnected):
+    largest = largest_connected_component(disconnected)
+    assert sorted(largest.vertices()) == [0, 1, 2]
+    assert largest.num_edges == 2
+
+
+def test_empty_graph():
+    g = Graph()
+    assert connected_components(g) == []
+    assert is_connected(g)
+    assert largest_connected_component(g).num_vertices == 0
+
+
+def test_isolated_vertices_are_singletons():
+    g = Graph()
+    for v in range(4):
+        g.add_vertex(v)
+    assert len(connected_components(g)) == 4
+
+
+def test_path_graph_connected():
+    assert is_connected(path_graph(50))

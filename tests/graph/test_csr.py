@@ -1,0 +1,68 @@
+"""Unit tests for the CSR view."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, ensure_connected
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def csr(small_weighted) -> CSRGraph:
+    return CSRGraph(small_weighted)
+
+
+def test_counts(csr, small_weighted):
+    assert csr.num_vertices == small_weighted.num_vertices
+    assert csr.num_edges == small_weighted.num_edges
+
+
+def test_dense_ids_are_sorted_originals(small_weighted, csr):
+    assert csr.id_of == small_weighted.sorted_vertices()
+    for i, v in enumerate(csr.id_of):
+        assert csr.dense(v) == i
+        assert csr.original(i) == v
+
+
+def test_neighbors_match_graph(small_weighted, csr):
+    for v in small_weighted.vertices():
+        dense = csr.dense(v)
+        got = {csr.original(u): w for u, w in csr.neighbors_dense(dense)}
+        assert got == dict(small_weighted.neighbors(v))
+
+
+def test_degree_dense(small_weighted, csr):
+    for v in small_weighted.vertices():
+        assert csr.degree_dense(csr.dense(v)) == small_weighted.degree(v)
+
+
+def test_neighbor_slices_align(csr):
+    idx, wts = csr.neighbor_slices(0)
+    assert len(idx) == len(wts) == csr.degree_dense(0)
+
+
+def test_unknown_vertex_raises(csr):
+    with pytest.raises(GraphError):
+        csr.dense(10**9)
+
+
+def test_has_vertex(csr, small_weighted):
+    for v in small_weighted.vertices():
+        assert csr.has_vertex(v)
+    assert not csr.has_vertex(10**9)
+
+
+def test_nbytes_positive(csr):
+    assert csr.nbytes() > 0
+
+
+def test_random_graph_round_trip():
+    g = ensure_connected(erdos_renyi(80, 200, seed=5, max_weight=9), seed=5)
+    csr = CSRGraph(g)
+    rebuilt = Graph()
+    for i in range(csr.num_vertices):
+        rebuilt.add_vertex(csr.original(i))
+        for j, w in csr.neighbors_dense(i):
+            rebuilt.merge_edge(csr.original(i), csr.original(j), w)
+    assert rebuilt == g

@@ -1,0 +1,98 @@
+"""Unit tests for the directed graph container."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def dag() -> DiGraph:
+    return DiGraph([(1, 2, 3), (2, 3, 1), (1, 3, 10)])
+
+
+class TestConstruction:
+    def test_arcs_are_directed(self, dag):
+        assert dag.has_edge(1, 2)
+        assert not dag.has_edge(2, 1)
+
+    def test_pairs_default_weight(self):
+        g = DiGraph([(1, 2)])
+        assert g.weight(1, 2) == 1
+
+    def test_merge_keeps_minimum(self):
+        g = DiGraph([(1, 2, 5)])
+        assert g.merge_edge(1, 2, 3) is True
+        assert g.merge_edge(1, 2, 8) is False
+        assert g.weight(1, 2) == 3
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph([(1, 1)])
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph([(1, 2, 0)])
+
+
+class TestTopology:
+    def test_successors_predecessors(self, dag):
+        assert dict(dag.successors(1)) == {2: 3, 3: 10}
+        assert dict(dag.predecessors(3)) == {2: 1, 1: 10}
+
+    def test_degrees(self, dag):
+        assert dag.out_degree(1) == 2
+        assert dag.in_degree(1) == 0
+        assert dag.in_degree(3) == 2
+
+    def test_undirected_neighbors_ignore_direction(self, dag):
+        assert dag.undirected_neighbors(2) == {1, 3}
+        assert dag.undirected_degree(2) == 2
+
+    def test_size_counts_arcs(self, dag):
+        assert dag.num_edges == 3
+        assert dag.size == 6
+
+    def test_edges_yields_arcs(self, dag):
+        assert sorted(dag.edges()) == [(1, 2, 3), (1, 3, 10), (2, 3, 1)]
+
+    def test_unknown_vertex_raises(self, dag):
+        with pytest.raises(GraphError):
+            dag.successors(42)
+        with pytest.raises(GraphError):
+            dag.predecessors(42)
+
+
+class TestMutation:
+    def test_remove_vertex_cleans_both_maps(self, dag):
+        dag.remove_vertex(2)
+        assert not dag.has_vertex(2)
+        assert dag.num_edges == 1  # only (1, 3) remains
+        assert dict(dag.successors(1)) == {3: 10}
+        assert dict(dag.predecessors(3)) == {1: 10}
+
+    def test_remove_missing_vertex_raises(self, dag):
+        with pytest.raises(GraphError):
+            dag.remove_vertex(42)
+
+    def test_add_edge_overwrites(self, dag):
+        dag.add_edge(1, 2, 99)
+        assert dag.weight(1, 2) == 99
+        assert dag.num_edges == 3
+
+
+class TestDerivation:
+    def test_copy_independent(self, dag):
+        clone = dag.copy()
+        clone.add_edge(3, 1, 2)
+        assert not dag.has_edge(3, 1)
+
+    def test_reversed_flips_arcs(self, dag):
+        rev = dag.reversed()
+        assert rev.has_edge(2, 1) and not rev.has_edge(1, 2)
+        assert rev.weight(3, 1) == 10
+        assert rev.num_edges == dag.num_edges
+
+    def test_reversed_twice_is_identity(self, dag):
+        double = dag.reversed().reversed()
+        assert sorted(double.edges()) == sorted(dag.edges())

@@ -1,0 +1,192 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.components import is_connected
+from repro.graph.generators import (
+    attach_chains,
+    attach_forest,
+    attach_hubs,
+    attach_trees,
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    ensure_connected,
+    erdos_renyi,
+    grid_graph,
+    overlay_random_edges,
+    path_graph,
+    powerlaw_cluster,
+    powerlaw_configuration,
+    random_tree,
+    random_weights,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.validation import validate_graph
+
+
+class TestStructured:
+    def test_path(self):
+        g = path_graph(5, weight=3)
+        assert g.num_vertices == 5 and g.num_edges == 4
+        assert g.weight(2, 3) == 3
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.vertices())
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert all(g.degree(v) == 1 for v in range(1, 8))
+
+    def test_grid_shape(self):
+        g = grid_graph(4, 5)
+        assert g.num_vertices == 20
+        assert g.num_edges == 4 * 4 + 3 * 5  # horizontal + vertical
+        assert is_connected(g)
+
+    def test_grid_weights_seeded(self):
+        a = grid_graph(5, 5, seed=3, max_weight=9)
+        b = grid_graph(5, 5, seed=3, max_weight=9)
+        assert a == b
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(64, seed=1)
+        assert g.num_edges == 63
+        assert is_connected(g)
+
+    def test_random_tree_start_id(self):
+        g = random_tree(10, seed=1, start_id=100)
+        assert min(g.vertices()) == 100
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_exact_edge_count(self):
+        g = erdos_renyi(50, 120, seed=7)
+        assert g.num_vertices == 50 and g.num_edges == 120
+        validate_graph(g)
+
+    def test_erdos_renyi_too_many_edges(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(4, 100, seed=1)
+
+    def test_erdos_renyi_deterministic(self):
+        assert erdos_renyi(40, 80, seed=9) == erdos_renyi(40, 80, seed=9)
+
+    def test_erdos_renyi_seed_sensitivity(self):
+        assert erdos_renyi(40, 80, seed=9) != erdos_renyi(40, 80, seed=10)
+
+    def test_barabasi_albert_degrees(self):
+        g = barabasi_albert(200, 3, seed=11)
+        assert g.num_vertices == 200
+        validate_graph(g)
+        # Later vertices attach to exactly m targets.
+        assert g.num_edges >= 3 * (200 - 4)
+        # Preferential attachment yields a heavy tail.
+        assert max(g.degree(v) for v in g.vertices()) > 10
+
+    def test_barabasi_albert_bad_params(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(3, 3, seed=1)
+
+    def test_powerlaw_cluster_valid(self):
+        g = powerlaw_cluster(150, 4, 0.8, seed=13)
+        validate_graph(g)
+        assert g.num_vertices == 150
+
+    def test_powerlaw_cluster_bad_probability(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster(50, 3, 1.5, seed=1)
+
+    def test_watts_strogatz_valid(self):
+        g = watts_strogatz(100, 6, 0.1, seed=15)
+        validate_graph(g)
+        assert g.num_vertices == 100
+
+    def test_watts_strogatz_bad_k(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+
+    def test_powerlaw_configuration_shape(self):
+        g = powerlaw_configuration(500, 2.3, seed=17, min_degree=1)
+        validate_graph(g)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        assert degrees[0] > 5 * degrees[len(degrees) // 2 or 1]
+
+    def test_powerlaw_configuration_deterministic(self):
+        a = powerlaw_configuration(100, 2.5, seed=3)
+        b = powerlaw_configuration(100, 2.5, seed=3)
+        assert a == b
+
+
+class TestPostProcessing:
+    def test_attach_hubs(self):
+        g = path_graph(50)
+        attach_hubs(g, 2, 30, seed=1)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        assert degrees[0] == 30 and degrees[1] == 30
+
+    def test_attach_hubs_empty_graph(self):
+        with pytest.raises(GraphError):
+            attach_hubs(path_graph(0), 1, 5)
+
+    def test_attach_chains_adds_expected_vertices(self):
+        g = path_graph(10)
+        attach_chains(g, 3, 7, seed=2)
+        assert g.num_vertices == 10 + 21
+        assert is_connected(g)
+
+    def test_attach_trees_adds_complete_trees(self):
+        g = path_graph(5)
+        attach_trees(g, 2, 2, 2, seed=3)
+        # Each tree: root + 2 + 4 vertices.
+        assert g.num_vertices == 5 + 2 * 7
+        assert is_connected(g)
+
+    def test_attach_forest_total(self):
+        g = path_graph(5)
+        attach_forest(g, 40, 4, seed=4)
+        assert g.num_vertices == 45
+        assert is_connected(g)
+
+    def test_overlay_random_edges(self):
+        g = path_graph(30)
+        before = g.num_edges
+        overlay_random_edges(g, 15, seed=5)
+        assert g.num_edges == before + 15
+        validate_graph(g)
+
+    def test_overlay_restricted_pool(self):
+        g = path_graph(30)
+        overlay_random_edges(g, 10, seed=6, among=range(10))
+        for u, v, _ in g.edges():
+            if abs(u - v) != 1:  # not a path edge
+                assert u < 10 and v < 10
+
+    def test_ensure_connected_bridges_components(self, disconnected):
+        ensure_connected(disconnected, seed=7)
+        assert is_connected(disconnected)
+
+    def test_ensure_connected_noop_when_connected(self, triangle):
+        edges_before = sorted(triangle.edges())
+        ensure_connected(triangle, seed=8)
+        assert sorted(triangle.edges()) == edges_before
+
+    def test_random_weights_in_range(self):
+        g = path_graph(20)
+        random_weights(g, 3, seed=9)
+        assert all(1 <= w <= 3 for _, _, w in g.edges())
+        assert any(w > 1 for _, _, w in g.edges())

@@ -1,0 +1,167 @@
+"""Unit tests for the undirected Graph container."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.size == 0
+
+    def test_from_pairs_defaults_weight_one(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.weight(1, 2) == 1
+        assert g.weight(2, 3) == 1
+
+    def test_from_triples(self):
+        g = Graph([(1, 2, 7)])
+        assert g.weight(1, 2) == 7
+        assert g.weight(2, 1) == 7
+
+    def test_duplicate_edges_keep_minimum(self):
+        g = Graph([(1, 2, 5), (2, 1, 3), (1, 2, 9)])
+        assert g.weight(1, 2) == 3
+        assert g.num_edges == 1
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex(4)
+        g.add_vertex(4)
+        assert g.num_vertices == 1
+        assert g.degree(4) == 0
+
+
+class TestMutation:
+    def test_add_edge_overwrites(self):
+        g = Graph([(1, 2, 5)])
+        g.add_edge(1, 2, 9)
+        assert g.weight(1, 2) == 9
+
+    def test_merge_edge_reports_change(self):
+        g = Graph()
+        assert g.merge_edge(1, 2, 5) is True
+        assert g.merge_edge(1, 2, 7) is False
+        assert g.merge_edge(1, 2, 2) is True
+        assert g.weight(1, 2) == 2
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(3, 3)
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "2", True, None])
+    def test_bad_weight_rejected(self, bad):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, bad)
+
+    def test_remove_edge(self):
+        g = Graph([(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(GraphError):
+            g.remove_edge(1, 3)
+
+    def test_remove_vertex_cleans_incident_edges(self):
+        g = Graph([(1, 2), (2, 3), (3, 1)])
+        g.remove_vertex(2)
+        assert not g.has_vertex(2)
+        assert g.num_edges == 1
+        assert 2 not in g.neighbors(1)
+        assert 2 not in g.neighbors(3)
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(GraphError):
+            Graph().remove_vertex(7)
+
+    def test_remove_vertices_batch(self):
+        g = Graph([(1, 2), (3, 4), (2, 3)])
+        g.remove_vertices([1, 4])
+        assert sorted(g.vertices()) == [2, 3]
+        assert g.num_edges == 1
+
+
+class TestInspection:
+    def test_neighbors_view(self, triangle):
+        assert dict(triangle.neighbors(2)) == {1: 1, 3: 2}
+
+    def test_neighbors_of_missing_vertex_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.neighbors(99)
+
+    def test_weight_of_missing_edge_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.weight(1, 99)
+
+    def test_degree(self, triangle):
+        assert triangle.degree(1) == 2
+
+    def test_size_is_v_plus_e(self, triangle):
+        assert triangle.size == 3 + 3
+
+    def test_total_degree_counts_both_ends(self, triangle):
+        assert triangle.total_degree() == 6
+
+    def test_edges_iterates_each_once(self, triangle):
+        edges = sorted(triangle.edges())
+        assert edges == [(1, 2, 1), (1, 3, 4), (2, 3, 2)]
+
+    def test_contains_len_iter(self, triangle):
+        assert 1 in triangle
+        assert 99 not in triangle
+        assert len(triangle) == 3
+        assert sorted(triangle) == [1, 2, 3]
+
+    def test_sorted_vertices(self):
+        g = Graph([(5, 1), (3, 2)])
+        assert g.sorted_vertices() == [1, 2, 3, 5]
+
+    def test_equality_compares_structure(self):
+        a = Graph([(1, 2, 3)])
+        b = Graph([(2, 1, 3)])
+        c = Graph([(1, 2, 4)])
+        assert a == b
+        assert a != c
+
+
+class TestDerivation:
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.add_edge(1, 99)
+        assert not triangle.has_vertex(99)
+        assert clone != triangle
+
+    def test_induced_subgraph(self, small_weighted):
+        sub = small_weighted.induced_subgraph([0, 1, 3])
+        assert sorted(sub.vertices()) == [0, 1, 3]
+        assert sub.has_edge(0, 1) and sub.has_edge(0, 3)
+        assert sub.num_edges == 2
+
+    def test_induced_subgraph_unknown_vertex_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.induced_subgraph([1, 42])
+
+    def test_relabeled_compacts_ids(self):
+        g = Graph([(10, 20, 3), (20, 30, 4)])
+        compact, mapping = g.relabeled()
+        assert sorted(compact.vertices()) == [0, 1, 2]
+        assert mapping == {10: 0, 20: 1, 30: 2}
+        assert compact.weight(0, 1) == 3
+        assert compact.weight(1, 2) == 4
+
+    def test_relabeled_preserves_isolated_vertices(self):
+        g = Graph([(1, 2)])
+        g.add_vertex(9)
+        compact, _ = g.relabeled()
+        assert compact.num_vertices == 3
+        assert compact.num_edges == 1

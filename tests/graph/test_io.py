@@ -1,0 +1,85 @@
+"""Unit tests for graph file formats."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    read_binary_adjacency,
+    read_edge_list,
+    write_binary_adjacency,
+    write_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, small_weighted):
+        path = tmp_path / "g.txt"
+        write_edge_list(small_weighted, path)
+        assert read_edge_list(path) == small_weighted
+
+    def test_round_trip_preserves_isolated_vertices(self, tmp_path):
+        g = Graph([(1, 2)])
+        g.add_vertex(99)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.has_vertex(99)
+        assert loaded == g
+
+    def test_directed_round_trip(self, tmp_path):
+        dg = DiGraph([(1, 2, 3), (2, 1, 4), (2, 3, 1)])
+        path = tmp_path / "dg.txt"
+        write_edge_list(dg, path)
+        loaded = read_edge_list(path, directed=True)
+        assert sorted(loaded.edges()) == sorted(dg.edges())
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# hello\n\n1 2 5\n\n# bye\n2 3\n")
+        g = read_edge_list(path)
+        assert g.weight(1, 2) == 5
+        assert g.weight(2, 3) == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3 4 5\n")
+        with pytest.raises(StorageError):
+            read_edge_list(path)
+
+
+class TestBinaryAdjacency:
+    def test_round_trip(self, tmp_path):
+        g = erdos_renyi(60, 150, seed=3, max_weight=9)
+        path = tmp_path / "g.bin"
+        written = write_binary_adjacency(g, path)
+        assert written == path.stat().st_size
+        assert read_binary_adjacency(path) == g
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(StorageError):
+            read_binary_adjacency(path)
+
+    def test_truncated_file(self, tmp_path):
+        g = erdos_renyi(20, 40, seed=4)
+        path = tmp_path / "g.bin"
+        write_binary_adjacency(g, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(StorageError):
+            read_binary_adjacency(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"IS")
+        with pytest.raises(StorageError):
+            read_binary_adjacency(path)
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_binary_adjacency(Graph(), path)
+        assert read_binary_adjacency(path).num_vertices == 0

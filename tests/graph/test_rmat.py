@@ -1,0 +1,72 @@
+"""Unit tests for the R-MAT generator and Zipf workload helper."""
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.core.index import ISLabelIndex
+from repro.errors import GraphError, QueryError
+from repro.graph.components import largest_connected_component
+from repro.graph.generators import rmat
+from repro.graph.validation import validate_graph
+from repro.workloads.queries import zipf_query_pairs
+
+
+class TestRMAT:
+    def test_shape(self):
+        g = rmat(8, edge_factor=6, seed=7)
+        validate_graph(g)
+        assert g.num_edges > 4 * 256  # close to the 6x target minus dupes
+
+    def test_skewed_degrees(self):
+        g = rmat(9, edge_factor=8, seed=8)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        top_share = sum(degrees[:10]) / (2 * g.num_edges)
+        assert top_share > 0.05, "R-MAT concentrates edges on hubs"
+
+    def test_deterministic(self):
+        assert rmat(7, seed=3) == rmat(7, seed=3)
+        assert rmat(7, seed=3) != rmat(7, seed=4)
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(GraphError):
+            rmat(5, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(GraphError):
+            rmat(0)
+
+    def test_indexable(self):
+        g = largest_connected_component(rmat(8, edge_factor=4, seed=9))
+        index = ISLabelIndex.build(g)
+        import random
+
+        rng = random.Random(1)
+        vs = sorted(g.vertices())
+        for _ in range(40):
+            s, t = rng.choice(vs), rng.choice(vs)
+            assert index.distance(s, t) == dijkstra_distance(g, s, t)
+
+
+class TestZipfWorkload:
+    def test_count_and_membership(self):
+        g = rmat(7, seed=11)
+        pairs = zipf_query_pairs(g, 60, seed=1)
+        assert len(pairs) == 60
+        assert all(g.has_vertex(s) and g.has_vertex(t) for s, t in pairs)
+
+    def test_skew_prefers_popular_endpoints(self):
+        g = rmat(8, seed=12)
+        pairs = zipf_query_pairs(g, 400, seed=2, exponent=1.2)
+        by_degree = sorted(g.vertices(), key=lambda v: (-g.degree(v), v))
+        top = set(by_degree[: len(by_degree) // 20])
+        hits = sum(1 for s, t in pairs for v in (s, t) if v in top)
+        assert hits > 0.3 * 2 * len(pairs), "top-5% endpoints dominate"
+
+    def test_deterministic(self):
+        g = rmat(6, seed=13)
+        assert zipf_query_pairs(g, 30, seed=3) == zipf_query_pairs(g, 30, seed=3)
+
+    def test_bad_exponent_rejected(self):
+        g = rmat(6, seed=13)
+        with pytest.raises(QueryError):
+            zipf_query_pairs(g, 5, exponent=0)

@@ -1,0 +1,50 @@
+"""Unit tests for graph statistics (Table 2 columns)."""
+
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.graph import Graph
+from repro.graph.stats import graph_stats, human_bytes
+
+
+def test_counts(small_weighted):
+    s = graph_stats(small_weighted)
+    assert s.num_vertices == 7
+    assert s.num_edges == 8
+    assert abs(s.avg_degree - 16 / 7) < 1e-9
+
+
+def test_max_degree_star():
+    s = graph_stats(star_graph(9))
+    assert s.max_degree == 9
+
+
+def test_empty_graph():
+    s = graph_stats(Graph())
+    assert s.num_vertices == 0
+    assert s.avg_degree == 0.0
+    assert s.max_degree == 0
+    assert s.disk_size_bytes == 0
+
+
+def test_disk_size_formula():
+    s = graph_stats(path_graph(3))  # 3 vertices, 2 edges
+    assert s.disk_size_bytes == 3 * 16 + 2 * 2 * 16
+
+
+def test_row_shape(small_weighted):
+    row = graph_stats(small_weighted).row()
+    assert len(row) == 5
+    assert isinstance(row[4], str)
+
+
+class TestHumanBytes:
+    def test_bytes(self):
+        assert human_bytes(512) == "512 B"
+
+    def test_kb(self):
+        assert human_bytes(2048) == "2.0 KB"
+
+    def test_mb(self):
+        assert human_bytes(5 * 1024 * 1024) == "5.0 MB"
+
+    def test_gb(self):
+        assert human_bytes(3.5 * 1024**3) == "3.5 GB"

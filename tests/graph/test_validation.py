@@ -1,0 +1,61 @@
+"""Unit tests for structural validation (failure injection)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+from repro.graph.validation import validate_digraph, validate_graph
+
+
+def test_valid_graph_passes(small_weighted):
+    validate_graph(small_weighted)
+
+
+def test_asymmetric_adjacency_detected(triangle):
+    # Corrupt the internal map directly (simulates a broken deserializer).
+    triangle._adj[1][2] = 99
+    with pytest.raises(ValidationError, match="asymmetric"):
+        validate_graph(triangle)
+
+
+def test_self_loop_detected(triangle):
+    triangle._adj[1][1] = 1
+    with pytest.raises(ValidationError):
+        validate_graph(triangle)
+
+
+def test_bad_weight_detected(triangle):
+    triangle._adj[1][2] = -5
+    triangle._adj[2][1] = -5
+    with pytest.raises(ValidationError, match="weight"):
+        validate_graph(triangle)
+
+
+def test_edge_count_mismatch_detected(triangle):
+    triangle._num_edges = 17
+    with pytest.raises(ValidationError, match="inconsistent"):
+        validate_graph(triangle)
+
+
+def test_valid_digraph_passes():
+    validate_digraph(DiGraph([(1, 2, 3), (2, 1, 4)]))
+
+
+def test_digraph_succ_pred_mismatch_detected():
+    dg = DiGraph([(1, 2, 3)])
+    dg._pred[2][1] = 99
+    with pytest.raises(ValidationError, match="mismatch"):
+        validate_digraph(dg)
+
+
+def test_digraph_arc_count_mismatch_detected():
+    dg = DiGraph([(1, 2, 3)])
+    dg._num_edges = 5
+    with pytest.raises(ValidationError, match="inconsistent"):
+        validate_digraph(dg)
+
+
+def test_empty_graphs_valid():
+    validate_graph(Graph())
+    validate_digraph(DiGraph())

@@ -1,0 +1,113 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def edge_list(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("1 2 4\n1 3 1\n3 2 2\n2 4 5\n4 5 1\n")
+    return path
+
+
+@pytest.fixture
+def built(edge_list, tmp_path):
+    index_path = tmp_path / "g.islx"
+    code = main(["build", str(edge_list), "-o", str(index_path), "--with-paths"])
+    assert code == 0
+    return index_path
+
+
+def test_build_reports_stats(edge_list, tmp_path, capsys):
+    index_path = tmp_path / "out.islx"
+    assert main(["build", str(edge_list), "-o", str(index_path)]) == 0
+    out = capsys.readouterr().out
+    assert "|V|=5" in out
+    assert index_path.exists()
+
+
+def test_build_full_mode(edge_list, tmp_path):
+    index_path = tmp_path / "full.islx"
+    assert main(["build", str(edge_list), "-o", str(index_path), "--full"]) == 0
+
+
+def test_build_explicit_k(edge_list, tmp_path, capsys):
+    index_path = tmp_path / "k2.islx"
+    assert main(["build", str(edge_list), "-o", str(index_path), "--k", "2"]) == 0
+    assert "k=2" in capsys.readouterr().out
+
+
+def test_query_distance(built, capsys):
+    assert main(["query", str(built), "1", "5"]) == 0
+    assert "dist(1, 5) = 9" in capsys.readouterr().out
+
+
+def test_query_with_path(built, capsys):
+    assert main(["query", str(built), "1", "5", "--path"]) == 0
+    out = capsys.readouterr().out
+    assert "dist(1, 5) = 9" in out
+    assert "->" in out
+
+
+def test_query_disconnected_prints_inf(tmp_path, capsys):
+    graph = tmp_path / "disc.txt"
+    graph.write_text("1 2\n8 9\n")
+    index_path = tmp_path / "disc.islx"
+    main(["build", str(graph), "-o", str(index_path)])
+    assert main(["query", str(index_path), "1", "9"]) == 0
+    assert "inf" in capsys.readouterr().out
+
+
+def test_query_unknown_vertex_fails_cleanly(built, capsys):
+    assert main(["query", str(built), "1", "999"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_stats_command(built, capsys):
+    assert main(["stats", str(built)]) == 0
+    out = capsys.readouterr().out
+    assert "label entries" in out
+    assert "G_k vertices" in out
+
+
+def test_dataset_command(tmp_path, capsys):
+    out_path = tmp_path / "google.txt"
+    assert main(["dataset", "google", "-o", str(out_path), "--scale", "0.05"]) == 0
+    assert out_path.exists()
+    assert "avg deg" in capsys.readouterr().out
+
+
+def test_dataset_then_build_round_trip(tmp_path):
+    data = tmp_path / "wiki.txt"
+    index_path = tmp_path / "wiki.islx"
+    assert main(["dataset", "wikitalk", "-o", str(data), "--scale", "0.05"]) == 0
+    assert main(["build", str(data), "-o", str(index_path)]) == 0
+    assert main(["stats", str(index_path)]) == 0
+
+
+def test_example_command(capsys):
+    assert main(["example"]) == 0
+    out = capsys.readouterr().out
+    assert "L1 = {c, f, i}" in out
+    assert "dist(h, e) = 3" in out
+
+
+def test_missing_file_fails_cleanly(tmp_path, capsys):
+    assert main(["stats", str(tmp_path / "ghost.islx")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "example"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "Figure 1" in result.stdout

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as documentation; this keeps them from rotting.  Each
+is executed in-process via runpy (they all have a fast main()).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert len(EXAMPLES) >= 3, "the deliverable requires at least 3 examples"
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} should print something"
+
+
+def test_quickstart_output_mentions_distance(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "dist(1, 5) = 9" in out
+    assert "shortest path" in out
+
+
+def test_walkthrough_matches_paper(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "paper_walkthrough.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "dist(h, e) = 3  (paper: 3)  [ok]" in out
+    assert "MISMATCH" not in out

@@ -1,0 +1,83 @@
+"""Hypothesis strategies for random weighted graphs and digraphs."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+
+
+@st.composite
+def graphs(
+    draw,
+    min_vertices: int = 2,
+    max_vertices: int = 24,
+    max_weight: int = 9,
+    edge_density: float = 0.35,
+) -> Graph:
+    """A random simple weighted graph (possibly disconnected)."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    count = draw(st.integers(0, max(1, int(edge_density * len(possible)))))
+    chosen = draw(
+        st.lists(
+            st.sampled_from(possible) if possible else st.nothing(),
+            min_size=0,
+            max_size=count,
+            unique=True,
+        )
+        if possible
+        else st.just([])
+    )
+    for u, v in chosen:
+        g.add_edge(u, v, draw(st.integers(1, max_weight)))
+    return g
+
+
+@st.composite
+def connected_graphs(
+    draw,
+    min_vertices: int = 2,
+    max_vertices: int = 20,
+    max_weight: int = 9,
+) -> Graph:
+    """A connected random graph: spanning tree plus extra edges."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    g = Graph()
+    g.add_vertex(0)
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        g.add_edge(v, parent, draw(st.integers(1, max_weight)))
+    extra = draw(st.integers(0, 2 * n))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            g.merge_edge(u, v, draw(st.integers(1, max_weight)))
+    return g
+
+
+@st.composite
+def digraphs(
+    draw,
+    min_vertices: int = 2,
+    max_vertices: int = 16,
+    max_weight: int = 9,
+) -> DiGraph:
+    """A random simple weighted digraph."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    dg = DiGraph()
+    for v in range(n):
+        dg.add_vertex(v)
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    count = draw(st.integers(0, min(len(possible), 3 * n)))
+    chosen = draw(
+        st.lists(st.sampled_from(possible), min_size=0, max_size=count, unique=True)
+    )
+    for u, v in chosen:
+        dg.add_edge(u, v, draw(st.integers(1, max_weight)))
+    return dg

@@ -1,0 +1,74 @@
+"""Property-based correctness of the directed index (§8.2)."""
+
+import math
+
+from hypothesis import given, settings
+
+from repro.baselines.dijkstra import dijkstra_digraph
+from repro.core.directed import DirectedISLabelIndex
+from tests.properties.strategies import digraphs
+
+
+@settings(max_examples=50, deadline=None)
+@given(digraphs())
+def test_directed_index_matches_dijkstra(dg):
+    index = DirectedISLabelIndex.build(dg)
+    for s in dg.vertices():
+        truth = dijkstra_digraph(dg, s)
+        for t in dg.vertices():
+            assert index.distance(s, t) == truth.get(t, math.inf), (s, t)
+
+
+@settings(max_examples=30, deadline=None)
+@given(digraphs(max_vertices=12))
+def test_directed_full_hierarchy_matches(dg):
+    index = DirectedISLabelIndex.build(dg, full=True)
+    for s in dg.vertices():
+        truth = dijkstra_digraph(dg, s)
+        for t in dg.vertices():
+            assert index.distance(s, t) == truth.get(t, math.inf)
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_out_in_labels_bound_true_distances(dg):
+    index = DirectedISLabelIndex.build(dg)
+    for v in dg.vertices():
+        forward = dijkstra_digraph(dg, v)
+        backward = dijkstra_digraph(dg, v, reverse=True)
+        for w, d in index.out_label(v):
+            assert d >= forward.get(w, math.inf) or w in forward
+            assert d >= forward[w]
+        for w, d in index.in_label(v):
+            assert d >= backward[w]
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_reachability_consistent(dg):
+    index = DirectedISLabelIndex.build(dg)
+    for s in dg.vertices():
+        truth = dijkstra_digraph(dg, s)
+        for t in dg.vertices():
+            assert index.reachable(s, t) == (t in truth)
+
+
+@settings(max_examples=30, deadline=None)
+@given(digraphs(max_vertices=12))
+def test_directed_paths_valid_and_tight(dg):
+    index = DirectedISLabelIndex.build(dg, with_paths=True)
+    for s in dg.vertices():
+        truth = dijkstra_digraph(dg, s)
+        for t in dg.vertices():
+            dist, path = index.shortest_path(s, t)
+            expected = truth.get(t, math.inf)
+            assert dist == expected
+            if math.isinf(expected):
+                assert path is None
+            else:
+                assert path[0] == s and path[-1] == t
+                assert all(dg.has_edge(a, b) for a, b in zip(path, path[1:]))
+                assert (
+                    sum(dg.weight(a, b) for a, b in zip(path, path[1:]))
+                    == expected
+                )

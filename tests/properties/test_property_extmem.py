@@ -1,0 +1,60 @@
+"""Property-based equivalence of external and in-memory algorithms (§6)."""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.independent_set import external_independent_set, greedy_independent_set
+from repro.core.labeling import external_top_down_labels, top_down_labels
+from repro.core.hierarchy import build_hierarchy
+from repro.extmem.blockdev import BlockDevice
+from repro.extmem.extgraph import ExternalGraph
+from repro.extmem.extsort import external_sort
+from repro.extmem.iomodel import CostModel
+from tests.properties.strategies import graphs
+
+_REC = struct.Struct("<q")
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(-(2**40), 2**40), max_size=200), st.integers(64, 256))
+def test_external_sort_sorts_anything(values, block_size):
+    device = BlockDevice(CostModel(block_size=block_size, memory=4 * block_size))
+    src = device.create()
+    for v in values:
+        src.append(_REC.pack(v))
+    src.close()
+    out = external_sort(device, src, key=_REC.unpack)
+    assert [_REC.unpack(r)[0] for r in out.records()] == sorted(values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(max_vertices=20), st.integers(2, 40))
+def test_external_is_equals_in_memory(g, buffer_capacity):
+    device = BlockDevice(CostModel(block_size=128, memory=2048))
+    eg = ExternalGraph.from_graph(device, g)
+    adj_li, _ = external_independent_set(
+        device, eg, excluded_buffer_capacity=buffer_capacity
+    )
+    ext = dict(adj_li.rows())
+    mem_selected, mem_adj = greedy_independent_set(g)
+    assert set(ext) == set(mem_selected)
+    assert all(ext[v] == mem_adj[v] for v in mem_selected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_vertices=18), st.integers(1, 30))
+def test_external_labeling_equals_in_memory(g, block_vertices):
+    h = build_hierarchy(g)
+    expected, _ = top_down_labels(h)
+    device = BlockDevice(CostModel(block_size=256, memory=4096))
+    got, _ = external_top_down_labels(h, device, block_vertices=block_vertices)
+    assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(max_vertices=20))
+def test_external_graph_round_trip(g):
+    device = BlockDevice(CostModel(block_size=128, memory=2048))
+    assert ExternalGraph.from_graph(device, g).to_graph() == g

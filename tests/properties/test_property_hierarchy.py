@@ -1,0 +1,62 @@
+"""Property-based invariants of the hierarchy and reduction (§4.1)."""
+
+import math
+
+from hypothesis import given, settings
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.hierarchy import build_hierarchy
+from repro.core.independent_set import greedy_independent_set, is_independent_set
+from repro.core.reduce import reduce_graph
+from tests.properties.strategies import graphs
+
+
+@settings(max_examples=80, deadline=None)
+@given(graphs())
+def test_greedy_is_independent_and_maximal(g):
+    selected, adj_of = greedy_independent_set(g)
+    assert is_independent_set(g, selected)
+    chosen = set(selected)
+    for v in g.vertices():
+        assert v in chosen or any(u in chosen for u in g.neighbors(v))
+    assert set(adj_of) == chosen
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs(max_vertices=18))
+def test_reduction_preserves_distances(g):
+    """Lemma 2 as a universal property."""
+    selected, adj_of = greedy_independent_set(g)
+    g2 = reduce_graph(g, selected, adj_of)
+    for s in g2.vertices():
+        before = dijkstra(g, s)
+        after = dijkstra(g2, s)
+        for t in g2.vertices():
+            assert after.get(t, math.inf) == before.get(t, math.inf)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs())
+def test_hierarchy_partitions_and_levels(g):
+    h = build_hierarchy(g)
+    # Partition property of Definition 1.
+    seen = set()
+    for peeled in h.levels:
+        assert not set(peeled) & seen
+        seen |= set(peeled)
+    seen |= set(h.gk.vertices())
+    assert seen == set(g.vertices())
+    # Level numbers are consistent and removal adjacency points upward.
+    h.validate_level_numbers()
+    for i in range(1, h.k):
+        for v in h.level_vertices(i):
+            for u, _ in h.removal_adjacency(v):
+                assert h.level(u) > i
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs())
+def test_sigma_trace_monotone_until_stop(g):
+    h = build_hierarchy(g, sigma=0.95)
+    for i in range(1, len(h.sizes) - 1):
+        assert h.sizes[i] <= 0.95 * h.sizes[i - 1]

@@ -1,0 +1,61 @@
+"""Property-based end-to-end correctness: every index variant == Dijkstra.
+
+These are the strongest tests in the suite: hypothesis generates arbitrary
+weighted graphs (connected and disconnected) and every query answer must
+match the reference Dijkstra exactly, for every index configuration.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.index import ISLabelIndex
+from tests.properties.strategies import connected_graphs, graphs
+
+
+def _assert_all_pairs_match(graph, index):
+    for s in graph.vertices():
+        truth = dijkstra(graph, s)
+        for t in graph.vertices():
+            expected = truth.get(t, math.inf)
+            assert index.distance(s, t) == expected, (s, t)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_sigma_index_matches_dijkstra(g):
+    _assert_all_pairs_match(g, ISLabelIndex.build(g))
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_full_hierarchy_matches_dijkstra(g):
+    _assert_all_pairs_match(g, ISLabelIndex.build(g, full=True))
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.integers(2, 6))
+def test_explicit_k_matches_dijkstra(g, k):
+    _assert_all_pairs_match(g, ISLabelIndex.build(g, k=k))
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs())
+def test_disk_storage_matches_dijkstra(g):
+    _assert_all_pairs_match(g, ISLabelIndex.build(g, storage="disk"))
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(0, 3))
+def test_random_is_strategy_matches_dijkstra(g, seed):
+    _assert_all_pairs_match(
+        g, ISLabelIndex.build(g, is_strategy="random", seed=seed)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs(max_vertices=14), st.floats(0.5, 1.0))
+def test_any_sigma_matches_dijkstra(g, sigma):
+    _assert_all_pairs_match(g, ISLabelIndex.build(g, sigma=sigma))

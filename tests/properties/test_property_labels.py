@@ -1,0 +1,71 @@
+"""Property-based invariants of the labeling (§4.2, Lemmas 4-5)."""
+
+import math
+
+from hypothesis import given, settings
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.hierarchy import build_hierarchy
+from repro.core.labeling import definition3_label, top_down_labels
+from tests.properties.strategies import graphs
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs())
+def test_topdown_equals_definition3(g):
+    """Corollary 1 as a universal property."""
+    h = build_hierarchy(g)
+    labels, _ = top_down_labels(h)
+    for v in g.vertices():
+        assert labels[v] == definition3_label(h, v)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs())
+def test_label_entries_are_reachable_upper_bounds(g):
+    h = build_hierarchy(g)
+    labels, _ = top_down_labels(h)
+    for v in g.vertices():
+        truth = dijkstra(g, v)
+        label = labels[v]
+        assert label[v] == 0
+        for w, d in label.items():
+            assert w in truth, "label entries must be reachable"
+            assert d >= truth[w]
+            assert h.level(w) >= h.level(v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(max_vertices=16))
+def test_max_level_gateway_is_exact(g):
+    """Lemma 5: for connected s,t the max-level vertex of some shortest
+    path appears in both labels with exact distances."""
+    h = build_hierarchy(g, full=True)
+    labels, _ = top_down_labels(h)
+    vertices = sorted(g.vertices())
+    for s in vertices:
+        truth_s = dijkstra(g, s)
+        for t in vertices:
+            if t not in truth_s:
+                continue
+            best = math.inf
+            for w, ds in labels[s].items():
+                dt = labels[t].get(w)
+                if dt is not None:
+                    best = min(best, ds + dt)
+            assert best == truth_s[t], (s, t)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_pred_entries_decompose_distances(g):
+    h = build_hierarchy(g)
+    labels, preds = top_down_labels(h, with_preds=True)
+    for v in g.vertices():
+        if h.in_gk(v):
+            continue
+        adjacency = dict(h.removal_adjacency(v))
+        for w, pred in preds[v].items():
+            if pred is None:
+                continue
+            assert labels[v][w] == adjacency[pred] + labels[pred][w]

@@ -1,0 +1,54 @@
+"""Property-based invariants of path reconstruction (§8.1)."""
+
+import math
+
+from hypothesis import given, settings
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.index import ISLabelIndex
+from repro.core.paths import PathReconstructor, is_valid_path, path_length
+from tests.properties.strategies import graphs
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(max_vertices=16))
+def test_all_pairs_paths_valid_and_tight(g):
+    index = ISLabelIndex.build(g, with_paths=True)
+    reconstructor = PathReconstructor(index)
+    for s in g.vertices():
+        truth = dijkstra(g, s)
+        for t in g.vertices():
+            dist, path = reconstructor.shortest_path(s, t)
+            expected = truth.get(t, math.inf)
+            assert dist == expected
+            if math.isinf(expected):
+                assert path is None
+            else:
+                assert path[0] == s and path[-1] == t
+                assert is_valid_path(g, path)
+                assert path_length(g, path) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_vertices=14))
+def test_full_hierarchy_paths(g):
+    index = ISLabelIndex.build(g, full=True, with_paths=True)
+    reconstructor = PathReconstructor(index)
+    for s in g.vertices():
+        truth = dijkstra(g, s)
+        for t in g.vertices():
+            dist, path = reconstructor.shortest_path(s, t)
+            assert dist == truth.get(t, math.inf)
+            if path is not None:
+                assert path_length(g, path) == dist
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_vertices=14))
+def test_paths_have_no_cycles(g):
+    reconstructor = PathReconstructor(ISLabelIndex.build(g, with_paths=True))
+    for s in g.vertices():
+        for t in g.vertices():
+            _, path = reconstructor.shortest_path(s, t)
+            if path is not None:
+                assert len(path) == len(set(path))

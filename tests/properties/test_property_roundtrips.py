@@ -1,0 +1,82 @@
+"""Property-based round trips: serialization, file formats, updates."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.index import ISLabelIndex
+from repro.core.serialization import load_index, save_index
+from repro.core.updates import DynamicISLabelIndex
+from repro.graph.io import (
+    read_binary_adjacency,
+    read_edge_list,
+    write_binary_adjacency,
+    write_edge_list,
+)
+from tests.properties.strategies import connected_graphs, graphs
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_vertices=16))
+def test_index_serialization_round_trip(g):
+    import tempfile
+    from pathlib import Path
+
+    index = ISLabelIndex.build(g)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "x.islx"
+        save_index(index, path)
+        loaded = load_index(path)
+    for s in g.vertices():
+        truth = dijkstra(g, s)
+        for t in g.vertices():
+            assert loaded.distance(s, t) == truth.get(t, math.inf)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_edge_list_round_trip(g):
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_binary_adjacency_round_trip(g):
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "g.bin"
+        write_binary_adjacency(g, path)
+        assert read_binary_adjacency(path) == g
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    connected_graphs(min_vertices=4, max_vertices=14),
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 5)), min_size=1, max_size=4
+    ),
+)
+def test_lazy_inserts_never_underestimate(g, insert_specs):
+    """§8.3 invariant: after any insertion sequence, answers >= truth."""
+    dyn = DynamicISLabelIndex(g)
+    n = g.num_vertices
+    for i, (anchor_idx, weight) in enumerate(insert_specs):
+        anchor = sorted(dyn.graph.vertices())[anchor_idx % n]
+        dyn.insert_vertex(10_000 + i, {anchor: weight})
+    for s in dyn.graph.vertices():
+        truth = dijkstra(dyn.graph, s)
+        for t in dyn.graph.vertices():
+            # Upper-bound semantics: never less than the true distance
+            # (inf >= finite means a missed route, which is allowed; a
+            # value below the truth would be a soundness bug).
+            assert dyn.distance(s, t) >= truth.get(t, math.inf)

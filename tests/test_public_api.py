@@ -1,0 +1,77 @@
+"""The public API surface: imports, exports, and error taxonomy."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    GraphError,
+    IndexBuildError,
+    QueryError,
+    ReproError,
+    StaleIndexError,
+    StorageError,
+    ValidationError,
+)
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version_present():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_core_types_reachable_from_top_level():
+    g = repro.Graph([(1, 2)])
+    index = repro.ISLabelIndex.build(g)
+    assert index.distance(1, 2) == 1
+    assert isinstance(index.stats, repro.IndexStats)
+    assert isinstance(index.query(1, 2), repro.QueryResult)
+
+
+def test_subpackage_all_exports_resolve():
+    import repro.baselines
+    import repro.bench
+    import repro.core
+    import repro.extmem
+    import repro.graph
+    import repro.workloads
+
+    for module in (
+        repro.core,
+        repro.graph,
+        repro.extmem,
+        repro.baselines,
+        repro.workloads,
+        repro.bench,
+    ):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestErrorTaxonomy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc in (
+            GraphError,
+            ValidationError,
+            IndexBuildError,
+            QueryError,
+            StorageError,
+            StaleIndexError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_is_a_graph_error(self):
+        assert issubclass(ValidationError, GraphError)
+
+    def test_library_failures_catchable_with_one_clause(self):
+        g = repro.Graph([(1, 2)])
+        index = repro.ISLabelIndex.build(g)
+        with pytest.raises(ReproError):
+            index.distance(1, 999)
+        with pytest.raises(ReproError):
+            repro.Graph([(1, 1)])
+        with pytest.raises(ReproError):
+            repro.build_hierarchy(g, sigma=7.0)

@@ -1,0 +1,80 @@
+"""Unit tests for the dataset stand-ins (Table 2 shapes)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.components import is_connected
+from repro.graph.stats import graph_stats
+from repro.graph.validation import validate_graph
+from repro.workloads.datasets import (
+    DATASET_NAMES,
+    PAPER_TABLE2,
+    dataset_builders,
+    load_dataset,
+)
+
+SCALE = 0.08  # keep test-time builds fast
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_datasets_valid_and_connected(name):
+    g = load_dataset(name, SCALE)
+    validate_graph(g)
+    assert is_connected(g)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_datasets_deterministic(name):
+    assert load_dataset(name, SCALE) == dataset_builders()[name](SCALE)
+
+
+def test_cache_returns_same_object():
+    assert load_dataset("google", SCALE) is load_dataset("google", SCALE)
+
+
+def test_scale_changes_size():
+    small = load_dataset("google", 0.05)
+    large = load_dataset("google", 0.15)
+    assert large.num_vertices > small.num_vertices
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(GraphError):
+        load_dataset("facebook")
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(GraphError):
+        load_dataset("google", 0)
+
+
+def test_web_has_weights_up_to_two():
+    g = load_dataset("web", SCALE)
+    weights = {w for _, _, w in g.edges()}
+    assert weights == {1, 2}
+
+
+def test_btc_is_unweighted():
+    g = load_dataset("btc", SCALE)
+    assert all(w == 1 for _, _, w in g.edges())
+
+
+def test_vertex_count_ordering_matches_paper():
+    sizes = {n: load_dataset(n, SCALE).num_vertices for n in DATASET_NAMES}
+    # Paper ordering: btc > web > wikitalk > skitter > google.
+    assert sizes["btc"] > sizes["web"] > sizes["google"]
+    assert sizes["wikitalk"] > sizes["google"]
+
+
+def test_wikitalk_hub_skew():
+    stats = {n: graph_stats(load_dataset(n, SCALE)) for n in DATASET_NAMES}
+    ratios = {
+        n: stats[n].max_degree / stats[n].num_vertices for n in DATASET_NAMES
+    }
+    assert ratios["wikitalk"] == max(ratios.values())
+
+
+def test_paper_reference_table_complete():
+    assert set(PAPER_TABLE2) == set(DATASET_NAMES)
+    for row in PAPER_TABLE2.values():
+        assert row["V"] > 0 and row["E"] > 0

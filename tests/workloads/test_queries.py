@@ -1,0 +1,66 @@
+"""Unit tests for query workload generation."""
+
+import pytest
+
+from repro.core.index import ISLabelIndex
+from repro.errors import QueryError
+from repro.graph.generators import ensure_connected, erdos_renyi, path_graph
+from repro.graph.graph import Graph
+from repro.workloads.queries import random_query_pairs, typed_query_pairs
+
+
+@pytest.fixture(scope="module")
+def index():
+    g = ensure_connected(erdos_renyi(100, 260, seed=99), seed=99)
+    return ISLabelIndex.build(g, k=2)
+
+
+class TestRandomPairs:
+    def test_count_and_membership(self):
+        g = path_graph(20)
+        pairs = random_query_pairs(g, 50, seed=1)
+        assert len(pairs) == 50
+        assert all(g.has_vertex(s) and g.has_vertex(t) for s, t in pairs)
+
+    def test_seeded_determinism(self):
+        g = path_graph(20)
+        assert random_query_pairs(g, 30, seed=2) == random_query_pairs(
+            g, 30, seed=2
+        )
+
+    def test_too_small_graph_rejected(self):
+        g = Graph()
+        g.add_vertex(1)
+        with pytest.raises(QueryError):
+            random_query_pairs(g, 5)
+
+
+class TestTypedPairs:
+    @pytest.mark.parametrize("qtype", (1, 2, 3))
+    def test_types_respected(self, index, qtype):
+        pairs = typed_query_pairs(index, 40, qtype, seed=3)
+        assert len(pairs) == 40
+        for s, t in pairs:
+            s_in = index.hierarchy.in_gk(s)
+            t_in = index.hierarchy.in_gk(t)
+            if qtype == 1:
+                assert s_in and t_in
+            elif qtype == 2:
+                assert s_in != t_in
+            else:
+                assert not s_in and not t_in
+
+    def test_queries_classified_consistently(self, index):
+        for qtype in (1, 2, 3):
+            for s, t in typed_query_pairs(index, 10, qtype, seed=4):
+                assert index.query(s, t).query_type == qtype
+
+    def test_bad_type_rejected(self, index):
+        with pytest.raises(QueryError):
+            typed_query_pairs(index, 5, 4)
+
+    def test_type1_needs_gk_vertices(self):
+        g = path_graph(8)
+        full = ISLabelIndex.build(g, full=True)
+        with pytest.raises(QueryError):
+            typed_query_pairs(full, 5, 1)
