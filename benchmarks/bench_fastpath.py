@@ -1,0 +1,215 @@
+"""Fast engine vs dict reference: build time and query throughput.
+
+Runs ``ISLabelIndex.build(engine="dict")`` and ``engine="fast"`` head to
+head on several generated datasets, cross-checks that both engines return
+identical distances, and emits machine-readable ``BENCH_fastpath.json`` at
+the repo root — the first point of the repo's performance trajectory, which
+future perf PRs are judged against.
+
+Per dataset it reports:
+
+* build seconds per engine (best of ``--repeats``);
+* single-query throughput (``index.distance`` loop) per engine;
+* batch throughput (``index.distances`` — a true batch path on the fast
+  engine, a per-pair loop on the reference);
+* the fast engine's search mode (``apsp`` table or ``csr`` bi-Dijkstra).
+
+Both engines are warmed before timing (the fast engine freezes its arrays
+and fills distance-table rows on first use), so the numbers are
+steady-state serving throughput.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py           # full run
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import random
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.core.index import ISLabelIndex
+from repro.graph.generators import (
+    barabasi_albert,
+    ensure_connected,
+    grid_graph,
+    random_weights,
+)
+from repro.graph.graph import Graph
+from repro.workloads.datasets import load_dataset
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: (name, builder) — ordered smallest to largest; the last entry is the
+#: "largest dataset" the acceptance gates are evaluated on.
+FULL_DATASETS = [
+    ("grid40", lambda: grid_graph(40, 40, seed=11, max_weight=8)),
+    (
+        "ba3000",
+        lambda: ensure_connected(
+            random_weights(barabasi_albert(3000, 3, seed=12), 9, seed=12), seed=12
+        ),
+    ),
+    # ba6000's G_k exceeds FastEngine.APSP_MAX_GK, so this row exercises
+    # (and tracks) the CSR bi-Dijkstra search path rather than the table.
+    (
+        "ba6000",
+        lambda: ensure_connected(
+            random_weights(barabasi_albert(6000, 3, seed=13), 9, seed=13), seed=13
+        ),
+    ),
+    ("google", lambda: load_dataset("google", 1.0)),
+    ("skitter", lambda: load_dataset("skitter", 1.0)),
+    ("web", lambda: load_dataset("web", 1.0)),
+]
+
+QUICK_DATASETS = [
+    ("grid10", lambda: grid_graph(10, 10, seed=11, max_weight=8)),
+    ("google-s", lambda: load_dataset("google", 0.15)),
+]
+
+
+def _query_pairs(graph: Graph, count: int, seed: int) -> List[Tuple[int, int]]:
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    return [(rng.choice(vertices), rng.choice(vertices)) for _ in range(count)]
+
+
+def _best_build_seconds(graph: Graph, engine: str, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        ISLabelIndex.build(graph, engine=engine)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _time_single(index: ISLabelIndex, pairs) -> float:
+    distance = index.distance
+    started = time.perf_counter()
+    for s, t in pairs:
+        distance(s, t)
+    return time.perf_counter() - started
+
+
+def _time_batch(index: ISLabelIndex, pairs) -> float:
+    started = time.perf_counter()
+    index.distances(pairs)
+    return time.perf_counter() - started
+
+
+def bench_dataset(
+    name: str, graph: Graph, queries: int, repeats: int
+) -> Dict[str, object]:
+    build_dict = _best_build_seconds(graph, "dict", repeats)
+    build_fast = _best_build_seconds(graph, "fast", repeats)
+
+    dict_index = ISLabelIndex.build(graph, engine="dict")
+    fast_index = ISLabelIndex.build(graph, engine="fast")
+    pairs = _query_pairs(graph, queries, seed=7)
+
+    # Steady-state warm-up: freezes the fast engine's arrays, fills the
+    # G_k distance-table rows the workload touches, and cross-checks the
+    # engines against each other on every pair.
+    expected = dict_index.distances(pairs)
+    got = fast_index.distances(pairs)
+    if expected != got:
+        raise AssertionError(f"{name}: engines disagree")
+
+    single_dict = _time_single(dict_index, pairs)
+    single_fast = _time_single(fast_index, pairs)
+    batch_dict = _time_batch(dict_index, pairs)
+    batch_fast = _time_batch(fast_index, pairs)
+
+    stats = fast_index.stats
+    result = {
+        "dataset": name,
+        "num_vertices": stats.num_vertices,
+        "num_edges": stats.num_edges,
+        "k": stats.k,
+        "gk_vertices": stats.gk_vertices,
+        "label_entries": stats.label_entries,
+        "queries": len(pairs),
+        "search_mode": fast_index.search_mode,
+        "build_seconds": {"dict": build_dict, "fast": build_fast},
+        "build_ratio_fast_over_dict": build_fast / build_dict,
+        "single_query_qps": {
+            "dict": len(pairs) / single_dict,
+            "fast": len(pairs) / single_fast,
+        },
+        "batch_qps": {
+            "dict": len(pairs) / batch_dict,
+            "fast": len(pairs) / batch_fast,
+        },
+        "single_query_speedup": single_dict / single_fast,
+        "batch_speedup": batch_dict / batch_fast,
+    }
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny graphs / few queries (CI smoke)"
+    )
+    parser.add_argument("--queries", type=int, default=None, help="pairs per dataset")
+    parser.add_argument("--repeats", type=int, default=3, help="build repetitions")
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(REPO_ROOT / "BENCH_fastpath.json"),
+        help="output JSON path (default: repo root BENCH_fastpath.json)",
+    )
+    args = parser.parse_args(argv)
+
+    datasets = QUICK_DATASETS if args.quick else FULL_DATASETS
+    queries = args.queries or (100 if args.quick else 1500)
+
+    results = []
+    for name, builder in datasets:
+        graph = builder()
+        row = bench_dataset(name, graph, queries, args.repeats)
+        results.append(row)
+        print(
+            f"{name:10s} |V|={row['num_vertices']:>6} k={row['k']:>2} "
+            f"gk={row['gk_vertices']:>5} mode={row['search_mode']:4s} | "
+            f"build dict {row['build_seconds']['dict']:.3f}s "
+            f"fast {row['build_seconds']['fast']:.3f}s "
+            f"({row['build_ratio_fast_over_dict']:.2f}x) | "
+            f"single {row['single_query_speedup']:.2f}x "
+            f"batch {row['batch_speedup']:.2f}x"
+        )
+
+    largest = results[-1]
+    report = {
+        "benchmark": "fastpath",
+        "mode": "quick" if args.quick else "full",
+        "queries_per_dataset": queries,
+        "datasets": results,
+        "largest_dataset": largest["dataset"],
+        "gates": {
+            "query_speedup_at_least_2x": largest["batch_speedup"] >= 2.0,
+            "build_regression_within_10pct": largest["build_ratio_fast_over_dict"]
+            <= 1.10,
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    ok = all(report["gates"].values())
+    print("gates:", report["gates"], "->", "PASS" if ok else "FAIL")
+    if args.quick:
+        # Smoke mode exists to keep the script from rotting (and to verify
+        # engine agreement); timing gates are meaningless on tiny graphs.
+        return 0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -66,10 +66,11 @@ def built_index(
     k: Optional[int] = None,
     storage: str = "disk",
     scale: float = 1.0,
+    engine: str = "fast",
 ) -> ISLabelIndex:
     """Build (once per process) an IS-LABEL index for a dataset stand-in."""
     graph = load_dataset(dataset, scale)
-    return ISLabelIndex.build(graph, sigma=sigma, k=k, storage=storage)
+    return ISLabelIndex.build(graph, sigma=sigma, k=k, storage=storage, engine=engine)
 
 
 @lru_cache(maxsize=16)

@@ -51,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument(
         "--with-paths", action="store_true", help="enable §8.1 path reconstruction"
     )
+    p_build.add_argument(
+        "--engine",
+        choices=("fast", "dict"),
+        default="fast",
+        help="compute backend: array/CSR fast engine or the dict reference",
+    )
 
     p_query = commands.add_parser("query", help="query a saved index")
     p_query.add_argument("index", help="index file from `repro build`")
@@ -58,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("target", type=int)
     p_query.add_argument(
         "--path", action="store_true", help="print the shortest path too"
+    )
+    p_query.add_argument(
+        "--engine",
+        choices=("fast", "dict"),
+        default="fast",
+        help="query backend for the loaded index",
     )
 
     p_stats = commands.add_parser("stats", help="show index statistics")
@@ -89,6 +101,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         k=args.k,
         full=args.full,
         with_paths=args.with_paths,
+        engine=args.engine,
     )
     elapsed = time.perf_counter() - started
     nbytes = save_index(index, args.output)
@@ -106,7 +119,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
+    index = load_index(args.index, engine=args.engine)
     if args.path:
         reconstructor = PathReconstructor(index)
         dist, path = reconstructor.shortest_path(args.source, args.target)

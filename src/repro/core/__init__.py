@@ -15,6 +15,12 @@ from repro.core.independent_set import (
     is_independent_set,
     random_independent_set,
 )
+from repro.core.fastlabels import (
+    FastEngine,
+    LabelArrayPool,
+    eq1_merge,
+    fast_top_down_labels,
+)
 from repro.core.index import IndexStats, ISLabelIndex, QueryResult
 from repro.core.labeling import (
     definition3_label,
@@ -22,6 +28,8 @@ from repro.core.labeling import (
     top_down_labels,
 )
 from repro.core.labels import (
+    BYTES_PER_ENTRY,
+    BYTES_PER_ENTRY_WITH_PRED,
     eq1_distance,
     eq1_distance_argmin,
     intersect_labels,
@@ -29,7 +37,12 @@ from repro.core.labels import (
     vertex_set,
 )
 from repro.core.paths import PathReconstructor, is_valid_path, path_length
-from repro.core.query import BiDijkstraResult, SearchStats, label_bidijkstra
+from repro.core.query import (
+    BiDijkstraResult,
+    SearchStats,
+    csr_label_bidijkstra,
+    label_bidijkstra,
+)
 from repro.core.reduce import external_reduce, reduce_graph, reduce_graph_inplace
 from repro.core.serialization import (
     load_directed_index,
@@ -66,7 +79,14 @@ __all__ = [
     "intersect_labels",
     "sort_label",
     "vertex_set",
+    "BYTES_PER_ENTRY",
+    "BYTES_PER_ENTRY_WITH_PRED",
+    "FastEngine",
+    "LabelArrayPool",
+    "eq1_merge",
+    "fast_top_down_labels",
     "label_bidijkstra",
+    "csr_label_bidijkstra",
     "BiDijkstraResult",
     "SearchStats",
     "PathReconstructor",

@@ -25,6 +25,7 @@ from repro.graph.graph import Graph
 
 __all__ = [
     "greedy_independent_set",
+    "min_degree_order",
     "random_independent_set",
     "external_independent_set",
     "is_independent_set",
@@ -44,11 +45,30 @@ def greedy_independent_set(graph: Graph) -> Tuple[List[int], Dict[int, Adjacency
 
     Vertices are visited in ascending ``(degree, id)`` order — degrees as of
     the input graph, matching the one-shot sort of Algorithm 2 rather than a
-    dynamically updated bucket queue.  Ties broken by id keep the algorithm
-    deterministic.
+    dynamically updated priority structure.  Ties broken by id keep the
+    algorithm deterministic.  The order comes from a degree-bucket counting
+    pass over a degree array (:func:`min_degree_order`) rather than a full
+    ``sorted()`` with a key function: the hierarchy calls this once per
+    level, and the comparison sort was the construction hot spot.
     """
-    order = sorted(graph.vertices(), key=lambda v: (graph.degree(v), v))
-    return _select_in_order(graph, order)
+    return _select_in_order(graph, min_degree_order(graph))
+
+
+def min_degree_order(graph: Graph) -> List[int]:
+    """Vertex ids in ascending ``(degree, id)`` order via degree buckets.
+
+    Equivalent to ``sorted(graph.vertices(), key=lambda v: (degree(v), v))``
+    but O(n + max_degree) after the plain id sort: vertices are dropped into
+    one bucket per degree in ascending-id order and the buckets are
+    concatenated.
+    """
+    buckets: List[List[int]] = []
+    for v in graph.sorted_vertices():
+        d = graph.degree(v)
+        while len(buckets) <= d:
+            buckets.append([])
+        buckets[d].append(v)
+    return [v for bucket in buckets for v in bucket]
 
 
 def random_independent_set(

@@ -19,6 +19,22 @@ Two storage modes mirror the paper's two configurations:
   in Tables 4, 5 and 8.
 * ``storage="memory"`` — labels stay in memory, Time (a) is zero.  This is
   "IM-ISL".
+
+Orthogonally to storage, ``engine`` selects the query/compute backend:
+
+* ``engine="fast"`` (default) — array-native hot paths: labels as sorted
+  parallel numpy arrays with a merge-based Equation 1, ``G_k`` frozen into
+  a CSR adjacency at build time, and Algorithm 1 run over flat
+  ``indptr/indices/weights`` with dense-int distance maps from a shared
+  buffer pool (:mod:`repro.core.fastlabels`).  :meth:`distances` becomes a
+  true batch path that reuses the search buffers across the whole batch.
+* ``engine="dict"`` — the reference implementation over dict-of-dict
+  adjacency and entry-list labels; kept for ablations, as the correctness
+  oracle of the cross-engine property tests, and for the mutable paths
+  (dynamic updates, §8.3).
+
+Both engines return bit-identical answers and identical I/O accounting;
+path reconstruction (``keep_parents``) always runs on the reference search.
 """
 
 from __future__ import annotations
@@ -28,15 +44,22 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.fastlabels import FastEngine, fast_top_down_labels
 from repro.core.hierarchy import DEFAULT_SIGMA, VertexHierarchy, build_hierarchy
 from repro.core.labeling import top_down_labels
 from repro.core.labels import (
     BYTES_PER_ENTRY,
+    BYTES_PER_ENTRY_WITH_PRED,
     LabelEntryList,
     eq1_distance_argmin,
     sort_label,
 )
-from repro.core.query import BiDijkstraResult, SearchStats, label_bidijkstra
+from repro.core.query import (
+    BiDijkstraResult,
+    SearchStats,
+    csr_label_bidijkstra,
+    label_bidijkstra,
+)
 from repro.errors import IndexBuildError, QueryError
 from repro.extmem.iomodel import CostModel, IOStats
 from repro.extmem.labelstore import NO_HINT, LabelStore
@@ -100,6 +123,7 @@ class ISLabelIndex:
         store: Optional[LabelStore],
         cost_model: CostModel,
         labeling_seconds: float,
+        fast: Optional[FastEngine] = None,
     ) -> None:
         self.hierarchy = hierarchy
         self.gk = hierarchy.gk
@@ -109,6 +133,32 @@ class ISLabelIndex:
         self.cost_model = cost_model
         self._labeling_seconds = labeling_seconds
         self.io_stats = store.stats if store is not None else IOStats()
+        self._fast = fast
+
+    @property
+    def engine(self) -> str:
+        """``"fast"`` (array/CSR hot paths) or ``"dict"`` (reference)."""
+        return "fast" if self._fast is not None else "dict"
+
+    @property
+    def search_mode(self) -> str:
+        """How Algorithm 1's search stage runs: ``"apsp"`` (small-``G_k``
+        distance table), ``"csr"`` (flat-array bi-Dijkstra) or ``"dict"``
+        (reference adjacency)."""
+        if self._fast is None:
+            return "dict"
+        return "apsp" if self._fast.has_apsp else "csr"
+
+    def attach_fast_engine(self) -> "ISLabelIndex":
+        """Freeze the current labels and ``G_k`` into a fast engine.
+
+        Used by :func:`repro.core.serialization.load_index` and by tests
+        that construct indexes directly.  The engine snapshots the labels —
+        do not mutate them afterwards (dynamic maintenance must stay on the
+        dict engine).
+        """
+        self._fast = FastEngine.from_entry_lists(self.gk, self._labels)
+        return self
 
     # ------------------------------------------------------------------
     # Construction
@@ -126,12 +176,15 @@ class ISLabelIndex:
         is_strategy: str = "min_degree",
         seed: Optional[int] = None,
         cache_blocks: Optional[int] = None,
+        engine: str = "fast",
     ) -> "ISLabelIndex":
         """Build the index; see :func:`repro.core.hierarchy.build_hierarchy`
         for the hierarchy knobs (``sigma``, ``k``, ``full``, strategy).
 
         ``storage`` selects ``"memory"`` (IM-ISL) or ``"disk"`` (IS-LABEL
-        with simulated label I/O); ``with_paths`` records the §8.1
+        with simulated label I/O); ``engine`` selects the ``"fast"``
+        array/CSR compute backend (default) or the ``"dict"`` reference
+        (see the module docstring); ``with_paths`` records the §8.1
         bookkeeping needed by :class:`repro.core.paths.PathReconstructor`;
         ``cache_blocks`` (disk mode) puts an LRU block cache in front of
         the label store, modelling the OS page cache the paper's testbed
@@ -139,6 +192,8 @@ class ISLabelIndex:
         """
         if storage not in ("memory", "disk"):
             raise IndexBuildError(f"unknown storage mode {storage!r}")
+        if engine not in ("fast", "dict"):
+            raise IndexBuildError(f"unknown engine {engine!r}")
         model = cost_model or CostModel()
 
         hierarchy = build_hierarchy(
@@ -151,8 +206,21 @@ class ISLabelIndex:
             with_hints=with_paths,
         )
         labeling_started = time.perf_counter()
-        label_maps, preds = top_down_labels(hierarchy, with_preds=with_paths)
-        labels = {v: sort_label(m) for v, m in label_maps.items()}
+        fast = None
+        if engine == "fast" and not with_paths:
+            # Algorithm 4 with the sorted-array k-way min-merge for large
+            # labels; the engine then packs the entry lists into its
+            # backing arrays in one batch.
+            labels, array_labels = fast_top_down_labels(hierarchy)
+            preds = None
+            fast = FastEngine(hierarchy.gk, labels, array_labels)
+        else:
+            # Predecessor bookkeeping (with_paths) only exists on the dict
+            # labeler; the fast engine can still wrap the result below.
+            label_maps, preds = top_down_labels(hierarchy, with_preds=with_paths)
+            labels = {v: sort_label(m) for v, m in label_maps.items()}
+            if engine == "fast":
+                fast = FastEngine.from_entry_lists(hierarchy.gk, labels)
         labeling_seconds = time.perf_counter() - labeling_started
 
         store = None
@@ -176,7 +244,7 @@ class ISLabelIndex:
 
                 store = CachedLabelStore(store, cache_blocks)
 
-        return cls(hierarchy, labels, preds, store, model, labeling_seconds)
+        return cls(hierarchy, labels, preds, store, model, labeling_seconds, fast)
 
     # ------------------------------------------------------------------
     # Queries
@@ -186,8 +254,54 @@ class ISLabelIndex:
         return self.query(source, target).distance
 
     def distances(self, pairs) -> List[float]:
-        """Batch form of :meth:`distance` over an iterable of (s, t) pairs."""
-        return [self.query(s, t).distance for s, t in pairs]
+        """Batch form of :meth:`distance` over an iterable of (s, t) pairs.
+
+        On the fast engine this is a real batch path: the Equation-1 merge,
+        seed lookup and CSR search share one set of pooled buffers across
+        the whole batch and skip the per-query :class:`QueryResult` and
+        timing bookkeeping (I/O accounting in disk mode is preserved).
+        """
+        if self._fast is None:
+            return [self.query(s, t).distance for s, t in pairs]
+        return self._fast_distances(pairs)
+
+    def _fast_distances(self, pairs) -> List[float]:
+        fast = self._fast
+        fast.freeze()
+        indptr, indices, weights = fast.indptr, fast.indices, fast.weights
+        n_gk = fast.csr.num_vertices
+        pool = fast.pool
+        eq1 = fast.eq1
+        charge = self._store is not None
+        use_apsp = fast.has_apsp
+        seeds = fast.seeds_np if use_apsp else fast.seeds
+        level_of = self.hierarchy.level_of
+        out: List[float] = []
+        for s, t in pairs:
+            if s not in level_of:
+                raise QueryError(f"vertex {s} is not covered by this index")
+            if t not in level_of:
+                raise QueryError(f"vertex {t} is not covered by this index")
+            if s == t:
+                out.append(0)
+                continue
+            if charge:
+                self._fetch_label(s)
+                self._fetch_label(t)
+            mu0, _ = eq1(s, t)
+            sf = seeds(s)
+            sr = seeds(t)
+            if not len(sf[0]) or not len(sr[0]):
+                out.append(mu0)
+                continue
+            if use_apsp:
+                out.append(fast.search_distance(sf, sr, mu0))
+                continue
+            distance, _, _ = csr_label_bidijkstra(
+                indptr, indices, weights, sf, sr, pool, n_gk, initial_mu=mu0
+            )
+            out.append(distance)
+        return out
 
     def reachable(self, source: int, target: int) -> bool:
         """True iff the endpoints are connected in ``G``."""
@@ -215,6 +329,11 @@ class ISLabelIndex:
                 QueryResult(source, target, 0, table5_type, False, 0, 0.0, 0.0),
                 None,
             )
+
+        # Path reconstruction needs parent pointers, which only the
+        # reference search records; everything else takes the fast path.
+        if self._fast is not None and not keep_parents:
+            return self._fast_query(source, target, table5_type)
 
         ios_before = self.io_stats.block_reads
         label_s = self._fetch_label(source)
@@ -270,6 +389,72 @@ class ISLabelIndex:
             result,
         )
 
+    def _fast_query(
+        self, source: int, target: int, table5_type: int
+    ) -> Tuple[QueryResult, None]:
+        """Array-native query: merge Eq. 1, pre-extracted seeds, CSR search."""
+        fast = self._fast
+        fast.freeze()
+        ios_before = self.io_stats.block_reads
+        if self._store is not None:
+            # Same I/O accounting as the reference path: the store charge
+            # is the model, the arrays are the compute.
+            self._fetch_label(source)
+            self._fetch_label(target)
+        label_ios = self.io_stats.block_reads - ios_before
+        time_label_s = self.cost_model.time_for(label_ios)
+
+        search_started = time.perf_counter()
+        mu0, _ = fast.eq1(source, target)
+        use_apsp = fast.has_apsp
+        seeds_of = fast.seeds_np if use_apsp else fast.seeds
+        seeds_f = seeds_of(source)
+        seeds_r = seeds_of(target)
+        if not len(seeds_f[0]) or not len(seeds_r[0]):
+            elapsed = time.perf_counter() - search_started
+            return (
+                QueryResult(
+                    source,
+                    target,
+                    mu0,
+                    table5_type,
+                    False,
+                    label_ios,
+                    time_label_s,
+                    elapsed,
+                ),
+                None,
+            )
+        stats: Optional[SearchStats] = None
+        if use_apsp:
+            distance = fast.search_distance(seeds_f, seeds_r, mu0)
+        else:
+            distance, _, stats = csr_label_bidijkstra(
+                fast.indptr,
+                fast.indices,
+                fast.weights,
+                seeds_f,
+                seeds_r,
+                fast.pool,
+                fast.csr.num_vertices,
+                initial_mu=mu0,
+            )
+        elapsed = time.perf_counter() - search_started
+        return (
+            QueryResult(
+                source,
+                target,
+                distance,
+                table5_type,
+                True,
+                label_ios,
+                time_label_s,
+                elapsed,
+                stats,
+            ),
+            None,
+        )
+
     def _gk_adjacency(self, v: int):
         return self.gk.neighbors(v).items()
 
@@ -310,7 +495,9 @@ class ISLabelIndex:
     @property
     def stats(self) -> IndexStats:
         label_entries = sum(len(entries) for entries in self._labels.values())
-        entry_bytes = 24 if self._preds is not None else BYTES_PER_ENTRY
+        entry_bytes = (
+            BYTES_PER_ENTRY_WITH_PRED if self._preds is not None else BYTES_PER_ENTRY
+        )
         hierarchy = self.hierarchy
         original_edges = (hierarchy.sizes[0] - hierarchy.num_vertices) if hierarchy.sizes else 0
         return IndexStats(

@@ -13,6 +13,10 @@ Three implementations of the same mathematical object:
 * :func:`external_top_down_labels` — the I/O-efficient block nested-loop
   join version of Algorithm 4, for labels that exceed main memory.
 
+A fourth implementation, :func:`repro.core.fastlabels.fast_top_down_labels`,
+runs the same top-down pass with a sorted-array k-way min-merge for large
+labels; the fast engine (``ISLabelIndex.build(engine="fast")``) uses it.
+
 All three produce, for every vertex, a dict ``{ancestor: d(v, ancestor)}``
 where ``d`` upper-bounds the true distance and is exact for the max-level
 vertex of any shortest path (Lemma 5).  When ``with_preds`` is requested the

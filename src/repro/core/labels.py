@@ -17,6 +17,8 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 __all__ = [
     "LabelEntryList",
+    "BYTES_PER_ENTRY",
+    "BYTES_PER_ENTRY_WITH_PRED",
     "sort_label",
     "vertex_set",
     "intersect_labels",
@@ -31,6 +33,10 @@ LabelEntryList = Sequence[Tuple[int, int]]
 #: Bytes per stored label entry (8-byte ancestor + 8-byte distance),
 #: matching :mod:`repro.extmem.labelstore` and the Table 3 size column.
 BYTES_PER_ENTRY = 16
+
+#: Bytes per label entry when the §8.1 predecessor hint is stored alongside
+#: (8-byte ancestor + 8-byte distance + 8-byte predecessor).
+BYTES_PER_ENTRY_WITH_PRED = 24
 
 
 def sort_label(label: Dict[int, int]) -> List[Tuple[int, int]]:
@@ -68,12 +74,7 @@ def intersect_labels(
 
 def eq1_distance(label_s: LabelEntryList, label_t: LabelEntryList) -> float:
     """Equation 1: ``min_{w ∈ X} d(s,w) + d(w,t)``, or ``inf`` if X = ∅."""
-    best = math.inf
-    for _, ds, dt in intersect_labels(label_s, label_t):
-        total = ds + dt
-        if total < best:
-            best = total
-    return best
+    return eq1_distance_argmin(label_s, label_t)[0]
 
 
 def eq1_distance_argmin(
@@ -81,7 +82,8 @@ def eq1_distance_argmin(
 ) -> Tuple[float, int]:
     """Equation 1 plus the minimizing common ancestor (-1 if X = ∅).
 
-    The argmin is the meeting vertex path reconstruction starts from.
+    The argmin is the meeting vertex path reconstruction starts from;
+    :func:`eq1_distance` is the thin distance-only wrapper.
     """
     best = math.inf
     best_w = -1

@@ -22,6 +22,13 @@ seed) and the published pseudocode returns an overestimate.
 
 The search is written against adjacency *callables* so the directed variant
 (§8.2) can reuse it with successor/predecessor maps.
+
+:func:`csr_label_bidijkstra` is the fast engine's equivalent of
+:func:`label_bidijkstra`: identical pruning and ``µ``-update semantics, but
+over the flat ``indptr/indices/weights`` arrays of a frozen
+:class:`repro.graph.csr.CSRGraph` with dense-int distance maps drawn from a
+shared :class:`repro.core.fastlabels.LabelArrayPool` (epoch-stamped, so
+nothing is cleared between queries).
 """
 
 from __future__ import annotations
@@ -29,9 +36,14 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["SearchStats", "BiDijkstraResult", "label_bidijkstra"]
+__all__ = [
+    "SearchStats",
+    "BiDijkstraResult",
+    "label_bidijkstra",
+    "csr_label_bidijkstra",
+]
 
 AdjacencyFn = Callable[[int], Iterable[Tuple[int, int]]]
 Seed = Tuple[int, int]  # (G_k vertex, label distance)
@@ -186,3 +198,144 @@ def _peek(heap: List[Tuple[int, int]], settled: Dict[int, int]) -> float:
     while heap and heap[0][1] in settled:
         heapq.heappop(heap)
     return heap[0][0] if heap else math.inf
+
+
+def csr_label_bidijkstra(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    weights: Sequence[int],
+    seeds_forward: Tuple[Sequence[int], Sequence[int]],
+    seeds_reverse: Tuple[Sequence[int], Sequence[int]],
+    pool,
+    num_vertices: int,
+    initial_mu: float = math.inf,
+) -> Tuple[float, int, SearchStats]:
+    """Algorithm 1's Stage 2 over a CSR ``G_k`` with dense vertex ids.
+
+    Answer-identical to :func:`label_bidijkstra` (same stopping rule, same
+    µ updates on settle and on every scanned edge), but engineered for the
+    CPython hot loop: every map is a flat list indexed by dense id —
+    distances, settled flags and tentative-dist markers come from ``pool``
+    (a :class:`repro.core.fastlabels.LabelArrayPool`) and are invalidated
+    by epoch stamping instead of being cleared — and heap entries are
+    single ints ``d * n + v`` (same ``(d, v)`` order as the reference's
+    tuples, far cheaper to compare).  One extra prune the reference skips:
+    an edge relaxation with ``tentative >= µ`` is dropped outright — any
+    meeting through it costs at least ``tentative``, and the optimal path's
+    relaxations always satisfy ``tentative <= OPT < µ`` until ``µ = OPT``,
+    so the returned ``µ*`` is unchanged while the heap stays much smaller.
+
+    Parameters
+    ----------
+    indptr, indices, weights:
+        The CSR arrays of ``G_k`` as Python lists (scalar indexing on
+        lists is what makes the inner loop fast in CPython).
+    seeds_forward, seeds_reverse:
+        Each a ``(dense_ids, dists)`` pair of parallel sequences — the
+        pre-extracted label seeds of the two endpoints.
+    pool:
+        The shared search-buffer pool; acquired once per call.
+    num_vertices:
+        ``|V_{G_k}|`` (dense ids run ``0..num_vertices-1``).
+    initial_mu:
+        The Equation-1 label-intersection bound (lines 4-6).
+
+    Returns
+    -------
+    (distance, meet_dense, stats):
+        ``distance`` is ``µ*`` (``inf`` when the searches never meet);
+        ``meet_dense`` the dense id of the best meeting vertex, ``-1``
+        when the initial bound was never beaten.
+    """
+    n = num_vertices
+    epoch = pool.acquire(n)
+    dist_f, dist_r = pool.dist_f, pool.dist_r
+    seen_f, seen_r = pool.seen_f, pool.seen_r
+    done_f, done_r = pool.done_f, pool.done_r
+    heap_f: List[int] = []
+    heap_r: List[int] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+
+    for v, d in zip(*seeds_forward):
+        dist_f[v] = d
+        seen_f[v] = epoch
+        heap_f.append(d * n + v)
+    heapq.heapify(heap_f)
+    for v, d in zip(*seeds_reverse):
+        dist_r[v] = d
+        seen_r[v] = epoch
+        heap_r.append(d * n + v)
+    heapq.heapify(heap_r)
+
+    mu = initial_mu
+    meet = -1
+    settled_fwd = settled_rev = relaxed = pushes = 0
+
+    while True:
+        while heap_f and done_f[heap_f[0] % n] == epoch:
+            pop(heap_f)
+        min_f = heap_f[0] // n if heap_f else math.inf
+        while heap_r and done_r[heap_r[0] % n] == epoch:
+            pop(heap_r)
+        min_r = heap_r[0] // n if heap_r else math.inf
+        if min_f + min_r >= mu:
+            break  # pruning condition of line 8 (covers exhausted queues)
+
+        if min_f <= min_r:
+            heap = heap_f
+            dist_x, dist_o = dist_f, dist_r
+            seen_x, seen_o = seen_f, seen_r
+            done_x = done_f
+            forward = True
+        else:
+            heap = heap_r
+            dist_x, dist_o = dist_r, dist_f
+            seen_x, seen_o = seen_r, seen_f
+            done_x = done_r
+            forward = False
+
+        d, v = divmod(pop(heap), n)
+        done_x[v] = epoch
+        if forward:
+            settled_fwd += 1
+        else:
+            settled_rev += 1
+
+        # µ update at settle time against the other side's best-known
+        # (possibly tentative) distance — covers meetings at label seeds.
+        if seen_o[v] == epoch:
+            through = d + dist_o[v]
+            if through < mu:
+                mu = through
+                meet = v
+
+        for p in range(indptr[v], indptr[v + 1]):
+            relaxed += 1
+            u = indices[p]
+            if done_x[u] == epoch:
+                continue
+            candidate = d + weights[p]
+            if candidate >= mu:
+                continue  # cannot beat µ through here (see docstring)
+            if seen_x[u] != epoch or candidate < dist_x[u]:
+                dist_x[u] = candidate
+                seen_x[u] = epoch
+                push(heap, candidate * n + u)
+                pushes += 1
+            # µ update on every scan (DESIGN.md §4): the head may already
+            # carry a distance on the other side whose meeting with this
+            # side was never evaluated.
+            if seen_o[u] == epoch:
+                through = dist_x[u] + dist_o[u]
+                if through < mu:
+                    mu = through
+                    meet = u
+
+    stats = SearchStats(
+        settled_forward=settled_fwd,
+        settled_reverse=settled_rev,
+        relaxed_edges=relaxed,
+        heap_pushes=pushes,
+    )
+    return mu, meet, stats

@@ -97,8 +97,20 @@ def save_index(index: ISLabelIndex, path: PathLike) -> int:
     return position
 
 
-def load_index(path: PathLike, cost_model: Optional[CostModel] = None) -> ISLabelIndex:
-    """Load an index saved by :func:`save_index` (memory-storage mode)."""
+def load_index(
+    path: PathLike,
+    cost_model: Optional[CostModel] = None,
+    engine: str = "fast",
+) -> ISLabelIndex:
+    """Load an index saved by :func:`save_index` (memory-storage mode).
+
+    ``engine`` selects the query backend of the loaded index, matching
+    :meth:`ISLabelIndex.build`: ``"fast"`` (default) re-freezes the labels
+    and ``G_k`` into the array/CSR engine, ``"dict"`` keeps the reference
+    structures only.  The on-disk format is engine-independent.
+    """
+    if engine not in ("fast", "dict"):
+        raise StorageError(f"unknown engine {engine!r}")
     with open(path, "rb") as fh:
         header = fh.read(_HEADER.size)
         if len(header) != _HEADER.size:
@@ -167,7 +179,7 @@ def load_index(path: PathLike, cost_model: Optional[CostModel] = None) -> ISLabe
         hints=hints,
     )
     hierarchy.validate_level_numbers()
-    return ISLabelIndex(
+    index = ISLabelIndex(
         hierarchy=hierarchy,
         labels=labels,
         preds=preds,
@@ -175,6 +187,9 @@ def load_index(path: PathLike, cost_model: Optional[CostModel] = None) -> ISLabe
         cost_model=cost_model or CostModel(),
         labeling_seconds=0.0,
     )
+    if engine == "fast":
+        index.attach_fast_engine()
+    return index
 
 
 # ----------------------------------------------------------------------

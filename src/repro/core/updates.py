@@ -44,8 +44,13 @@ class DynamicISLabelIndex:
     def __init__(self, graph: Graph, **build_kwargs) -> None:
         if build_kwargs.get("with_paths"):
             raise QueryError("dynamic maintenance supports distance-only indexes")
+        if build_kwargs.get("engine", "dict") != "dict":
+            # Label patching mutates entry lists in place; the fast engine
+            # freezes labels into arrays at build time and would go stale.
+            raise QueryError("dynamic maintenance requires engine='dict'")
         self.graph = graph.copy()
         self._build_kwargs = dict(build_kwargs)
+        self._build_kwargs["engine"] = "dict"
         self.index = ISLabelIndex.build(self.graph, **self._build_kwargs)
         self.inserts_applied = 0
         self.deletes_applied = 0

@@ -4,6 +4,14 @@ Query processing (Algorithm 1) runs Dijkstra over ``G_k`` many thousands of
 times; a packed numpy CSR layout with dense ``0..n-1`` ids is markedly
 faster to scan than dict-of-dict adjacency and is what a C++ implementation
 would use.  The view is immutable — build it once after ``G_k`` is fixed.
+
+This is the adjacency backing the fast query engine
+(``ISLabelIndex.build(..., engine="fast")``): :class:`repro.core.fastlabels.
+FastEngine` freezes ``G_k`` into one :class:`CSRGraph` at index-build time
+and runs both directions of the label-seeded bidirectional Dijkstra over
+``indptr/indices/weights`` with dense-int distance maps.  Construction is
+vectorized — one pass collects the edge list, then ``np.lexsort`` /
+``np.bincount`` build the arrays without per-vertex Python loops.
 """
 
 from __future__ import annotations
@@ -25,31 +33,50 @@ class CSRGraph:
     ----------
     indptr, indices, weights:
         Standard CSR arrays: the neighbours of dense vertex ``i`` are
-        ``indices[indptr[i]:indptr[i+1]]`` with matching ``weights``.
+        ``indices[indptr[i]:indptr[i+1]]`` with matching ``weights``,
+        sorted by dense neighbour id.
     id_of, dense_of:
         Mappings between original vertex ids and dense ``0..n-1`` ids.
+        Dense ids follow ascending original-id order, so the dense id of
+        ``v`` is also ``np.searchsorted(ids_array, v)``.
+    ids_array:
+        ``id_of`` as a sorted ``int64`` array (for vectorized membership
+        and dense translation via ``searchsorted``).
     """
 
-    __slots__ = ("indptr", "indices", "weights", "id_of", "dense_of")
+    __slots__ = ("indptr", "indices", "weights", "id_of", "dense_of", "ids_array")
 
     def __init__(self, graph: Graph) -> None:
         order = graph.sorted_vertices()
         self.dense_of: Dict[int, int] = {v: i for i, v in enumerate(order)}
         self.id_of: List[int] = order
+        self.ids_array = np.array(order, dtype=np.int64)
         n = len(order)
-        degrees = np.zeros(n + 1, dtype=np.int64)
-        for i, v in enumerate(order):
-            degrees[i + 1] = graph.degree(v)
-        self.indptr = np.cumsum(degrees)
-        m2 = int(self.indptr[-1])
-        self.indices = np.empty(m2, dtype=np.int64)
-        self.weights = np.empty(m2, dtype=np.int64)
-        pos = 0
-        for v in order:
-            for u, w in sorted(graph.neighbors(v).items()):
-                self.indices[pos] = self.dense_of[u]
-                self.weights[pos] = w
-                pos += 1
+        m = graph.num_edges
+        if m == 0:
+            self.indptr = np.zeros(n + 1, dtype=np.int64)
+            self.indices = np.empty(0, dtype=np.int64)
+            self.weights = np.empty(0, dtype=np.int64)
+            return
+
+        # One pass over the edge list, then vectorized assembly: map
+        # endpoints to dense ids, mirror each edge, sort by (src, dst) and
+        # count-by-source to get indptr.
+        eu, ev, ew = zip(*graph.edges())
+        du = np.searchsorted(self.ids_array, np.array(eu, dtype=np.int64))
+        dv = np.searchsorted(self.ids_array, np.array(ev, dtype=np.int64))
+        wts = np.array(ew, dtype=np.int64)
+
+        src = np.concatenate([du, dv])
+        dst = np.concatenate([dv, du])
+        both = np.concatenate([wts, wts])
+        perm = np.lexsort((dst, src))
+        self.indices = dst[perm]
+        self.weights = both[perm]
+        counts = np.bincount(src, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self.indptr = indptr
 
     @property
     def num_vertices(self) -> int:

@@ -66,3 +66,34 @@ def test_random_graph_round_trip():
         for j, w in csr.neighbors_dense(i):
             rebuilt.merge_edge(csr.original(i), csr.original(j), w)
     assert rebuilt == g
+
+
+def test_empty_graph():
+    csr = CSRGraph(Graph())
+    assert csr.num_vertices == 0
+    assert csr.num_edges == 0
+    assert list(csr.indptr) == [0]
+
+
+def test_isolated_vertices_only():
+    g = Graph()
+    for v in (3, 7, 11):
+        g.add_vertex(v)
+    csr = CSRGraph(g)
+    assert csr.num_vertices == 3
+    assert csr.num_edges == 0
+    assert all(csr.degree_dense(i) == 0 for i in range(3))
+
+
+def test_neighbors_sorted_by_dense_id():
+    g = Graph([(5, 1, 2), (5, 9, 3), (5, 3, 1), (1, 9, 4)])
+    csr = CSRGraph(g)
+    for i in range(csr.num_vertices):
+        idx, _ = csr.neighbor_slices(i)
+        assert list(idx) == sorted(idx)
+
+
+def test_ids_array_matches_id_of():
+    g = Graph([(10, 20), (20, 30)])
+    csr = CSRGraph(g)
+    assert csr.ids_array.tolist() == csr.id_of == [10, 20, 30]

@@ -1,0 +1,94 @@
+"""Cross-engine property tests: fast engine == dict engine == Dijkstra.
+
+The fast engine (packed array labels, CSR / distance-table search) must be
+*bit-identical* to the dict reference on every query — distances, Table 5
+query types, I/O accounting — and both must match the Dijkstra oracle,
+on arbitrary random weighted graphs including disconnected ones, across
+every hierarchy configuration (σ-rule, explicit k, full) and both storage
+modes, plus the batch path.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.index import ISLabelIndex
+from tests.properties.strategies import connected_graphs, graphs
+
+
+def _all_pairs(graph):
+    vertices = sorted(graph.vertices())
+    return [(s, t) for s in vertices for t in vertices]
+
+
+def _assert_engines_and_oracle_agree(graph, **build_kwargs):
+    fast = ISLabelIndex.build(graph, engine="fast", **build_kwargs)
+    ref = ISLabelIndex.build(graph, engine="dict", **build_kwargs)
+    assert fast.engine == "fast" and ref.engine == "dict"
+    for s in graph.vertices():
+        truth = dijkstra(graph, s)
+        for t in graph.vertices():
+            expected = truth.get(t, math.inf)
+            qf = fast.query(s, t)
+            qd = ref.query(s, t)
+            assert qf.distance == expected, (s, t, "fast")
+            assert qd.distance == expected, (s, t, "dict")
+            assert qf.query_type == qd.query_type, (s, t)
+            assert qf.label_ios == qd.label_ios, (s, t)
+    pairs = _all_pairs(graph)
+    assert fast.distances(pairs) == ref.distances(pairs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs())
+def test_sigma_engines_agree(g):
+    _assert_engines_and_oracle_agree(g)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs())
+def test_full_hierarchy_engines_agree(g):
+    _assert_engines_and_oracle_agree(g, full=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(), st.integers(2, 6))
+def test_explicit_k_engines_agree(g, k):
+    _assert_engines_and_oracle_agree(g, k=k)
+
+
+@settings(max_examples=20, deadline=None)
+@given(connected_graphs())
+def test_disk_storage_engines_agree(g):
+    _assert_engines_and_oracle_agree(g, storage="disk")
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_vertices=18))
+def test_csr_search_path_engines_agree(g):
+    """Force the CSR bi-Dijkstra stage (no distance table) and re-compare."""
+    fast = ISLabelIndex.build(g, engine="fast")
+    fast._fast.freeze()
+    fast._fast._apsp = None  # drop the G_k table: search must use the CSR path
+    fast._fast._apsp_done = None
+    assert fast.search_mode == "csr"
+    ref = ISLabelIndex.build(g, engine="dict")
+    for s in g.vertices():
+        truth = dijkstra(g, s)
+        for t in g.vertices():
+            expected = truth.get(t, math.inf)
+            assert fast.query(s, t).distance == expected, (s, t)
+            assert ref.query(s, t).distance == expected, (s, t)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(max_vertices=16))
+def test_query_types_cover_all_three(g):
+    """Per-query Table 5 types agree between engines for every pair."""
+    fast = ISLabelIndex.build(g, engine="fast")
+    ref = ISLabelIndex.build(g, engine="dict")
+    for s in g.vertices():
+        for t in g.vertices():
+            assert fast.query(s, t).query_type == ref.query(s, t).query_type
