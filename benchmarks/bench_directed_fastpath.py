@@ -1,0 +1,279 @@
+"""Directed fast engine vs dict reference: build parity and query throughput.
+
+The directed counterpart of ``bench_fastpath.py``: runs
+``DirectedISLabelIndex.build(engine="dict")`` and ``engine="fast"`` head to
+head on directed stand-ins (random orientations of the undirected dataset
+generators — each undirected edge becomes one arc, or both with probability
+``both``), cross-checks that both engines return identical distances, and
+emits machine-readable ``BENCH_directed.json`` at the repo root.
+
+The stand-ins cover the three directed regimes, ordered smallest to largest
+by graph size ``|G| = |V| + |A|`` (the paper's size measure):
+
+* deep peeling (``dgrid30``): the hierarchy consumes the whole digraph,
+  labels are short and queries are nearly pure Equation 1 — the floor for
+  array overheads;
+* web-like (``dgoogle``/``dskitter``, denser 35%-bidirectional
+  orientations): the σ-rule leaves a real ``G_k`` and the Type-2 search
+  matters; ``dskitter-csr`` re-runs skitter with the all-pairs table
+  disabled via ``REPRO_APSP_BUDGET_MB=0`` to track the flat-array
+  bidirectional search separately;
+* scale-free core (``dba6000``, the largest): ``G_k`` just under the
+  default table ceiling with long labels — the regime §8.2's machinery is
+  built for, and the row the acceptance gates are evaluated on.
+
+Per dataset it reports build seconds per engine (labeling is shared and the
+fast engine freezes lazily, so the gate is parity, not speedup),
+single-query throughput (``index.distance`` loop), batch throughput
+(``index.distances`` — vectorized Equation 1 over the stacked out/in label
+arrays plus the batched table reduction or pooled per-direction CSR search
+on the fast engine, a per-pair loop on the reference), and the fast
+engine's search mode.  Both engines are warmed before timing, so the
+numbers are steady-state serving throughput.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_directed_fastpath.py          # full
+    PYTHONPATH=src python benchmarks/bench_directed_fastpath.py --quick  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import random
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.directed import DirectedISLabelIndex
+from repro.core.fastlabels import APSP_BUDGET_ENV
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    ensure_connected,
+    grid_graph,
+    random_weights,
+)
+from repro.graph.graph import Graph
+from repro.workloads.datasets import load_dataset
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _orient(undirected: Graph, seed: int, both: float = 0.1) -> DiGraph:
+    """Random orientation: each edge becomes one arc (or both)."""
+    rng = random.Random(seed)
+    one_way = (1.0 - both) / 2
+    dg = DiGraph()
+    for v in undirected.vertices():
+        dg.add_vertex(v)
+    for u, v, w in undirected.edges():
+        roll = rng.random()
+        if roll < one_way:
+            dg.merge_edge(u, v, w)
+        elif roll < 2 * one_way:
+            dg.merge_edge(v, u, w)
+        else:
+            dg.merge_edge(u, v, w)
+            dg.merge_edge(v, u, w)
+    return dg
+
+
+def _ba_digraph(n: int, seed: int) -> DiGraph:
+    return _orient(
+        ensure_connected(
+            random_weights(barabasi_albert(n, 3, seed=13), 9, seed=13), seed=13
+        ),
+        seed,
+    )
+
+
+#: (name, builder, apsp_budget_mb) — ordered smallest to largest by
+#: ``|V| + |A|``; the last entry is the "largest directed stand-in" the
+#: acceptance gates are evaluated on.  ``apsp_budget_mb`` overrides the
+#: engines' all-pairs-table budget for that row (None keeps the default).
+FULL_DATASETS = [
+    (
+        "dgrid30",
+        lambda: _orient(grid_graph(30, 30, seed=11, max_weight=8), 41),
+        None,
+    ),
+    ("dgoogle", lambda: _orient(load_dataset("google", 1.0), 44, both=0.35), None),
+    (
+        "dskitter",
+        lambda: _orient(load_dataset("skitter", 1.0), 43, both=0.35),
+        None,
+    ),
+    # Same skitter graph with the table disabled: tracks the per-direction
+    # flat-array bidirectional search on its own.
+    (
+        "dskitter-csr",
+        lambda: _orient(load_dataset("skitter", 1.0), 43, both=0.35),
+        0,
+    ),
+    ("dba6000", lambda: _ba_digraph(6000, 46), None),
+]
+
+QUICK_DATASETS = [
+    ("dgrid10", lambda: _orient(grid_graph(10, 10, seed=11, max_weight=8), 41), None),
+    ("dgoogle-s", lambda: _orient(load_dataset("google", 0.15), 44), None),
+    ("dba300-csr", lambda: _ba_digraph(300, 46), 0),
+]
+
+
+def _query_pairs(dg: DiGraph, count: int, seed: int) -> List[Tuple[int, int]]:
+    rng = random.Random(seed)
+    vertices = sorted(dg.vertices())
+    return [(rng.choice(vertices), rng.choice(vertices)) for _ in range(count)]
+
+
+def _best_build_seconds(dg: DiGraph, engine: str, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        DirectedISLabelIndex.build(dg, engine=engine)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _time_single(index: DirectedISLabelIndex, pairs) -> float:
+    distance = index.distance
+    started = time.perf_counter()
+    for s, t in pairs:
+        distance(s, t)
+    return time.perf_counter() - started
+
+
+def _time_batch(index: DirectedISLabelIndex, pairs) -> float:
+    started = time.perf_counter()
+    index.distances(pairs)
+    return time.perf_counter() - started
+
+
+def bench_dataset(
+    name: str,
+    dg: DiGraph,
+    queries: int,
+    repeats: int,
+    apsp_budget_mb: Optional[float] = None,
+) -> Dict[str, object]:
+    saved_budget = os.environ.get(APSP_BUDGET_ENV)
+    if apsp_budget_mb is not None:
+        os.environ[APSP_BUDGET_ENV] = str(apsp_budget_mb)
+    try:
+        build_dict = _best_build_seconds(dg, "dict", repeats)
+        build_fast = _best_build_seconds(dg, "fast", repeats)
+
+        dict_index = DirectedISLabelIndex.build(dg, engine="dict")
+        fast_index = DirectedISLabelIndex.build(dg, engine="fast")
+    finally:
+        if apsp_budget_mb is not None:
+            if saved_budget is None:
+                os.environ.pop(APSP_BUDGET_ENV, None)
+            else:
+                os.environ[APSP_BUDGET_ENV] = saved_budget
+    pairs = _query_pairs(dg, queries, seed=7)
+
+    # Steady-state warm-up: freezes the fast engine's arrays, fills the
+    # G_k table rows the workload touches, and cross-checks the engines.
+    expected = dict_index.distances(pairs)
+    got = fast_index.distances(pairs)
+    if expected != got:
+        raise AssertionError(f"{name}: engines disagree")
+
+    single_dict = _time_single(dict_index, pairs)
+    single_fast = _time_single(fast_index, pairs)
+    batch_dict = _time_batch(dict_index, pairs)
+    batch_fast = _time_batch(fast_index, pairs)
+
+    reachable = sum(1 for d in expected if not math.isinf(d))
+    return {
+        "dataset": name,
+        "num_vertices": dg.num_vertices,
+        "num_arcs": dg.num_edges,
+        "k": fast_index.k,
+        "gk_vertices": fast_index.hierarchy.gk.num_vertices,
+        "label_entries": fast_index.label_entries,
+        "queries": len(pairs),
+        "reachable_pairs": reachable,
+        "search_mode": fast_index.search_mode,
+        "build_seconds": {"dict": build_dict, "fast": build_fast},
+        "build_ratio_fast_over_dict": build_fast / build_dict,
+        "single_query_qps": {
+            "dict": len(pairs) / single_dict,
+            "fast": len(pairs) / single_fast,
+        },
+        "batch_qps": {
+            "dict": len(pairs) / batch_dict,
+            "fast": len(pairs) / batch_fast,
+        },
+        "single_query_speedup": single_dict / single_fast,
+        "batch_speedup": batch_dict / batch_fast,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny graphs / few queries (CI smoke)"
+    )
+    parser.add_argument("--queries", type=int, default=None, help="pairs per dataset")
+    # Directed builds on the stand-ins are tens of milliseconds, so the
+    # parity ratio needs several repetitions to sit above timer noise.
+    parser.add_argument("--repeats", type=int, default=7, help="build repetitions")
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(REPO_ROOT / "BENCH_directed.json"),
+        help="output JSON path (default: repo root BENCH_directed.json)",
+    )
+    args = parser.parse_args(argv)
+
+    datasets = QUICK_DATASETS if args.quick else FULL_DATASETS
+    queries = args.queries or (100 if args.quick else 1200)
+
+    results = []
+    for name, builder, apsp_budget_mb in datasets:
+        dg = builder()
+        row = bench_dataset(name, dg, queries, args.repeats, apsp_budget_mb)
+        results.append(row)
+        print(
+            f"{name:10s} |V|={row['num_vertices']:>6} k={row['k']:>2} "
+            f"gk={row['gk_vertices']:>5} mode={row['search_mode']:4s} | "
+            f"build dict {row['build_seconds']['dict']:.3f}s "
+            f"fast {row['build_seconds']['fast']:.3f}s "
+            f"({row['build_ratio_fast_over_dict']:.2f}x) | "
+            f"single {row['single_query_speedup']:.2f}x "
+            f"batch {row['batch_speedup']:.2f}x"
+        )
+
+    largest = results[-1]
+    report = {
+        "benchmark": "directed_fastpath",
+        "mode": "quick" if args.quick else "full",
+        "queries_per_dataset": queries,
+        "datasets": results,
+        "largest_dataset": largest["dataset"],
+        "gates": {
+            "batch_speedup_at_least_3x": largest["batch_speedup"] >= 3.0,
+            "build_parity_within_10pct": largest["build_ratio_fast_over_dict"]
+            <= 1.10,
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    ok = all(report["gates"].values())
+    print("gates:", report["gates"], "->", "PASS" if ok else "FAIL")
+    if args.quick:
+        # Smoke mode exists to keep the script from rotting (and to verify
+        # engine agreement); timing gates are meaningless on tiny graphs.
+        return 0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,8 +56,9 @@ FULL_DATASETS = [
             random_weights(barabasi_albert(3000, 3, seed=12), 9, seed=12), seed=12
         ),
     ),
-    # ba6000's G_k exceeds FastEngine.APSP_MAX_GK, so this row exercises
-    # (and tracks) the CSR bi-Dijkstra search path rather than the table.
+    # ba6000's G_k exceeds the default all-pairs-table budget's ceiling
+    # (fastlabels.apsp_ceiling: 2048 vertices at 32 MB), so this row
+    # exercises (and tracks) the CSR bi-Dijkstra search path instead.
     (
         "ba6000",
         lambda: ensure_connected(

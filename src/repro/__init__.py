@@ -22,10 +22,15 @@ from repro.core import (
     ISLabelIndex,
     IndexStats,
     PathReconstructor,
+    QueryEngine,
     QueryResult,
     VertexHierarchy,
+    available_engines,
     build_hierarchy,
+    load_directed_index,
     load_index,
+    register_engine,
+    save_directed_index,
     save_index,
 )
 from repro.errors import (
@@ -37,7 +42,7 @@ from repro.errors import (
     StorageError,
     ValidationError,
 )
-from repro.graph import CSRGraph, DiGraph, Graph, graph_stats
+from repro.graph import CSRDiGraph, CSRGraph, DiGraph, Graph, graph_stats
 
 __version__ = "1.0.0"
 
@@ -45,6 +50,7 @@ __all__ = [
     "Graph",
     "DiGraph",
     "CSRGraph",
+    "CSRDiGraph",
     "graph_stats",
     "ISLabelIndex",
     "IndexStats",
@@ -54,8 +60,13 @@ __all__ = [
     "PathReconstructor",
     "DirectedISLabelIndex",
     "DynamicISLabelIndex",
+    "QueryEngine",
+    "register_engine",
+    "available_engines",
     "save_index",
     "load_index",
+    "save_directed_index",
+    "load_directed_index",
     "ReproError",
     "GraphError",
     "ValidationError",

@@ -2,11 +2,17 @@
 
 Commands
 --------
-build     Build an IS-LABEL index from an edge-list file.
-query     Answer distance (or path) queries against a saved index.
-stats     Show construction statistics of a saved index.
-dataset   Generate one of the paper's dataset stand-ins as an edge list.
-example   Print the paper's Figure 1-3 walkthrough.
+build           Build an IS-LABEL index from an edge-list file.
+query           Answer distance (or path) queries against a saved index.
+stats           Show construction statistics of a saved index.
+build-directed  Build a directed (§8.2) index from a directed edge list.
+query-directed  Answer directed distance/path queries against a saved index.
+dataset         Generate one of the paper's dataset stand-ins as an edge list.
+example         Print the paper's Figure 1-3 walkthrough.
+
+``--engine`` on the build/query commands selects the compute backend by
+registry name (:mod:`repro.core.engines`): the array/CSR fast engines or
+the dict reference.
 
 Examples
 --------
@@ -14,6 +20,8 @@ python -m repro dataset google -o google.txt --scale 0.1
 python -m repro build google.txt -o google.islx --with-paths
 python -m repro stats google.islx
 python -m repro query google.islx 3 847 --path
+python -m repro build-directed roads.txt -o roads.isld
+python -m repro query-directed roads.isld 3 847
 """
 
 from __future__ import annotations
@@ -24,9 +32,16 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.core.directed import DirectedISLabelIndex
+from repro.core.engines import DIRECTED, UNDIRECTED, available_engines
 from repro.core.index import ISLabelIndex
 from repro.core.paths import PathReconstructor
-from repro.core.serialization import load_index, save_index
+from repro.core.serialization import (
+    load_directed_index,
+    load_index,
+    save_directed_index,
+    save_index,
+)
 from repro.errors import ReproError
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.stats import graph_stats, human_bytes
@@ -53,7 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_build.add_argument(
         "--engine",
-        choices=("fast", "dict"),
+        choices=available_engines(UNDIRECTED),
         default="fast",
         help="compute backend: array/CSR fast engine or the dict reference",
     )
@@ -67,7 +82,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--engine",
-        choices=("fast", "dict"),
+        choices=available_engines(UNDIRECTED),
+        default="fast",
+        help="query backend for the loaded index",
+    )
+
+    p_dbuild = commands.add_parser(
+        "build-directed", help="build a directed (§8.2) index from an edge list"
+    )
+    p_dbuild.add_argument("graph", help="directed edge-list file (u v [w] per arc)")
+    p_dbuild.add_argument("-o", "--output", required=True, help="index output path")
+    p_dbuild.add_argument("--sigma", type=float, default=0.95, help="σ threshold")
+    p_dbuild.add_argument(
+        "--k", type=int, default=None, help="explicit k (overrides σ)"
+    )
+    p_dbuild.add_argument("--full", action="store_true", help="full hierarchy")
+    p_dbuild.add_argument(
+        "--with-paths",
+        action="store_true",
+        help="enable §8.1 directed path reconstruction",
+    )
+    p_dbuild.add_argument(
+        "--engine",
+        choices=available_engines(DIRECTED),
+        default="fast",
+        help="compute backend: out/in array fast engine or the dict reference",
+    )
+
+    p_dquery = commands.add_parser(
+        "query-directed", help="query a saved directed index"
+    )
+    p_dquery.add_argument("index", help="index file from `repro build-directed`")
+    p_dquery.add_argument("source", type=int)
+    p_dquery.add_argument("target", type=int)
+    p_dquery.add_argument(
+        "--path", action="store_true", help="print the shortest directed path too"
+    )
+    p_dquery.add_argument(
+        "--engine",
+        choices=available_engines(DIRECTED),
         default="fast",
         help="query backend for the loaded index",
     )
@@ -135,6 +188,49 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_build_directed(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph, directed=True)
+    started = time.perf_counter()
+    index = DirectedISLabelIndex.build(
+        graph,
+        sigma=None if (args.k is not None or args.full) else args.sigma,
+        k=args.k,
+        full=args.full,
+        with_paths=args.with_paths,
+        engine=args.engine,
+    )
+    elapsed = time.perf_counter() - started
+    nbytes = save_directed_index(index, args.output)
+    hierarchy = index.hierarchy
+    print(
+        f"built k={index.k} directed index over |V|={graph.num_vertices}, "
+        f"|A|={graph.num_edges} in {elapsed:.2f}s"
+    )
+    print(
+        f"G_k: {hierarchy.gk.num_vertices} vertices / "
+        f"{hierarchy.gk.num_edges} arcs; "
+        f"labels: {index.label_entries} out+in entries"
+    )
+    print(f"wrote {args.output} ({human_bytes(nbytes)})")
+    return 0
+
+
+def _cmd_query_directed(args: argparse.Namespace) -> int:
+    index = load_directed_index(args.index, engine=args.engine)
+    if args.path:
+        dist, path = index.shortest_path(args.source, args.target)
+        if path is None:
+            print(f"dist({args.source}, {args.target}) = inf (unreachable)")
+        else:
+            print(f"dist({args.source}, {args.target}) = {dist}")
+            print(" -> ".join(str(v) for v in path))
+    else:
+        dist = index.distance(args.source, args.target)
+        rendered = "inf" if math.isinf(dist) else str(dist)
+        print(f"dist({args.source}, {args.target}) = {rendered}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     if getattr(args, "verbose", False):
@@ -185,6 +281,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "build": _cmd_build,
         "query": _cmd_query,
+        "build-directed": _cmd_build_directed,
+        "query-directed": _cmd_query_directed,
         "stats": _cmd_stats,
         "dataset": _cmd_dataset,
         "example": _cmd_example,

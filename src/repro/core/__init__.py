@@ -3,6 +3,15 @@
 from repro.core.analysis import describe_index, hierarchy_report, label_report
 from repro.core.approx import ApproximateDistanceOracle
 from repro.core.directed import DirectedHierarchy, DirectedISLabelIndex
+from repro.core.engines import (
+    DIRECTED,
+    UNDIRECTED,
+    QueryEngine,
+    available_engines,
+    register_engine,
+    resolve_engine,
+)
+from repro.core.fastdirected import DirectedFastEngine
 from repro.core.hierarchy import (
     DEFAULT_SIGMA,
     VertexHierarchy,
@@ -18,6 +27,8 @@ from repro.core.independent_set import (
 from repro.core.fastlabels import (
     FastEngine,
     LabelArrayPool,
+    apsp_ceiling,
+    batch_eq1,
     eq1_merge,
     fast_top_down_labels,
 )
@@ -81,9 +92,18 @@ __all__ = [
     "vertex_set",
     "BYTES_PER_ENTRY",
     "BYTES_PER_ENTRY_WITH_PRED",
+    "QueryEngine",
+    "register_engine",
+    "resolve_engine",
+    "available_engines",
+    "UNDIRECTED",
+    "DIRECTED",
     "FastEngine",
+    "DirectedFastEngine",
     "LabelArrayPool",
     "eq1_merge",
+    "batch_eq1",
+    "apsp_ceiling",
     "fast_top_down_labels",
     "label_bidijkstra",
     "csr_label_bidijkstra",

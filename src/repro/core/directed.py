@@ -21,9 +21,16 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.labels import eq1_distance, intersect_labels as _intersect, sort_label
+from repro.core.engines import DIRECTED, resolve_engine
+from repro.core.fastdirected import DirectedFastEngine
+from repro.core.labels import (
+    eq1_distance,
+    eq1_distance_argmin,
+    merge_neighbor_labels,
+    sort_label,
+)
 from repro.core.query import label_bidijkstra
 from repro.errors import IndexBuildError, QueryError
 from repro.graph.digraph import DiGraph
@@ -142,7 +149,15 @@ def _build_directed_hierarchy(
 
 
 class DirectedISLabelIndex:
-    """IS-LABEL over a directed graph (out-labels + in-labels)."""
+    """IS-LABEL over a directed graph (out-labels + in-labels).
+
+    ``engine`` mirrors the undirected index: ``"fast"`` (default) attaches
+    a :class:`repro.core.fastdirected.DirectedFastEngine` — packed out/in
+    label arrays, per-direction CSR views of ``G_k`` and a batch
+    :meth:`distances` path — while ``"dict"`` keeps only the reference
+    structures.  Both are answer-identical; path reconstruction always
+    runs on the reference structures.
+    """
 
     def __init__(
         self,
@@ -152,6 +167,7 @@ class DirectedISLabelIndex:
         labeling_seconds: float,
         out_preds: Optional[Dict[int, Dict[int, Optional[int]]]] = None,
         in_preds: Optional[Dict[int, Dict[int, Optional[int]]]] = None,
+        fast: Optional[DirectedFastEngine] = None,
     ) -> None:
         self.hierarchy = hierarchy
         self.gk = hierarchy.gk
@@ -160,6 +176,34 @@ class DirectedISLabelIndex:
         self._out_preds = out_preds
         self._in_preds = in_preds
         self._labeling_seconds = labeling_seconds
+        self._fast = fast
+
+    @property
+    def engine(self) -> str:
+        """Registry name of the attached backend (``"dict"`` if none)."""
+        return self._fast.name if self._fast is not None else "dict"
+
+    @property
+    def search_mode(self) -> str:
+        """How the Type-2 search stage runs: ``"apsp"`` (one-way distance
+        table), ``"csr"`` (flat-array bi-Dijkstra) or ``"dict"``."""
+        if self._fast is None:
+            return "dict"
+        return "apsp" if self._fast.has_apsp else "csr"
+
+    def attach_fast_engine(self, engine: str = "fast") -> "DirectedISLabelIndex":
+        """Attach the registered directed ``engine`` over the current
+        labels/``G_k`` (used by
+        :func:`repro.core.serialization.load_directed_index` and tests).
+        Resolves through the engine registry; the engine snapshots the
+        labels — do not mutate them afterwards."""
+        factory = resolve_engine(DIRECTED, engine)
+        self._fast = (
+            factory(self.gk, self._out_labels, self._in_labels)
+            if factory is not None
+            else None
+        )
+        return self
 
     @classmethod
     def build(
@@ -169,13 +213,18 @@ class DirectedISLabelIndex:
         k: Optional[int] = None,
         full: bool = False,
         with_paths: bool = False,
+        engine: str = "fast",
     ) -> "DirectedISLabelIndex":
         """Build the directed index (same knobs as the undirected one).
 
         ``with_paths`` records arc hints and label predecessors so
         :meth:`shortest_path` can reconstruct directed paths (§8.1 applied
-        to the directed index).
+        to the directed index).  ``engine`` selects the query backend via
+        the shared registry (see class docs); labeling itself is
+        engine-independent and the fast engine freezes lazily, so build
+        time does not depend on the choice.
         """
+        factory = resolve_engine(DIRECTED, engine)
         hierarchy = _build_directed_hierarchy(
             graph, sigma, k, full, with_hints=with_paths
         )
@@ -195,25 +244,16 @@ class DirectedISLabelIndex:
             if with_paths:
                 out_preds[v] = {v: None}
                 in_preds[v] = {v: None}
-        # Top-down labeling mirrors Algorithm 4, once per direction.
+        # Top-down labeling is Algorithm 4's min-merge, once per direction:
+        # out-labels over out-arcs (v -> u, ℓ(u) > i), in-labels over
+        # in-arcs (u -> v) — the same shared merge step as the undirected
+        # labeler.
         for i in range(hierarchy.k - 1, 0, -1):
             for v, (in_adj, out_adj) in hierarchy.levels[i - 1].items():
-                out_v: Dict[int, int] = {v: 0}
-                out_p: Dict[int, Optional[int]] = {v: None}
-                for u, weight in out_adj:  # arcs v -> u, ℓ(u) > i
-                    for w, duw in out_maps[u].items():
-                        candidate = weight + duw
-                        if candidate < out_v.get(w, math.inf):
-                            out_v[w] = candidate
-                            out_p[w] = None if w == u else u
-                in_v: Dict[int, int] = {v: 0}
-                in_p: Dict[int, Optional[int]] = {v: None}
-                for u, weight in in_adj:  # arcs u -> v, ℓ(u) > i
-                    for w, duw in in_maps[u].items():
-                        candidate = weight + duw
-                        if candidate < in_v.get(w, math.inf):
-                            in_v[w] = candidate
-                            in_p[w] = None if w == u else u
+                out_v, out_p = merge_neighbor_labels(
+                    v, out_adj, out_maps, with_paths
+                )
+                in_v, in_p = merge_neighbor_labels(v, in_adj, in_maps, with_paths)
                 out_maps[v] = out_v
                 in_maps[v] = in_v
                 if with_paths:
@@ -222,6 +262,9 @@ class DirectedISLabelIndex:
 
         out_labels = {v: sort_label(m) for v, m in out_maps.items()}
         in_labels = {v: sort_label(m) for v, m in in_maps.items()}
+        fast = None
+        if factory is not None:
+            fast = factory(hierarchy.gk, out_labels, in_labels)
         return cls(
             hierarchy,
             out_labels,
@@ -229,6 +272,7 @@ class DirectedISLabelIndex:
             labeling_seconds=time.perf_counter() - started,
             out_preds=out_preds,
             in_preds=in_preds,
+            fast=fast,
         )
 
     # ------------------------------------------------------------------
@@ -236,7 +280,26 @@ class DirectedISLabelIndex:
     # ------------------------------------------------------------------
     def distance(self, source: int, target: int) -> float:
         """Exact directed ``dist_G(source, target)``."""
+        if self._fast is not None:
+            self._check_vertex(source)
+            self._check_vertex(target)
+            return self._fast.distance(source, target)
         return self._query(source, target, keep_parents=False)[0]
+
+    def distances(self, pairs: Iterable[Tuple[int, int]]) -> List[float]:
+        """Batch form of :meth:`distance` over an iterable of (s, t) pairs.
+
+        On the fast engine this is a true batch path: one vectorized
+        Equation-1 pass over the stacked out/in label arrays, then the
+        pooled CSR search (or table reduction) per remaining pair.
+        """
+        pairs = list(pairs)
+        for s, t in pairs:
+            self._check_vertex(s)
+            self._check_vertex(t)
+        if self._fast is not None:
+            return self._fast.distances(pairs)
+        return [self._query(s, t, keep_parents=False)[0] for s, t in pairs]
 
     def _query(self, source: int, target: int, keep_parents: bool):
         """Shared query core; returns (distance, search-or-None)."""
@@ -289,10 +352,7 @@ class DirectedISLabelIndex:
         if search is None or search.meet_vertex is None:
             out_s = self._label(self._out_labels, source)
             in_t = self._label(self._in_labels, target)
-            best, best_w = math.inf, -1
-            for w, ds, dt in _intersect(out_s, in_t):
-                if ds + dt < best:
-                    best, best_w = ds + dt, w
+            _, best_w = eq1_distance_argmin(out_s, in_t)
             if best_w == -1:
                 raise QueryError(
                     f"query ({source}, {target}) returned {distance} with an "

@@ -1,0 +1,133 @@
+"""Pluggable query-engine layer: the :class:`QueryEngine` protocol and the
+engine registry.
+
+PR 1 introduced ``engine="fast"`` as an ad-hoc branch inside
+``ISLabelIndex.build``; this module turns the idea into an explicit seam.
+A *query engine* is the compute backend behind an index's distance API —
+frozen read-only structures that answer Equation 1 and run Algorithm 1's
+search stage.  The index facades (:class:`repro.core.index.ISLabelIndex`,
+:class:`repro.core.directed.DirectedISLabelIndex`) own storage, I/O
+accounting and vertex-coverage checks; the engine owns the hot path.
+
+Engines register themselves by *kind* (``"undirected"`` / ``"directed"``)
+and name.  The reference ``"dict"`` implementation is special: it lives
+inside the index classes themselves (it shares their mutable structures and
+supports paths/dynamic updates), so its registry entry is ``None`` and the
+facades fall back to their built-in code path when the registry resolves to
+it.  Everything else — today :class:`repro.core.fastlabels.FastEngine` and
+:class:`repro.core.fastdirected.DirectedFastEngine`, later sharded or
+incrementally-invalidated backends — is constructed through the registered
+factory, so new backends plug in without touching ``index.py``,
+``serialization.py`` or the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.errors import IndexBuildError
+
+__all__ = [
+    "QueryEngine",
+    "EngineFactory",
+    "UNDIRECTED",
+    "DIRECTED",
+    "register_engine",
+    "resolve_engine",
+    "available_engines",
+]
+
+#: Registry kinds — one namespace per graph orientation.
+UNDIRECTED = "undirected"
+DIRECTED = "directed"
+
+
+@runtime_checkable
+class QueryEngine(Protocol):
+    """What an index facade requires of a pluggable compute backend.
+
+    ``freeze`` materializes the read-only query structures (idempotent;
+    engines are expected to freeze lazily on first use so index build time
+    is unaffected).  ``distance``/``distances`` answer validated queries —
+    the facade has already checked vertex coverage and charged any
+    simulated I/O.  ``invalidate`` drops the frozen structures so the next
+    query re-freezes from the current labels: the hook future dynamic
+    maintenance will use to re-serve from a fast engine between rebuilds.
+    """
+
+    #: Registry name of the backend (e.g. ``"fast"``), surfaced by the
+    #: facades' ``engine`` property.
+    name: str
+
+    #: True once the query structures are materialized.
+    frozen: bool
+
+    def freeze(self) -> "QueryEngine": ...
+
+    def distance(self, source: int, target: int) -> float: ...
+
+    def distances(self, pairs: Iterable[Tuple[int, int]]) -> List[float]: ...
+
+    def invalidate(self) -> None: ...
+
+
+#: A registered constructor.  ``None`` marks the built-in dict reference
+#: path of the index facades.  Factory signatures are kind-specific:
+#: undirected factories take ``(gk, entry_lists, arrays=None)``, directed
+#: factories ``(gk, out_lists, in_lists)``.
+EngineFactory = Optional[Callable[..., QueryEngine]]
+
+_REGISTRY: Dict[str, Dict[str, EngineFactory]] = {UNDIRECTED: {}, DIRECTED: {}}
+
+
+def register_engine(kind: str, name: str, factory: EngineFactory) -> None:
+    """Register (or replace) the engine ``name`` under ``kind``."""
+    if kind not in _REGISTRY:
+        raise IndexBuildError(
+            f"unknown engine kind {kind!r} (expected {UNDIRECTED!r} or {DIRECTED!r})"
+        )
+    _REGISTRY[kind][name] = factory
+
+
+def resolve_engine(kind: str, name: str) -> EngineFactory:
+    """Factory registered for ``name``; raises on unknown names.
+
+    A ``None`` return means the reference dict path: the caller keeps its
+    built-in structures and attaches no engine object.
+    """
+    if kind not in _REGISTRY:
+        raise IndexBuildError(
+            f"unknown engine kind {kind!r} (expected {UNDIRECTED!r} or {DIRECTED!r})"
+        )
+    table = _REGISTRY[kind]
+    if name not in table:
+        raise IndexBuildError(
+            f"unknown {kind} engine {name!r} (available: {', '.join(sorted(table))})"
+        )
+    return table[name]
+
+
+def available_engines(kind: str) -> Tuple[str, ...]:
+    """Sorted names registered under ``kind`` (for CLI choices and docs)."""
+    if kind not in _REGISTRY:
+        raise IndexBuildError(
+            f"unknown engine kind {kind!r} (expected {UNDIRECTED!r} or {DIRECTED!r})"
+        )
+    return tuple(sorted(_REGISTRY[kind]))
+
+
+# The dict reference implementation is built into the index facades; its
+# registry entry exists so name validation and CLI choices have one source
+# of truth.  Fast engines self-register on import (see fastlabels.py /
+# fastdirected.py).
+register_engine(UNDIRECTED, "dict", None)
+register_engine(DIRECTED, "dict", None)

@@ -1,0 +1,308 @@
+"""Array-native directed query engine — the §8.2 index's "fast" backend.
+
+The directed index carries *two* labels per vertex (out-ancestors and
+in-ancestors) and its Type-2 search walks ``G_k`` forwards over successors
+and backwards over predecessors.  :class:`DirectedFastEngine` is the
+directed counterpart of :class:`repro.core.fastlabels.FastEngine`:
+
+* both label tables are packed as sorted parallel ``int64`` arrays with
+  the shared :func:`repro.core.fastlabels.pack_entry_lists` freeze (one
+  batched conversion + one vectorized ``G_k``-seed extraction per table);
+* ``G_k`` freezes into a :class:`repro.graph.csr.CSRDiGraph` — forward
+  CSR arrays over out-arcs plus the transposed copy the backward search
+  scans — and Algorithm 1 runs over the flat arrays via
+  :func:`repro.core.query.csr_label_bidijkstra` with the epoch-stamped
+  :class:`repro.core.fastlabels.LabelArrayPool` buffers;
+* Equation 1 is the merge intersection of ``LABEL_out(s)`` with
+  ``LABEL_in(t)`` (scalar two-pointer fallback for small labels), and
+  :meth:`distances` vectorizes it across the whole batch with one
+  :func:`repro.core.fastlabels.batch_eq1` pass;
+* when the directed ``G_k`` fits the all-pairs memory budget, a lazily
+  row-filled table of one-way ``dist_{G_k}(a -> b)`` answers the search
+  stage with one fancy-indexed reduction — the Theorem 4 decomposition
+  applied to out-seeds x in-seeds.
+
+Like the undirected engine it freezes lazily on first query, so directed
+index build time is unchanged, and it is read-only by design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engines import DIRECTED, register_engine
+from repro.core.fastlabels import (
+    ArrayLabel,
+    LabelArrayPool,
+    PackedEngineBase,
+    _EMPTY,
+    apsp_ceiling,
+    eq1_merge,
+    pack_entry_lists,
+)
+from repro.core.labels import eq1_distance_argmin
+from repro.graph.csr import CSRDiGraph
+from repro.graph.digraph import DiGraph
+
+__all__ = ["DirectedFastEngine"]
+
+
+class DirectedFastEngine(PackedEngineBase):
+    """Frozen array-native query structures of one built directed index.
+
+    The directed ``"fast"`` implementation of the
+    :class:`repro.core.engines.QueryEngine` protocol; the query hot paths
+    (single, batch, table reduction, row fills) live in
+    :class:`repro.core.fastlabels.PackedEngineBase` and run here over the
+    out-label/in-label tables and the per-direction CSR arrays.
+    Construction is lazy — ``__init__`` records the label tables and
+    ``G_k``; the first query (or an explicit :meth:`freeze`) builds the
+    per-direction CSR views and packs both tables.
+    """
+
+    __slots__ = (
+        "gk",
+        "csr",
+        "out_lists",
+        "in_lists",
+        "out_labels",
+        "in_labels",
+        "pool",
+        "indptr",
+        "indices",
+        "weights",
+        "rindptr",
+        "rindices",
+        "rweights",
+        "frozen",
+        "apsp_max_gk",
+        "_out_seed_ids",
+        "_out_seed_dists",
+        "_out_seed_ids_np",
+        "_out_seed_dists_np",
+        "_in_seed_ids",
+        "_in_seed_dists",
+        "_in_seed_ids_np",
+        "_in_seed_dists_np",
+        "_apsp",
+        "_apsp_done",
+    )
+
+    #: Scalar-merge threshold, as in the undirected engine.
+    EQ1_SMALL = 32
+
+    def __init__(
+        self,
+        gk: DiGraph,
+        out_lists: Dict[int, List[Tuple[int, int]]],
+        in_lists: Dict[int, List[Tuple[int, int]]],
+        apsp_budget_bytes: Optional[int] = None,
+    ) -> None:
+        self.gk = gk
+        self.out_lists = out_lists
+        self.in_lists = in_lists
+        self.pool = LabelArrayPool()
+        self.frozen = False
+        #: All-pairs table ceiling from the shared memory budget (see
+        #: :func:`repro.core.fastlabels.apsp_ceiling`); the directed table
+        #: stores one-way distances, so the cost model is identical.
+        self.apsp_max_gk = apsp_ceiling(apsp_budget_bytes)
+        self.csr: Optional[CSRDiGraph] = None
+        self.indptr: List[int] = []
+        self.indices: List[int] = []
+        self.weights: List[int] = []
+        self.rindptr: List[int] = []
+        self.rindices: List[int] = []
+        self.rweights: List[int] = []
+        self.out_labels: Dict[int, ArrayLabel] = {}
+        self.in_labels: Dict[int, ArrayLabel] = {}
+        self._out_seed_ids: Dict[int, List[int]] = {}
+        self._out_seed_dists: Dict[int, List[int]] = {}
+        self._out_seed_ids_np: Dict[int, np.ndarray] = {}
+        self._out_seed_dists_np: Dict[int, np.ndarray] = {}
+        self._in_seed_ids: Dict[int, List[int]] = {}
+        self._in_seed_dists: Dict[int, List[int]] = {}
+        self._in_seed_ids_np: Dict[int, np.ndarray] = {}
+        self._in_seed_dists_np: Dict[int, np.ndarray] = {}
+        self._apsp: Optional[np.ndarray] = None
+        self._apsp_done: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Freezing
+    # ------------------------------------------------------------------
+    def freeze(self) -> "DirectedFastEngine":
+        """Materialize the array structures (idempotent)."""
+        if self.frozen:
+            return self
+        self.frozen = True
+        self.csr = CSRDiGraph(self.gk)
+        self.indptr = self.csr.indptr.tolist()
+        self.indices = self.csr.indices.tolist()
+        self.weights = self.csr.weights.tolist()
+        self.rindptr = self.csr.rindptr.tolist()
+        self.rindices = self.csr.rindices.tolist()
+        self.rweights = self.csr.rweights.tolist()
+        ids = self.csr.ids_array
+        (
+            self.out_labels,
+            self._out_seed_ids,
+            self._out_seed_dists,
+            self._out_seed_ids_np,
+            self._out_seed_dists_np,
+        ) = pack_entry_lists(self.out_lists, {}, ids)
+        (
+            self.in_labels,
+            self._in_seed_ids,
+            self._in_seed_dists,
+            self._in_seed_ids_np,
+            self._in_seed_dists_np,
+        ) = pack_entry_lists(self.in_lists, {}, ids)
+        n = self.csr.num_vertices
+        if 0 < n <= self.apsp_max_gk:
+            self._apsp = np.full((n, n), np.inf)
+            self._apsp_done = np.zeros(n, dtype=bool)
+        return self
+
+    def invalidate(self) -> None:
+        """Drop the frozen structures; the next query re-freezes."""
+        self.frozen = False
+        self.csr = None
+        self.indptr = []
+        self.indices = []
+        self.weights = []
+        self.rindptr = []
+        self.rindices = []
+        self.rweights = []
+        self.out_labels = {}
+        self.in_labels = {}
+        self._out_seed_ids = {}
+        self._out_seed_dists = {}
+        self._out_seed_ids_np = {}
+        self._out_seed_dists_np = {}
+        self._in_seed_ids = {}
+        self._in_seed_dists = {}
+        self._in_seed_ids_np = {}
+        self._in_seed_dists_np = {}
+        self._apsp = None
+        self._apsp_done = None
+
+    # ------------------------------------------------------------------
+    # Labels and seeds
+    # ------------------------------------------------------------------
+    def out_label(self, v: int) -> ArrayLabel:
+        """Array out-label of ``v`` (implicit ``([v], [0])`` for G_k ids)."""
+        if not self.frozen:
+            self.freeze()
+        got = self.out_labels.get(v)
+        if got is not None:
+            return got
+        return np.array([v], dtype=np.int64), np.zeros(1, dtype=np.int64)
+
+    def in_label(self, v: int) -> ArrayLabel:
+        """Array in-label of ``v`` (implicit ``([v], [0])`` for G_k ids)."""
+        if not self.frozen:
+            self.freeze()
+        got = self.in_labels.get(v)
+        if got is not None:
+            return got
+        return np.array([v], dtype=np.int64), np.zeros(1, dtype=np.int64)
+
+    def eq1(self, source: int, target: int) -> Tuple[float, int]:
+        """Equation 1 over ``LABEL_out(source)`` ∩ ``LABEL_in(target)``.
+
+        Hybrid dispatch as in the undirected engine: the scalar two-pointer
+        merge for small-by-small, the vectorized merge otherwise.
+        """
+        entries_s = self.out_lists.get(source)
+        entries_t = self.in_lists.get(target)
+        if (
+            entries_s is not None
+            and entries_t is not None
+            and len(entries_s) <= self.EQ1_SMALL
+            and len(entries_t) <= self.EQ1_SMALL
+        ):
+            return eq1_distance_argmin(entries_s, entries_t)
+        return eq1_merge(self.out_label(source), self.in_label(target))
+
+    def seeds_out(self, v: int) -> Tuple[List[int], List[int]]:
+        """Dense-id forward seeds: out-label entries lying in ``G_k``."""
+        if not self.frozen:
+            self.freeze()
+        ids = self._out_seed_ids.get(v)
+        if ids is not None:
+            return ids, self._out_seed_dists[v]
+        return self._fallback_seeds(v)[:2]
+
+    def seeds_in(self, v: int) -> Tuple[List[int], List[int]]:
+        """Dense-id backward seeds: in-label entries lying in ``G_k``."""
+        if not self.frozen:
+            self.freeze()
+        ids = self._in_seed_ids.get(v)
+        if ids is not None:
+            return ids, self._in_seed_dists[v]
+        return self._fallback_seeds(v)[:2]
+
+    def seeds_out_np(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The forward seeds as numpy arrays (for the table reduction)."""
+        if not self.frozen:
+            self.freeze()
+        ids = self._out_seed_ids_np.get(v)
+        if ids is not None:
+            return ids, self._out_seed_dists_np[v]
+        fallback = self._fallback_seeds(v)
+        return fallback[2], fallback[3]
+
+    def seeds_in_np(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The backward seeds as numpy arrays (for the table reduction)."""
+        if not self.frozen:
+            self.freeze()
+        ids = self._in_seed_ids_np.get(v)
+        if ids is not None:
+            return ids, self._in_seed_dists_np[v]
+        fallback = self._fallback_seeds(v)
+        return fallback[2], fallback[3]
+
+    def _fallback_seeds(self, v: int):
+        """Seeds of a vertex missing from the label tables (bare G_k id)."""
+        if self.csr.has_vertex(v):
+            dense = self.csr.dense_of[v]
+            return (
+                [dense],
+                [0],
+                np.array([dense], dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+            )
+        return [], [], _EMPTY, _EMPTY
+
+    # PackedEngineBase hooks: the forward side queries out-labels, the
+    # reverse side in-labels, and the backward search scans the transposed
+    # CSR arrays.
+    _label_f = out_label
+    _label_r = in_label
+    _seeds_f = seeds_out
+    _seeds_r = seeds_in
+    _seeds_f_np = seeds_out_np
+    _seeds_r_np = seeds_in_np
+
+    def _search_arrays(self):
+        return (
+            (self.indptr, self.indices, self.weights),
+            (self.rindptr, self.rindices, self.rweights),
+        )
+
+    def nbytes(self) -> int:
+        """Approximate footprint: both CSR directions plus packed labels."""
+        if not self.frozen:
+            self.freeze()
+        total = self.csr.nbytes()
+        for table in (self.out_labels, self.in_labels):
+            for anc, d in table.values():
+                total += int(anc.nbytes + d.nbytes)
+        if self._apsp is not None:
+            total += int(self._apsp.nbytes)
+        return total
+
+
+register_engine(DIRECTED, DirectedFastEngine.name, DirectedFastEngine)

@@ -38,12 +38,15 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.engines import UNDIRECTED, register_engine
 from repro.core.hierarchy import VertexHierarchy
 from repro.core.labels import eq1_distance_argmin
+from repro.core.query import csr_label_bidijkstra
 from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 
@@ -52,9 +55,15 @@ __all__ = [
     "as_array_label",
     "array_label_entries",
     "eq1_merge",
+    "batch_eq1",
+    "batch_table_stage",
+    "pack_entry_lists",
     "fast_top_down_labels",
     "LabelArrayPool",
     "FastEngine",
+    "DEFAULT_APSP_BUDGET_BYTES",
+    "APSP_BUDGET_ENV",
+    "apsp_ceiling",
 ]
 
 #: A query-time label as parallel arrays: ``(ancestors, dists)``, both
@@ -67,6 +76,35 @@ ArrayLabel = Tuple[np.ndarray, np.ndarray]
 _SMALL_MERGE = 48
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+#: Default all-pairs-table memory budget: 32 MB of float64 cells, the
+#: ceiling PR 1 hard-coded as ``APSP_MAX_GK = 2048`` (2048² x 8 bytes).
+DEFAULT_APSP_BUDGET_BYTES = 32 * 1024 * 1024
+
+#: Environment override for the table budget, in megabytes (fractional
+#: values allowed).  A non-positive or unparsable value disables the table.
+APSP_BUDGET_ENV = "REPRO_APSP_BUDGET_MB"
+
+
+def apsp_ceiling(budget_bytes: Optional[int] = None) -> int:
+    """Largest ``|V_Gk|`` whose float64 all-pairs table fits ``budget_bytes``.
+
+    ``None`` resolves the budget from :data:`APSP_BUDGET_ENV` (megabytes),
+    falling back to :data:`DEFAULT_APSP_BUDGET_BYTES` — at the default
+    32 MB the ceiling is 2048 vertices, matching the PR 1 constant.
+    """
+    if budget_bytes is None:
+        raw = os.environ.get(APSP_BUDGET_ENV)
+        if raw is None:
+            budget_bytes = DEFAULT_APSP_BUDGET_BYTES
+        else:
+            try:
+                budget_bytes = int(float(raw) * 1024 * 1024)
+            except (ValueError, OverflowError):  # unparsable, or "inf"
+                budget_bytes = 0
+    if budget_bytes <= 0:
+        return 0
+    return math.isqrt(budget_bytes // 8)
 
 
 def as_array_label(entries: Sequence[Tuple[int, int]]) -> ArrayLabel:
@@ -102,6 +140,233 @@ def eq1_merge(label_s: ArrayLabel, label_t: ArrayLabel) -> Tuple[float, int]:
     sums = d_s[pos_s] + d_t[pos_t]
     j = int(np.argmin(sums))
     return int(sums[j]), int(common[j])
+
+
+def batch_eq1(
+    labels_s: Sequence[ArrayLabel], labels_t: Sequence[ArrayLabel]
+) -> np.ndarray:
+    """Equation 1 for a whole batch in one ``searchsorted`` pass.
+
+    ``labels_s[i]`` and ``labels_t[i]`` are the two (sorted, unique) array
+    labels of query ``i``; the result is a float array of per-query
+    Equation-1 distances (``inf`` where the intersection is empty).
+
+    The trick is to make one flat sorted key space out of the stacked
+    labels: entry ``(i, ancestor)`` becomes the scalar
+    ``i * span + (ancestor - min_ancestor)`` with ``span`` wide enough that
+    queries never overlap, so the concatenated target keys stay globally
+    sorted and a single ``searchsorted`` of all source keys finds every
+    intersection in the batch at once.  Per-query minima then come from one
+    ``np.minimum.at`` scatter over the hits.  Falls back to the per-pair
+    merge if the key space would overflow ``int64`` (absurd vertex ids).
+    """
+    q = len(labels_s)
+    out = np.full(q, np.inf)
+    if q == 0:
+        return out
+    len_s = np.array([len(lab[0]) for lab in labels_s], dtype=np.int64)
+    len_t = np.array([len(lab[0]) for lab in labels_t], dtype=np.int64)
+    if not len_s.sum() or not len_t.sum():
+        return out
+    anc_s = np.concatenate([lab[0] for lab in labels_s])
+    d_s = np.concatenate([lab[1] for lab in labels_s])
+    anc_t = np.concatenate([lab[0] for lab in labels_t])
+    d_t = np.concatenate([lab[1] for lab in labels_t])
+
+    lo = min(int(anc_s.min()), int(anc_t.min()))
+    hi = max(int(anc_s.max()), int(anc_t.max()))
+    span = hi - lo + 1
+    if span > (2**62) // max(q, 1):
+        for i, (ls, lt) in enumerate(zip(labels_s, labels_t)):
+            out[i] = eq1_merge(ls, lt)[0]
+        return out
+
+    qid_s = np.repeat(np.arange(q, dtype=np.int64), len_s)
+    qid_t = np.repeat(np.arange(q, dtype=np.int64), len_t)
+    key_s = qid_s * span + (anc_s - lo)
+    key_t = qid_t * span + (anc_t - lo)
+    pos = np.searchsorted(key_t, key_s)
+    pos[pos == len(key_t)] = 0  # clamp; the equality below rejects these
+    hit = key_t[pos] == key_s
+    if not hit.any():
+        return out
+    sums = (d_s[hit] + d_t[pos[hit]]).astype(np.float64)
+    np.minimum.at(out, qid_s[hit], sums)
+    return out
+
+
+#: A single query whose seed cross product exceeds this many candidate
+#: pairs is answered on its own instead of joining the flat batch gather.
+_TABLE_FLAT_CAP = 4096
+
+
+def batch_table_stage(
+    table: np.ndarray,
+    done: np.ndarray,
+    fill_row,
+    seeds_f: Sequence[Tuple[np.ndarray, np.ndarray]],
+    seeds_r: Sequence[Tuple[np.ndarray, np.ndarray]],
+    mu0s: np.ndarray,
+) -> List[float]:
+    """Stage-2 answers for a whole batch over the all-pairs ``G_k`` table.
+
+    ``seeds_f[i]``/``seeds_r[i]`` are query ``i``'s dense-id seed arrays
+    and ``mu0s[i]`` its Equation-1 bound.  Queries with an empty seed side
+    are answered by the bound alone.  Everything else is flattened into one
+    candidate list — the cross product of each query's seed pairs — so a
+    single fancy-indexed gather ``table[A, B]`` plus one
+    ``np.minimum.reduceat`` over the query boundaries evaluates the whole
+    batch's Theorem-4 reduction at once; single-seed pairs (the common case
+    on deep hierarchies, where a label reaches ``G_k`` through one gateway)
+    contribute their arrays with no per-query numpy call at all.  Missing
+    table rows are filled on demand via ``fill_row``.
+    """
+    q = len(seeds_f)
+    out: List[float] = [math.inf] * q
+    vec: List[int] = []
+    counts: List[int] = []
+    a_parts: List[np.ndarray] = []
+    b_parts: List[np.ndarray] = []
+    da_parts: List[np.ndarray] = []
+    db_parts: List[np.ndarray] = []
+    for i in range(q):
+        ids_s, d_s = seeds_f[i]
+        ids_t, d_t = seeds_r[i]
+        ns, nt = len(ids_s), len(ids_t)
+        mu0 = float(mu0s[i])
+        if not ns or not nt:
+            out[i] = int(mu0) if mu0 != math.inf else mu0
+            continue
+        if ns * nt > _TABLE_FLAT_CAP:
+            # Pathologically seedy pair: answer it alone rather than
+            # blowing up the flat candidate array.
+            for a in ids_s.tolist():
+                if not done[a]:
+                    fill_row(a)
+            sub = table[np.ix_(ids_s, ids_t)]
+            best = float((sub + d_s[:, None] + d_t[None, :]).min())
+            if best >= mu0:
+                best = mu0
+            out[i] = int(best) if best != math.inf else best
+            continue
+        vec.append(i)
+        counts.append(ns * nt)
+        if ns == 1 and nt == 1:
+            a_parts.append(ids_s)
+            b_parts.append(ids_t)
+            da_parts.append(d_s)
+            db_parts.append(d_t)
+        else:
+            # Cross product in row-major order: each source seed against
+            # every target seed.
+            a_parts.append(np.repeat(ids_s, nt))
+            b_parts.append(np.tile(ids_t, ns))
+            da_parts.append(np.repeat(d_s, nt))
+            db_parts.append(np.tile(d_t, ns))
+    if vec:
+        a_ids = np.concatenate(a_parts)
+        b_ids = np.concatenate(b_parts)
+        d_a = np.concatenate(da_parts)
+        d_b = np.concatenate(db_parts)
+        for a in np.unique(a_ids[~done[a_ids]]).tolist():
+            fill_row(a)
+        vals = table[a_ids, b_ids] + d_a + d_b
+        starts = np.zeros(len(vec), dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        mins = np.minimum.reduceat(vals, starts)
+        best_all = np.minimum(mins, mu0s[vec])
+        for j, i in enumerate(vec):
+            best = float(best_all[j])
+            out[i] = int(best) if best != math.inf else best
+    return out
+
+
+def pack_entry_lists(
+    entry_lists: Dict[int, List[Tuple[int, int]]],
+    prebuilt: Dict[int, ArrayLabel],
+    gk_ids: np.ndarray,
+):
+    """Freeze entry-list labels into packed arrays plus dense ``G_k`` seeds.
+
+    The shared engine-freeze primitive behind both the undirected
+    :class:`FastEngine` and the directed engine's two label tables.  Labels
+    already merged vectorially (``prebuilt``) are adopted as-is; the rest
+    (the small-label majority) become views over two backing arrays built
+    with one batched conversion.  The concatenated ancestor array then
+    drives the vectorized seed extraction: the dense id of a ``G_k`` vertex
+    equals its rank among the sorted ``G_k`` ids (CSR order), so membership
+    and dense translation come from a single ``searchsorted`` over all
+    labels at once.
+
+    Returns ``(labels, seed_ids, seed_dists, seed_ids_np, seed_dists_np)``
+    keyed by vertex: the packed :data:`ArrayLabel` per vertex and its
+    Algorithm-1 seeds as Python lists and as numpy arrays.
+    """
+    n = len(gk_ids)
+    order = list(entry_lists)
+    labels: Dict[int, ArrayLabel] = {}
+    seed_ids: Dict[int, List[int]] = {}
+    seed_dists: Dict[int, List[int]] = {}
+    seed_ids_np: Dict[int, np.ndarray] = {}
+    seed_dists_np: Dict[int, np.ndarray] = {}
+
+    counts: List[int] = []
+    flat_anc: List[int] = []
+    flat_d: List[int] = []
+    packed: List[Tuple[int, int]] = []  # (order position, start offset)
+    for i, v in enumerate(order):
+        entries = entry_lists[v]
+        counts.append(len(entries))
+        ready = prebuilt.get(v)
+        if ready is not None:
+            labels[v] = ready
+            continue
+        packed.append((i, len(flat_anc)))
+        if entries:
+            anc, d = zip(*entries)
+            flat_anc.extend(anc)
+            flat_d.extend(d)
+    pack_anc = np.array(flat_anc, dtype=np.int64)
+    pack_d = np.array(flat_d, dtype=np.int64)
+    for i, start in packed:
+        v = order[i]
+        labels[v] = (
+            pack_anc[start : start + counts[i]],
+            pack_d[start : start + counts[i]],
+        )
+
+    total = sum(counts)
+    if n == 0 or total == 0:
+        for v in order:
+            seed_ids[v] = []
+            seed_dists[v] = []
+            seed_ids_np[v] = _EMPTY
+            seed_dists_np[v] = _EMPTY
+        return labels, seed_ids, seed_dists, seed_ids_np, seed_dists_np
+
+    all_anc = np.concatenate([labels[v][0] for v in order])
+    all_d = np.concatenate([labels[v][1] for v in order])
+    pos = np.searchsorted(gk_ids, all_anc)
+    pos[pos == n] = 0  # clamp before the gather; equality below rejects these
+    mask = gk_ids[pos] == all_anc
+    sel_pos = pos[mask]
+    sel_d = all_d[mask]
+    sel_ids = sel_pos.tolist()
+    sel_dists = sel_d.tolist()
+    # Prefix sums of the mask at each label boundary give each label's
+    # slice of the selected entries.
+    csum = np.cumsum(mask)
+    start = 0
+    boundary = 0
+    for i, v in enumerate(order):
+        boundary += counts[i]
+        stop = int(csum[boundary - 1]) if boundary else 0
+        seed_ids[v] = sel_ids[start:stop]
+        seed_dists[v] = sel_dists[start:stop]
+        seed_ids_np[v] = sel_pos[start:stop]
+        seed_dists_np[v] = sel_d[start:stop]
+        start = stop
+    return labels, seed_ids, seed_dists, seed_ids_np, seed_dists_np
 
 
 def fast_top_down_labels(
@@ -225,11 +490,196 @@ class LabelArrayPool:
         return self.epoch
 
 
-class FastEngine:
+class PackedEngineBase:
+    """Shared query machinery of the packed-array engines.
+
+    Everything the undirected :class:`FastEngine` and the directed
+    :class:`repro.core.fastdirected.DirectedFastEngine` answer queries
+    with is one code path parameterized by orientation: the subclass
+    supplies ``eq1``, the per-side label accessors (``_label_f`` /
+    ``_label_r``: Equation-1 inputs for a forward endpoint and a reverse
+    endpoint), the per-side seed accessors (``_seeds_f[_np]`` /
+    ``_seeds_r[_np]``) and :meth:`_search_arrays` (forward CSR triple plus
+    the reverse triple — ``None`` s for an undirected graph, where one
+    adjacency serves both directions).  This base then implements the
+    :class:`repro.core.engines.QueryEngine` ``distance``/``distances``
+    hot paths, the lazily row-filled all-pairs ``G_k`` table and its
+    batched Theorem-4 reduction, identically for both orientations.
+    """
+
+    __slots__ = ()
+
+    #: Registry name (`engines.py` protocol attribute).
+    name = "fast"
+
+    def _search_arrays(self):
+        """``((indptr, indices, weights), (indptr_r, indices_r, weights_r))``
+        for the stage-2 search; the reverse triple is ``(None, None, None)``
+        when one adjacency serves both directions."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Small-G_k all-pairs table
+    # ------------------------------------------------------------------
+    @property
+    def has_apsp(self) -> bool:
+        """True when the search stage runs on the ``G_k`` distance table."""
+        if not self.frozen:
+            self.freeze()
+        return self._apsp is not None
+
+    def search_distance(
+        self,
+        seeds_s: Tuple[np.ndarray, np.ndarray],
+        seeds_t: Tuple[np.ndarray, np.ndarray],
+        bound: float,
+    ) -> float:
+        """Stage-2 answer ``min(bound, min_{a,b} d_a + dist_Gk(a,b) + d_b)``.
+
+        Requires :attr:`has_apsp`; rows of the table are filled on first
+        use by a plain Dijkstra over the (forward) CSR arrays — each row is
+        computed at most once per engine lifetime, so a query workload
+        amortizes the whole table while construction pays nothing.
+        """
+        ids_s, d_s = seeds_s
+        ids_t, d_t = seeds_t
+        table = self._apsp
+        done = self._apsp_done
+        for a in ids_s.tolist():
+            if not done[a]:
+                self._fill_apsp_row(a)
+        sub = table[np.ix_(ids_s, ids_t)]
+        best = (sub + d_s[:, None] + d_t[None, :]).min()
+        if best < bound:
+            return int(best)
+        return bound
+
+    def _fill_apsp_row(self, a: int) -> None:
+        """Single-source Dijkstra from dense ``a`` over the forward CSR."""
+        n = self.csr.num_vertices
+        indptr, indices, weights = self.indptr, self.indices, self.weights
+        dist = [math.inf] * n
+        dist[a] = 0
+        heap = [a]  # encoded d * n + v
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            d, v = divmod(pop(heap), n)
+            if d > dist[v]:
+                continue
+            for p in range(indptr[v], indptr[v + 1]):
+                u = indices[p]
+                candidate = d + weights[p]
+                if candidate < dist[u]:
+                    dist[u] = candidate
+                    push(heap, candidate * n + u)
+        self._apsp[a] = dist
+        self._apsp_done[a] = True
+
+    # ------------------------------------------------------------------
+    # QueryEngine protocol: validated-query compute
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> float:
+        """Exact distance between two covered vertices (no bookkeeping).
+
+        The raw protocol hot path: Equation 1, pre-extracted seeds, then
+        the table reduction or the CSR bidirectional Dijkstra.  Vertex
+        coverage checks and I/O accounting belong to the index facade.
+        """
+        if source == target:
+            return 0
+        if not self.frozen:
+            self.freeze()
+        mu0, _ = self.eq1(source, target)
+        if self._apsp is not None:
+            seeds_f = self._seeds_f_np(source)
+            seeds_r = self._seeds_r_np(target)
+            if not len(seeds_f[0]) or not len(seeds_r[0]):
+                return mu0
+            return self.search_distance(seeds_f, seeds_r, mu0)
+        seeds_f = self._seeds_f(source)
+        seeds_r = self._seeds_r(target)
+        if not len(seeds_f[0]) or not len(seeds_r[0]):
+            return mu0
+        forward, reverse = self._search_arrays()
+        distance, _, _ = csr_label_bidijkstra(
+            *forward,
+            seeds_f,
+            seeds_r,
+            self.pool,
+            self.csr.num_vertices,
+            initial_mu=mu0,
+            indptr_r=reverse[0],
+            indices_r=reverse[1],
+            weights_r=reverse[2],
+        )
+        return distance
+
+    def distances(self, pairs: Iterable[Tuple[int, int]]) -> List[float]:
+        """Batch :meth:`distance` with one vectorized Equation-1 stage.
+
+        Stage 1 runs :func:`batch_eq1` once over the stacked label arrays
+        of the whole batch (one ``searchsorted``, one scatter-min) instead
+        of a per-pair merge.  In table mode, stage 2 vectorizes across the
+        batch too (:func:`batch_table_stage`); in CSR mode it reuses the
+        pooled search buffers across every remaining pair.
+        """
+        pairs = list(pairs)
+        if not self.frozen:
+            self.freeze()
+        out: List[float] = [0] * len(pairs)
+        live = [i for i, (s, t) in enumerate(pairs) if s != t]
+        if not live:
+            return out
+        mu0s = batch_eq1(
+            [self._label_f(pairs[i][0]) for i in live],
+            [self._label_r(pairs[i][1]) for i in live],
+        )
+        if self._apsp is not None:
+            answers = batch_table_stage(
+                self._apsp,
+                self._apsp_done,
+                self._fill_apsp_row,
+                [self._seeds_f_np(pairs[i][0]) for i in live],
+                [self._seeds_r_np(pairs[i][1]) for i in live],
+                mu0s,
+            )
+            for j, i in enumerate(live):
+                out[i] = answers[j]
+            return out
+        forward, reverse = self._search_arrays()
+        n_gk = self.csr.num_vertices
+        pool = self.pool
+        for j, i in enumerate(live):
+            s, t = pairs[i]
+            mu0 = float(mu0s[j])
+            sf = self._seeds_f(s)
+            sr = self._seeds_r(t)
+            if not len(sf[0]) or not len(sr[0]):
+                out[i] = int(mu0) if mu0 != math.inf else mu0
+                continue
+            distance, _, _ = csr_label_bidijkstra(
+                *forward,
+                sf,
+                sr,
+                pool,
+                n_gk,
+                initial_mu=mu0,
+                indptr_r=reverse[0],
+                indices_r=reverse[1],
+                weights_r=reverse[2],
+            )
+            out[i] = int(distance) if distance != math.inf else distance
+        return out
+
+
+class FastEngine(PackedEngineBase):
     """Frozen array-native query structures of one built IS-LABEL index.
 
-    Holds the :class:`CSRGraph` of ``G_k`` (plus flat Python-list mirrors
-    of ``indptr/indices/weights`` for the scalar search loop), the packed
+    The undirected ``"fast"`` implementation of the
+    :class:`repro.core.engines.QueryEngine` protocol.  Holds the
+    :class:`CSRGraph` of ``G_k`` (plus flat Python-list mirrors of
+    ``indptr/indices/weights`` for the scalar search loop), the packed
     label arrays, each label's pre-extracted ``G_k`` seeds in dense ids,
     the shared :class:`LabelArrayPool`, and — for small ``G_k`` — the lazy
     all-pairs ``G_k`` distance table.
@@ -252,6 +702,7 @@ class FastEngine:
         "indices",
         "weights",
         "frozen",
+        "apsp_max_gk",
         "_prebuilt",
         "_seed_ids",
         "_seed_dists",
@@ -266,22 +717,24 @@ class FastEngine:
     #: call overhead; :meth:`eq1` switches on it.
     EQ1_SMALL = 32
 
-    #: Keep an all-pairs ``G_k`` distance table when ``|V_Gk|`` is at most
-    #: this (8 bytes per cell: 2048² = 32 MB ceiling).  Above it, the
-    #: search stage falls back to the CSR bidirectional Dijkstra.
-    APSP_MAX_GK = 2048
-
     def __init__(
         self,
         gk: Graph,
         entry_lists: Dict[int, List[Tuple[int, int]]],
         arrays: Optional[Dict[int, ArrayLabel]] = None,
+        apsp_budget_bytes: Optional[int] = None,
     ) -> None:
         self.gk = gk
         self.entry_lists = entry_lists
         self._prebuilt: Dict[int, ArrayLabel] = arrays or {}
         self.pool = LabelArrayPool()
         self.frozen = False
+        #: Keep an all-pairs ``G_k`` distance table when ``|V_Gk|`` is at
+        #: most this; derived from the memory budget (constructor arg, the
+        #: :data:`APSP_BUDGET_ENV` variable, or the 32 MB default — the
+        #: default works out to the 2048-vertex ceiling of PR 1).  Above
+        #: it, the search stage runs the CSR bidirectional Dijkstra.
+        self.apsp_max_gk = apsp_ceiling(apsp_budget_bytes)
         self.csr: Optional[CSRGraph] = None
         self.indptr: List[int] = []
         self.indices: List[int] = []
@@ -314,86 +767,40 @@ class FastEngine:
         self.indptr = self.csr.indptr.tolist()
         self.indices = self.csr.indices.tolist()
         self.weights = self.csr.weights.tolist()
-        self._pack_labels(self._prebuilt)
+        (
+            self.labels,
+            self._seed_ids,
+            self._seed_dists,
+            self._seed_ids_np,
+            self._seed_dists_np,
+        ) = pack_entry_lists(self.entry_lists, self._prebuilt, self.csr.ids_array)
         self._prebuilt = {}
         n = self.csr.num_vertices
-        if 0 < n <= self.APSP_MAX_GK:
+        if 0 < n <= self.apsp_max_gk:
             self._apsp = np.full((n, n), np.inf)
             self._apsp_done = np.zeros(n, dtype=bool)
         return self
 
-    def _pack_labels(self, prebuilt: Dict[int, ArrayLabel]) -> None:
-        """Freeze every entry list into label arrays, batched.
+    def invalidate(self) -> None:
+        """Drop the frozen structures; the next query re-freezes.
 
-        Labels the array-native labeler already merged vectorially are
-        adopted as-is; the rest (the small-label majority) are packed into
-        views over two backing arrays with one batched conversion (two flat
-        extends + two ``np.array`` calls) instead of a per-vertex
-        allocation.  The concatenated ancestor array then drives the
-        vectorized seed extraction: the dense id of a ``G_k`` vertex equals
-        its rank among the sorted ``G_k`` ids (CSR order), so membership
-        and dense translation come from a single ``searchsorted`` over all
-        labels at once.
+        The dynamic-invalidation hook of the engine protocol: after the
+        index's entry lists change (e.g. a future incremental-maintenance
+        path), invalidating makes the engine rebuild its arrays from the
+        current labels on the next query instead of serving stale answers.
         """
-        order = list(self.entry_lists)
-        labels = self.labels
-        counts: List[int] = []
-        flat_anc: List[int] = []
-        flat_d: List[int] = []
-        packed: List[Tuple[int, int]] = []  # (order position, start offset)
-        for i, v in enumerate(order):
-            entries = self.entry_lists[v]
-            counts.append(len(entries))
-            ready = prebuilt.get(v)
-            if ready is not None:
-                labels[v] = ready
-                continue
-            packed.append((i, len(flat_anc)))
-            if entries:
-                anc, d = zip(*entries)
-                flat_anc.extend(anc)
-                flat_d.extend(d)
-        pack_anc = np.array(flat_anc, dtype=np.int64)
-        pack_d = np.array(flat_d, dtype=np.int64)
-        for i, start in packed:
-            v = order[i]
-            labels[v] = (
-                pack_anc[start : start + counts[i]],
-                pack_d[start : start + counts[i]],
-            )
-
-        n = self.csr.num_vertices
-        total = sum(counts)
-        if n == 0 or total == 0:
-            for v in order:
-                self._seed_ids[v] = []
-                self._seed_dists[v] = []
-                self._seed_ids_np[v] = _EMPTY
-                self._seed_dists_np[v] = _EMPTY
-            return
-        all_anc = np.concatenate([labels[v][0] for v in order])
-        all_d = np.concatenate([labels[v][1] for v in order])
-        gk_ids = self.csr.ids_array
-        pos = np.searchsorted(gk_ids, all_anc)
-        pos[pos == n] = 0  # clamp before the gather; equality below rejects these
-        mask = gk_ids[pos] == all_anc
-        sel_pos = pos[mask]
-        sel_d = all_d[mask]
-        sel_ids = sel_pos.tolist()
-        sel_dists = sel_d.tolist()
-        # Prefix sums of the mask at each label boundary give each label's
-        # slice of the selected entries.
-        csum = np.cumsum(mask)
-        start = 0
-        boundary = 0
-        for i, v in enumerate(order):
-            boundary += counts[i]
-            stop = int(csum[boundary - 1]) if boundary else 0
-            self._seed_ids[v] = sel_ids[start:stop]
-            self._seed_dists[v] = sel_dists[start:stop]
-            self._seed_ids_np[v] = sel_pos[start:stop]
-            self._seed_dists_np[v] = sel_d[start:stop]
-            start = stop
+        self.frozen = False
+        self.csr = None
+        self.indptr = []
+        self.indices = []
+        self.weights = []
+        self.labels = {}
+        self._seed_ids = {}
+        self._seed_dists = {}
+        self._seed_ids_np = {}
+        self._seed_dists_np = {}
+        self._apsp = None
+        self._apsp_done = None
 
     # ------------------------------------------------------------------
     # Labels and seeds
@@ -457,63 +864,17 @@ class FastEngine:
             )
         return [], [], _EMPTY, _EMPTY
 
-    # ------------------------------------------------------------------
-    # Small-G_k all-pairs table
-    # ------------------------------------------------------------------
-    @property
-    def has_apsp(self) -> bool:
-        """True when the search stage runs on the ``G_k`` distance table."""
-        if not self.frozen:
-            self.freeze()
-        return self._apsp is not None
+    # PackedEngineBase hooks: on an undirected graph both query sides read
+    # the same label table and one adjacency serves both searches.
+    _label_f = label
+    _label_r = label
+    _seeds_f = seeds
+    _seeds_r = seeds
+    _seeds_f_np = seeds_np
+    _seeds_r_np = seeds_np
 
-    def search_distance(
-        self,
-        seeds_s: Tuple[np.ndarray, np.ndarray],
-        seeds_t: Tuple[np.ndarray, np.ndarray],
-        bound: float,
-    ) -> float:
-        """Stage-2 answer ``min(bound, min_{a,b} d_a + dist_Gk(a,b) + d_b)``.
-
-        Requires :attr:`has_apsp`; rows of the table are filled on first
-        use by a plain Dijkstra over the CSR arrays (each row is computed
-        at most once per engine lifetime, so a query workload amortizes the
-        whole table while construction pays nothing).
-        """
-        ids_s, d_s = seeds_s
-        ids_t, d_t = seeds_t
-        table = self._apsp
-        done = self._apsp_done
-        for a in ids_s.tolist():
-            if not done[a]:
-                self._fill_apsp_row(a)
-        sub = table[np.ix_(ids_s, ids_t)]
-        best = (sub + d_s[:, None] + d_t[None, :]).min()
-        if best < bound:
-            return int(best)
-        return bound
-
-    def _fill_apsp_row(self, a: int) -> None:
-        """Single-source Dijkstra from dense ``a`` over the CSR lists."""
-        n = self.csr.num_vertices
-        indptr, indices, weights = self.indptr, self.indices, self.weights
-        dist = [math.inf] * n
-        dist[a] = 0
-        heap = [a]  # encoded d * n + v
-        push = heapq.heappush
-        pop = heapq.heappop
-        while heap:
-            d, v = divmod(pop(heap), n)
-            if d > dist[v]:
-                continue
-            for p in range(indptr[v], indptr[v + 1]):
-                u = indices[p]
-                candidate = d + weights[p]
-                if candidate < dist[u]:
-                    dist[u] = candidate
-                    push(heap, candidate * n + u)
-        self._apsp[a] = dist
-        self._apsp_done[a] = True
+    def _search_arrays(self):
+        return (self.indptr, self.indices, self.weights), (None, None, None)
 
     def nbytes(self) -> int:
         """Approximate footprint of the CSR arrays plus packed labels."""
@@ -525,3 +886,6 @@ class FastEngine:
         if self._apsp is not None:
             total += int(self._apsp.nbytes)
         return total
+
+
+register_engine(UNDIRECTED, FastEngine.name, FastEngine)

@@ -20,7 +20,10 @@ Two storage modes mirror the paper's two configurations:
 * ``storage="memory"`` — labels stay in memory, Time (a) is zero.  This is
   "IM-ISL".
 
-Orthogonally to storage, ``engine`` selects the query/compute backend:
+Orthogonally to storage, ``engine`` selects the query/compute backend by
+registry name (:mod:`repro.core.engines` — the :class:`QueryEngine`
+protocol and its registry; the directed index resolves through the same
+registry under the ``"directed"`` kind):
 
 * ``engine="fast"`` (default) — array-native hot paths: labels as sorted
   parallel numpy arrays with a merge-based Equation 1, ``G_k`` frozen into
@@ -44,6 +47,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.engines import UNDIRECTED, resolve_engine
 from repro.core.fastlabels import FastEngine, fast_top_down_labels
 from repro.core.hierarchy import DEFAULT_SIGMA, VertexHierarchy, build_hierarchy
 from repro.core.labeling import top_down_labels
@@ -137,8 +141,8 @@ class ISLabelIndex:
 
     @property
     def engine(self) -> str:
-        """``"fast"`` (array/CSR hot paths) or ``"dict"`` (reference)."""
-        return "fast" if self._fast is not None else "dict"
+        """Registry name of the attached backend (``"dict"`` if none)."""
+        return self._fast.name if self._fast is not None else "dict"
 
     @property
     def search_mode(self) -> str:
@@ -149,15 +153,18 @@ class ISLabelIndex:
             return "dict"
         return "apsp" if self._fast.has_apsp else "csr"
 
-    def attach_fast_engine(self) -> "ISLabelIndex":
-        """Freeze the current labels and ``G_k`` into a fast engine.
+    def attach_fast_engine(self, engine: str = "fast") -> "ISLabelIndex":
+        """Attach the registered ``engine`` over the current labels/``G_k``.
 
         Used by :func:`repro.core.serialization.load_index` and by tests
-        that construct indexes directly.  The engine snapshots the labels —
-        do not mutate them afterwards (dynamic maintenance must stay on the
-        dict engine).
+        that construct indexes directly.  Resolves through the engine
+        registry, so a replacement backend registered under the same name
+        is honoured everywhere.  The engine snapshots the labels — do not
+        mutate them afterwards (dynamic maintenance must stay on the dict
+        engine).
         """
-        self._fast = FastEngine.from_entry_lists(self.gk, self._labels)
+        factory = resolve_engine(UNDIRECTED, engine)
+        self._fast = factory(self.gk, self._labels) if factory is not None else None
         return self
 
     # ------------------------------------------------------------------
@@ -192,8 +199,7 @@ class ISLabelIndex:
         """
         if storage not in ("memory", "disk"):
             raise IndexBuildError(f"unknown storage mode {storage!r}")
-        if engine not in ("fast", "dict"):
-            raise IndexBuildError(f"unknown engine {engine!r}")
+        factory = resolve_engine(UNDIRECTED, engine)
         model = cost_model or CostModel()
 
         hierarchy = build_hierarchy(
@@ -207,20 +213,20 @@ class ISLabelIndex:
         )
         labeling_started = time.perf_counter()
         fast = None
-        if engine == "fast" and not with_paths:
+        if factory is not None and not with_paths:
             # Algorithm 4 with the sorted-array k-way min-merge for large
             # labels; the engine then packs the entry lists into its
             # backing arrays in one batch.
             labels, array_labels = fast_top_down_labels(hierarchy)
             preds = None
-            fast = FastEngine(hierarchy.gk, labels, array_labels)
+            fast = factory(hierarchy.gk, labels, array_labels)
         else:
             # Predecessor bookkeeping (with_paths) only exists on the dict
-            # labeler; the fast engine can still wrap the result below.
+            # labeler; a registered engine can still wrap the result below.
             label_maps, preds = top_down_labels(hierarchy, with_preds=with_paths)
             labels = {v: sort_label(m) for v, m in label_maps.items()}
-            if engine == "fast":
-                fast = FastEngine.from_entry_lists(hierarchy.gk, labels)
+            if factory is not None:
+                fast = factory(hierarchy.gk, labels)
         labeling_seconds = time.perf_counter() - labeling_started
 
         store = None
@@ -256,52 +262,28 @@ class ISLabelIndex:
     def distances(self, pairs) -> List[float]:
         """Batch form of :meth:`distance` over an iterable of (s, t) pairs.
 
-        On the fast engine this is a real batch path: the Equation-1 merge,
-        seed lookup and CSR search share one set of pooled buffers across
-        the whole batch and skip the per-query :class:`QueryResult` and
-        timing bookkeeping (I/O accounting in disk mode is preserved).
+        On the fast engine this is a real batch path: Equation 1 runs once,
+        vectorized over the stacked label arrays of the whole batch, the
+        CSR search shares one set of pooled buffers, and the per-query
+        :class:`QueryResult` and timing bookkeeping are skipped (I/O
+        accounting in disk mode is preserved).
         """
         if self._fast is None:
             return [self.query(s, t).distance for s, t in pairs]
-        return self._fast_distances(pairs)
-
-    def _fast_distances(self, pairs) -> List[float]:
-        fast = self._fast
-        fast.freeze()
-        indptr, indices, weights = fast.indptr, fast.indices, fast.weights
-        n_gk = fast.csr.num_vertices
-        pool = fast.pool
-        eq1 = fast.eq1
-        charge = self._store is not None
-        use_apsp = fast.has_apsp
-        seeds = fast.seeds_np if use_apsp else fast.seeds
+        # Facade duties before delegating the compute: vertex coverage and
+        # the simulated label I/O of disk mode.
+        pairs = list(pairs)
         level_of = self.hierarchy.level_of
-        out: List[float] = []
+        charge = self._store is not None
         for s, t in pairs:
             if s not in level_of:
                 raise QueryError(f"vertex {s} is not covered by this index")
             if t not in level_of:
                 raise QueryError(f"vertex {t} is not covered by this index")
-            if s == t:
-                out.append(0)
-                continue
-            if charge:
+            if charge and s != t:
                 self._fetch_label(s)
                 self._fetch_label(t)
-            mu0, _ = eq1(s, t)
-            sf = seeds(s)
-            sr = seeds(t)
-            if not len(sf[0]) or not len(sr[0]):
-                out.append(mu0)
-                continue
-            if use_apsp:
-                out.append(fast.search_distance(sf, sr, mu0))
-                continue
-            distance, _, _ = csr_label_bidijkstra(
-                indptr, indices, weights, sf, sr, pool, n_gk, initial_mu=mu0
-            )
-            out.append(distance)
-        return out
+        return self._fast.distances(pairs)
 
     def reachable(self, source: int, target: int) -> bool:
         """True iff the endpoints are connected in ``G``."""

@@ -32,6 +32,7 @@ import struct
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.hierarchy import VertexHierarchy
+from repro.core.labels import merge_neighbor_labels
 from repro.errors import IndexBuildError
 from repro.extmem.blockdev import BlockDevice
 from repro.extmem.iomodel import IOStats
@@ -103,19 +104,9 @@ def top_down_labels(
     # removal time all have level > i, so their labels are complete.
     for i in range(hierarchy.k - 1, 0, -1):
         for v in hierarchy.level_vertices(i):
-            label_v: Dict[int, int] = {v: 0}
-            pred_v: Dict[int, Optional[int]] = {v: None} if with_preds else {}
-            for u, weight in hierarchy.removal_adjacency(v):
-                label_u = labels[u]
-                for w, duw in label_u.items():
-                    candidate = weight + duw
-                    old = label_v.get(w)
-                    if old is None or candidate < old:
-                        label_v[w] = candidate
-                        if with_preds:
-                            # A direct edge (w == u) needs no predecessor
-                            # hop; otherwise the path runs v -> u ~> w.
-                            pred_v[w] = None if w == u else u
+            label_v, pred_v = merge_neighbor_labels(
+                v, hierarchy.removal_adjacency(v), labels, with_preds
+            )
             labels[v] = label_v
             if preds is not None:
                 preds[v] = pred_v

@@ -13,7 +13,7 @@ and the vertex-extraction / intersection operators of §4.3.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "LabelEntryList",
@@ -24,6 +24,7 @@ __all__ = [
     "intersect_labels",
     "eq1_distance",
     "eq1_distance_argmin",
+    "merge_neighbor_labels",
     "label_nbytes",
 ]
 
@@ -93,6 +94,41 @@ def eq1_distance_argmin(
             best = total
             best_w = w
     return best, best_w
+
+
+def merge_neighbor_labels(
+    v: int,
+    adjacency: Iterable[Tuple[int, int]],
+    labels: Dict[int, Dict[int, int]],
+    with_preds: bool = False,
+) -> Tuple[Dict[int, int], Optional[Dict[int, Optional[int]]]]:
+    """One top-down min-merge step of Algorithm 4 (§6.1.4).
+
+    ``label(v) = {v: 0} min-merged with w -> weight + d_u(w)`` over every
+    higher-level neighbour ``u`` reached by ``(u, weight)`` in
+    ``adjacency``, reading each neighbour's finished label from ``labels``.
+    This is the one code path behind the undirected labeler and *both*
+    directions of the directed labeler (§8.2: out-labels merge over
+    out-arcs, in-labels over in-arcs).
+
+    When ``with_preds`` is set, also records per entry the predecessor
+    neighbour the minimum routed through (``None`` for the self entry and
+    for direct edges) — the §8.1 path-reconstruction bookkeeping.
+    Returns ``(merged, preds)``; ``preds`` is ``None`` unless requested.
+    """
+    merged: Dict[int, int] = {v: 0}
+    preds: Optional[Dict[int, Optional[int]]] = {v: None} if with_preds else None
+    for u, weight in adjacency:
+        for w, duw in labels[u].items():
+            candidate = weight + duw
+            old = merged.get(w)
+            if old is None or candidate < old:
+                merged[w] = candidate
+                if preds is not None:
+                    # A direct edge (w == u) needs no predecessor hop;
+                    # otherwise the path runs v -> u ~> w.
+                    preds[w] = None if w == u else u
+    return merged, preds
 
 
 def label_nbytes(label: Iterable) -> int:

@@ -209,6 +209,9 @@ def csr_label_bidijkstra(
     pool,
     num_vertices: int,
     initial_mu: float = math.inf,
+    indptr_r: Optional[Sequence[int]] = None,
+    indices_r: Optional[Sequence[int]] = None,
+    weights_r: Optional[Sequence[int]] = None,
 ) -> Tuple[float, int, SearchStats]:
     """Algorithm 1's Stage 2 over a CSR ``G_k`` with dense vertex ids.
 
@@ -229,7 +232,13 @@ def csr_label_bidijkstra(
     ----------
     indptr, indices, weights:
         The CSR arrays of ``G_k`` as Python lists (scalar indexing on
-        lists is what makes the inner loop fast in CPython).
+        lists is what makes the inner loop fast in CPython).  For an
+        undirected ``G_k`` they serve both search directions; for the
+        directed index (§8.2) they are the *forward* (out-arc) arrays.
+    indptr_r, indices_r, weights_r:
+        Optional transposed CSR arrays the reverse search scans —
+        predecessors of each dense vertex.  Defaults to the forward
+        arrays (the undirected case).
     seeds_forward, seeds_reverse:
         Each a ``(dense_ids, dists)`` pair of parallel sequences — the
         pre-extracted label seeds of the two endpoints.
@@ -248,6 +257,8 @@ def csr_label_bidijkstra(
         when the initial bound was never beaten.
     """
     n = num_vertices
+    if indptr_r is None:
+        indptr_r, indices_r, weights_r = indptr, indices, weights
     epoch = pool.acquire(n)
     dist_f, dist_r = pool.dist_f, pool.dist_r
     seen_f, seen_r = pool.seen_f, pool.seen_r
@@ -287,12 +298,14 @@ def csr_label_bidijkstra(
             dist_x, dist_o = dist_f, dist_r
             seen_x, seen_o = seen_f, seen_r
             done_x = done_f
+            adj_ptr, adj_idx, adj_wts = indptr, indices, weights
             forward = True
         else:
             heap = heap_r
             dist_x, dist_o = dist_r, dist_f
             seen_x, seen_o = seen_r, seen_f
             done_x = done_r
+            adj_ptr, adj_idx, adj_wts = indptr_r, indices_r, weights_r
             forward = False
 
         d, v = divmod(pop(heap), n)
@@ -310,12 +323,12 @@ def csr_label_bidijkstra(
                 mu = through
                 meet = v
 
-        for p in range(indptr[v], indptr[v + 1]):
+        for p in range(adj_ptr[v], adj_ptr[v + 1]):
             relaxed += 1
-            u = indices[p]
+            u = adj_idx[p]
             if done_x[u] == epoch:
                 continue
-            candidate = d + weights[p]
+            candidate = d + adj_wts[p]
             if candidate >= mu:
                 continue  # cannot beat µ through here (see docstring)
             if seen_x[u] != epoch or candidate < dist_x[u]:

@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import BinaryIO, Dict, List, Optional, Tuple, Union
 
 from repro.core.directed import DirectedHierarchy, DirectedISLabelIndex
+from repro.core.engines import DIRECTED, UNDIRECTED, resolve_engine
 from repro.core.hierarchy import VertexHierarchy
 from repro.core.index import ISLabelIndex
 from repro.errors import StorageError
@@ -107,10 +108,10 @@ def load_index(
     ``engine`` selects the query backend of the loaded index, matching
     :meth:`ISLabelIndex.build`: ``"fast"`` (default) re-freezes the labels
     and ``G_k`` into the array/CSR engine, ``"dict"`` keeps the reference
-    structures only.  The on-disk format is engine-independent.
+    structures only.  Names resolve through the shared engine registry
+    (:mod:`repro.core.engines`); the on-disk format is engine-independent.
     """
-    if engine not in ("fast", "dict"):
-        raise StorageError(f"unknown engine {engine!r}")
+    factory = resolve_engine(UNDIRECTED, engine)
     with open(path, "rb") as fh:
         header = fh.read(_HEADER.size)
         if len(header) != _HEADER.size:
@@ -187,8 +188,8 @@ def load_index(
         cost_model=cost_model or CostModel(),
         labeling_seconds=0.0,
     )
-    if engine == "fast":
-        index.attach_fast_engine()
+    if factory is not None:
+        index.attach_fast_engine(engine)
     return index
 
 
@@ -257,8 +258,16 @@ def save_directed_index(index: DirectedISLabelIndex, path: PathLike) -> int:
     return position
 
 
-def load_directed_index(path: PathLike) -> DirectedISLabelIndex:
-    """Load a directed index saved by :func:`save_directed_index`."""
+def load_directed_index(
+    path: PathLike, engine: str = "fast"
+) -> DirectedISLabelIndex:
+    """Load a directed index saved by :func:`save_directed_index`.
+
+    ``engine`` mirrors :func:`load_index`: ``"fast"`` (default) attaches a
+    :class:`repro.core.fastdirected.DirectedFastEngine` over the loaded
+    labels and ``G_k``, ``"dict"`` keeps the reference structures only.
+    """
+    factory = resolve_engine(DIRECTED, engine)
     with open(path, "rb") as fh:
         header = fh.read(_HEADER.size)
         if len(header) != _HEADER.size:
@@ -333,7 +342,7 @@ def load_directed_index(path: PathLike) -> DirectedISLabelIndex:
         sigma=None if sigma == _NO_SIGMA else sigma,
         hints=hints,
     )
-    return DirectedISLabelIndex(
+    index = DirectedISLabelIndex(
         hierarchy=hierarchy,
         out_labels=out_labels,
         in_labels=in_labels,
@@ -341,6 +350,9 @@ def load_directed_index(path: PathLike) -> DirectedISLabelIndex:
         out_preds=out_preds,
         in_preds=in_preds,
     )
+    if factory is not None:
+        index.attach_fast_engine(engine)
+    return index
 
 
 def _write_count(fh: BinaryIO, value: int) -> None:

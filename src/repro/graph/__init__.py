@@ -6,7 +6,7 @@ from repro.graph.components import (
     is_connected,
     largest_connected_component,
 )
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRDiGraph, CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
 from repro.graph.io import (
@@ -22,6 +22,7 @@ __all__ = [
     "Graph",
     "DiGraph",
     "CSRGraph",
+    "CSRDiGraph",
     "GraphStats",
     "graph_stats",
     "human_bytes",

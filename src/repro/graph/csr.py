@@ -21,9 +21,10 @@ from typing import Dict, Iterator, List, Tuple
 import numpy as np
 
 from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
 
-__all__ = ["CSRGraph"]
+__all__ = ["CSRGraph", "CSRDiGraph"]
 
 
 class CSRGraph:
@@ -120,3 +121,112 @@ class CSRGraph:
     def nbytes(self) -> int:
         """Approximate memory footprint of the CSR arrays."""
         return int(self.indptr.nbytes + self.indices.nbytes + self.weights.nbytes)
+
+
+class CSRDiGraph:
+    """Immutable per-direction CSR views of a digraph.
+
+    The directed fast engine's Type-2 search (§8.2) walks out-arcs forwards
+    from the source seeds and in-arcs backwards from the target seeds, so
+    the freeze builds *two* CSR layouts over one dense id space: the
+    forward arrays (``indptr/indices/weights``, successors of each vertex)
+    and the transposed copy (``rindptr/rindices/rweights``, predecessors).
+    Both are assembled vectorially from one pass over the arc list, exactly
+    like :class:`CSRGraph` — the transpose is just the same triple sorted
+    by head instead of tail.
+    """
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "rindptr",
+        "rindices",
+        "rweights",
+        "id_of",
+        "dense_of",
+        "ids_array",
+    )
+
+    def __init__(self, graph: DiGraph) -> None:
+        order = sorted(graph.vertices())
+        self.dense_of: Dict[int, int] = {v: i for i, v in enumerate(order)}
+        self.id_of: List[int] = order
+        self.ids_array = np.array(order, dtype=np.int64)
+        n = len(order)
+        if graph.num_edges == 0:
+            self.indptr = np.zeros(n + 1, dtype=np.int64)
+            self.indices = np.empty(0, dtype=np.int64)
+            self.weights = np.empty(0, dtype=np.int64)
+            self.rindptr = np.zeros(n + 1, dtype=np.int64)
+            self.rindices = np.empty(0, dtype=np.int64)
+            self.rweights = np.empty(0, dtype=np.int64)
+            return
+
+        eu, ev, ew = zip(*graph.edges())
+        tails = np.searchsorted(self.ids_array, np.array(eu, dtype=np.int64))
+        heads = np.searchsorted(self.ids_array, np.array(ev, dtype=np.int64))
+        wts = np.array(ew, dtype=np.int64)
+
+        perm = np.lexsort((heads, tails))
+        self.indices = heads[perm]
+        self.weights = wts[perm]
+        self.indptr = self._indptr_from(tails, n)
+
+        rperm = np.lexsort((tails, heads))
+        self.rindices = tails[rperm]
+        self.rweights = wts[rperm]
+        self.rindptr = self._indptr_from(heads, n)
+
+    @staticmethod
+    def _indptr_from(sources: np.ndarray, n: int) -> np.ndarray:
+        counts = np.bincount(sources, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.id_of)
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.indices)
+
+    def has_vertex(self, v: int) -> bool:
+        """True if original vertex id ``v`` is present."""
+        return v in self.dense_of
+
+    def successors_dense(self, i: int) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(dense head, weight)`` of dense vertex ``i``."""
+        start, stop = int(self.indptr[i]), int(self.indptr[i + 1])
+        for p in range(start, stop):
+            yield int(self.indices[p]), int(self.weights[p])
+
+    def predecessors_dense(self, i: int) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(dense tail, weight)`` of dense vertex ``i``."""
+        start, stop = int(self.rindptr[i]), int(self.rindptr[i + 1])
+        for p in range(start, stop):
+            yield int(self.rindices[p]), int(self.rweights[p])
+
+    def dense(self, v: int) -> int:
+        """Dense id of original vertex ``v``."""
+        try:
+            return self.dense_of[v]
+        except KeyError:
+            raise GraphError(f"vertex {v} not in CSR graph") from None
+
+    def original(self, i: int) -> int:
+        """Original id of dense vertex ``i``."""
+        return self.id_of[i]
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of both direction's arrays."""
+        return int(
+            self.indptr.nbytes
+            + self.indices.nbytes
+            + self.weights.nbytes
+            + self.rindptr.nbytes
+            + self.rindices.nbytes
+            + self.rweights.nbytes
+        )

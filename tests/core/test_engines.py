@@ -1,0 +1,110 @@
+"""The engine protocol and registry (repro.core.engines)."""
+
+import pytest
+
+from repro.core.directed import DirectedISLabelIndex
+from repro.core.engines import (
+    DIRECTED,
+    UNDIRECTED,
+    QueryEngine,
+    available_engines,
+    register_engine,
+    resolve_engine,
+)
+from repro.core.fastdirected import DirectedFastEngine
+from repro.core.fastlabels import FastEngine
+from repro.core.index import ISLabelIndex
+from repro.errors import IndexBuildError
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+
+
+class TestRegistry:
+    def test_builtin_engines_registered(self):
+        assert available_engines(UNDIRECTED) == ("dict", "fast")
+        assert available_engines(DIRECTED) == ("dict", "fast")
+
+    def test_dict_resolves_to_reference_path(self):
+        assert resolve_engine(UNDIRECTED, "dict") is None
+        assert resolve_engine(DIRECTED, "dict") is None
+
+    def test_fast_resolves_to_engine_classes(self):
+        assert resolve_engine(UNDIRECTED, "fast") is FastEngine
+        assert resolve_engine(DIRECTED, "fast") is DirectedFastEngine
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(IndexBuildError, match="unknown undirected engine"):
+            resolve_engine(UNDIRECTED, "vroom")
+        with pytest.raises(IndexBuildError, match="unknown directed engine"):
+            resolve_engine(DIRECTED, "vroom")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(IndexBuildError):
+            resolve_engine("sideways", "fast")
+        with pytest.raises(IndexBuildError):
+            register_engine("sideways", "fast", None)
+        with pytest.raises(IndexBuildError):
+            available_engines("sideways")
+
+    def test_custom_engine_round_trip(self):
+        register_engine(UNDIRECTED, "custom-test", FastEngine)
+        try:
+            assert "custom-test" in available_engines(UNDIRECTED)
+            index = ISLabelIndex.build(
+                Graph([(1, 2), (2, 3, 2)]), engine="custom-test"
+            )
+            assert index.engine == "fast"  # engine reports its own name
+            assert index.distance(1, 3) == 3
+        finally:
+            # Restore the registry for the rest of the suite.
+            import repro.core.engines as engines_module
+
+            del engines_module._REGISTRY[UNDIRECTED]["custom-test"]
+
+
+class TestProtocolConformance:
+    def test_fast_engines_satisfy_protocol(self):
+        undirected = ISLabelIndex.build(Graph([(1, 2), (2, 3)]))._fast
+        directed = DirectedISLabelIndex.build(DiGraph([(1, 2), (2, 3)]))._fast
+        for engine in (undirected, directed):
+            assert isinstance(engine, QueryEngine)
+            assert engine.name == "fast"
+
+    def test_undirected_invalidate_refreezes_identically(self):
+        g = Graph([(1, 2, 3), (2, 3, 1), (3, 4, 2), (4, 1, 9)])
+        index = ISLabelIndex.build(g)
+        pairs = [(s, t) for s in (1, 2, 3, 4) for t in (1, 2, 3, 4)]
+        before = index.distances(pairs)
+        index._fast.invalidate()
+        assert not index._fast.frozen
+        assert index.distances(pairs) == before
+        assert index._fast.frozen
+
+    def test_engine_distance_matches_index_query(self):
+        g = Graph([(1, 2, 3), (2, 3, 1), (3, 4, 2)])
+        index = ISLabelIndex.build(g)
+        engine = index._fast
+        for s in (1, 2, 3, 4):
+            for t in (1, 2, 3, 4):
+                assert engine.distance(s, t) == index.query(s, t).distance
+
+
+class TestBuildThroughRegistry:
+    def test_unknown_engine_rejected_by_builders(self):
+        with pytest.raises(IndexBuildError):
+            ISLabelIndex.build(Graph([(1, 2)]), engine="vroom")
+        with pytest.raises(IndexBuildError):
+            DirectedISLabelIndex.build(DiGraph([(1, 2)]), engine="vroom")
+
+    def test_directed_default_is_fast(self):
+        index = DirectedISLabelIndex.build(DiGraph([(1, 2), (2, 3)]))
+        assert index.engine == "fast"
+        assert index.search_mode in ("apsp", "csr")
+
+    def test_directed_dict_engine_has_no_backend(self):
+        index = DirectedISLabelIndex.build(
+            DiGraph([(1, 2), (2, 3)]), engine="dict"
+        )
+        assert index.engine == "dict"
+        assert index.search_mode == "dict"
+        assert index._fast is None

@@ -1,0 +1,182 @@
+"""Unit tests for the directed array-native fast engine internals."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_digraph, dijkstra_digraph_distance
+from repro.core.directed import DirectedISLabelIndex
+from repro.core.fastdirected import DirectedFastEngine
+from repro.core.fastlabels import as_array_label, batch_eq1, eq1_merge
+from repro.graph.csr import CSRDiGraph
+from repro.graph.digraph import DiGraph
+
+
+def _random_digraph(n, arcs, seed, max_weight=9):
+    rng = random.Random(seed)
+    dg = DiGraph()
+    for v in range(n):
+        dg.add_vertex(v)
+    placed = 0
+    while placed < arcs:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not dg.has_edge(u, v):
+            dg.add_edge(u, v, rng.randint(1, max_weight))
+            placed += 1
+    return dg
+
+
+@pytest.fixture(scope="module")
+def digraph():
+    return _random_digraph(80, 320, seed=29)
+
+
+class TestCSRDiGraph:
+    def test_forward_matches_successors(self, digraph):
+        csr = CSRDiGraph(digraph)
+        for v in digraph.vertices():
+            dense = csr.dense(v)
+            got = sorted(
+                (csr.original(u), w) for u, w in csr.successors_dense(dense)
+            )
+            assert got == sorted(digraph.successors(v).items()), v
+
+    def test_transpose_matches_predecessors(self, digraph):
+        csr = CSRDiGraph(digraph)
+        for v in digraph.vertices():
+            dense = csr.dense(v)
+            got = sorted(
+                (csr.original(u), w) for u, w in csr.predecessors_dense(dense)
+            )
+            assert got == sorted(digraph.predecessors(v).items()), v
+
+    def test_empty_digraph(self):
+        dg = DiGraph()
+        dg.add_vertex(3)
+        dg.add_vertex(7)
+        csr = CSRDiGraph(dg)
+        assert csr.num_vertices == 2
+        assert csr.num_arcs == 0
+        assert list(csr.successors_dense(0)) == []
+        assert list(csr.predecessors_dense(1)) == []
+
+    def test_arc_count_and_bytes(self, digraph):
+        csr = CSRDiGraph(digraph)
+        assert csr.num_arcs == digraph.num_edges
+        assert csr.nbytes() > 0
+
+
+class TestDirectedFastEngine:
+    def test_lazy_freeze(self, digraph):
+        index = DirectedISLabelIndex.build(digraph)
+        engine = index._fast
+        assert isinstance(engine, DirectedFastEngine)
+        assert not engine.frozen
+        index.distance(0, 1)
+        assert engine.frozen
+
+    def test_out_in_seeds_match_reference_extraction(self, digraph):
+        index = DirectedISLabelIndex.build(digraph)
+        engine = index._fast
+        engine.freeze()
+        csr = engine.csr
+        gk = index.gk
+        for v in digraph.vertices():
+            for seeds_of, label_of in (
+                (engine.seeds_out, index.out_label),
+                (engine.seeds_in, index.in_label),
+            ):
+                ids, dists = seeds_of(v)
+                got = sorted(zip((csr.original(i) for i in ids), dists))
+                expected = sorted(
+                    (w, d) for w, d in label_of(v) if gk.has_vertex(w)
+                )
+                assert got == expected, v
+
+    def test_numpy_seeds_mirror_lists(self, digraph):
+        engine = DirectedISLabelIndex.build(digraph)._fast
+        engine.freeze()
+        for v in digraph.vertices():
+            for list_of, np_of in (
+                (engine.seeds_out, engine.seeds_out_np),
+                (engine.seeds_in, engine.seeds_in_np),
+            ):
+                ids, dists = list_of(v)
+                ids_np, dists_np = np_of(v)
+                assert ids_np.tolist() == ids
+                assert dists_np.tolist() == dists
+
+    def test_apsp_rows_match_directed_dijkstra_over_gk(self, digraph):
+        index = DirectedISLabelIndex.build(digraph)
+        engine = index._fast
+        engine.freeze()
+        if not engine.has_apsp:
+            pytest.skip("G_k exceeded the table ceiling")
+        csr = engine.csr
+        n = csr.num_vertices
+        for a in range(min(n, 8)):
+            engine._fill_apsp_row(a)
+            truth = dijkstra_digraph(index.gk, csr.original(a))
+            for b in range(n):
+                expected = truth.get(csr.original(b), math.inf)
+                assert engine._apsp[a, b] == expected, (a, b)
+
+    def test_batch_matches_single(self, digraph):
+        index = DirectedISLabelIndex.build(digraph)
+        rng = random.Random(4)
+        pairs = [(rng.randrange(80), rng.randrange(80)) for _ in range(150)]
+        batch = index.distances(pairs)
+        for (s, t), d in zip(pairs, batch):
+            assert d == index.distance(s, t), (s, t)
+            assert d == dijkstra_digraph_distance(digraph, s, t), (s, t)
+
+    def test_invalidate_refreezes_identically(self, digraph):
+        index = DirectedISLabelIndex.build(digraph)
+        pairs = [(s, (s * 7 + 3) % 80) for s in range(80)]
+        before = index.distances(pairs)
+        index._fast.invalidate()
+        assert not index._fast.frozen
+        assert index.distances(pairs) == before
+        assert index._fast.frozen
+
+    def test_nbytes_counts_both_directions(self, digraph):
+        engine = DirectedISLabelIndex.build(digraph)._fast
+        assert engine.nbytes() >= engine.csr.nbytes()
+
+
+class TestBatchEq1:
+    def test_matches_pairwise_merge(self):
+        rng = random.Random(11)
+        labels_s, labels_t = [], []
+        for _ in range(200):
+            ns, nt = rng.randrange(0, 8), rng.randrange(0, 8)
+            anc_s = sorted(rng.sample(range(40), ns))
+            anc_t = sorted(rng.sample(range(40), nt))
+            labels_s.append(
+                as_array_label([(a, rng.randrange(1, 20)) for a in anc_s])
+            )
+            labels_t.append(
+                as_array_label([(a, rng.randrange(1, 20)) for a in anc_t])
+            )
+        got = batch_eq1(labels_s, labels_t)
+        for i, (ls, lt) in enumerate(zip(labels_s, labels_t)):
+            assert got[i] == eq1_merge(ls, lt)[0], i
+
+    def test_empty_batch(self):
+        assert len(batch_eq1([], [])) == 0
+
+    def test_all_disjoint_is_inf(self):
+        labels_s = [as_array_label([(1, 2)]), as_array_label([])]
+        labels_t = [as_array_label([(2, 3)]), as_array_label([(5, 1)])]
+        got = batch_eq1(labels_s, labels_t)
+        assert math.isinf(got[0]) and math.isinf(got[1])
+
+    def test_huge_id_span_falls_back_to_pairwise(self):
+        # An ancestor span too wide to key per query without overflowing
+        # int64 must take the per-pair merge fallback, same answers.
+        big = 2**61
+        labels_s = [as_array_label([(0, 4), (big, 9)]) for _ in range(8)]
+        labels_t = [as_array_label([(big, 3)]) for _ in range(8)]
+        got = batch_eq1(labels_s, labels_t)
+        assert got.tolist() == [12.0] * 8

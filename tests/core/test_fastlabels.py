@@ -7,8 +7,11 @@ import pytest
 
 from repro.baselines.dijkstra import dijkstra_distance
 from repro.core.fastlabels import (
+    APSP_BUDGET_ENV,
+    DEFAULT_APSP_BUDGET_BYTES,
     FastEngine,
     LabelArrayPool,
+    apsp_ceiling,
     as_array_label,
     array_label_entries,
     eq1_merge,
@@ -138,6 +141,48 @@ class TestFastEngine:
         assert ISLabelIndex.build(random_graph, engine="dict").engine == "dict"
         with pytest.raises(Exception):
             ISLabelIndex.build(random_graph, engine="vroom")
+
+
+class TestAdaptiveApspBudget:
+    def test_default_budget_keeps_the_2048_ceiling(self):
+        assert apsp_ceiling(DEFAULT_APSP_BUDGET_BYTES) == 2048
+        assert apsp_ceiling(None) == 2048  # no env override in this test run
+
+    def test_ceiling_scales_with_budget(self):
+        assert apsp_ceiling(8 * 50 * 50) == 50
+        assert apsp_ceiling(8 * 50 * 50 - 1) == 49
+        assert apsp_ceiling(0) == 0
+        assert apsp_ceiling(-5) == 0
+
+    def test_env_var_override(self, monkeypatch):
+        monkeypatch.setenv(APSP_BUDGET_ENV, "0.5")  # half a megabyte
+        assert apsp_ceiling() == math.isqrt((512 * 1024) // 8)
+        monkeypatch.setenv(APSP_BUDGET_ENV, "not-a-number")
+        assert apsp_ceiling() == 0
+
+    def test_constructor_budget_disables_table(self, random_graph):
+        index = ISLabelIndex.build(random_graph)
+        starved = FastEngine(
+            index.gk, {v: index.label(v) for v in random_graph.vertices()},
+            apsp_budget_bytes=0,
+        )
+        starved.freeze()
+        assert not starved.has_apsp
+        rich = ISLabelIndex.build(random_graph)._fast
+        rich.freeze()
+        if rich.has_apsp:
+            for s, t in random_pairs(random_graph, 20, seed=2):
+                assert starved.distance(s, t) == rich.distance(s, t)
+
+    def test_env_budget_applies_to_built_engines(self, monkeypatch, random_graph):
+        monkeypatch.setenv(APSP_BUDGET_ENV, "0")
+        index = ISLabelIndex.build(random_graph)
+        index._fast.freeze()
+        assert index.search_mode == "csr"
+        monkeypatch.delenv(APSP_BUDGET_ENV)
+        default = ISLabelIndex.build(random_graph)
+        pairs = random_pairs(random_graph, 25, seed=3)
+        assert index.distances(pairs) == default.distances(pairs)
 
 
 class TestCsrSearchParity:

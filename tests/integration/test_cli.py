@@ -87,6 +87,80 @@ def test_dataset_then_build_round_trip(tmp_path):
     assert main(["stats", str(index_path)]) == 0
 
 
+@pytest.fixture
+def directed_edge_list(tmp_path):
+    path = tmp_path / "dg.txt"
+    path.write_text("1 2 4\n2 3 1\n3 1 2\n3 4 5\n4 5 1\n")
+    return path
+
+
+@pytest.fixture
+def built_directed(directed_edge_list, tmp_path):
+    index_path = tmp_path / "dg.isld"
+    code = main(
+        [
+            "build-directed",
+            str(directed_edge_list),
+            "-o",
+            str(index_path),
+            "--with-paths",
+        ]
+    )
+    assert code == 0
+    return index_path
+
+
+def test_build_directed_reports_stats(directed_edge_list, tmp_path, capsys):
+    index_path = tmp_path / "out.isld"
+    assert main(["build-directed", str(directed_edge_list), "-o", str(index_path)]) == 0
+    out = capsys.readouterr().out
+    assert "directed index" in out
+    assert index_path.exists()
+
+
+@pytest.mark.parametrize("engine", ["fast", "dict"])
+def test_query_directed_both_engines(built_directed, capsys, engine):
+    assert main(
+        ["query-directed", str(built_directed), "1", "5", "--engine", engine]
+    ) == 0
+    assert "dist(1, 5) = 11" in capsys.readouterr().out
+
+
+def test_query_directed_unreachable_prints_inf(built_directed, capsys):
+    assert main(["query-directed", str(built_directed), "5", "1"]) == 0
+    assert "inf" in capsys.readouterr().out
+
+
+def test_query_directed_with_path(built_directed, capsys):
+    assert main(["query-directed", str(built_directed), "1", "5", "--path"]) == 0
+    out = capsys.readouterr().out
+    assert "dist(1, 5) = 11" in out
+    assert "->" in out
+
+
+def test_build_directed_engine_flag(directed_edge_list, tmp_path):
+    index_path = tmp_path / "dict.isld"
+    assert (
+        main(
+            [
+                "build-directed",
+                str(directed_edge_list),
+                "-o",
+                str(index_path),
+                "--engine",
+                "dict",
+            ]
+        )
+        == 0
+    )
+    assert index_path.exists()
+
+
+def test_query_directed_rejects_undirected_index(built, capsys):
+    assert main(["query-directed", str(built), "1", "5"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
 def test_example_command(capsys):
     assert main(["example"]) == 0
     out = capsys.readouterr().out

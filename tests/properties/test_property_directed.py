@@ -1,12 +1,40 @@
-"""Property-based correctness of the directed index (§8.2)."""
+"""Property-based correctness of the directed index (§8.2).
+
+Includes the cross-engine properties: the directed fast engine (packed
+out/in label arrays, per-direction CSR search) must be answer-identical to
+the dict reference and to a bidirectional Dijkstra oracle on arbitrary
+random digraphs — including reachability mode (all weights 1), disconnected
+pairs, and serialization round-trips.
+"""
 
 import math
+import os
+import tempfile
 
 from hypothesis import given, settings
 
 from repro.baselines.dijkstra import dijkstra_digraph
 from repro.core.directed import DirectedISLabelIndex
+from repro.core.query import label_bidijkstra
+from repro.core.serialization import load_directed_index, save_directed_index
 from tests.properties.strategies import digraphs
+
+
+def _bidijkstra_oracle(dg, s, t):
+    """Directed bidirectional Dijkstra over the whole graph (no labels)."""
+    if s == t:
+        return 0
+    return label_bidijkstra(
+        lambda v: dg.successors(v).items(),
+        lambda v: dg.predecessors(v).items(),
+        [(s, 0)],
+        [(t, 0)],
+    ).distance
+
+
+def _all_pairs(dg):
+    vertices = sorted(dg.vertices())
+    return [(s, t) for s in vertices for t in vertices]
 
 
 @settings(max_examples=50, deadline=None)
@@ -51,6 +79,86 @@ def test_reachability_consistent(dg):
         truth = dijkstra_digraph(dg, s)
         for t in dg.vertices():
             assert index.reachable(s, t) == (t in truth)
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs())
+def test_directed_engines_agree_with_bidijkstra(dg):
+    """fast == dict == bidirectional Dijkstra, per query and batched."""
+    fast = DirectedISLabelIndex.build(dg)  # engine="fast" is the default
+    ref = DirectedISLabelIndex.build(dg, engine="dict")
+    assert fast.engine == "fast" and ref.engine == "dict"
+    pairs = _all_pairs(dg)
+    got_fast = fast.distances(pairs)
+    got_ref = ref.distances(pairs)
+    assert got_fast == got_ref
+    for (s, t), d in zip(pairs, got_fast):
+        assert d == _bidijkstra_oracle(dg, s, t), (s, t)
+        assert fast.distance(s, t) == d, (s, t)
+
+
+@settings(max_examples=25, deadline=None)
+@given(digraphs(max_vertices=12))
+def test_directed_csr_search_path_engines_agree(dg):
+    """Force the flat-array bi-Dijkstra (no distance table) and re-compare."""
+    fast = DirectedISLabelIndex.build(dg)
+    fast._fast.freeze()
+    fast._fast._apsp = None  # drop the G_k table: search must use the CSR path
+    fast._fast._apsp_done = None
+    assert fast.search_mode == "csr"
+    ref = DirectedISLabelIndex.build(dg, engine="dict")
+    pairs = _all_pairs(dg)
+    assert fast.distances(pairs) == ref.distances(pairs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(digraphs(max_weight=1))
+def test_directed_reachability_mode_engines_agree(dg):
+    """All weights 1 turns the index into a reachability oracle (§9)."""
+    fast = DirectedISLabelIndex.build(dg)
+    for s in dg.vertices():
+        truth = dijkstra_digraph(dg, s)
+        for t in dg.vertices():
+            assert fast.reachable(s, t) == (t in truth), (s, t)
+            assert fast.distance(s, t) == truth.get(t, math.inf), (s, t)
+
+
+@settings(max_examples=25, deadline=None)
+@given(digraphs(max_vertices=10), digraphs(max_vertices=6))
+def test_directed_disconnected_pairs_are_inf_on_both_engines(dga, dgb):
+    """Two disjoint components: every cross pair must be inf on each engine."""
+    offset = max(dga.vertices()) + 1
+    combined = dga.copy()
+    for v in dgb.vertices():
+        combined.add_vertex(v + offset)
+    for u, v, w in dgb.edges():
+        combined.add_edge(u + offset, v + offset, w)
+    fast = DirectedISLabelIndex.build(combined)
+    ref = DirectedISLabelIndex.build(combined, engine="dict")
+    cross = [(s, t + offset) for s in dga.vertices() for t in dgb.vertices()]
+    cross += [(t + offset, s) for s in dga.vertices() for t in dgb.vertices()]
+    assert all(math.isinf(d) for d in fast.distances(cross))
+    assert all(math.isinf(d) for d in ref.distances(cross))
+
+
+@settings(max_examples=20, deadline=None)
+@given(digraphs(max_vertices=12))
+def test_directed_serialization_round_trip_engines_agree(dg):
+    """Save/load preserves answers under both loaded engines."""
+    index = DirectedISLabelIndex.build(dg)
+    pairs = _all_pairs(dg)
+    expected = index.distances(pairs)
+    fd, path = tempfile.mkstemp(suffix=".isld")
+    os.close(fd)
+    try:
+        save_directed_index(index, path)
+        loaded_fast = load_directed_index(path)  # engine="fast" default
+        loaded_ref = load_directed_index(path, engine="dict")
+        assert loaded_fast.engine == "fast" and loaded_ref.engine == "dict"
+        assert loaded_fast.distances(pairs) == expected
+        assert loaded_ref.distances(pairs) == expected
+    finally:
+        os.unlink(path)
 
 
 @settings(max_examples=30, deadline=None)
