@@ -1,0 +1,223 @@
+"""Dynamic indexes on the fast engine: update-then-query throughput.
+
+A live service absorbing §8.3 graph changes under query traffic is the
+workload the incremental invalidation path exists for.  This benchmark
+replays the same update/query script — waves of one ``insert_vertex``
+followed by a batch of distance queries — against three configurations of
+:class:`repro.core.updates.DynamicISLabelIndex`:
+
+* ``fast-incremental`` — the default: every update reports its dirty set
+  and the engine re-packs only the touched labels, growing/repairing the
+  ``G_k`` structures in place;
+* ``fast-full`` — the same engine with the incremental path disabled
+  (``incremental_max_fraction = 0``), so every update drops the frozen
+  arrays and the next query re-freezes *everything*;
+* ``dict`` — the reference engine (what dynamic indexes were stuck with
+  before the engine layer learned about dirty sets).
+
+All three run the same label maintenance, so their answers are
+cross-checked for exact agreement while timing.  Emits machine-readable
+``BENCH_dynamic.json`` at the repo root; the gates require the incremental
+path to beat both the full re-freeze and the dict reference on the largest
+dataset.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic_fastpath.py           # full run
+    PYTHONPATH=src python benchmarks/bench_dynamic_fastpath.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.core.updates import DynamicISLabelIndex
+from repro.graph.generators import (
+    ensure_connected,
+    grid_graph,
+    powerlaw_configuration,
+)
+from repro.graph.graph import Graph
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: (name, builder) — ordered smallest to largest; the gates are evaluated
+#: on the last entry.  Well-shrinking graphs (the σ-rule regime with a
+#: small ``G_k``) are the dynamic path's target: there the full re-freeze
+#: pays a whole-index re-pack per update while the incremental path
+#: touches a handful of labels.  Poorly shrinking graphs (``k=2``, huge
+#: ``G_k``) stress the all-pairs table under churn instead — grid1600
+#: keeps a mid-size ``G_k`` in the mix for that reason.
+FULL_DATASETS = [
+    (
+        "plc1500",
+        lambda: ensure_connected(
+            powerlaw_configuration(1500, 2.3, seed=20, min_degree=1), seed=20
+        ),
+    ),
+    (
+        "grid1600",
+        lambda: grid_graph(40, 40, seed=11, max_weight=8),
+    ),
+    (
+        "plc4000",
+        lambda: ensure_connected(
+            powerlaw_configuration(4000, 2.3, seed=23, min_degree=1), seed=23
+        ),
+    ),
+]
+
+QUICK_DATASETS = [
+    (
+        "plc300",
+        lambda: ensure_connected(
+            powerlaw_configuration(300, 2.3, seed=20, min_degree=1), seed=20
+        ),
+    ),
+]
+
+
+def _make_script(
+    graph: Graph, waves: int, queries_per_wave: int, seed: int
+) -> List[Tuple[int, Dict[int, int], List[Tuple[int, int]]]]:
+    """Pre-generate the update/query waves so every config replays the
+    identical workload (inserted ids, adjacency, query pairs)."""
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    script = []
+    next_id = 10_000_000
+    for _ in range(waves):
+        adjacency = {
+            v: rng.randint(1, 4) for v in rng.sample(vertices, rng.randint(1, 4))
+        }
+        pool = vertices + [next_id]
+        pairs = [
+            (rng.choice(pool), rng.choice(pool)) for _ in range(queries_per_wave)
+        ]
+        script.append((next_id, adjacency, pairs))
+        vertices.append(next_id)
+        next_id += 1
+    return script
+
+
+def _run_config(dyn: DynamicISLabelIndex, script) -> Tuple[float, List[float]]:
+    """Replay the script; returns (seconds, concatenated answers)."""
+    answers: List[float] = []
+    started = time.perf_counter()
+    for vertex, adjacency, pairs in script:
+        dyn.insert_vertex(vertex, adjacency)
+        answers.extend(dyn.distances(pairs))
+    return time.perf_counter() - started, answers
+
+
+def bench_dataset(
+    name: str, graph: Graph, waves: int, queries_per_wave: int
+) -> Dict[str, object]:
+    script = _make_script(graph, waves, queries_per_wave, seed=7)
+    ops = waves * (1 + queries_per_wave)
+
+    configs: Dict[str, DynamicISLabelIndex] = {}
+    configs["dict"] = DynamicISLabelIndex(graph, engine="dict")
+    configs["fast-full"] = DynamicISLabelIndex(graph)
+    configs["fast-full"].index._fast.incremental_max_fraction = 0.0
+    configs["fast-incremental"] = DynamicISLabelIndex(graph)
+    for dyn in configs.values():
+        # Warm the engine (first freeze) outside the timed loop: steady
+        # serving state, as in the other fast-path benchmarks.
+        dyn.distance(*sorted(graph.vertices())[:2])
+
+    seconds: Dict[str, float] = {}
+    answers: Dict[str, List[float]] = {}
+    for label, dyn in configs.items():
+        seconds[label], answers[label] = _run_config(dyn, script)
+    if not (answers["fast-incremental"] == answers["fast-full"] == answers["dict"]):
+        raise AssertionError(f"{name}: dynamic configurations disagree")
+
+    stats = configs["fast-incremental"].index.stats
+    return {
+        "dataset": name,
+        "num_vertices": stats.num_vertices,
+        "num_edges": stats.num_edges,
+        "k": stats.k,
+        "gk_vertices": stats.gk_vertices,
+        "search_mode": configs["fast-incremental"].index.search_mode,
+        "update_waves": waves,
+        "queries_per_wave": queries_per_wave,
+        "seconds": seconds,
+        "ops_per_second": {label: ops / s for label, s in seconds.items()},
+        "incremental_speedup_vs_full": seconds["fast-full"]
+        / seconds["fast-incremental"],
+        "incremental_speedup_vs_dict": seconds["dict"]
+        / seconds["fast-incremental"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny graph / few waves (CI smoke)"
+    )
+    parser.add_argument("--waves", type=int, default=None, help="update waves")
+    parser.add_argument(
+        "--queries", type=int, default=None, help="queries per wave"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(REPO_ROOT / "BENCH_dynamic.json"),
+        help="output JSON path (default: repo root BENCH_dynamic.json)",
+    )
+    args = parser.parse_args(argv)
+
+    datasets = QUICK_DATASETS if args.quick else FULL_DATASETS
+    waves = args.waves or (5 if args.quick else 40)
+    queries = args.queries or (20 if args.quick else 50)
+
+    results = []
+    for name, builder in datasets:
+        graph = builder()
+        row = bench_dataset(name, graph, waves, queries)
+        results.append(row)
+        print(
+            f"{name:10s} |V|={row['num_vertices']:>6} k={row['k']:>2} "
+            f"gk={row['gk_vertices']:>5} mode={row['search_mode']:4s} | "
+            f"incremental {row['seconds']['fast-incremental']:.3f}s "
+            f"full {row['seconds']['fast-full']:.3f}s "
+            f"dict {row['seconds']['dict']:.3f}s | "
+            f"vs full {row['incremental_speedup_vs_full']:.2f}x "
+            f"vs dict {row['incremental_speedup_vs_dict']:.2f}x"
+        )
+
+    largest = results[-1]
+    report = {
+        "benchmark": "dynamic_fastpath",
+        "mode": "quick" if args.quick else "full",
+        "datasets": results,
+        "largest_dataset": largest["dataset"],
+        "gates": {
+            "incremental_beats_full_refreeze": largest[
+                "incremental_speedup_vs_full"
+            ]
+            > 1.0,
+            "incremental_beats_dict": largest["incremental_speedup_vs_dict"] > 1.0,
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    ok = all(report["gates"].values())
+    print("gates:", report["gates"], "->", "PASS" if ok else "FAIL")
+    if args.quick:
+        # Smoke mode exists to keep the script from rotting (and to verify
+        # the configurations agree); timing gates need real graph sizes.
+        return 0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

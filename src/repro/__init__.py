@@ -18,6 +18,7 @@ paper-vs-measured results of every table.
 
 from repro.core import (
     DirectedISLabelIndex,
+    DynamicDirectedISLabelIndex,
     DynamicISLabelIndex,
     ISLabelIndex,
     IndexStats,
@@ -28,9 +29,13 @@ from repro.core import (
     available_engines,
     build_hierarchy,
     load_directed_index,
+    load_dynamic_directed_index,
+    load_dynamic_index,
     load_index,
     register_engine,
     save_directed_index,
+    save_dynamic_directed_index,
+    save_dynamic_index,
     save_index,
 )
 from repro.errors import (
@@ -60,6 +65,7 @@ __all__ = [
     "PathReconstructor",
     "DirectedISLabelIndex",
     "DynamicISLabelIndex",
+    "DynamicDirectedISLabelIndex",
     "QueryEngine",
     "register_engine",
     "available_engines",
@@ -67,6 +73,10 @@ __all__ = [
     "load_index",
     "save_directed_index",
     "load_directed_index",
+    "save_dynamic_index",
+    "load_dynamic_index",
+    "save_dynamic_directed_index",
+    "load_dynamic_directed_index",
     "ReproError",
     "GraphError",
     "ValidationError",

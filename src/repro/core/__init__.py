@@ -57,11 +57,15 @@ from repro.core.query import (
 from repro.core.reduce import external_reduce, reduce_graph, reduce_graph_inplace
 from repro.core.serialization import (
     load_directed_index,
+    load_dynamic_directed_index,
+    load_dynamic_index,
     load_index,
     save_directed_index,
+    save_dynamic_directed_index,
+    save_dynamic_index,
     save_index,
 )
-from repro.core.updates import DynamicISLabelIndex
+from repro.core.updates import DynamicDirectedISLabelIndex, DynamicISLabelIndex
 
 __all__ = [
     "ISLabelIndex",
@@ -115,8 +119,13 @@ __all__ = [
     "DirectedISLabelIndex",
     "DirectedHierarchy",
     "DynamicISLabelIndex",
+    "DynamicDirectedISLabelIndex",
     "save_index",
     "load_index",
     "save_directed_index",
     "load_directed_index",
+    "save_dynamic_index",
+    "load_dynamic_index",
+    "save_dynamic_directed_index",
+    "load_dynamic_directed_index",
 ]

@@ -205,6 +205,20 @@ class DirectedISLabelIndex:
         )
         return self
 
+    def invalidate_labels(self, dirty=None) -> None:
+        """Report in-place label/``G_k`` mutations to the attached engine.
+
+        Mirrors :meth:`repro.core.index.ISLabelIndex.invalidate_labels`:
+        the §8.3 directed maintenance
+        (:class:`repro.core.updates.DynamicDirectedISLabelIndex`) patches
+        the out/in label tables and ``G_k`` in place, then passes the
+        touched vertices here so the fast engine can re-pack just those
+        labels (or fall back to a full re-freeze).  No-op on the dict
+        reference path.
+        """
+        if self._fast is not None:
+            self._fast.invalidate(dirty)
+
     @classmethod
     def build(
         cls,
@@ -443,7 +457,11 @@ class DirectedISLabelIndex:
         return self._label(self._in_labels, v)
 
     def _label(self, table: Dict[int, List[Tuple[int, int]]], v: int):
-        if self.hierarchy.in_gk(v):
+        # G_k vertices carry the implicit trivial label — except vertices
+        # inserted by §8.3 maintenance, which live in G_k but carry an
+        # enriched label that must genuinely be read (the same rule as the
+        # undirected facade's _fetch_label).
+        if self.hierarchy.in_gk(v) and len(table.get(v, ())) <= 1:
             return [(v, 0)]
         return table[v]
 

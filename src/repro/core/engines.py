@@ -59,9 +59,16 @@ class QueryEngine(Protocol):
     engines are expected to freeze lazily on first use so index build time
     is unaffected).  ``distance``/``distances`` answer validated queries —
     the facade has already checked vertex coverage and charged any
-    simulated I/O.  ``invalidate`` drops the frozen structures so the next
-    query re-freezes from the current labels: the hook future dynamic
-    maintenance will use to re-serve from a fast engine between rebuilds.
+    simulated I/O.  ``invalidate`` tells the engine the labels (and
+    possibly ``G_k``) it snapshotted have changed — the hook §8.3 dynamic
+    maintenance uses so dynamic indexes keep serving from a fast engine
+    between rebuilds.  Called with no argument it must drop every frozen
+    structure so the next query re-freezes from the current labels; called
+    with ``dirty`` (the vertices whose labels changed since the last
+    freeze/invalidate) an engine *may* instead repair its frozen state
+    incrementally, as long as subsequent answers are identical to a full
+    re-freeze.  Treating ``dirty`` as "drop everything" is always a
+    correct implementation.
     """
 
     #: Registry name of the backend (e.g. ``"fast"``), surfaced by the
@@ -77,7 +84,7 @@ class QueryEngine(Protocol):
 
     def distances(self, pairs: Iterable[Tuple[int, int]]) -> List[float]: ...
 
-    def invalidate(self) -> None: ...
+    def invalidate(self, dirty: Optional[Iterable[int]] = None) -> None: ...
 
 
 #: A registered constructor.  ``None`` marks the built-in dict reference

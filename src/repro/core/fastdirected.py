@@ -23,7 +23,13 @@ directed counterpart of :class:`repro.core.fastlabels.FastEngine`:
   applied to out-seeds x in-seeds.
 
 Like the undirected engine it freezes lazily on first query, so directed
-index build time is unchanged, and it is read-only by design.
+index build time is unchanged, and it is read-only *between
+invalidations*: §8.3 updates report the touched vertices through the
+shared :meth:`repro.core.fastlabels.PackedEngineBase.invalidate`, which
+re-packs just the dirty out/in labels, rebuilds the per-direction CSR
+views, and repairs the one-way table through the inserted vertex (forward
+row by Dijkstra over the out-arcs, backward distances over the transposed
+arrays) instead of dropping everything.
 """
 
 from __future__ import annotations
@@ -78,6 +84,7 @@ class DirectedFastEngine(PackedEngineBase):
         "rweights",
         "frozen",
         "apsp_max_gk",
+        "incremental_max_fraction",
         "_out_seed_ids",
         "_out_seed_dists",
         "_out_seed_ids_np",
@@ -109,6 +116,9 @@ class DirectedFastEngine(PackedEngineBase):
         #: :func:`repro.core.fastlabels.apsp_ceiling`); the directed table
         #: stores one-way distances, so the cost model is identical.
         self.apsp_max_gk = apsp_ceiling(apsp_budget_bytes)
+        #: Dirty-set fraction above which ``invalidate(dirty=...)`` falls
+        #: back to a full re-freeze; ``<= 0`` disables the incremental path.
+        self.incremental_max_fraction = self.INCREMENTAL_MAX_FRACTION
         self.csr: Optional[CSRDiGraph] = None
         self.indptr: List[int] = []
         self.indices: List[int] = []
@@ -137,13 +147,7 @@ class DirectedFastEngine(PackedEngineBase):
         if self.frozen:
             return self
         self.frozen = True
-        self.csr = CSRDiGraph(self.gk)
-        self.indptr = self.csr.indptr.tolist()
-        self.indices = self.csr.indices.tolist()
-        self.weights = self.csr.weights.tolist()
-        self.rindptr = self.csr.rindptr.tolist()
-        self.rindices = self.csr.rindices.tolist()
-        self.rweights = self.csr.rweights.tolist()
+        self._rebuild_csr()
         ids = self.csr.ids_array
         (
             self.out_labels,
@@ -165,8 +169,9 @@ class DirectedFastEngine(PackedEngineBase):
             self._apsp_done = np.zeros(n, dtype=bool)
         return self
 
-    def invalidate(self) -> None:
-        """Drop the frozen structures; the next query re-freezes."""
+    def _drop_frozen(self) -> None:
+        """Full invalidation: drop the frozen structures; the next query
+        re-freezes both label tables from the current entry lists."""
         self.frozen = False
         self.csr = None
         self.indptr = []
@@ -187,6 +192,48 @@ class DirectedFastEngine(PackedEngineBase):
         self._in_seed_dists_np = {}
         self._apsp = None
         self._apsp_done = None
+
+    def _num_labels(self) -> int:
+        return len(self.out_lists) + len(self.in_lists)
+
+    def _rebuild_csr(self) -> None:
+        self.csr = CSRDiGraph(self.gk)
+        self.indptr = self.csr.indptr.tolist()
+        self.indices = self.csr.indices.tolist()
+        self.weights = self.csr.weights.tolist()
+        self.rindptr = self.csr.rindptr.tolist()
+        self.rindices = self.csr.rindices.tolist()
+        self.rweights = self.csr.rweights.tolist()
+
+    def _repack(self, dirty, gk_ids) -> None:
+        self._repack_table(
+            dirty,
+            gk_ids,
+            self.out_lists,
+            self.out_labels,
+            self._out_seed_ids,
+            self._out_seed_dists,
+            self._out_seed_ids_np,
+            self._out_seed_dists_np,
+        )
+        self._repack_table(
+            dirty,
+            gk_ids,
+            self.in_lists,
+            self.in_labels,
+            self._in_seed_ids,
+            self._in_seed_dists,
+            self._in_seed_ids_np,
+            self._in_seed_dists_np,
+        )
+
+    def _backward_row(self, dx: int) -> np.ndarray:
+        # One-way table: d'(a -> x) comes from a Dijkstra over the
+        # transposed arrays (the backward search's adjacency).
+        return np.asarray(
+            self._dijkstra_row(dx, self.rindptr, self.rindices, self.rweights),
+            dtype=np.float64,
+        )
 
     # ------------------------------------------------------------------
     # Labels and seeds

@@ -29,9 +29,15 @@ flat-array equivalents behind ``ISLabelIndex.build(..., engine="fast")``:
   sets, which one fancy-indexed numpy reduction evaluates — answers are
   bit-identical to running Algorithm 1's bidirectional search.
 
-The engine is read-only by design: dynamic maintenance (§8.3) mutates
-labels in place and therefore runs on the dict engine
-(see :class:`repro.core.updates.DynamicISLabelIndex`).
+The engine is read-only *between invalidations*: dynamic maintenance
+(§8.3) mutates the entry lists in place and then reports the touched
+vertices through :meth:`PackedEngineBase.invalidate` — the engine either
+re-packs just those labels (splicing fresh arrays over the stale views and
+repairing the ``G_k`` structures in place) or, past a dirtiness threshold
+or after a ``G_k`` change it cannot localize, drops everything and
+re-freezes from the current labels on the next query.  See
+:class:`repro.core.updates.DynamicISLabelIndex`, which drives this hook
+after every update so dynamic indexes keep serving from the fast engine.
 """
 
 from __future__ import annotations
@@ -74,6 +80,11 @@ ArrayLabel = Tuple[np.ndarray, np.ndarray]
 #: as a plain dict than as numpy concatenate + lexsort (call overhead);
 #: measured crossover on CPython 3.11 / numpy 2.x.
 _SMALL_MERGE = 48
+
+#: Incremental invalidation always accepts dirty sets up to this size even
+#: when the fractional threshold would be smaller — re-packing a handful of
+#: labels is cheaper than any full freeze regardless of index size.
+_INCREMENTAL_MIN_DIRTY = 64
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -505,12 +516,29 @@ class PackedEngineBase:
     :class:`repro.core.engines.QueryEngine` ``distance``/``distances``
     hot paths, the lazily row-filled all-pairs ``G_k`` table and its
     batched Theorem-4 reduction, identically for both orientations.
+
+    It also implements the protocol's :meth:`invalidate`, including the
+    §8.3 incremental path: given the set of vertices whose labels changed,
+    it re-packs only those labels over the current ``G_k`` id space
+    (:meth:`_repack_table` splices the fresh array views over the stale
+    ones), rebuilds the tiny CSR adjacency, and grows/repairs the all-pairs
+    table instead of discarding it.  Subclasses supply the storage hooks
+    (``_drop_frozen``, ``_rebuild_csr``, ``_repack``, ``_num_labels``,
+    ``_backward_row``).
     """
 
     __slots__ = ()
 
     #: Registry name (`engines.py` protocol attribute).
     name = "fast"
+
+    #: Default for ``incremental_max_fraction``: past this fraction of
+    #: dirty labels (with an :data:`_INCREMENTAL_MIN_DIRTY` floor) an
+    #: incremental invalidation re-packs enough of the index that one full
+    #: re-freeze is cheaper.  Instances expose ``incremental_max_fraction``
+    #: so dynamic workloads (and the benchmarks' forced-full ablation,
+    #: which sets it to ``0``) can tune the tradeoff.
+    INCREMENTAL_MAX_FRACTION = 0.25
 
     def _search_arrays(self):
         """``((indptr, indices, weights), (indptr_r, indices_r, weights_r))``
@@ -554,10 +582,9 @@ class PackedEngineBase:
             return int(best)
         return bound
 
-    def _fill_apsp_row(self, a: int) -> None:
-        """Single-source Dijkstra from dense ``a`` over the forward CSR."""
+    def _dijkstra_row(self, a: int, indptr, indices, weights) -> List[float]:
+        """Single-source Dijkstra from dense ``a`` over flat CSR arrays."""
         n = self.csr.num_vertices
-        indptr, indices, weights = self.indptr, self.indices, self.weights
         dist = [math.inf] * n
         dist[a] = 0
         heap = [a]  # encoded d * n + v
@@ -573,8 +600,194 @@ class PackedEngineBase:
                 if candidate < dist[u]:
                     dist[u] = candidate
                     push(heap, candidate * n + u)
-        self._apsp[a] = dist
+        return dist
+
+    def _fill_apsp_row(self, a: int) -> None:
+        """Fill table row ``a``: Dijkstra from ``a`` over the forward CSR."""
+        self._apsp[a] = self._dijkstra_row(a, self.indptr, self.indices, self.weights)
         self._apsp_done[a] = True
+
+    # ------------------------------------------------------------------
+    # Invalidation (full and §8.3-incremental)
+    # ------------------------------------------------------------------
+    def invalidate(self, dirty: Optional[Iterable[int]] = None) -> None:
+        """React to label/``G_k`` mutations behind the engine's back.
+
+        ``dirty=None`` (or an incremental repair the engine cannot apply)
+        drops every frozen structure; the next query re-freezes from the
+        current entry lists.  With ``dirty`` — the vertices whose labels
+        changed since the last freeze or invalidation — the engine instead
+        re-packs just those labels and repairs the ``G_k`` structures in
+        place, which is what makes §8.3 update streams cheap: IS-LABEL's
+        augmenting-edge rule localizes label churn to the touched vertices'
+        ancestor sets, so the dirty set stays small while the packed bulk
+        of the index is untouched.
+
+        The incremental path assumes §8.3-shaped mutations: label entry
+        changes for the dirty vertices plus, optionally, new ``G_k``
+        vertices (ids larger than every existing ``G_k`` id, as fresh
+        vertex ids are) with arcs incident to them.  Anything it cannot
+        prove safe — dense-id shifts from mid-range insertions or
+        deletions, oversized dirty sets, unexpected adjacency edits — falls
+        back to the full drop, so answers always match a from-scratch
+        freeze bit for bit.
+        """
+        if dirty is not None and self._invalidate_incremental(set(dirty)):
+            return
+        self._drop_frozen()
+
+    def _invalidate_incremental(self, dirty) -> bool:
+        """Try the in-place repair; False means "fall back to a full drop"."""
+        if not self.frozen:
+            # Nothing frozen to patch — the next freeze reads the current
+            # entry lists.  Only pre-merged arrays could go stale.
+            self._forget_packed(dirty)
+            return True
+        fraction = self.incremental_max_fraction
+        if fraction <= 0:
+            return False
+        if len(dirty) > max(_INCREMENTAL_MIN_DIRTY, fraction * self._num_labels()):
+            return False
+        old_csr = self.csr
+        old_ids = old_csr.ids_array
+        new_ids = np.array(sorted(self.gk.vertices()), dtype=np.int64)
+        n_old = len(old_ids)
+        appended = len(new_ids) - n_old
+        if appended < 0 or not np.array_equal(new_ids[:n_old], old_ids):
+            # G_k lost vertices, or gained mid-range ids: dense ids shift,
+            # so every pre-extracted seed would need re-translation —
+            # a full re-freeze is the honest cost.
+            return False
+        self._rebuild_csr()
+        self._repack(dirty, new_ids)
+        self._refresh_apsp(old_csr, appended)
+        return True
+
+    def _repack_table(self, dirty, gk_ids, lists, labels, sid, sd, sidn, sdn):
+        """Splice freshly packed arrays for ``dirty`` over one label table.
+
+        ``lists`` is the live entry-list dict (shared with the index
+        facade, so it already reflects the mutations); the remaining
+        arguments are the frozen per-vertex dicts produced by
+        :func:`pack_entry_lists` at freeze time.  Dirty vertices present in
+        ``lists`` get new array views (packed into a fresh backing pair —
+        clean vertices keep their views over the original buffers); dirty
+        vertices that disappeared (§8.3 deletions) are evicted.
+        """
+        present = {v: lists[v] for v in dirty if v in lists}
+        packed = pack_entry_lists(present, {}, gk_ids)
+        for target, fresh in zip((labels, sid, sd, sidn, sdn), packed):
+            target.update(fresh)
+        for v in dirty:
+            if v not in present:
+                for target in (labels, sid, sd, sidn, sdn):
+                    target.pop(v, None)
+
+    def _refresh_apsp(self, old_csr, appended: int) -> None:
+        """Carry the all-pairs table across an incremental invalidation.
+
+        Rows are lazily filled, so soundness only requires that ``done``
+        rows hold exact current distances.  Three regimes:
+
+        * ``G_k`` unchanged (pure label patching): the table is untouched.
+        * one appended vertex ``x`` whose arcs are the only adjacency
+          change (the §8.3 insert shape): the table grows and every filled
+          row is *repaired* through the new vertex —
+          ``d'(a, b) = min(d(a, b), d'(a, x) + d'(x, b))`` — which is exact
+          because any new path must pass through ``x``;
+        * anything else: the filled rows are evicted (``done`` cleared) and
+          refill lazily from the new CSR; the allocation is kept.
+        """
+        n_new = self.csr.num_vertices
+        n_old = old_csr.num_vertices
+        if appended == 0:
+            if self._apsp is not None and not self._same_adjacency(old_csr):
+                self._apsp_done[:] = False
+            return
+        if self._apsp is None:
+            if n_old == 0 and 0 < n_new <= self.apsp_max_gk:
+                self._apsp = np.full((n_new, n_new), np.inf)
+                self._apsp_done = np.zeros(n_new, dtype=bool)
+            return
+        if n_new > self.apsp_max_gk:
+            self._apsp = None
+            self._apsp_done = None
+            return
+        table = np.full((n_new, n_new), np.inf)
+        table[:n_old, :n_old] = self._apsp
+        done = np.zeros(n_new, dtype=bool)
+        done[:n_old] = self._apsp_done
+        self._apsp = table
+        self._apsp_done = done
+        rows = np.flatnonzero(done[:n_old])
+        if not rows.size:
+            return
+        if appended == 1 and self._old_adjacency_preserved(old_csr):
+            dx = n_old
+            self._fill_apsp_row(dx)
+            forward = table[dx]
+            backward = self._backward_row(dx)
+            table[rows] = np.minimum(
+                table[rows], backward[rows][:, None] + forward[None, :]
+            )
+        else:
+            done[:] = False
+
+    def _same_adjacency(self, old_csr) -> bool:
+        """True when the rebuilt forward CSR is identical to the old one."""
+        new = self.csr
+        return (
+            np.array_equal(new.indptr, old_csr.indptr)
+            and np.array_equal(new.indices, old_csr.indices)
+            and np.array_equal(new.weights, old_csr.weights)
+        )
+
+    def _old_adjacency_preserved(self, old_csr) -> bool:
+        """True when the old vertices' mutual adjacency is unchanged.
+
+        With appended vertices, the new CSR restricted to dense ids below
+        ``n_old`` must equal the old CSR exactly — then (and only then)
+        every new path between old vertices passes through an appended
+        vertex and the pivot repair in :meth:`_refresh_apsp` is exact.
+        """
+        new = self.csr
+        n_old = old_csr.num_vertices
+        src = np.repeat(
+            np.arange(new.num_vertices, dtype=np.int64), np.diff(new.indptr)
+        )
+        sel = (src < n_old) & (new.indices < n_old)
+        return (
+            int(np.count_nonzero(sel)) == len(old_csr.indices)
+            and np.array_equal(new.indices[sel], old_csr.indices)
+            and np.array_equal(new.weights[sel], old_csr.weights)
+            and np.array_equal(
+                np.bincount(src[sel], minlength=n_old)[:n_old],
+                np.diff(old_csr.indptr),
+            )
+        )
+
+    def _forget_packed(self, dirty) -> None:
+        """Drop any pre-freeze packed state for ``dirty`` (hook; no-op)."""
+
+    def _backward_row(self, dx: int) -> np.ndarray:
+        """``d'(a, x)`` for every dense ``a`` (reverse distances to ``dx``)."""
+        raise NotImplementedError
+
+    def _num_labels(self) -> int:
+        """Number of frozen labels (the incremental-threshold denominator)."""
+        raise NotImplementedError
+
+    def _rebuild_csr(self) -> None:
+        """Rebuild the CSR view(s) and flat search arrays from ``self.gk``."""
+        raise NotImplementedError
+
+    def _repack(self, dirty, gk_ids) -> None:
+        """Re-pack the dirty labels of every label table."""
+        raise NotImplementedError
+
+    def _drop_frozen(self) -> None:
+        """Full invalidation: drop every frozen structure."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # QueryEngine protocol: validated-query compute
@@ -703,6 +916,7 @@ class FastEngine(PackedEngineBase):
         "weights",
         "frozen",
         "apsp_max_gk",
+        "incremental_max_fraction",
         "_prebuilt",
         "_seed_ids",
         "_seed_dists",
@@ -735,6 +949,9 @@ class FastEngine(PackedEngineBase):
         #: default works out to the 2048-vertex ceiling of PR 1).  Above
         #: it, the search stage runs the CSR bidirectional Dijkstra.
         self.apsp_max_gk = apsp_ceiling(apsp_budget_bytes)
+        #: Dirty-set fraction above which ``invalidate(dirty=...)`` falls
+        #: back to a full re-freeze; ``<= 0`` disables the incremental path.
+        self.incremental_max_fraction = self.INCREMENTAL_MAX_FRACTION
         self.csr: Optional[CSRGraph] = None
         self.indptr: List[int] = []
         self.indices: List[int] = []
@@ -763,10 +980,7 @@ class FastEngine(PackedEngineBase):
         if self.frozen:
             return self
         self.frozen = True
-        self.csr = CSRGraph(self.gk)
-        self.indptr = self.csr.indptr.tolist()
-        self.indices = self.csr.indices.tolist()
-        self.weights = self.csr.weights.tolist()
+        self._rebuild_csr()
         (
             self.labels,
             self._seed_ids,
@@ -781,26 +995,52 @@ class FastEngine(PackedEngineBase):
             self._apsp_done = np.zeros(n, dtype=bool)
         return self
 
-    def invalidate(self) -> None:
-        """Drop the frozen structures; the next query re-freezes.
-
-        The dynamic-invalidation hook of the engine protocol: after the
-        index's entry lists change (e.g. a future incremental-maintenance
-        path), invalidating makes the engine rebuild its arrays from the
-        current labels on the next query instead of serving stale answers.
-        """
+    def _drop_frozen(self) -> None:
+        """Full invalidation: drop the frozen structures and any pre-merged
+        arrays; the next query re-freezes from the current entry lists."""
         self.frozen = False
         self.csr = None
         self.indptr = []
         self.indices = []
         self.weights = []
         self.labels = {}
+        self._prebuilt = {}
         self._seed_ids = {}
         self._seed_dists = {}
         self._seed_ids_np = {}
         self._seed_dists_np = {}
         self._apsp = None
         self._apsp_done = None
+
+    def _forget_packed(self, dirty) -> None:
+        """Pre-freeze invalidation: only the pre-merged arrays can be stale."""
+        for v in dirty:
+            self._prebuilt.pop(v, None)
+
+    def _num_labels(self) -> int:
+        return len(self.entry_lists)
+
+    def _rebuild_csr(self) -> None:
+        self.csr = CSRGraph(self.gk)
+        self.indptr = self.csr.indptr.tolist()
+        self.indices = self.csr.indices.tolist()
+        self.weights = self.csr.weights.tolist()
+
+    def _repack(self, dirty, gk_ids) -> None:
+        self._repack_table(
+            dirty,
+            gk_ids,
+            self.entry_lists,
+            self.labels,
+            self._seed_ids,
+            self._seed_dists,
+            self._seed_ids_np,
+            self._seed_dists_np,
+        )
+
+    def _backward_row(self, dx: int) -> np.ndarray:
+        # Undirected G_k: distances are symmetric, reuse the forward row.
+        return self._apsp[dx]
 
     # ------------------------------------------------------------------
     # Labels and seeds

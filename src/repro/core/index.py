@@ -167,6 +167,22 @@ class ISLabelIndex:
         self._fast = factory(self.gk, self._labels) if factory is not None else None
         return self
 
+    def invalidate_labels(self, dirty=None) -> None:
+        """Tell the attached engine that labels (and possibly ``G_k``)
+        changed behind its back.
+
+        The facade half of the dynamic seam: §8.3 maintenance
+        (:class:`repro.core.updates.DynamicISLabelIndex`) mutates
+        ``self._labels`` and ``self.hierarchy.gk`` in place — both shared
+        with the engine — then reports the touched vertices here.  With
+        ``dirty`` the engine may repair its frozen arrays incrementally;
+        with ``None`` it drops them and re-freezes on the next query.
+        No-op on the dict reference path, whose structures *are* the
+        mutable ones.
+        """
+        if self._fast is not None:
+            self._fast.invalidate(dirty)
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------

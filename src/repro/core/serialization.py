@@ -7,10 +7,21 @@ holds: level numbers, per-level removal adjacency, ``G_k``, labels (with
 predecessors when present) and augmenting-edge hints.  Directed indexes
 (:class:`DirectedISLabelIndex`) have their own format with per-direction
 adjacency, labels and predecessors.
+
+Dynamic state (§8.3) persists too: :func:`save_dynamic_index` /
+:func:`save_dynamic_directed_index` prepend the update counters and the
+*live* graph to the embedded index dump, so a
+:class:`repro.core.updates.DynamicISLabelIndex` /
+:class:`~repro.core.updates.DynamicDirectedISLabelIndex` round-trips with
+its patched labels, staleness counters and approximate flag intact and the
+loader re-attaches a registered engine over the patched labels.  (Indexes
+built in disk-storage mode reload in memory mode — the label *contents*
+are identical; the simulated store is a cost model, not state.)
 """
 
 from __future__ import annotations
 
+import json
 import struct
 from pathlib import Path
 from typing import BinaryIO, Dict, List, Optional, Tuple, Union
@@ -19,6 +30,7 @@ from repro.core.directed import DirectedHierarchy, DirectedISLabelIndex
 from repro.core.engines import DIRECTED, UNDIRECTED, resolve_engine
 from repro.core.hierarchy import VertexHierarchy
 from repro.core.index import ISLabelIndex
+from repro.core.updates import DynamicDirectedISLabelIndex, DynamicISLabelIndex
 from repro.errors import StorageError
 from repro.extmem.iomodel import CostModel
 from repro.graph.digraph import DiGraph
@@ -29,6 +41,10 @@ __all__ = [
     "load_index",
     "save_directed_index",
     "load_directed_index",
+    "save_dynamic_index",
+    "load_dynamic_index",
+    "save_dynamic_directed_index",
+    "load_dynamic_directed_index",
 ]
 
 _MAGIC = b"ISLX"
@@ -48,54 +64,58 @@ PathLike = Union[str, Path]
 
 def save_index(index: ISLabelIndex, path: PathLike) -> int:
     """Write ``index`` to ``path``; returns bytes written."""
+    with open(path, "wb") as fh:
+        _write_index(fh, index)
+        return fh.tell()
+
+
+def _write_index(fh: BinaryIO, index: ISLabelIndex) -> None:
+    """Serialize one undirected index into an open stream."""
     hierarchy = index.hierarchy
     with_paths = index._preds is not None and hierarchy.hints is not None
-    with open(path, "wb") as fh:
-        flags = _FLAG_WITH_PATHS if with_paths else 0
-        sigma = hierarchy.sigma if hierarchy.sigma is not None else _NO_SIGMA
-        fh.write(_HEADER.pack(_MAGIC, _VERSION, flags, sigma, hierarchy.k))
+    flags = _FLAG_WITH_PATHS if with_paths else 0
+    sigma = hierarchy.sigma if hierarchy.sigma is not None else _NO_SIGMA
+    fh.write(_HEADER.pack(_MAGIC, _VERSION, flags, sigma, hierarchy.k))
 
-        _write_count(fh, len(hierarchy.sizes))
-        for size in hierarchy.sizes:
-            fh.write(_COUNT.pack(size))
+    _write_count(fh, len(hierarchy.sizes))
+    for size in hierarchy.sizes:
+        fh.write(_COUNT.pack(size))
 
-        # Per-level removal adjacency.
-        for peeled in hierarchy.levels:
-            _write_count(fh, len(peeled))
-            for v, adjacency in peeled.items():
-                fh.write(_PAIR.pack(v, len(adjacency)))
-                for u, w in adjacency:
-                    fh.write(_PAIR.pack(u, w))
+    # Per-level removal adjacency.
+    for peeled in hierarchy.levels:
+        _write_count(fh, len(peeled))
+        for v, adjacency in peeled.items():
+            fh.write(_PAIR.pack(v, len(adjacency)))
+            for u, w in adjacency:
+                fh.write(_PAIR.pack(u, w))
 
-        # G_k.
-        _write_count(fh, hierarchy.gk.num_vertices)
-        for v in hierarchy.gk.sorted_vertices():
-            fh.write(_COUNT.pack(v))
-        edges = list(hierarchy.gk.edges())
-        _write_count(fh, len(edges))
-        for u, v, w in edges:
-            fh.write(_TRIPLE.pack(u, v, w))
+    # G_k.
+    _write_count(fh, hierarchy.gk.num_vertices)
+    for v in hierarchy.gk.sorted_vertices():
+        fh.write(_COUNT.pack(v))
+    edges = list(hierarchy.gk.edges())
+    _write_count(fh, len(edges))
+    for u, v, w in edges:
+        fh.write(_TRIPLE.pack(u, v, w))
 
-        # Labels (with predecessors when present).
-        _write_count(fh, len(index._labels))
-        for v, entries in index._labels.items():
-            fh.write(_PAIR.pack(v, len(entries)))
-            preds = index._preds[v] if with_paths else None
-            for w, d in entries:
-                if with_paths:
-                    pred = preds[w]
-                    fh.write(_TRIPLE.pack(w, d, _NO_PRED if pred is None else pred))
-                else:
-                    fh.write(_PAIR.pack(w, d))
+    # Labels (with predecessors when present).
+    _write_count(fh, len(index._labels))
+    for v, entries in index._labels.items():
+        fh.write(_PAIR.pack(v, len(entries)))
+        preds = index._preds[v] if with_paths else None
+        for w, d in entries:
+            if with_paths:
+                pred = preds[w]
+                fh.write(_TRIPLE.pack(w, d, _NO_PRED if pred is None else pred))
+            else:
+                fh.write(_PAIR.pack(w, d))
 
-        # Hints.
-        if with_paths:
-            hints = hierarchy.hints
-            _write_count(fh, len(hints))
-            for (u, w), mid in hints.items():
-                fh.write(_TRIPLE.pack(u, w, mid))
-        position = fh.tell()
-    return position
+    # Hints.
+    if with_paths:
+        hints = hierarchy.hints
+        _write_count(fh, len(hints))
+        for (u, w), mid in hints.items():
+            fh.write(_TRIPLE.pack(u, w, mid))
 
 
 def load_index(
@@ -113,63 +133,73 @@ def load_index(
     """
     factory = resolve_engine(UNDIRECTED, engine)
     with open(path, "rb") as fh:
-        header = fh.read(_HEADER.size)
-        if len(header) != _HEADER.size:
-            raise StorageError(f"{path}: truncated header")
-        magic, version, flags, sigma, k = _HEADER.unpack(header)
-        if magic != _MAGIC:
-            raise StorageError(f"{path}: bad magic {magic!r}")
-        if version != _VERSION:
-            raise StorageError(f"{path}: unsupported version {version}")
-        with_paths = bool(flags & _FLAG_WITH_PATHS)
+        index = _read_index(fh, path, cost_model)
+    if factory is not None:
+        index.attach_fast_engine(engine)
+    return index
 
-        sizes = [_read_count(fh) for _ in range(_read_count(fh))]
 
-        levels: List[Dict[int, List[Tuple[int, int]]]] = []
-        level_of: Dict[int, int] = {}
-        for i in range(1, k):
-            count = _read_count(fh)
-            peeled: Dict[int, List[Tuple[int, int]]] = {}
-            for _ in range(count):
-                v, degree = _read_pair(fh)
-                peeled[v] = [_read_pair(fh) for _ in range(degree)]
-                level_of[v] = i
-            levels.append(peeled)
+def _read_index(
+    fh: BinaryIO, path: PathLike, cost_model: Optional[CostModel]
+) -> ISLabelIndex:
+    """Deserialize one undirected index (no engine attached) from a stream."""
+    header = fh.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise StorageError(f"{path}: truncated header")
+    magic, version, flags, sigma, k = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise StorageError(f"{path}: bad magic {magic!r}")
+    if version != _VERSION:
+        raise StorageError(f"{path}: unsupported version {version}")
+    with_paths = bool(flags & _FLAG_WITH_PATHS)
 
-        gk = Graph()
+    sizes = [_read_count(fh) for _ in range(_read_count(fh))]
+
+    levels: List[Dict[int, List[Tuple[int, int]]]] = []
+    level_of: Dict[int, int] = {}
+    for i in range(1, k):
+        count = _read_count(fh)
+        peeled: Dict[int, List[Tuple[int, int]]] = {}
+        for _ in range(count):
+            v, degree = _read_pair(fh)
+            peeled[v] = [_read_pair(fh) for _ in range(degree)]
+            level_of[v] = i
+        levels.append(peeled)
+
+    gk = Graph()
+    for _ in range(_read_count(fh)):
+        v = _read_count(fh)
+        gk.add_vertex(v)
+        level_of[v] = k
+    for _ in range(_read_count(fh)):
+        u, v, w = _read_triple(fh)
+        gk.add_edge(u, v, w)
+
+    labels: Dict[int, List[Tuple[int, int]]] = {}
+    preds: Optional[Dict[int, Dict[int, Optional[int]]]] = (
+        {} if with_paths else None
+    )
+    for _ in range(_read_count(fh)):
+        v, count = _read_pair(fh)
+        entries: List[Tuple[int, int]] = []
+        pred_v: Dict[int, Optional[int]] = {}
+        for _ in range(count):
+            if with_paths:
+                w, d, pred = _read_triple(fh)
+                entries.append((w, d))
+                pred_v[w] = None if pred == _NO_PRED else pred
+            else:
+                entries.append(_read_pair(fh))
+        labels[v] = entries
+        if preds is not None:
+            preds[v] = pred_v
+
+    hints = None
+    if with_paths:
+        hints = {}
         for _ in range(_read_count(fh)):
-            v = _read_count(fh)
-            gk.add_vertex(v)
-            level_of[v] = k
-        for _ in range(_read_count(fh)):
-            u, v, w = _read_triple(fh)
-            gk.add_edge(u, v, w)
-
-        labels: Dict[int, List[Tuple[int, int]]] = {}
-        preds: Optional[Dict[int, Dict[int, Optional[int]]]] = (
-            {} if with_paths else None
-        )
-        for _ in range(_read_count(fh)):
-            v, count = _read_pair(fh)
-            entries: List[Tuple[int, int]] = []
-            pred_v: Dict[int, Optional[int]] = {}
-            for _ in range(count):
-                if with_paths:
-                    w, d, pred = _read_triple(fh)
-                    entries.append((w, d))
-                    pred_v[w] = None if pred == _NO_PRED else pred
-                else:
-                    entries.append(_read_pair(fh))
-            labels[v] = entries
-            if preds is not None:
-                preds[v] = pred_v
-
-        hints = None
-        if with_paths:
-            hints = {}
-            for _ in range(_read_count(fh)):
-                u, w, mid = _read_triple(fh)
-                hints[(u, w)] = mid
+            u, w, mid = _read_triple(fh)
+            hints[(u, w)] = mid
 
     hierarchy = VertexHierarchy(
         levels=levels,
@@ -180,7 +210,7 @@ def load_index(
         hints=hints,
     )
     hierarchy.validate_level_numbers()
-    index = ISLabelIndex(
+    return ISLabelIndex(
         hierarchy=hierarchy,
         labels=labels,
         preds=preds,
@@ -188,9 +218,6 @@ def load_index(
         cost_model=cost_model or CostModel(),
         labeling_seconds=0.0,
     )
-    if factory is not None:
-        index.attach_fast_engine(engine)
-    return index
 
 
 # ----------------------------------------------------------------------
@@ -201,61 +228,65 @@ _DMAGIC = b"ISLD"
 
 def save_directed_index(index: DirectedISLabelIndex, path: PathLike) -> int:
     """Write a directed index to ``path``; returns bytes written."""
+    with open(path, "wb") as fh:
+        _write_directed_index(fh, index)
+        return fh.tell()
+
+
+def _write_directed_index(fh: BinaryIO, index: DirectedISLabelIndex) -> None:
+    """Serialize one directed index into an open stream."""
     hierarchy = index.hierarchy
     with_paths = index._out_preds is not None and hierarchy.hints is not None
-    with open(path, "wb") as fh:
-        flags = _FLAG_WITH_PATHS if with_paths else 0
-        sigma = hierarchy.sigma if hierarchy.sigma is not None else _NO_SIGMA
-        fh.write(_HEADER.pack(_DMAGIC, _VERSION, flags, sigma, hierarchy.k))
+    flags = _FLAG_WITH_PATHS if with_paths else 0
+    sigma = hierarchy.sigma if hierarchy.sigma is not None else _NO_SIGMA
+    fh.write(_HEADER.pack(_DMAGIC, _VERSION, flags, sigma, hierarchy.k))
 
-        _write_count(fh, len(hierarchy.sizes))
-        for size in hierarchy.sizes:
-            fh.write(_COUNT.pack(size))
+    _write_count(fh, len(hierarchy.sizes))
+    for size in hierarchy.sizes:
+        fh.write(_COUNT.pack(size))
 
-        # Per-level removal adjacency, both directions.
-        for peeled in hierarchy.levels:
-            _write_count(fh, len(peeled))
-            for v, (in_adj, out_adj) in peeled.items():
-                fh.write(_TRIPLE.pack(v, len(in_adj), len(out_adj)))
-                for u, w in in_adj:
-                    fh.write(_PAIR.pack(u, w))
-                for u, w in out_adj:
-                    fh.write(_PAIR.pack(u, w))
+    # Per-level removal adjacency, both directions.
+    for peeled in hierarchy.levels:
+        _write_count(fh, len(peeled))
+        for v, (in_adj, out_adj) in peeled.items():
+            fh.write(_TRIPLE.pack(v, len(in_adj), len(out_adj)))
+            for u, w in in_adj:
+                fh.write(_PAIR.pack(u, w))
+            for u, w in out_adj:
+                fh.write(_PAIR.pack(u, w))
 
-        # G_k arcs.
-        _write_count(fh, hierarchy.gk.num_vertices)
-        for v in sorted(hierarchy.gk.vertices()):
-            fh.write(_COUNT.pack(v))
-        arcs = sorted(hierarchy.gk.edges())
-        _write_count(fh, len(arcs))
-        for u, v, w in arcs:
-            fh.write(_TRIPLE.pack(u, v, w))
+    # G_k arcs.
+    _write_count(fh, hierarchy.gk.num_vertices)
+    for v in sorted(hierarchy.gk.vertices()):
+        fh.write(_COUNT.pack(v))
+    arcs = sorted(hierarchy.gk.edges())
+    _write_count(fh, len(arcs))
+    for u, v, w in arcs:
+        fh.write(_TRIPLE.pack(u, v, w))
 
-        # Out- and in-labels (with predecessors when present).
-        for table, preds in (
-            (index._out_labels, index._out_preds),
-            (index._in_labels, index._in_preds),
-        ):
-            _write_count(fh, len(table))
-            for v, entries in table.items():
-                fh.write(_PAIR.pack(v, len(entries)))
-                pred_v = preds[v] if with_paths else None
-                for w, d in entries:
-                    if with_paths:
-                        pred = pred_v[w]
-                        fh.write(
-                            _TRIPLE.pack(w, d, _NO_PRED if pred is None else pred)
-                        )
-                    else:
-                        fh.write(_PAIR.pack(w, d))
+    # Out- and in-labels (with predecessors when present).
+    for table, preds in (
+        (index._out_labels, index._out_preds),
+        (index._in_labels, index._in_preds),
+    ):
+        _write_count(fh, len(table))
+        for v, entries in table.items():
+            fh.write(_PAIR.pack(v, len(entries)))
+            pred_v = preds[v] if with_paths else None
+            for w, d in entries:
+                if with_paths:
+                    pred = pred_v[w]
+                    fh.write(
+                        _TRIPLE.pack(w, d, _NO_PRED if pred is None else pred)
+                    )
+                else:
+                    fh.write(_PAIR.pack(w, d))
 
-        # Arc hints.
-        if with_paths:
-            _write_count(fh, len(hierarchy.hints))
-            for (u, w), mid in hierarchy.hints.items():
-                fh.write(_TRIPLE.pack(u, w, mid))
-        position = fh.tell()
-    return position
+    # Arc hints.
+    if with_paths:
+        _write_count(fh, len(hierarchy.hints))
+        for (u, w), mid in hierarchy.hints.items():
+            fh.write(_TRIPLE.pack(u, w, mid))
 
 
 def load_directed_index(
@@ -269,70 +300,78 @@ def load_directed_index(
     """
     factory = resolve_engine(DIRECTED, engine)
     with open(path, "rb") as fh:
-        header = fh.read(_HEADER.size)
-        if len(header) != _HEADER.size:
-            raise StorageError(f"{path}: truncated header")
-        magic, version, flags, sigma, k = _HEADER.unpack(header)
-        if magic != _DMAGIC:
-            raise StorageError(f"{path}: bad magic {magic!r} (not a directed index)")
-        if version != _VERSION:
-            raise StorageError(f"{path}: unsupported version {version}")
-        with_paths = bool(flags & _FLAG_WITH_PATHS)
+        index = _read_directed_index(fh, path)
+    if factory is not None:
+        index.attach_fast_engine(engine)
+    return index
 
-        sizes = [_read_count(fh) for _ in range(_read_count(fh))]
 
-        levels: List[Dict[int, Tuple[list, list]]] = []
-        level_of: Dict[int, int] = {}
-        for i in range(1, k):
-            count = _read_count(fh)
-            peeled: Dict[int, Tuple[list, list]] = {}
+def _read_directed_index(fh: BinaryIO, path: PathLike) -> DirectedISLabelIndex:
+    """Deserialize one directed index (no engine attached) from a stream."""
+    header = fh.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise StorageError(f"{path}: truncated header")
+    magic, version, flags, sigma, k = _HEADER.unpack(header)
+    if magic != _DMAGIC:
+        raise StorageError(f"{path}: bad magic {magic!r} (not a directed index)")
+    if version != _VERSION:
+        raise StorageError(f"{path}: unsupported version {version}")
+    with_paths = bool(flags & _FLAG_WITH_PATHS)
+
+    sizes = [_read_count(fh) for _ in range(_read_count(fh))]
+
+    levels: List[Dict[int, Tuple[list, list]]] = []
+    level_of: Dict[int, int] = {}
+    for i in range(1, k):
+        count = _read_count(fh)
+        peeled: Dict[int, Tuple[list, list]] = {}
+        for _ in range(count):
+            v, in_deg, out_deg = _read_triple(fh)
+            in_adj = [_read_pair(fh) for _ in range(in_deg)]
+            out_adj = [_read_pair(fh) for _ in range(out_deg)]
+            peeled[v] = (in_adj, out_adj)
+            level_of[v] = i
+        levels.append(peeled)
+
+    gk = DiGraph()
+    for _ in range(_read_count(fh)):
+        v = _read_count(fh)
+        gk.add_vertex(v)
+        level_of[v] = k
+    for _ in range(_read_count(fh)):
+        u, v, w = _read_triple(fh)
+        gk.add_edge(u, v, w)
+
+    def read_label_table():
+        table: Dict[int, list] = {}
+        preds: Optional[Dict[int, Dict[int, Optional[int]]]] = (
+            {} if with_paths else None
+        )
+        for _ in range(_read_count(fh)):
+            v, count = _read_pair(fh)
+            entries = []
+            pred_v: Dict[int, Optional[int]] = {}
             for _ in range(count):
-                v, in_deg, out_deg = _read_triple(fh)
-                in_adj = [_read_pair(fh) for _ in range(in_deg)]
-                out_adj = [_read_pair(fh) for _ in range(out_deg)]
-                peeled[v] = (in_adj, out_adj)
-                level_of[v] = i
-            levels.append(peeled)
+                if with_paths:
+                    w, d, pred = _read_triple(fh)
+                    entries.append((w, d))
+                    pred_v[w] = None if pred == _NO_PRED else pred
+                else:
+                    entries.append(_read_pair(fh))
+            table[v] = entries
+            if preds is not None:
+                preds[v] = pred_v
+        return table, preds
 
-        gk = DiGraph()
+    out_labels, out_preds = read_label_table()
+    in_labels, in_preds = read_label_table()
+
+    hints = None
+    if with_paths:
+        hints = {}
         for _ in range(_read_count(fh)):
-            v = _read_count(fh)
-            gk.add_vertex(v)
-            level_of[v] = k
-        for _ in range(_read_count(fh)):
-            u, v, w = _read_triple(fh)
-            gk.add_edge(u, v, w)
-
-        def read_label_table():
-            table: Dict[int, list] = {}
-            preds: Optional[Dict[int, Dict[int, Optional[int]]]] = (
-                {} if with_paths else None
-            )
-            for _ in range(_read_count(fh)):
-                v, count = _read_pair(fh)
-                entries = []
-                pred_v: Dict[int, Optional[int]] = {}
-                for _ in range(count):
-                    if with_paths:
-                        w, d, pred = _read_triple(fh)
-                        entries.append((w, d))
-                        pred_v[w] = None if pred == _NO_PRED else pred
-                    else:
-                        entries.append(_read_pair(fh))
-                table[v] = entries
-                if preds is not None:
-                    preds[v] = pred_v
-            return table, preds
-
-        out_labels, out_preds = read_label_table()
-        in_labels, in_preds = read_label_table()
-
-        hints = None
-        if with_paths:
-            hints = {}
-            for _ in range(_read_count(fh)):
-                u, w, mid = _read_triple(fh)
-                hints[(u, w)] = mid
+            u, w, mid = _read_triple(fh)
+            hints[(u, w)] = mid
 
     hierarchy = DirectedHierarchy(
         levels=levels,
@@ -342,7 +381,7 @@ def load_directed_index(
         sigma=None if sigma == _NO_SIGMA else sigma,
         hints=hints,
     )
-    index = DirectedISLabelIndex(
+    return DirectedISLabelIndex(
         hierarchy=hierarchy,
         out_labels=out_labels,
         in_labels=in_labels,
@@ -350,9 +389,166 @@ def load_directed_index(
         out_preds=out_preds,
         in_preds=in_preds,
     )
+
+
+# ----------------------------------------------------------------------
+# Dynamic indexes (§8.3): counters + live graph + embedded index dump
+# ----------------------------------------------------------------------
+_DYN_MAGIC = b"ISLY"
+_DYN_DMAGIC = b"ISLZ"
+_DYN_HEADER = struct.Struct("<4sHqqB")  # magic, version, inserts, deletes, approx
+
+
+def save_dynamic_index(dyn: DynamicISLabelIndex, path: PathLike) -> int:
+    """Write a dynamic index (live graph + patched index + counters)."""
+    with open(path, "wb") as fh:
+        fh.write(
+            _DYN_HEADER.pack(
+                _DYN_MAGIC,
+                _VERSION,
+                dyn.inserts_applied,
+                dyn.deletes_applied,
+                1 if dyn.approximate else 0,
+            )
+        )
+        _write_build_kwargs(fh, dyn._build_kwargs)
+        _write_graph(fh, sorted(dyn.graph.vertices()), dyn.graph.edges())
+        _write_index(fh, dyn.index)
+        return fh.tell()
+
+
+def load_dynamic_index(
+    path: PathLike,
+    cost_model: Optional[CostModel] = None,
+    engine: str = "fast",
+) -> DynamicISLabelIndex:
+    """Load a dynamic index saved by :func:`save_dynamic_index`.
+
+    The restored index resumes exactly where it left off: patched labels,
+    staleness counters, the ``approximate`` flag *and the original build
+    parameters* (``k``/``sigma``/``full``/... — so a later ``rebuild()``
+    reproduces the saved configuration) survive.  The selected ``engine``
+    (resolved through the registry, ``"fast"`` by default) serves queries,
+    keeps absorbing §8.3 updates, and is what future rebuilds use.
+    """
+    factory = resolve_engine(UNDIRECTED, engine)
+    with open(path, "rb") as fh:
+        inserts, deletes, approximate = _read_dynamic_header(fh, path, _DYN_MAGIC)
+        build_kwargs = _read_build_kwargs(fh, path)
+        graph = _read_graph(fh, Graph())
+        index = _read_index(fh, path, cost_model)
     if factory is not None:
         index.attach_fast_engine(engine)
-    return index
+    build_kwargs["engine"] = engine
+    return DynamicISLabelIndex.from_parts(
+        graph,
+        index,
+        inserts_applied=inserts,
+        deletes_applied=deletes,
+        approximate=approximate,
+        build_kwargs=build_kwargs,
+    )
+
+
+def save_dynamic_directed_index(
+    dyn: DynamicDirectedISLabelIndex, path: PathLike
+) -> int:
+    """Write a dynamic directed index (live digraph + index + counters)."""
+    with open(path, "wb") as fh:
+        fh.write(
+            _DYN_HEADER.pack(
+                _DYN_DMAGIC,
+                _VERSION,
+                dyn.inserts_applied,
+                dyn.deletes_applied,
+                1 if dyn.approximate else 0,
+            )
+        )
+        _write_build_kwargs(fh, dyn._build_kwargs)
+        _write_graph(fh, sorted(dyn.graph.vertices()), sorted(dyn.graph.edges()))
+        _write_directed_index(fh, dyn.index)
+        return fh.tell()
+
+
+def load_dynamic_directed_index(
+    path: PathLike, engine: str = "fast"
+) -> DynamicDirectedISLabelIndex:
+    """Load a dynamic directed index saved by
+    :func:`save_dynamic_directed_index` (mirrors :func:`load_dynamic_index`)."""
+    factory = resolve_engine(DIRECTED, engine)
+    with open(path, "rb") as fh:
+        inserts, deletes, approximate = _read_dynamic_header(fh, path, _DYN_DMAGIC)
+        build_kwargs = _read_build_kwargs(fh, path)
+        graph = _read_graph(fh, DiGraph())
+        index = _read_directed_index(fh, path)
+    if factory is not None:
+        index.attach_fast_engine(engine)
+    build_kwargs["engine"] = engine
+    return DynamicDirectedISLabelIndex.from_parts(
+        graph,
+        index,
+        inserts_applied=inserts,
+        deletes_applied=deletes,
+        approximate=approximate,
+        build_kwargs=build_kwargs,
+    )
+
+
+def _read_dynamic_header(fh: BinaryIO, path: PathLike, expected: bytes):
+    header = fh.read(_DYN_HEADER.size)
+    if len(header) != _DYN_HEADER.size:
+        raise StorageError(f"{path}: truncated header")
+    magic, version, inserts, deletes, approx = _DYN_HEADER.unpack(header)
+    if magic != expected:
+        raise StorageError(f"{path}: bad magic {magic!r} (not a dynamic index)")
+    if version != _VERSION:
+        raise StorageError(f"{path}: unsupported version {version}")
+    return inserts, deletes, bool(approx)
+
+
+def _write_build_kwargs(fh: BinaryIO, kwargs: Dict) -> None:
+    """Persist the dynamic index's build kwargs (a rebuild() must reproduce
+    the saved configuration).  JSON-encoded; non-JSON values (e.g. a custom
+    ``cost_model`` object) are skipped — those revert to defaults on load."""
+    safe = {}
+    for key, value in kwargs.items():
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            continue
+        safe[key] = value
+    blob = json.dumps(safe, sort_keys=True).encode("utf-8")
+    _write_count(fh, len(blob))
+    fh.write(blob)
+
+
+def _read_build_kwargs(fh: BinaryIO, path: PathLike) -> Dict:
+    size = _read_count(fh)
+    blob = fh.read(size)
+    if len(blob) != size:
+        raise StorageError(f"{path}: truncated build-kwargs block")
+    return json.loads(blob.decode("utf-8"))
+
+
+def _write_graph(fh: BinaryIO, vertices, edges) -> None:
+    """Write a vertex list + weighted edge/arc list."""
+    _write_count(fh, len(vertices))
+    for v in vertices:
+        fh.write(_COUNT.pack(v))
+    edges = list(edges)
+    _write_count(fh, len(edges))
+    for u, v, w in edges:
+        fh.write(_TRIPLE.pack(u, v, w))
+
+
+def _read_graph(fh: BinaryIO, graph):
+    """Read a graph written by :func:`_write_graph` into ``graph``."""
+    for _ in range(_read_count(fh)):
+        graph.add_vertex(_read_count(fh))
+    for _ in range(_read_count(fh)):
+        u, v, w = _read_triple(fh)
+        graph.add_edge(u, v, w)
+    return graph
 
 
 def _write_count(fh: BinaryIO, value: int) -> None:

@@ -1,4 +1,4 @@
-"""Dynamic update maintenance — §8.3.
+"""Dynamic update maintenance — §8.3, served from the fast engine.
 
 The paper's scheme is deliberately *lazy*: inserted vertices join ``G_k``,
 their low-level neighbours' labels (and those neighbours' descendants) learn
@@ -20,6 +20,26 @@ Faithfulness notes (see also DESIGN.md):
   route through it, so deletions mark the index ``approximate`` (query
   results may then be under- *or* over-estimates until rebuild), matching
   the paper's rebuild-periodically stance.
+
+Engine integration: §8.3 patching mutates the index's entry lists and
+``G_k`` in place — structures the packed engines snapshot at freeze time.
+Each update therefore records the set of vertices whose labels changed and
+reports it through the facade's ``invalidate_labels(dirty)``
+(:meth:`repro.core.index.ISLabelIndex.invalidate_labels`); the fast
+engines then re-pack just the dirty labels and repair their ``G_k``
+structures in place (see
+:meth:`repro.core.fastlabels.PackedEngineBase.invalidate`), so a dynamic
+index keeps serving queries from the packed-array hot path between
+updates instead of silently degrading to the dict reference.  The dict
+engine remains available (``engine="dict"``) as the correctness oracle:
+all engines run the same label maintenance, so their answers agree
+exactly after arbitrary update/query interleavings.
+
+:class:`DynamicDirectedISLabelIndex` applies the same scheme to the §8.2
+directed index: an inserted vertex's *out*-arcs patch the in-labels of the
+arc heads' in-descendants (vertices the head can reach), its *in*-arcs
+patch the out-labels of the arc tails' out-descendants, and the new vertex
+receives merged out/in labels of its own.
 """
 
 from __future__ import annotations
@@ -27,35 +47,119 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+from repro.core.directed import DirectedISLabelIndex
 from repro.core.index import ISLabelIndex, QueryResult
 from repro.errors import GraphError, QueryError, StaleIndexError
+from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
 
-__all__ = ["DynamicISLabelIndex"]
+__all__ = ["DynamicISLabelIndex", "DynamicDirectedISLabelIndex"]
+
+LabelTable = Dict[int, List[Tuple[int, int]]]
+
+
+def _descendant_map(labels: LabelTable) -> Dict[int, Set[int]]:
+    """``ancestor -> vertices whose label mentions it`` for one table."""
+    table: Dict[int, Set[int]] = {}
+    for v, entries in labels.items():
+        for w, _ in entries:
+            if w != v:
+                table.setdefault(w, set()).add(v)
+    return table
+
+
+def _entries_mentioning(
+    labels: LabelTable, descendants: Dict[int, Set[int]], v: int
+) -> Iterable[Tuple[int, int]]:
+    """Yield ``(w, d)`` for every vertex ``w`` whose label has ``(v, d)``."""
+    for w in descendants.get(v, ()):  # descendants of v
+        for anc, d in labels.get(w, ()):
+            if anc == v:
+                yield (w, d)
+                break
+
+
+def _patch_label(
+    labels: LabelTable,
+    descendants: Dict[int, Set[int]],
+    w: int,
+    new_vertex: int,
+    distance: int,
+) -> bool:
+    """Min-merge entry ``(new_vertex, distance)`` into ``labels[w]``.
+
+    Returns True when the label actually changed (callers mark ``w`` dirty
+    and flush it to any disk store only then).
+    """
+    label = labels[w]
+    for pos, (anc, d) in enumerate(label):
+        if anc == new_vertex:
+            if distance < d:
+                label[pos] = (new_vertex, distance)
+                return True
+            return False
+        if anc > new_vertex:
+            label.insert(pos, (new_vertex, distance))
+            descendants.setdefault(new_vertex, set()).add(w)
+            return True
+    label.append((new_vertex, distance))
+    descendants.setdefault(new_vertex, set()).add(w)
+    return True
 
 
 class DynamicISLabelIndex:
     """An :class:`ISLabelIndex` plus §8.3 update maintenance.
 
     Keeps the live graph alongside the index so that updates can be applied
-    to both and :meth:`rebuild` can re-index from scratch.
+    to both and :meth:`rebuild` can re-index from scratch.  Queries are
+    served by whichever engine the index was built with (``"fast"`` by
+    default — each update invalidates the engine incrementally, so the
+    packed hot path keeps answering between updates); build with
+    ``engine="dict"`` for the reference oracle.
     """
 
     def __init__(self, graph: Graph, **build_kwargs) -> None:
         if build_kwargs.get("with_paths"):
             raise QueryError("dynamic maintenance supports distance-only indexes")
-        if build_kwargs.get("engine", "dict") != "dict":
-            # Label patching mutates entry lists in place; the fast engine
-            # freezes labels into arrays at build time and would go stale.
-            raise QueryError("dynamic maintenance requires engine='dict'")
         self.graph = graph.copy()
         self._build_kwargs = dict(build_kwargs)
-        self._build_kwargs["engine"] = "dict"
         self.index = ISLabelIndex.build(self.graph, **self._build_kwargs)
         self.inserts_applied = 0
         self.deletes_applied = 0
         self.approximate = False
         self._descendants: Optional[Dict[int, Set[int]]] = None
+
+    @classmethod
+    def from_parts(
+        cls,
+        graph: Graph,
+        index: ISLabelIndex,
+        inserts_applied: int = 0,
+        deletes_applied: int = 0,
+        approximate: bool = False,
+        build_kwargs: Optional[Dict] = None,
+    ) -> "DynamicISLabelIndex":
+        """Adopt an existing live graph + index without rebuilding.
+
+        Used by :func:`repro.core.serialization.load_dynamic_index` to
+        restore saved dynamic state; ``build_kwargs`` seed the next
+        :meth:`rebuild` (the engine defaults to the loaded index's).
+        """
+        self = cls.__new__(cls)
+        self.graph = graph
+        self._build_kwargs = dict(build_kwargs or {})
+        self._build_kwargs.setdefault("engine", index.engine)
+        self.index = index
+        self.inserts_applied = inserts_applied
+        self.deletes_applied = deletes_applied
+        self.approximate = approximate
+        self._descendants = None
+        return self
+
+    @property
+    def engine(self) -> str:
+        """Registry name of the serving backend (see ``ISLabelIndex.engine``)."""
+        return self.index.engine
 
     # ------------------------------------------------------------------
     # Updates
@@ -65,7 +169,8 @@ class DynamicISLabelIndex:
 
         The vertex is added to ``G_k``; labels of low-level neighbours and
         their descendants are patched; the new vertex receives a merged
-        label of its own.
+        label of its own.  The touched vertices are reported to the query
+        engine, which re-packs only their labels.
         """
         if self.graph.has_vertex(vertex):
             raise GraphError(f"vertex {vertex} already exists")
@@ -80,8 +185,10 @@ class DynamicISLabelIndex:
             self.graph.add_edge(vertex, v, w)
 
         index = self.index
+        labels = index._labels
         hierarchy = index.hierarchy
         descendants = self._descendant_map()
+        dirty: Set[int] = {vertex}
 
         # The new vertex lives in G_k at level k.
         hierarchy.gk.add_vertex(vertex)
@@ -95,22 +202,26 @@ class DynamicISLabelIndex:
                 continue
             # Patch v itself, then every descendant of v, with the distance
             # through the new edge (v, vertex).
-            self._patch_label(v, vertex, weight, descendants)
-            for w, d_wv in self._entries_mentioning(v, descendants):
-                self._patch_label(w, vertex, d_wv + weight, descendants)
+            if _patch_label(labels, descendants, v, vertex, weight):
+                dirty.add(v)
+                self._flush(v)
+            for w, d_wv in _entries_mentioning(labels, descendants, v):
+                if _patch_label(labels, descendants, w, vertex, d_wv + weight):
+                    dirty.add(w)
+                    self._flush(w)
             # Extension: the new vertex learns v's ancestors.
-            for w, d in index._labels[v]:
+            for w, d in labels[v]:
                 candidate = weight + d
                 if candidate < own_label.get(w, math.inf):
                     own_label[w] = candidate
 
-        index._labels[vertex] = sorted(own_label.items())
+        labels[vertex] = sorted(own_label.items())
         for w in own_label:
             if w != vertex:
                 descendants.setdefault(w, set()).add(vertex)
-        if index._store is not None:
-            index._store.put(vertex, index._labels[vertex])
+        self._flush(vertex)
         self.inserts_applied += 1
+        index.invalidate_labels(dirty)
 
     def delete_vertex(self, vertex: int) -> None:
         """Delete ``vertex`` and its incident edges (§8.3 lazy deletion)."""
@@ -122,6 +233,7 @@ class DynamicISLabelIndex:
         hierarchy = index.hierarchy
         descendants = self._descendant_map()
         mentioned = descendants.get(vertex, set())
+        dirty: Set[int] = {vertex} | set(mentioned)
 
         if hierarchy.in_gk(vertex):
             if vertex in hierarchy.gk:
@@ -135,8 +247,7 @@ class DynamicISLabelIndex:
                 if label is None:
                     continue
                 index._labels[w] = [(a, d) for a, d in label if a != vertex]
-                if index._store is not None:
-                    index._store.put(w, index._labels[w])
+                self._flush(w)
             self.approximate = True
         descendants.pop(vertex, None)
         index._labels.pop(vertex, None)
@@ -144,6 +255,7 @@ class DynamicISLabelIndex:
         for peeled in hierarchy.levels:
             peeled.pop(vertex, None)
         self.deletes_applied += 1
+        index.invalidate_labels(dirty)
 
     # ------------------------------------------------------------------
     # Queries
@@ -155,6 +267,10 @@ class DynamicISLabelIndex:
         docstring; use :meth:`rebuild` to restore full guarantees.
         """
         return self.index.distance(source, target)
+
+    def distances(self, pairs) -> List[float]:
+        """Batch form of :meth:`distance` (the fast engine's batch path)."""
+        return self.index.distances(pairs)
 
     def query(self, source: int, target: int) -> QueryResult:
         return self.index.query(source, target)
@@ -190,49 +306,243 @@ class DynamicISLabelIndex:
     def _descendant_map(self) -> Dict[int, Set[int]]:
         """``ancestor -> vertices whose label mentions it`` (built lazily)."""
         if self._descendants is None:
-            table: Dict[int, Set[int]] = {}
-            for v, entries in self.index._labels.items():
-                for w, _ in entries:
-                    if w != v:
-                        table.setdefault(w, set()).add(v)
-            self._descendants = table
+            self._descendants = _descendant_map(self.index._labels)
         return self._descendants
-
-    def _entries_mentioning(
-        self, v: int, descendants: Dict[int, Set[int]]
-    ) -> Iterable[Tuple[int, int]]:
-        """Yield ``(w, d(w, v))`` for every vertex ``w`` whose label has ``v``."""
-        for w in descendants.get(v, ()):  # descendants of v
-            for anc, d in self.index._labels.get(w, ()):
-                if anc == v:
-                    yield (w, d)
-                    break
-
-    def _patch_label(
-        self,
-        w: int,
-        new_vertex: int,
-        distance: int,
-        descendants: Dict[int, Set[int]],
-    ) -> None:
-        """Min-merge entry ``(new_vertex, distance)`` into ``label(w)``."""
-        index = self.index
-        label = index._labels[w]
-        for pos, (anc, d) in enumerate(label):
-            if anc == new_vertex:
-                if distance < d:
-                    label[pos] = (new_vertex, distance)
-                    self._flush(w)
-                return
-            if anc > new_vertex:
-                label.insert(pos, (new_vertex, distance))
-                descendants.setdefault(new_vertex, set()).add(w)
-                self._flush(w)
-                return
-        label.append((new_vertex, distance))
-        descendants.setdefault(new_vertex, set()).add(w)
-        self._flush(w)
 
     def _flush(self, w: int) -> None:
         if self.index._store is not None:
             self.index._store.put(w, self.index._labels[w])
+
+
+class DynamicDirectedISLabelIndex:
+    """A :class:`DirectedISLabelIndex` plus §8.3 update maintenance.
+
+    The directed analogue of :class:`DynamicISLabelIndex`: an inserted
+    vertex joins ``G_k``; each of its out-arcs ``x -> v`` teaches ``x``
+    the out-ancestors of ``v`` and patches the *in*-labels of ``v`` and of
+    every vertex whose in-label mentions ``v`` (they gained a new
+    in-ancestor reaching them through ``v``); each in-arc ``u -> x``
+    mirrors that onto the out-labels.  Deletions scrub the vertex from
+    both label tables and mark the index approximate, exactly like the
+    undirected scheme.  Updates report their dirty sets through
+    ``invalidate_labels`` so the directed fast engine keeps serving.
+    """
+
+    def __init__(self, graph: DiGraph, **build_kwargs) -> None:
+        if build_kwargs.get("with_paths"):
+            raise QueryError("dynamic maintenance supports distance-only indexes")
+        self.graph = graph.copy()
+        self._build_kwargs = dict(build_kwargs)
+        self.index = DirectedISLabelIndex.build(self.graph, **self._build_kwargs)
+        self.inserts_applied = 0
+        self.deletes_applied = 0
+        self.approximate = False
+        self._out_descendants: Optional[Dict[int, Set[int]]] = None
+        self._in_descendants: Optional[Dict[int, Set[int]]] = None
+
+    @classmethod
+    def from_parts(
+        cls,
+        graph: DiGraph,
+        index: DirectedISLabelIndex,
+        inserts_applied: int = 0,
+        deletes_applied: int = 0,
+        approximate: bool = False,
+        build_kwargs: Optional[Dict] = None,
+    ) -> "DynamicDirectedISLabelIndex":
+        """Adopt an existing live digraph + index without rebuilding."""
+        self = cls.__new__(cls)
+        self.graph = graph
+        self._build_kwargs = dict(build_kwargs or {})
+        self._build_kwargs.setdefault("engine", index.engine)
+        self.index = index
+        self.inserts_applied = inserts_applied
+        self.deletes_applied = deletes_applied
+        self.approximate = approximate
+        self._out_descendants = None
+        self._in_descendants = None
+        return self
+
+    @property
+    def engine(self) -> str:
+        """Registry name of the serving backend."""
+        return self.index.engine
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_vertex(
+        self,
+        vertex: int,
+        out_arcs: Optional[Mapping[int, int]] = None,
+        in_arcs: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        """Insert ``vertex`` with arcs ``vertex -> head`` / ``tail -> vertex``.
+
+        ``out_arcs`` maps arc heads to weights, ``in_arcs`` arc tails; at
+        least one arc is required (§8.3 insertions attach to the graph).
+        """
+        out_arcs = dict(out_arcs or {})
+        in_arcs = dict(in_arcs or {})
+        if self.graph.has_vertex(vertex):
+            raise GraphError(f"vertex {vertex} already exists")
+        if not out_arcs and not in_arcs:
+            raise GraphError("§8.3 insertion requires at least one arc")
+        for v in list(out_arcs) + list(in_arcs):
+            if not self.graph.has_vertex(v):
+                raise GraphError(f"insertion references unknown vertex {v}")
+
+        self.graph.add_vertex(vertex)
+        for v, w in out_arcs.items():
+            self.graph.add_edge(vertex, v, w)
+        for u, w in in_arcs.items():
+            self.graph.add_edge(u, vertex, w)
+
+        index = self.index
+        hierarchy = index.hierarchy
+        out_labels = index._out_labels
+        in_labels = index._in_labels
+        out_desc = self._out_descendant_map()
+        in_desc = self._in_descendant_map()
+        dirty: Set[int] = {vertex}
+
+        hierarchy.gk.add_vertex(vertex)
+        hierarchy.level_of[vertex] = hierarchy.k
+        own_out: Dict[int, int] = {vertex: 0}
+        own_in: Dict[int, int] = {vertex: 0}
+
+        for v, weight in out_arcs.items():
+            if hierarchy.in_gk(v):
+                hierarchy.gk.add_edge(vertex, v, weight)
+                own_out[v] = min(own_out.get(v, math.inf), weight)
+                continue
+            # vertex -> v: v (and everything v reaches, i.e. every vertex
+            # whose in-label mentions v) gains the new in-ancestor.
+            if _patch_label(in_labels, in_desc, v, vertex, weight):
+                dirty.add(v)
+            for w, d_vw in _entries_mentioning(in_labels, in_desc, v):
+                if _patch_label(in_labels, in_desc, w, vertex, weight + d_vw):
+                    dirty.add(w)
+            # Extension: the new vertex learns v's out-ancestors.
+            for a, d in out_labels[v]:
+                candidate = weight + d
+                if candidate < own_out.get(a, math.inf):
+                    own_out[a] = candidate
+
+        for u, weight in in_arcs.items():
+            if hierarchy.in_gk(u):
+                hierarchy.gk.add_edge(u, vertex, weight)
+                own_in[u] = min(own_in.get(u, math.inf), weight)
+                continue
+            # u -> vertex: u (and everything reaching u, i.e. every vertex
+            # whose out-label mentions u) gains the new out-ancestor.
+            if _patch_label(out_labels, out_desc, u, vertex, weight):
+                dirty.add(u)
+            for w, d_wu in _entries_mentioning(out_labels, out_desc, u):
+                if _patch_label(out_labels, out_desc, w, vertex, d_wu + weight):
+                    dirty.add(w)
+            # Extension: the new vertex learns u's in-ancestors.
+            for a, d in in_labels[u]:
+                candidate = d + weight
+                if candidate < own_in.get(a, math.inf):
+                    own_in[a] = candidate
+
+        out_labels[vertex] = sorted(own_out.items())
+        in_labels[vertex] = sorted(own_in.items())
+        for a in own_out:
+            if a != vertex:
+                out_desc.setdefault(a, set()).add(vertex)
+        for a in own_in:
+            if a != vertex:
+                in_desc.setdefault(a, set()).add(vertex)
+        self.inserts_applied += 1
+        index.invalidate_labels(dirty)
+
+    def delete_vertex(self, vertex: int) -> None:
+        """Delete ``vertex`` with all incident arcs (§8.3 lazy deletion)."""
+        if not self.graph.has_vertex(vertex):
+            raise GraphError(f"vertex {vertex} does not exist")
+        self.graph.remove_vertex(vertex)
+
+        index = self.index
+        hierarchy = index.hierarchy
+        out_desc = self._out_descendant_map()
+        in_desc = self._in_descendant_map()
+        mentioned = out_desc.get(vertex, set()) | in_desc.get(vertex, set())
+        dirty: Set[int] = {vertex} | mentioned
+
+        if hierarchy.in_gk(vertex):
+            if vertex in hierarchy.gk:
+                hierarchy.gk.remove_vertex(vertex)
+        else:
+            self.approximate = True
+        if mentioned:
+            for w in list(mentioned):
+                for table in (index._out_labels, index._in_labels):
+                    label = table.get(w)
+                    if label is not None:
+                        table[w] = [(a, d) for a, d in label if a != vertex]
+            self.approximate = True
+        out_desc.pop(vertex, None)
+        in_desc.pop(vertex, None)
+        index._out_labels.pop(vertex, None)
+        index._in_labels.pop(vertex, None)
+        hierarchy.level_of.pop(vertex, None)
+        for peeled in hierarchy.levels:
+            peeled.pop(vertex, None)
+        self.deletes_applied += 1
+        index.invalidate_labels(dirty)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> float:
+        """Directed distance under the lazily-maintained index."""
+        return self.index.distance(source, target)
+
+    def distances(self, pairs) -> List[float]:
+        """Batch form of :meth:`distance`."""
+        return self.index.distances(pairs)
+
+    def reachable(self, source: int, target: int) -> bool:
+        """Directed reachability under the lazily-maintained index."""
+        return self.index.reachable(source, target)
+
+    def exact_distance(self, source: int, target: int) -> float:
+        """Distance with guaranteed exactness (rebuilds first if stale)."""
+        if self.approximate:
+            raise StaleIndexError(
+                f"index is approximate after {self.deletes_applied} deletions; "
+                "call rebuild()"
+            )
+        return self.index.distance(source, target)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    @property
+    def staleness(self) -> int:
+        """Number of updates applied since the last rebuild."""
+        return self.inserts_applied + self.deletes_applied
+
+    def rebuild(self) -> None:
+        """Re-index the live digraph from scratch."""
+        self.index = DirectedISLabelIndex.build(self.graph, **self._build_kwargs)
+        self.inserts_applied = 0
+        self.deletes_applied = 0
+        self.approximate = False
+        self._out_descendants = None
+        self._in_descendants = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _out_descendant_map(self) -> Dict[int, Set[int]]:
+        if self._out_descendants is None:
+            self._out_descendants = _descendant_map(self.index._out_labels)
+        return self._out_descendants
+
+    def _in_descendant_map(self) -> Dict[int, Set[int]]:
+        if self._in_descendants is None:
+            self._in_descendants = _descendant_map(self.index._in_labels)
+        return self._in_descendants

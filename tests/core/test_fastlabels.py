@@ -225,3 +225,101 @@ class TestCsrSearchParity:
             )
             assert got == reference.distance, (s, t)
             assert stats.settled_total >= 0
+
+
+class TestIncrementalInvalidate:
+    """invalidate(dirty): re-pack dirty labels, repair G_k structures."""
+
+    @pytest.fixture
+    def index(self):
+        g = ensure_connected(erdos_renyi(60, 150, seed=21, max_weight=4), seed=21)
+        return ISLabelIndex.build(g, engine="fast")
+
+    def test_full_invalidate_drops_everything(self, index):
+        engine = index._fast
+        engine.freeze()
+        engine.invalidate()
+        assert not engine.frozen
+        assert engine.csr is None and engine.labels == {}
+
+    def test_dirty_label_repacked_in_place(self, index):
+        engine = index._fast
+        engine.freeze()
+        victim = next(v for v in index._labels if not index.hierarchy.in_gk(v))
+        untouched = next(
+            v for v in index._labels if v != victim and not index.hierarchy.in_gk(v)
+        )
+        before_untouched = engine.labels[untouched]
+        index._labels[victim] = [(victim, 0)]
+        engine.invalidate({victim})
+        assert engine.frozen, "incremental invalidation must not drop the freeze"
+        assert array_label_entries(engine.labels[victim]) == [(victim, 0)]
+        # Clean labels keep their views over the original backing buffers.
+        assert engine.labels[untouched][0] is before_untouched[0]
+
+    def test_dirty_vertex_removed_from_tables(self, index):
+        engine = index._fast
+        engine.freeze()
+        victim = next(v for v in index._labels if not index.hierarchy.in_gk(v))
+        del index._labels[victim]
+        index.hierarchy.level_of.pop(victim)
+        engine.invalidate({victim})
+        assert engine.frozen
+        assert victim not in engine.labels
+        assert victim not in engine._seed_ids
+
+    def test_gk_vertex_removal_falls_back_to_full(self, index):
+        engine = index._fast
+        engine.freeze()
+        gk_vertex = next(iter(index.gk.vertices()))
+        index.gk.remove_vertex(gk_vertex)
+        index._labels.pop(gk_vertex, None)
+        engine.invalidate({gk_vertex})
+        assert not engine.frozen, "dense-id shifts require a full re-freeze"
+
+    def test_oversized_dirty_set_falls_back_to_full(self, index):
+        engine = index._fast
+        engine.freeze()
+        engine.incremental_max_fraction = 0.25
+        # Dirty more labels than both the fraction and the floor allow.
+        dirty = set(index._labels)
+        assert len(dirty) <= 64  # floor would keep it incremental...
+        engine.invalidate(set(range(200_000, 200_100)) | dirty)  # ...so exceed it
+        assert not engine.frozen
+
+    def test_disabled_incremental_always_drops(self, index):
+        engine = index._fast
+        engine.freeze()
+        engine.incremental_max_fraction = 0.0
+        victim = next(iter(index._labels))
+        engine.invalidate({victim})
+        assert not engine.frozen
+
+    def test_pre_freeze_invalidate_forgets_prebuilt_arrays(self):
+        # A full hierarchy produces deep labels, so some were merged
+        # vectorially and sit in _prebuilt awaiting the first freeze.
+        g = ensure_connected(erdos_renyi(150, 400, seed=22, max_weight=4), seed=22)
+        index = ISLabelIndex.build(g, engine="fast", full=True)
+        engine = index._fast
+        assert not engine.frozen
+        assert engine._prebuilt, "expected vectorially merged labels"
+        victim = next(iter(engine._prebuilt))
+        index._labels[victim] = [(victim, 0)]
+        engine.invalidate({victim})
+        assert victim not in engine._prebuilt
+        engine.freeze()
+        assert array_label_entries(engine.labels[victim]) == [(victim, 0)]
+
+    def test_apsp_rows_survive_pure_label_patching(self, index):
+        engine = index._fast
+        engine.freeze()
+        if engine._apsp is None:
+            pytest.skip("G_k exceeds the table budget on this graph")
+        pairs = random_pairs(index.hierarchy.gk, 10, seed=3)
+        index.distances(pairs)  # fill some rows
+        done_before = int(engine._apsp_done.sum())
+        victim = next(v for v in index._labels if not index.hierarchy.in_gk(v))
+        index._labels[victim] = [(victim, 0)]
+        engine.invalidate({victim})
+        assert engine.frozen
+        assert int(engine._apsp_done.sum()) == done_before

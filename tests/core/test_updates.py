@@ -1,12 +1,21 @@
-"""Unit tests for dynamic update maintenance (§8.3)."""
+"""Unit tests for dynamic update maintenance (§8.3), both orientations,
+including the fast-engine integration (incremental invalidation) and the
+dynamic-state serialization round trip."""
 
 import random
 
 import pytest
 
 from repro.baselines.dijkstra import dijkstra_distance
-from repro.core.updates import DynamicISLabelIndex
-from repro.errors import GraphError, QueryError, StaleIndexError
+from repro.core.serialization import (
+    load_dynamic_directed_index,
+    load_dynamic_index,
+    save_dynamic_directed_index,
+    save_dynamic_index,
+)
+from repro.core.updates import DynamicDirectedISLabelIndex, DynamicISLabelIndex
+from repro.errors import GraphError, QueryError, StaleIndexError, StorageError
+from repro.graph.digraph import DiGraph
 from repro.graph.generators import ensure_connected, erdos_renyi
 from repro.graph.graph import Graph
 
@@ -142,3 +151,227 @@ class TestRebuild:
         dyn.insert_vertex(1000, {0: 1})
         for s, t in random_pairs(dyn.graph, 30, seed=11):
             assert dyn.distance(s, t) >= dijkstra_distance(dyn.graph, s, t)
+
+
+class TestEngineIntegration:
+    """§8.3 updates keep serving from the fast engine between rebuilds."""
+
+    def test_default_engine_is_fast(self, dyn):
+        assert dyn.engine == "fast"
+        assert dyn.index.engine == "fast"
+
+    def test_dict_engine_still_available(self, base_graph):
+        ref = DynamicISLabelIndex(base_graph, engine="dict")
+        assert ref.engine == "dict"
+        ref.insert_vertex(1000, {0: 1})
+        assert ref.distance(1000, 0) == 1
+
+    def test_insert_keeps_engine_frozen(self, dyn):
+        engine = dyn.index._fast
+        dyn.distance(0, 1)  # freeze
+        assert engine.frozen
+        dyn.insert_vertex(1000, {0: 2, 5: 1})
+        assert engine.frozen, "insert should invalidate incrementally"
+        assert dyn.distance(1000, 0) <= 2
+
+    def test_fast_matches_dict_after_updates(self, base_graph):
+        rng = random.Random(13)
+        fast = DynamicISLabelIndex(base_graph)
+        ref = DynamicISLabelIndex(base_graph, engine="dict")
+        for i in range(10):
+            verts = sorted(fast.graph.vertices())
+            if i % 3 == 2:
+                victim = rng.choice(verts)
+                fast.delete_vertex(victim)
+                ref.delete_vertex(victim)
+            else:
+                adj = {
+                    v: rng.randint(1, 3) for v in rng.sample(verts, rng.randint(1, 3))
+                }
+                fast.insert_vertex(5000 + i, dict(adj))
+                ref.insert_vertex(5000 + i, dict(adj))
+        pairs = random_pairs(fast.graph, 120, seed=14)
+        expected = [ref.distance(s, t) for s, t in pairs]
+        assert [fast.distance(s, t) for s, t in pairs] == expected
+        assert fast.distances(pairs) == expected
+
+    def test_forced_full_refreeze_matches_incremental(self, base_graph):
+        rng = random.Random(15)
+        incremental = DynamicISLabelIndex(base_graph)
+        full = DynamicISLabelIndex(base_graph)
+        full.index._fast.incremental_max_fraction = 0.0
+        for i in range(6):
+            verts = sorted(incremental.graph.vertices())
+            adj = {v: rng.randint(1, 3) for v in rng.sample(verts, 2)}
+            incremental.insert_vertex(6000 + i, dict(adj))
+            full.insert_vertex(6000 + i, dict(adj))
+            assert incremental.index._fast.frozen or i == 0
+            pairs = random_pairs(incremental.graph, 40, seed=16 + i)
+            assert incremental.distances(pairs) == full.distances(pairs)
+
+    def test_gk_delete_falls_back_to_full_refreeze(self, dyn):
+        engine = dyn.index._fast
+        dyn.distance(0, 1)
+        gk_vertex = next(iter(dyn.index.gk.vertices()))
+        dyn.delete_vertex(gk_vertex)
+        assert not engine.frozen
+        # Next query re-freezes from the scrubbed labels and still answers.
+        others = [v for v in sorted(dyn.graph.vertices())][:2]
+        dyn.distance(others[0], others[1])
+        assert engine.frozen
+
+    def test_disk_storage_on_fast_engine(self, base_graph):
+        dyn = DynamicISLabelIndex(base_graph, storage="disk")
+        assert dyn.engine == "fast"
+        dyn.insert_vertex(1000, {0: 1})
+        for s, t in random_pairs(dyn.graph, 30, seed=17):
+            assert dyn.distance(s, t) >= dijkstra_distance(dyn.graph, s, t)
+
+    def test_rebuild_reattaches_fast_engine(self, dyn):
+        dyn.insert_vertex(1000, {0: 1})
+        dyn.rebuild()
+        assert dyn.engine == "fast"
+        assert dyn.distance(1000, 0) == 1
+
+
+def _random_digraph(n, arcs, seed):
+    rng = random.Random(seed)
+    dg = DiGraph()
+    for v in range(1, n):
+        dg.add_edge(rng.randrange(v), v, rng.randint(1, 3))
+    for _ in range(arcs):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            dg.merge_edge(u, v, rng.randint(1, 3))
+    return dg
+
+
+class TestDynamicDirected:
+    @pytest.fixture
+    def ddyn(self):
+        return DynamicDirectedISLabelIndex(_random_digraph(50, 120, seed=31))
+
+    def test_insert_then_query(self, ddyn):
+        ddyn.insert_vertex(1000, out_arcs={0: 2}, in_arcs={5: 1})
+        assert ddyn.distance(1000, 0) == 2
+        assert ddyn.distance(5, 1000) == 1
+        assert ddyn.staleness == 1
+        assert ddyn.engine == "fast"
+
+    def test_insert_requires_an_arc(self, ddyn):
+        with pytest.raises(GraphError):
+            ddyn.insert_vertex(1000)
+
+    def test_insert_rejects_unknown_endpoints(self, ddyn):
+        with pytest.raises(GraphError):
+            ddyn.insert_vertex(1000, out_arcs={424242: 1})
+
+    def test_duplicate_insert_rejected(self, ddyn):
+        ddyn.insert_vertex(1000, out_arcs={0: 1})
+        with pytest.raises(GraphError):
+            ddyn.insert_vertex(1000, out_arcs={1: 1})
+
+    def test_fast_matches_dict_after_updates(self):
+        graph = _random_digraph(40, 100, seed=32)
+        rng = random.Random(33)
+        fast = DynamicDirectedISLabelIndex(graph)
+        ref = DynamicDirectedISLabelIndex(graph, engine="dict")
+        for i in range(8):
+            verts = sorted(fast.graph.vertices())
+            if i % 4 == 3:
+                victim = rng.choice(verts)
+                fast.delete_vertex(victim)
+                ref.delete_vertex(victim)
+            else:
+                outs = {rng.choice(verts): rng.randint(1, 3)}
+                ins = {rng.choice(verts): rng.randint(1, 3)}
+                fast.insert_vertex(7000 + i, dict(outs), dict(ins))
+                ref.insert_vertex(7000 + i, dict(outs), dict(ins))
+        verts = sorted(fast.graph.vertices())
+        pairs = [(rng.choice(verts), rng.choice(verts)) for _ in range(100)]
+        expected = [ref.distance(s, t) for s, t in pairs]
+        assert [fast.distance(s, t) for s, t in pairs] == expected
+        assert fast.distances(pairs) == expected
+
+    def test_delete_marks_approximate_and_guards(self, ddyn):
+        victim = sorted(ddyn.graph.vertices())[1]
+        ddyn.delete_vertex(victim)
+        assert ddyn.approximate
+        others = sorted(ddyn.graph.vertices())[:2]
+        with pytest.raises(StaleIndexError):
+            ddyn.exact_distance(others[0], others[1])
+        ddyn.rebuild()
+        assert not ddyn.approximate and ddyn.staleness == 0
+
+    def test_deleted_vertex_scrubbed_from_both_tables(self, ddyn):
+        victim = sorted(ddyn.graph.vertices())[3]
+        ddyn.delete_vertex(victim)
+        for table in (ddyn.index._out_labels, ddyn.index._in_labels):
+            for entries in table.values():
+                assert all(anc != victim for anc, _ in entries)
+
+
+class TestDynamicSerialization:
+    def test_undirected_round_trip(self, dyn, tmp_path):
+        rng = random.Random(41)
+        for i in range(5):
+            verts = sorted(dyn.graph.vertices())
+            dyn.insert_vertex(8000 + i, {rng.choice(verts): rng.randint(1, 3)})
+        dyn.delete_vertex(2)
+        path = tmp_path / "dyn.islx"
+        save_dynamic_index(dyn, path)
+        back = load_dynamic_index(path)
+        assert back.staleness == dyn.staleness == 6
+        assert back.approximate == dyn.approximate
+        assert back.engine == "fast"
+        pairs = random_pairs(dyn.graph, 60, seed=42)
+        assert [back.distance(s, t) for s, t in pairs] == [
+            dyn.distance(s, t) for s, t in pairs
+        ]
+        # The restored index keeps absorbing updates.
+        anchor = sorted(back.graph.vertices())[0]
+        back.insert_vertex(9000, {anchor: 1})
+        assert back.distance(9000, anchor) == 1
+
+    def test_undirected_round_trip_dict_engine(self, dyn, tmp_path):
+        dyn.insert_vertex(8000, {0: 2})
+        path = tmp_path / "dyn.islx"
+        save_dynamic_index(dyn, path)
+        back = load_dynamic_index(path, engine="dict")
+        assert back.engine == "dict"
+        assert back.distance(8000, 0) == dyn.distance(8000, 0)
+
+    def test_directed_round_trip(self, tmp_path):
+        ddyn = DynamicDirectedISLabelIndex(_random_digraph(40, 90, seed=43))
+        rng = random.Random(44)
+        for i in range(4):
+            verts = sorted(ddyn.graph.vertices())
+            ddyn.insert_vertex(
+                8100 + i,
+                {rng.choice(verts): rng.randint(1, 3)},
+                {rng.choice(verts): rng.randint(1, 3)},
+            )
+        path = tmp_path / "dyn.isld"
+        save_dynamic_directed_index(ddyn, path)
+        back = load_dynamic_directed_index(path)
+        assert back.staleness == 4 and back.engine == "fast"
+        verts = sorted(ddyn.graph.vertices())
+        pairs = [(rng.choice(verts), rng.choice(verts)) for _ in range(60)]
+        assert back.distances(pairs) == ddyn.distances(pairs)
+
+    def test_round_trip_preserves_build_kwargs(self, base_graph, tmp_path):
+        dyn = DynamicISLabelIndex(base_graph, k=5)
+        assert dyn.index.k == 5
+        dyn.insert_vertex(8000, {0: 1})
+        path = tmp_path / "dyn.islx"
+        save_dynamic_index(dyn, path)
+        back = load_dynamic_index(path)
+        back.rebuild()
+        assert back.index.k == 5, "rebuild() must reproduce the saved config"
+        assert back.engine == "fast"
+
+    def test_wrong_magic_rejected(self, dyn, tmp_path):
+        path = tmp_path / "dyn.islx"
+        save_dynamic_index(dyn, path)
+        with pytest.raises(StorageError):
+            load_dynamic_directed_index(path)

@@ -37,3 +37,18 @@ def test_walkthrough_matches_paper(capsys):
     out = capsys.readouterr().out
     assert "dist(h, e) = 3  (paper: 3)  [ok]" in out
     assert "MISMATCH" not in out
+
+
+def test_dynamic_updates_serves_from_fast_engine(capsys):
+    """The §8.3 example demonstrates the incremental fast path end to end."""
+    runpy.run_path(str(EXAMPLES_DIR / "dynamic_updates.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "engine=fast" in out
+    # Updates must not drop the engine to the dict path or force re-freezes.
+    assert out.count("engine still frozen=True (incremental invalidation)") == 3
+    assert "engine still frozen=False" not in out
+    # The dict reference runs the same maintenance and must agree.
+    assert out.count("fast == dict on 100 sampled queries: True") == 3
+    assert "fast == dict on 100 sampled queries: False" not in out
+    assert "after a departure: approximate=True" in out
+    assert "final rebuild: exactness=100.0%" in out

@@ -1,0 +1,143 @@
+"""Cross-engine property tests for §8.3 dynamic maintenance.
+
+Random interleavings of insert_vertex / delete_vertex / query over three
+instances of the same dynamic index — fast with incremental invalidation,
+fast with the incremental path disabled (every update forces a full
+re-freeze), and the dict reference — must agree on every answer, on both
+orientations.  All three run the same label maintenance, so agreement is
+exact; the fast configurations additionally exercise the engine's
+incremental re-pack, the APSP grow/pivot-repair, and the full-drop
+fallback (G_k deletions).  Insert-only undirected sequences are also
+checked against the Dijkstra oracle for the paper's upper-bound guarantee.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.core.updates import DynamicDirectedISLabelIndex, DynamicISLabelIndex
+from tests.properties.strategies import connected_graphs, digraphs
+
+_FRESH_ID = 100_000
+
+
+def _triple(graph, cls, **kwargs):
+    """(incremental-fast, forced-full-fast, dict) over the same graph."""
+    incremental = cls(graph, **kwargs)
+    full = cls(graph, **kwargs)
+    full.index._fast.incremental_max_fraction = 0.0
+    reference = cls(graph, engine="dict", **kwargs)
+    assert incremental.engine == "fast" and reference.engine == "dict"
+    return incremental, full, reference
+
+
+def _assert_agree(dyns, rng, queries=25):
+    vertices = sorted(dyns[0].graph.vertices())
+    pairs = [(rng.choice(vertices), rng.choice(vertices)) for _ in range(queries)]
+    incremental, full, reference = dyns
+    expected = [reference.distance(s, t) for s, t in pairs]
+    assert [incremental.distance(s, t) for s, t in pairs] == expected
+    assert [full.distance(s, t) for s, t in pairs] == expected
+    # The batch path must agree with the single-query path.
+    assert incremental.distances(pairs) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(connected_graphs(max_vertices=14), st.integers(0, 2**32 - 1))
+def test_undirected_interleavings_agree(g, seed):
+    rng = random.Random(seed)
+    dyns = _triple(g, DynamicISLabelIndex)
+    next_id = _FRESH_ID
+    for _ in range(8):
+        vertices = sorted(dyns[0].graph.vertices())
+        if rng.random() < 0.65 or len(vertices) <= 2:
+            adjacency = {
+                v: rng.randint(1, 4)
+                for v in rng.sample(vertices, rng.randint(1, min(3, len(vertices))))
+            }
+            for dyn in dyns:
+                dyn.insert_vertex(next_id, dict(adjacency))
+            next_id += 1
+        else:
+            victim = rng.choice(vertices)
+            for dyn in dyns:
+                dyn.delete_vertex(victim)
+        _assert_agree(dyns, rng)
+
+
+@settings(max_examples=20, deadline=None)
+@given(connected_graphs(max_vertices=12), st.integers(0, 2**32 - 1))
+def test_undirected_inserts_never_underestimate(g, seed):
+    """Insert-only sequences keep the paper's upper-bound guarantee."""
+    rng = random.Random(seed)
+    dyn = DynamicISLabelIndex(g)
+    next_id = _FRESH_ID
+    for _ in range(5):
+        vertices = sorted(dyn.graph.vertices())
+        adjacency = {
+            v: rng.randint(1, 4)
+            for v in rng.sample(vertices, rng.randint(1, min(3, len(vertices))))
+        }
+        dyn.insert_vertex(next_id, adjacency)
+        next_id += 1
+    vertices = sorted(dyn.graph.vertices())
+    for _ in range(20):
+        s, t = rng.choice(vertices), rng.choice(vertices)
+        assert dyn.distance(s, t) >= dijkstra_distance(dyn.graph, s, t)
+
+
+@settings(max_examples=20, deadline=None)
+@given(digraphs(max_vertices=10), st.integers(0, 2**32 - 1))
+def test_directed_interleavings_agree(g, seed):
+    rng = random.Random(seed)
+    dyns = _triple(g, DynamicDirectedISLabelIndex)
+    next_id = _FRESH_ID
+    for _ in range(7):
+        vertices = sorted(dyns[0].graph.vertices())
+        if rng.random() < 0.65 or len(vertices) <= 2:
+            outs = {
+                v: rng.randint(1, 4)
+                for v in rng.sample(vertices, rng.randint(0, min(2, len(vertices))))
+            }
+            ins = {
+                v: rng.randint(1, 4)
+                for v in rng.sample(vertices, rng.randint(0, min(2, len(vertices))))
+                if v not in outs
+            }
+            if not outs and not ins:
+                outs = {rng.choice(vertices): rng.randint(1, 4)}
+            for dyn in dyns:
+                dyn.insert_vertex(next_id, dict(outs), dict(ins))
+            next_id += 1
+        else:
+            victim = rng.choice(vertices)
+            for dyn in dyns:
+                dyn.delete_vertex(victim)
+        _assert_agree(dyns, rng)
+
+
+@settings(max_examples=10, deadline=None)
+@given(connected_graphs(max_vertices=12), st.integers(0, 2**32 - 1))
+def test_rebuild_restores_dijkstra_exactness(g, seed):
+    """After arbitrary updates, rebuild() restores exact answers everywhere."""
+    rng = random.Random(seed)
+    dyn = DynamicISLabelIndex(g)
+    next_id = _FRESH_ID
+    for _ in range(4):
+        vertices = sorted(dyn.graph.vertices())
+        if rng.random() < 0.6 or len(vertices) <= 2:
+            dyn.insert_vertex(next_id, {rng.choice(vertices): rng.randint(1, 4)})
+            next_id += 1
+        else:
+            dyn.delete_vertex(rng.choice(vertices))
+    dyn.rebuild()
+    assert dyn.staleness == 0 and not dyn.approximate
+    vertices = sorted(dyn.graph.vertices())
+    for _ in range(15):
+        s, t = rng.choice(vertices), rng.choice(vertices)
+        expected = dijkstra_distance(dyn.graph, s, t)
+        assert dyn.distance(s, t) == expected
+        assert math.isinf(expected) or dyn.exact_distance(s, t) == expected
