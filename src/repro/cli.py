@@ -7,12 +7,16 @@ query           Answer distance (or path) queries against a saved index.
 stats           Show construction statistics of a saved index.
 build-directed  Build a directed (§8.2) index from a directed edge list.
 query-directed  Answer directed distance/path queries against a saved index.
+snapshot        Convert a saved index into a zero-copy serving snapshot.
+serve-bench     Load an index/snapshot and measure serving throughput + RSS.
 dataset         Generate one of the paper's dataset stand-ins as an edge list.
 example         Print the paper's Figure 1-3 walkthrough.
 
-``--engine`` on the build/query commands selects the compute backend by
-registry name (:mod:`repro.core.engines`): the array/CSR fast engines or
-the dict reference.
+``--engine`` on the build/query/serve commands selects the compute backend
+by registry name (:mod:`repro.core.engines`): the array/CSR fast engines,
+the mmap/sharded snapshot-serving engines, or the dict reference.  The
+query and serve commands accept both stream index files and snapshots
+(file or sharded directory) — the magic is sniffed.
 
 Examples
 --------
@@ -20,6 +24,8 @@ python -m repro dataset google -o google.txt --scale 0.1
 python -m repro build google.txt -o google.islx --with-paths
 python -m repro stats google.islx
 python -m repro query google.islx 3 847 --path
+python -m repro snapshot google.islx -o google.snap --shards 4
+python -m repro serve-bench google.snap --engine sharded --workers 4
 python -m repro build-directed roads.txt -o roads.isld
 python -m repro query-directed roads.isld 3 847
 """
@@ -27,7 +33,11 @@ python -m repro query-directed roads.isld 3 847
 from __future__ import annotations
 
 import argparse
+import json
 import math
+import os
+import random
+import subprocess
 import sys
 import time
 from typing import List, Optional
@@ -41,7 +51,9 @@ from repro.core.serialization import (
     load_index,
     save_directed_index,
     save_index,
+    save_snapshot,
 )
+from repro.core.snapshot import KIND_DIRECTED, is_snapshot_path, open_snapshot
 from repro.errors import ReproError
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.stats import graph_stats, human_bytes
@@ -123,6 +135,46 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_engines(DIRECTED),
         default="fast",
         help="query backend for the loaded index",
+    )
+
+    p_snap = commands.add_parser(
+        "snapshot", help="convert a saved index into a zero-copy serving snapshot"
+    )
+    p_snap.add_argument("index", help="index file from `repro build[-directed]`")
+    p_snap.add_argument("-o", "--output", required=True, help="snapshot path")
+    p_snap.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="write this many vertex-id-range label shards (a directory) "
+        "instead of one file",
+    )
+
+    p_serve = commands.add_parser(
+        "serve-bench",
+        help="load an index or snapshot and measure cold-load time, "
+        "query throughput and resident memory",
+    )
+    p_serve.add_argument("index", help="stream index or snapshot (file/dir)")
+    p_serve.add_argument(
+        "--engine",
+        choices=available_engines(UNDIRECTED),
+        default="mmap",
+        help="serving backend (default: mmap)",
+    )
+    p_serve.add_argument(
+        "--queries", type=int, default=2000, help="random query pairs to run"
+    )
+    p_serve.add_argument("--seed", type=int, default=7, help="query RNG seed")
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="additionally spawn N worker processes, each loading and "
+        "serving its own slice (reports per-worker RSS and aggregate QPS)",
+    )
+    p_serve.add_argument(
+        "--json", action="store_true", help="emit one JSON object (worker mode)"
     )
 
     p_stats = commands.add_parser("stats", help="show index statistics")
@@ -231,6 +283,123 @@ def _cmd_query_directed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _is_directed_artifact(path: str) -> bool:
+    """Sniff whether ``path`` holds a directed index or snapshot."""
+    if is_snapshot_path(path):
+        return open_snapshot(path).kind == KIND_DIRECTED
+    with open(path, "rb") as fh:
+        return fh.read(4) == b"ISLD"
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    if _is_directed_artifact(args.index):
+        index = load_directed_index(args.index, engine="fast")
+    else:
+        index = load_index(args.index, engine="fast")
+    nbytes = save_snapshot(index, args.output, shards=args.shards)
+    kind = "directed" if isinstance(index, DirectedISLabelIndex) else "undirected"
+    layout = f"{args.shards} shards" if args.shards > 1 else "single file"
+    print(
+        f"wrote {kind} snapshot {args.output} "
+        f"({human_bytes(nbytes)}, {layout})"
+    )
+    return 0
+
+
+def _serve_bench_once(path: str, engine: str, queries: int, seed: int) -> dict:
+    """Load + query one index in this process; returns the measurements."""
+    from repro.bench.harness import process_rss_kib
+
+    directed = _is_directed_artifact(path)
+    started = time.perf_counter()
+    if directed:
+        index = load_directed_index(path, engine=engine)
+    else:
+        index = load_index(path, engine=engine)
+    load_seconds = time.perf_counter() - started
+
+    rng = random.Random(seed)
+    covered = sorted(index.hierarchy.level_of)
+    pairs = [
+        (rng.choice(covered), rng.choice(covered)) for _ in range(queries)
+    ]
+    started = time.perf_counter()
+    index.distances(pairs)
+    batch_seconds = time.perf_counter() - started
+    rss, anon = process_rss_kib()
+    return {
+        "engine": index.engine,
+        "directed": directed,
+        "load_seconds": load_seconds,
+        "queries": len(pairs),
+        "batch_seconds": batch_seconds,
+        "qps": len(pairs) / batch_seconds if batch_seconds else float("inf"),
+        "rss_kib": rss,
+        "private_kib": anon,
+    }
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    row = _serve_bench_once(args.index, args.engine, args.queries, args.seed)
+    if args.json:
+        print(json.dumps(row))
+        return 0
+    private = row.get("private_kib") or row.get("rss_kib")
+    rss = f"{private / 1024:.1f} MiB" if private else "n/a"
+    print(
+        f"engine={row['engine']} load={row['load_seconds'] * 1000:.1f}ms "
+        f"batch={row['queries']} queries at {row['qps']:,.0f} qps "
+        f"private-rss={rss}"
+    )
+    if args.workers > 0:
+        env = dict(os.environ)
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "serve-bench",
+                    args.index,
+                    "--engine",
+                    args.engine,
+                    "--queries",
+                    str(args.queries),
+                    "--seed",
+                    str(args.seed + i + 1),
+                    "--json",
+                ],
+                stdout=subprocess.PIPE,
+                env=env,
+                text=True,
+            )
+            for i in range(args.workers)
+        ]
+        rows = []
+        for proc in procs:
+            out, _ = proc.communicate()
+            if proc.returncode != 0:
+                print(f"worker failed with exit code {proc.returncode}")
+                return 1
+            rows.append(json.loads(out.strip().splitlines()[-1]))
+        total_qps = sum(r["qps"] for r in rows)
+        rss_list = [
+            r.get("private_kib") or r.get("rss_kib")
+            for r in rows
+            if r.get("private_kib") or r.get("rss_kib")
+        ]
+        rss_txt = (
+            f"{sum(rss_list) / len(rss_list) / 1024:.1f} MiB avg"
+            if rss_list
+            else "n/a"
+        )
+        print(
+            f"workers={args.workers} aggregate={total_qps:,.0f} qps "
+            f"worker-private-rss={rss_txt}"
+        )
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     if getattr(args, "verbose", False):
@@ -283,6 +452,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": _cmd_query,
         "build-directed": _cmd_build_directed,
         "query-directed": _cmd_query_directed,
+        "snapshot": _cmd_snapshot,
+        "serve-bench": _cmd_serve_bench,
         "stats": _cmd_stats,
         "dataset": _cmd_dataset,
         "example": _cmd_example,

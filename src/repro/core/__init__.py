@@ -64,6 +64,15 @@ from repro.core.serialization import (
     save_dynamic_directed_index,
     save_dynamic_index,
     save_index,
+    save_snapshot,
+)
+from repro.core.snapshot import (
+    DirectedMmapEngine,
+    DirectedShardedEngine,
+    MmapEngine,
+    ShardedEngine,
+    open_snapshot,
+    write_snapshot,
 )
 from repro.core.updates import DynamicDirectedISLabelIndex, DynamicISLabelIndex
 
@@ -124,6 +133,13 @@ __all__ = [
     "load_index",
     "save_directed_index",
     "load_directed_index",
+    "save_snapshot",
+    "open_snapshot",
+    "write_snapshot",
+    "MmapEngine",
+    "ShardedEngine",
+    "DirectedMmapEngine",
+    "DirectedShardedEngine",
     "save_dynamic_index",
     "load_dynamic_index",
     "save_dynamic_directed_index",

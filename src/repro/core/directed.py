@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.engines import DIRECTED, resolve_engine
 from repro.core.fastdirected import DirectedFastEngine
+from repro.core.independent_set import bucket_order
 from repro.core.labels import (
     eq1_distance,
     eq1_distance_argmin,
@@ -93,10 +94,10 @@ def _build_directed_hierarchy(
         if not full and k is None and work.num_edges == 0:
             break
 
-        # Greedy min-degree IS on the underlying undirected graph.
-        order = sorted(
-            work.vertices(), key=lambda v: (work.undirected_degree(v), v)
-        )
+        # Greedy min-degree IS on the underlying undirected graph; the
+        # bucket pass ported from the undirected Algorithm-2 greedy avoids
+        # re-sorting the whole vertex set with a comparison sort per round.
+        order = bucket_order(work.vertices(), work.undirected_degree)
         selected: List[int] = []
         peeled: Dict[int, Tuple[Adjacency, Adjacency]] = {}
         excluded: set = set()

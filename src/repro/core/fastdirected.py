@@ -42,11 +42,11 @@ from repro.core.engines import DIRECTED, register_engine
 from repro.core.fastlabels import (
     ArrayLabel,
     LabelArrayPool,
+    LabelTable,
     PackedEngineBase,
     _EMPTY,
     apsp_ceiling,
     eq1_merge,
-    pack_entry_lists,
 )
 from repro.core.labels import eq1_distance_argmin
 from repro.graph.csr import CSRDiGraph
@@ -73,8 +73,8 @@ class DirectedFastEngine(PackedEngineBase):
         "csr",
         "out_lists",
         "in_lists",
-        "out_labels",
-        "in_labels",
+        "out_table",
+        "in_table",
         "pool",
         "indptr",
         "indices",
@@ -85,14 +85,6 @@ class DirectedFastEngine(PackedEngineBase):
         "frozen",
         "apsp_max_gk",
         "incremental_max_fraction",
-        "_out_seed_ids",
-        "_out_seed_dists",
-        "_out_seed_ids_np",
-        "_out_seed_dists_np",
-        "_in_seed_ids",
-        "_in_seed_dists",
-        "_in_seed_ids_np",
-        "_in_seed_dists_np",
         "_apsp",
         "_apsp_done",
     )
@@ -126,16 +118,8 @@ class DirectedFastEngine(PackedEngineBase):
         self.rindptr: List[int] = []
         self.rindices: List[int] = []
         self.rweights: List[int] = []
-        self.out_labels: Dict[int, ArrayLabel] = {}
-        self.in_labels: Dict[int, ArrayLabel] = {}
-        self._out_seed_ids: Dict[int, List[int]] = {}
-        self._out_seed_dists: Dict[int, List[int]] = {}
-        self._out_seed_ids_np: Dict[int, np.ndarray] = {}
-        self._out_seed_dists_np: Dict[int, np.ndarray] = {}
-        self._in_seed_ids: Dict[int, List[int]] = {}
-        self._in_seed_dists: Dict[int, List[int]] = {}
-        self._in_seed_ids_np: Dict[int, np.ndarray] = {}
-        self._in_seed_dists_np: Dict[int, np.ndarray] = {}
+        self.out_table: Optional[LabelTable] = None
+        self.in_table: Optional[LabelTable] = None
         self._apsp: Optional[np.ndarray] = None
         self._apsp_done: Optional[np.ndarray] = None
 
@@ -149,20 +133,8 @@ class DirectedFastEngine(PackedEngineBase):
         self.frozen = True
         self._rebuild_csr()
         ids = self.csr.ids_array
-        (
-            self.out_labels,
-            self._out_seed_ids,
-            self._out_seed_dists,
-            self._out_seed_ids_np,
-            self._out_seed_dists_np,
-        ) = pack_entry_lists(self.out_lists, {}, ids)
-        (
-            self.in_labels,
-            self._in_seed_ids,
-            self._in_seed_dists,
-            self._in_seed_ids_np,
-            self._in_seed_dists_np,
-        ) = pack_entry_lists(self.in_lists, {}, ids)
+        self.out_table = LabelTable.pack(self.out_lists, {}, ids)
+        self.in_table = LabelTable.pack(self.in_lists, {}, ids)
         n = self.csr.num_vertices
         if 0 < n <= self.apsp_max_gk:
             self._apsp = np.full((n, n), np.inf)
@@ -180,18 +152,19 @@ class DirectedFastEngine(PackedEngineBase):
         self.rindptr = []
         self.rindices = []
         self.rweights = []
-        self.out_labels = {}
-        self.in_labels = {}
-        self._out_seed_ids = {}
-        self._out_seed_dists = {}
-        self._out_seed_ids_np = {}
-        self._out_seed_dists_np = {}
-        self._in_seed_ids = {}
-        self._in_seed_dists = {}
-        self._in_seed_ids_np = {}
-        self._in_seed_dists_np = {}
+        self.out_table = None
+        self.in_table = None
         self._apsp = None
         self._apsp_done = None
+
+    # Backwards-compatible views of the frozen tables (tests/debugging).
+    @property
+    def out_labels(self) -> Dict[int, ArrayLabel]:
+        return self.out_table.labels if self.out_table is not None else {}
+
+    @property
+    def in_labels(self) -> Dict[int, ArrayLabel]:
+        return self.in_table.labels if self.in_table is not None else {}
 
     def _num_labels(self) -> int:
         return len(self.out_lists) + len(self.in_lists)
@@ -206,26 +179,8 @@ class DirectedFastEngine(PackedEngineBase):
         self.rweights = self.csr.rweights.tolist()
 
     def _repack(self, dirty, gk_ids) -> None:
-        self._repack_table(
-            dirty,
-            gk_ids,
-            self.out_lists,
-            self.out_labels,
-            self._out_seed_ids,
-            self._out_seed_dists,
-            self._out_seed_ids_np,
-            self._out_seed_dists_np,
-        )
-        self._repack_table(
-            dirty,
-            gk_ids,
-            self.in_lists,
-            self.in_labels,
-            self._in_seed_ids,
-            self._in_seed_dists,
-            self._in_seed_ids_np,
-            self._in_seed_dists_np,
-        )
+        self.out_table.repack(dirty, self.out_lists, gk_ids)
+        self.in_table.repack(dirty, self.in_lists, gk_ids)
 
     def _backward_row(self, dx: int) -> np.ndarray:
         # One-way table: d'(a -> x) comes from a Dijkstra over the
@@ -242,7 +197,7 @@ class DirectedFastEngine(PackedEngineBase):
         """Array out-label of ``v`` (implicit ``([v], [0])`` for G_k ids)."""
         if not self.frozen:
             self.freeze()
-        got = self.out_labels.get(v)
+        got = self.out_table.label(v)
         if got is not None:
             return got
         return np.array([v], dtype=np.int64), np.zeros(1, dtype=np.int64)
@@ -251,7 +206,7 @@ class DirectedFastEngine(PackedEngineBase):
         """Array in-label of ``v`` (implicit ``([v], [0])`` for G_k ids)."""
         if not self.frozen:
             self.freeze()
-        got = self.in_labels.get(v)
+        got = self.in_table.label(v)
         if got is not None:
             return got
         return np.array([v], dtype=np.int64), np.zeros(1, dtype=np.int64)
@@ -277,27 +232,27 @@ class DirectedFastEngine(PackedEngineBase):
         """Dense-id forward seeds: out-label entries lying in ``G_k``."""
         if not self.frozen:
             self.freeze()
-        ids = self._out_seed_ids.get(v)
-        if ids is not None:
-            return ids, self._out_seed_dists[v]
+        got = self.out_table.seeds(v)
+        if got is not None:
+            return got
         return self._fallback_seeds(v)[:2]
 
     def seeds_in(self, v: int) -> Tuple[List[int], List[int]]:
         """Dense-id backward seeds: in-label entries lying in ``G_k``."""
         if not self.frozen:
             self.freeze()
-        ids = self._in_seed_ids.get(v)
-        if ids is not None:
-            return ids, self._in_seed_dists[v]
+        got = self.in_table.seeds(v)
+        if got is not None:
+            return got
         return self._fallback_seeds(v)[:2]
 
     def seeds_out_np(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
         """The forward seeds as numpy arrays (for the table reduction)."""
         if not self.frozen:
             self.freeze()
-        ids = self._out_seed_ids_np.get(v)
-        if ids is not None:
-            return ids, self._out_seed_dists_np[v]
+        got = self.out_table.seeds_np(v)
+        if got is not None:
+            return got
         fallback = self._fallback_seeds(v)
         return fallback[2], fallback[3]
 
@@ -305,9 +260,9 @@ class DirectedFastEngine(PackedEngineBase):
         """The backward seeds as numpy arrays (for the table reduction)."""
         if not self.frozen:
             self.freeze()
-        ids = self._in_seed_ids_np.get(v)
-        if ids is not None:
-            return ids, self._in_seed_dists_np[v]
+        got = self.in_table.seeds_np(v)
+        if got is not None:
+            return got
         fallback = self._fallback_seeds(v)
         return fallback[2], fallback[3]
 
@@ -343,10 +298,7 @@ class DirectedFastEngine(PackedEngineBase):
         """Approximate footprint: both CSR directions plus packed labels."""
         if not self.frozen:
             self.freeze()
-        total = self.csr.nbytes()
-        for table in (self.out_labels, self.in_labels):
-            for anc, d in table.values():
-                total += int(anc.nbytes + d.nbytes)
+        total = self.csr.nbytes() + self.out_table.nbytes() + self.in_table.nbytes()
         if self._apsp is not None:
             total += int(self._apsp.nbytes)
         return total

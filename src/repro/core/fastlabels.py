@@ -45,7 +45,7 @@ from __future__ import annotations
 import heapq
 import math
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,6 +64,8 @@ __all__ = [
     "batch_eq1",
     "batch_table_stage",
     "pack_entry_lists",
+    "FlatLabels",
+    "LabelTable",
     "fast_top_down_labels",
     "LabelArrayPool",
     "FastEngine",
@@ -380,6 +382,246 @@ def pack_entry_lists(
     return labels, seed_ids, seed_dists, seed_ids_np, seed_dists_np
 
 
+class FlatLabels(NamedTuple):
+    """One frozen label table as seven flat arrays — the snapshot layout.
+
+    ``keys`` holds the sorted vertex ids carrying a packed label;
+    ``indptr`` (length ``len(keys) + 1``) delimits each vertex's slice of
+    the parallel ``anc``/``dist`` arrays, and ``seed_indptr`` does the same
+    for the pre-extracted Algorithm-1 seeds (``seed_ids`` are dense ``G_k``
+    ids, ``seed_dists`` the matching label distances).  All arrays are
+    ``int64``; they may live on the heap or be ``np.memmap`` views over a
+    snapshot file — :class:`LabelTable` treats both identically.
+    """
+
+    keys: np.ndarray
+    indptr: np.ndarray
+    anc: np.ndarray
+    dist: np.ndarray
+    seed_indptr: np.ndarray
+    seed_ids: np.ndarray
+    seed_dists: np.ndarray
+
+
+class LabelTable:
+    """One frozen label table: per-vertex array labels plus dense seeds.
+
+    The buffer-agnostic view struct behind the packed engines.  Two ways
+    to come alive:
+
+    * :meth:`pack` freezes live entry lists on the heap via
+      :func:`pack_entry_lists` (the build/load-from-stream path);
+    * :meth:`from_flat` adopts a :class:`FlatLabels` whose arrays may be
+      ``np.memmap`` views over a snapshot file — per-vertex views are then
+      materialized *lazily* on first touch (one ``searchsorted`` + two
+      slices, no per-entry parsing), so a cold load costs O(1) and the OS
+      page cache faults in only the labels a workload actually reads.
+
+    Either way the query accessors (:meth:`label`, :meth:`seeds`,
+    :meth:`seeds_np`) and the §8.3 incremental repair (:meth:`repack`,
+    which splices freshly packed heap arrays over the stale views and
+    evicts deleted vertices) run the same code path: the per-vertex dicts
+    double as the override/cache layer in front of the optional flat
+    backing.
+    """
+
+    __slots__ = (
+        "labels",
+        "seed_ids",
+        "seed_dists",
+        "seed_ids_np",
+        "seed_dists_np",
+        "flat",
+        "_gone",
+    )
+
+    def __init__(
+        self,
+        labels: Optional[Dict[int, ArrayLabel]] = None,
+        seed_ids: Optional[Dict[int, List[int]]] = None,
+        seed_dists: Optional[Dict[int, List[int]]] = None,
+        seed_ids_np: Optional[Dict[int, np.ndarray]] = None,
+        seed_dists_np: Optional[Dict[int, np.ndarray]] = None,
+        flat: Optional[FlatLabels] = None,
+    ) -> None:
+        self.labels = {} if labels is None else labels
+        self.seed_ids = {} if seed_ids is None else seed_ids
+        self.seed_dists = {} if seed_dists is None else seed_dists
+        self.seed_ids_np = {} if seed_ids_np is None else seed_ids_np
+        self.seed_dists_np = {} if seed_dists_np is None else seed_dists_np
+        self.flat = flat
+        self._gone: set = set()
+
+    @classmethod
+    def pack(cls, entry_lists, prebuilt, gk_ids: np.ndarray) -> "LabelTable":
+        """Freeze live entry lists into a heap-backed table."""
+        return cls(*pack_entry_lists(entry_lists, prebuilt, gk_ids))
+
+    @classmethod
+    def from_flat(cls, flat: FlatLabels) -> "LabelTable":
+        """Adopt flat (possibly memmapped) arrays; views materialize lazily."""
+        return cls(flat=flat)
+
+    # ------------------------------------------------------------------
+    # Query accessors
+    # ------------------------------------------------------------------
+    def _flat_pos(self, v: int) -> int:
+        keys = self.flat.keys
+        i = int(np.searchsorted(keys, v))
+        if i < len(keys) and int(keys[i]) == v:
+            return i
+        return -1
+
+    def _materialize(self, v: int, i: int) -> None:
+        """Cache the label and numpy-seed views of flat position ``i``."""
+        flat = self.flat
+        lo, hi = int(flat.indptr[i]), int(flat.indptr[i + 1])
+        self.labels[v] = (flat.anc[lo:hi], flat.dist[lo:hi])
+        lo, hi = int(flat.seed_indptr[i]), int(flat.seed_indptr[i + 1])
+        self.seed_ids_np[v] = flat.seed_ids[lo:hi]
+        self.seed_dists_np[v] = flat.seed_dists[lo:hi]
+
+    def label(self, v: int) -> Optional[ArrayLabel]:
+        """Array label of ``v``, or ``None`` when the table has none."""
+        got = self.labels.get(v)
+        if got is not None:
+            return got
+        if self.flat is not None and v not in self._gone:
+            i = self._flat_pos(v)
+            if i >= 0:
+                self._materialize(v, i)
+                return self.labels[v]
+        return None
+
+    def seeds_np(self, v: int) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Dense-id seeds of ``v`` as numpy arrays, or ``None``."""
+        ids = self.seed_ids_np.get(v)
+        if ids is not None:
+            return ids, self.seed_dists_np[v]
+        if self.label(v) is None:
+            return None
+        ids = self.seed_ids_np.get(v)
+        if ids is None:
+            return None
+        return ids, self.seed_dists_np[v]
+
+    def seeds(self, v: int) -> Optional[Tuple[List[int], List[int]]]:
+        """The seeds as Python lists (scalar search loop); lazily cached."""
+        ids = self.seed_ids.get(v)
+        if ids is not None:
+            return ids, self.seed_dists[v]
+        pair = self.seeds_np(v)
+        if pair is None:
+            return None
+        ids = pair[0].tolist()
+        dists = pair[1].tolist()
+        self.seed_ids[v] = ids
+        self.seed_dists[v] = dists
+        return ids, dists
+
+    # ------------------------------------------------------------------
+    # §8.3 incremental repair
+    # ------------------------------------------------------------------
+    def repack(self, dirty, lists, gk_ids: np.ndarray) -> None:
+        """Splice freshly packed arrays for ``dirty`` over this table.
+
+        ``lists`` is the live entry-list dict (shared with the index
+        facade, so it already reflects the mutations).  Dirty vertices
+        present in ``lists`` get new array views (packed into a fresh
+        backing pair — clean vertices keep their existing views); dirty
+        vertices that disappeared (§8.3 deletions) are evicted, including
+        from any flat backing.
+        """
+        present = {v: lists[v] for v in dirty if v in lists}
+        packed = pack_entry_lists(present, {}, gk_ids)
+        for target, fresh in zip(
+            (
+                self.labels,
+                self.seed_ids,
+                self.seed_dists,
+                self.seed_ids_np,
+                self.seed_dists_np,
+            ),
+            packed,
+        ):
+            target.update(fresh)
+        if self.flat is not None:
+            self._gone.difference_update(present)
+        for v in dirty:
+            if v not in present:
+                for target in (
+                    self.labels,
+                    self.seed_ids,
+                    self.seed_dists,
+                    self.seed_ids_np,
+                    self.seed_dists_np,
+                ):
+                    target.pop(v, None)
+                if self.flat is not None:
+                    self._gone.add(v)
+
+    # ------------------------------------------------------------------
+    # Introspection / flattening
+    # ------------------------------------------------------------------
+    def num_labels(self) -> int:
+        if self.flat is not None:
+            return len(self.flat.keys)
+        return len(self.labels)
+
+    def nbytes(self) -> int:
+        if self.flat is not None:
+            return int(self.flat.anc.nbytes + self.flat.dist.nbytes)
+        total = 0
+        for anc, d in self.labels.values():
+            total += int(anc.nbytes + d.nbytes)
+        return total
+
+    def vertex_ids(self) -> List[int]:
+        """Sorted vertex ids carrying a label (overrides + flat backing)."""
+        if self.flat is None:
+            return sorted(self.labels)
+        ids = set(self.flat.keys.tolist())
+        ids.difference_update(self._gone)
+        ids.update(self.labels)
+        return sorted(ids)
+
+    def to_flat(self) -> FlatLabels:
+        """Flatten the current state into :class:`FlatLabels`.
+
+        Used when writing snapshots; materializes every label, so call it
+        on the heap-frozen (or fully patched) state, not in a hot path.
+        """
+        keys = self.vertex_ids()
+        indptr = np.zeros(len(keys) + 1, dtype=np.int64)
+        seed_indptr = np.zeros(len(keys) + 1, dtype=np.int64)
+        anc_parts: List[np.ndarray] = []
+        dist_parts: List[np.ndarray] = []
+        sid_parts: List[np.ndarray] = []
+        sd_parts: List[np.ndarray] = []
+        for j, v in enumerate(keys):
+            anc, d = self.label(v)
+            ids, dists = self.seeds_np(v)
+            anc_parts.append(anc)
+            dist_parts.append(d)
+            sid_parts.append(ids)
+            sd_parts.append(dists)
+            indptr[j + 1] = indptr[j] + len(anc)
+            seed_indptr[j + 1] = seed_indptr[j] + len(ids)
+
+        def _cat(parts: List[np.ndarray]) -> np.ndarray:
+            return np.concatenate(parts) if parts else _EMPTY.copy()
+
+        return FlatLabels(
+            np.array(keys, dtype=np.int64),
+            indptr,
+            _cat(anc_parts),
+            _cat(dist_parts),
+            seed_indptr,
+            _cat(sid_parts),
+            _cat(sd_parts),
+        )
+
+
 def fast_top_down_labels(
     hierarchy: VertexHierarchy,
 ) -> Tuple[Dict[int, List[Tuple[int, int]]], Dict[int, ArrayLabel]]:
@@ -520,8 +762,8 @@ class PackedEngineBase:
     It also implements the protocol's :meth:`invalidate`, including the
     §8.3 incremental path: given the set of vertices whose labels changed,
     it re-packs only those labels over the current ``G_k`` id space
-    (:meth:`_repack_table` splices the fresh array views over the stale
-    ones), rebuilds the tiny CSR adjacency, and grows/repairs the all-pairs
+    (:meth:`LabelTable.repack` splices the fresh array views over the
+    stale ones), rebuilds the tiny CSR adjacency, and grows/repairs the all-pairs
     table instead of discarding it.  Subclasses supply the storage hooks
     (``_drop_frozen``, ``_rebuild_csr``, ``_repack``, ``_num_labels``,
     ``_backward_row``).
@@ -662,26 +904,6 @@ class PackedEngineBase:
         self._repack(dirty, new_ids)
         self._refresh_apsp(old_csr, appended)
         return True
-
-    def _repack_table(self, dirty, gk_ids, lists, labels, sid, sd, sidn, sdn):
-        """Splice freshly packed arrays for ``dirty`` over one label table.
-
-        ``lists`` is the live entry-list dict (shared with the index
-        facade, so it already reflects the mutations); the remaining
-        arguments are the frozen per-vertex dicts produced by
-        :func:`pack_entry_lists` at freeze time.  Dirty vertices present in
-        ``lists`` get new array views (packed into a fresh backing pair —
-        clean vertices keep their views over the original buffers); dirty
-        vertices that disappeared (§8.3 deletions) are evicted.
-        """
-        present = {v: lists[v] for v in dirty if v in lists}
-        packed = pack_entry_lists(present, {}, gk_ids)
-        for target, fresh in zip((labels, sid, sd, sidn, sdn), packed):
-            target.update(fresh)
-        for v in dirty:
-            if v not in present:
-                for target in (labels, sid, sd, sidn, sdn):
-                    target.pop(v, None)
 
     def _refresh_apsp(self, old_csr, appended: int) -> None:
         """Carry the all-pairs table across an incremental invalidation.
@@ -849,16 +1071,26 @@ class PackedEngineBase:
             [self._label_r(pairs[i][1]) for i in live],
         )
         if self._apsp is not None:
+            seeds_f = [self._seeds_f_np(pairs[i][0]) for i in live]
+            seeds_r = [self._seeds_r_np(pairs[i][1]) for i in live]
+            # Seed-locality sort: order the batch by each query's first
+            # forward-seed row so lazy APSP row fills (and the flat gather)
+            # touch table rows in ascending, clustered order instead of
+            # input order.  Answers are scattered back to input positions.
+            order = sorted(
+                range(len(live)),
+                key=lambda j: int(seeds_f[j][0][0]) if len(seeds_f[j][0]) else -1,
+            )
             answers = batch_table_stage(
                 self._apsp,
                 self._apsp_done,
                 self._fill_apsp_row,
-                [self._seeds_f_np(pairs[i][0]) for i in live],
-                [self._seeds_r_np(pairs[i][1]) for i in live],
-                mu0s,
+                [seeds_f[j] for j in order],
+                [seeds_r[j] for j in order],
+                mu0s[order],
             )
-            for j, i in enumerate(live):
-                out[i] = answers[j]
+            for pos, j in enumerate(order):
+                out[live[j]] = answers[pos]
             return out
         forward, reverse = self._search_arrays()
         n_gk = self.csr.num_vertices
@@ -909,7 +1141,7 @@ class FastEngine(PackedEngineBase):
         "gk",
         "csr",
         "entry_lists",
-        "labels",
+        "table",
         "pool",
         "indptr",
         "indices",
@@ -918,10 +1150,6 @@ class FastEngine(PackedEngineBase):
         "apsp_max_gk",
         "incremental_max_fraction",
         "_prebuilt",
-        "_seed_ids",
-        "_seed_dists",
-        "_seed_ids_np",
-        "_seed_dists_np",
         "_apsp",
         "_apsp_done",
     )
@@ -956,11 +1184,7 @@ class FastEngine(PackedEngineBase):
         self.indptr: List[int] = []
         self.indices: List[int] = []
         self.weights: List[int] = []
-        self.labels: Dict[int, ArrayLabel] = {}
-        self._seed_ids: Dict[int, List[int]] = {}
-        self._seed_dists: Dict[int, List[int]] = {}
-        self._seed_ids_np: Dict[int, np.ndarray] = {}
-        self._seed_dists_np: Dict[int, np.ndarray] = {}
+        self.table: Optional[LabelTable] = None
         self._apsp: Optional[np.ndarray] = None
         self._apsp_done: Optional[np.ndarray] = None
 
@@ -981,13 +1205,9 @@ class FastEngine(PackedEngineBase):
             return self
         self.frozen = True
         self._rebuild_csr()
-        (
-            self.labels,
-            self._seed_ids,
-            self._seed_dists,
-            self._seed_ids_np,
-            self._seed_dists_np,
-        ) = pack_entry_lists(self.entry_lists, self._prebuilt, self.csr.ids_array)
+        self.table = LabelTable.pack(
+            self.entry_lists, self._prebuilt, self.csr.ids_array
+        )
         self._prebuilt = {}
         n = self.csr.num_vertices
         if 0 < n <= self.apsp_max_gk:
@@ -1003,14 +1223,19 @@ class FastEngine(PackedEngineBase):
         self.indptr = []
         self.indices = []
         self.weights = []
-        self.labels = {}
+        self.table = None
         self._prebuilt = {}
-        self._seed_ids = {}
-        self._seed_dists = {}
-        self._seed_ids_np = {}
-        self._seed_dists_np = {}
         self._apsp = None
         self._apsp_done = None
+
+    # Backwards-compatible views of the frozen table (tests and debugging).
+    @property
+    def labels(self) -> Dict[int, ArrayLabel]:
+        return self.table.labels if self.table is not None else {}
+
+    @property
+    def _seed_ids(self) -> Dict[int, List[int]]:
+        return self.table.seed_ids if self.table is not None else {}
 
     def _forget_packed(self, dirty) -> None:
         """Pre-freeze invalidation: only the pre-merged arrays can be stale."""
@@ -1027,16 +1252,7 @@ class FastEngine(PackedEngineBase):
         self.weights = self.csr.weights.tolist()
 
     def _repack(self, dirty, gk_ids) -> None:
-        self._repack_table(
-            dirty,
-            gk_ids,
-            self.entry_lists,
-            self.labels,
-            self._seed_ids,
-            self._seed_dists,
-            self._seed_ids_np,
-            self._seed_dists_np,
-        )
+        self.table.repack(dirty, self.entry_lists, gk_ids)
 
     def _backward_row(self, dx: int) -> np.ndarray:
         # Undirected G_k: distances are symmetric, reuse the forward row.
@@ -1049,7 +1265,7 @@ class FastEngine(PackedEngineBase):
         """Array label of ``v`` (implicit ``([v], [0])`` for bare G_k ids)."""
         if not self.frozen:
             self.freeze()
-        got = self.labels.get(v)
+        got = self.table.label(v)
         if got is not None:
             return got
         return np.array([v], dtype=np.int64), np.zeros(1, dtype=np.int64)
@@ -1077,18 +1293,18 @@ class FastEngine(PackedEngineBase):
         """Dense-id Algorithm-1 seeds of ``label(v)`` (pre-extracted)."""
         if not self.frozen:
             self.freeze()
-        ids = self._seed_ids.get(v)
-        if ids is not None:
-            return ids, self._seed_dists[v]
+        got = self.table.seeds(v)
+        if got is not None:
+            return got
         return self._fallback_seeds(v)[:2]
 
     def seeds_np(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
         """The seeds as numpy arrays (for the APSP reduction)."""
         if not self.frozen:
             self.freeze()
-        ids = self._seed_ids_np.get(v)
-        if ids is not None:
-            return ids, self._seed_dists_np[v]
+        got = self.table.seeds_np(v)
+        if got is not None:
+            return got
         fallback = self._fallback_seeds(v)
         return fallback[2], fallback[3]
 
@@ -1120,9 +1336,7 @@ class FastEngine(PackedEngineBase):
         """Approximate footprint of the CSR arrays plus packed labels."""
         if not self.frozen:
             self.freeze()
-        total = self.csr.nbytes()
-        for anc, d in self.labels.values():
-            total += int(anc.nbytes + d.nbytes)
+        total = self.csr.nbytes() + self.table.nbytes()
         if self._apsp is not None:
             total += int(self._apsp.nbytes)
         return total

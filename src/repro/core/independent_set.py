@@ -25,6 +25,7 @@ from repro.graph.graph import Graph
 
 __all__ = [
     "greedy_independent_set",
+    "bucket_order",
     "min_degree_order",
     "random_independent_set",
     "external_independent_set",
@@ -54,21 +55,27 @@ def greedy_independent_set(graph: Graph) -> Tuple[List[int], Dict[int, Adjacency
     return _select_in_order(graph, min_degree_order(graph))
 
 
-def min_degree_order(graph: Graph) -> List[int]:
+def bucket_order(vertices, degree_of) -> List[int]:
     """Vertex ids in ascending ``(degree, id)`` order via degree buckets.
 
-    Equivalent to ``sorted(graph.vertices(), key=lambda v: (degree(v), v))``
-    but O(n + max_degree) after the plain id sort: vertices are dropped into
+    Equivalent to ``sorted(vertices, key=lambda v: (degree_of(v), v))`` but
+    O(n + max_degree) after the plain id sort: vertices are dropped into
     one bucket per degree in ascending-id order and the buckets are
-    concatenated.
+    concatenated.  Shared by the undirected Algorithm-2 greedy and the
+    directed (§8.2) peeling, which passes ``undirected_degree``.
     """
     buckets: List[List[int]] = []
-    for v in graph.sorted_vertices():
-        d = graph.degree(v)
+    for v in sorted(vertices):
+        d = degree_of(v)
         while len(buckets) <= d:
             buckets.append([])
         buckets[d].append(v)
     return [v for bucket in buckets for v in bucket]
+
+
+def min_degree_order(graph: Graph) -> List[int]:
+    """Ascending ``(degree, id)`` order of ``graph`` (see :func:`bucket_order`)."""
+    return bucket_order(graph.vertices(), graph.degree)
 
 
 def random_independent_set(

@@ -17,19 +17,44 @@ its patched labels, staleness counters and approximate flag intact and the
 loader re-attaches a registered engine over the patched labels.  (Indexes
 built in disk-storage mode reload in memory mode — the label *contents*
 are identical; the simulated store is a cost model, not state.)
+
+Orthogonal to the stream format, :func:`save_snapshot` writes the
+**zero-copy serving snapshot** of :mod:`repro.core.snapshot` — raw aligned
+dumps of the frozen engine arrays plus the facade's coverage metadata.
+:func:`load_index` / :func:`load_directed_index` sniff the magic, so one
+loader serves both formats; pass ``engine="mmap"`` (or ``"sharded"``) to
+serve a snapshot straight from the page cache with no per-entry parsing.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import struct
 from pathlib import Path
 from typing import BinaryIO, Dict, List, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.core.directed import DirectedHierarchy, DirectedISLabelIndex
 from repro.core.engines import DIRECTED, UNDIRECTED, resolve_engine
+from repro.core.fastdirected import DirectedFastEngine
+from repro.core.fastlabels import FastEngine, PackedEngineBase
 from repro.core.hierarchy import VertexHierarchy
 from repro.core.index import ISLabelIndex
+from repro.core.snapshot import (
+    KIND_DIRECTED,
+    KIND_UNDIRECTED,
+    DirectedMmapEngine,
+    DirectedShardedEngine,
+    MmapEngine,
+    ShardedEngine,
+    Snapshot,
+    SnapshotLabels,
+    is_snapshot_path,
+    open_snapshot,
+    write_snapshot,
+)
 from repro.core.updates import DynamicDirectedISLabelIndex, DynamicISLabelIndex
 from repro.errors import StorageError
 from repro.extmem.iomodel import CostModel
@@ -41,6 +66,7 @@ __all__ = [
     "load_index",
     "save_directed_index",
     "load_directed_index",
+    "save_snapshot",
     "save_dynamic_index",
     "load_dynamic_index",
     "save_dynamic_directed_index",
@@ -130,8 +156,15 @@ def load_index(
     and ``G_k`` into the array/CSR engine, ``"dict"`` keeps the reference
     structures only.  Names resolve through the shared engine registry
     (:mod:`repro.core.engines`); the on-disk format is engine-independent.
+
+    ``path`` may also be a serving snapshot written by
+    :func:`save_snapshot` (file or sharded directory) — the magic is
+    sniffed, and ``engine="mmap"`` / ``"sharded"`` then serve it zero-copy
+    straight from the mapped sections.
     """
     factory = resolve_engine(UNDIRECTED, engine)
+    if is_snapshot_path(path):
+        return _load_snapshot_index(path, cost_model, engine)
     with open(path, "rb") as fh:
         index = _read_index(fh, path, cost_model)
     if factory is not None:
@@ -297,8 +330,12 @@ def load_directed_index(
     ``engine`` mirrors :func:`load_index`: ``"fast"`` (default) attaches a
     :class:`repro.core.fastdirected.DirectedFastEngine` over the loaded
     labels and ``G_k``, ``"dict"`` keeps the reference structures only.
+    Snapshot paths (see :func:`save_snapshot`) are sniffed and served
+    zero-copy under ``engine="mmap"`` / ``"sharded"``.
     """
     factory = resolve_engine(DIRECTED, engine)
+    if is_snapshot_path(path):
+        return _load_directed_snapshot_index(path, engine)
     with open(path, "rb") as fh:
         index = _read_directed_index(fh, path)
     if factory is not None:
@@ -389,6 +426,143 @@ def _read_directed_index(fh: BinaryIO, path: PathLike) -> DirectedISLabelIndex:
         out_preds=out_preds,
         in_preds=in_preds,
     )
+
+
+# ----------------------------------------------------------------------
+# Serving snapshots: zero-copy engine arrays + facade coverage metadata
+# ----------------------------------------------------------------------
+def save_snapshot(
+    index: Union[ISLabelIndex, DirectedISLabelIndex],
+    path: PathLike,
+    shards: int = 1,
+) -> int:
+    """Write ``index`` as a zero-copy serving snapshot; returns bytes.
+
+    The snapshot holds the *frozen engine state* — packed label arrays
+    with their pre-extracted seeds, the ``G_k`` CSR arrays and the
+    optional all-pairs table — plus the coverage metadata the facade needs
+    (vertex levels, ``k``, ``sigma``, the size trace).  ``shards=1``
+    writes one file; ``shards > 1`` writes a directory of vertex-id-range
+    label shards around a small shared file, the layout the ``"sharded"``
+    engine serves.  Load with :func:`load_index` /
+    :func:`load_directed_index` and ``engine="mmap"`` or ``"sharded"``.
+
+    Works for any attached engine: a :class:`PackedEngineBase` engine is
+    snapshotted directly (frozen first if needed); a dict-engine index is
+    packed through a transient fast engine.  Path-reconstruction state
+    (``with_paths``) and dynamic counters are *not* captured — snapshots
+    are static serving artifacts; use the stream format for those.
+    """
+    directed = isinstance(index, DirectedISLabelIndex)
+    engine = index._fast
+    if not isinstance(engine, PackedEngineBase):
+        if directed:
+            engine = DirectedFastEngine(
+                index.gk, index._out_labels, index._in_labels
+            )
+        else:
+            engine = FastEngine(index.gk, index._labels)
+    hierarchy = index.hierarchy
+    cov_keys = np.array(sorted(hierarchy.level_of), dtype=np.int64)
+    cov_levels = np.array(
+        [hierarchy.level_of[int(v)] for v in cov_keys], dtype=np.int64
+    )
+    meta = {
+        "k": hierarchy.k,
+        "sigma": hierarchy.sigma,
+        "sizes": list(hierarchy.sizes),
+    }
+    return write_snapshot(
+        os.fspath(path),
+        engine,
+        extra_sections={"cov_keys": cov_keys, "cov_levels": cov_levels},
+        meta=meta,
+        shards=shards,
+    )
+
+
+def _snapshot_coverage(snap: Snapshot, path: PathLike) -> Dict[int, int]:
+    coverage = snap.coverage()
+    if coverage is None:
+        raise StorageError(
+            f"{path}: snapshot has no coverage sections (engine-internal "
+            "spill?); re-create it with save_snapshot"
+        )
+    keys, levels = coverage
+    return dict(zip(keys.tolist(), levels.tolist()))
+
+
+def _attach_snapshot_engine(index, kind: str, engine: str, path, gk) -> None:
+    """Attach the requested backend to a snapshot-loaded facade."""
+    factory = resolve_engine(kind, engine)  # validates the name
+    if engine == "mmap":
+        cls = MmapEngine if kind == UNDIRECTED else DirectedMmapEngine
+        index._fast = cls.from_snapshot(gk, os.fspath(path))
+    elif engine == "sharded":
+        cls = ShardedEngine if kind == UNDIRECTED else DirectedShardedEngine
+        index._fast = cls.from_snapshot(gk, os.fspath(path))
+    elif factory is not None:
+        # Heap engines re-pack from the (lazily materialized) label view.
+        index.attach_fast_engine(engine)
+
+
+def _load_snapshot_index(
+    path: PathLike, cost_model: Optional[CostModel], engine: str
+) -> ISLabelIndex:
+    snap = open_snapshot(path)
+    if snap.kind != KIND_UNDIRECTED:
+        raise StorageError(
+            f"{path}: directed snapshot; use load_directed_index"
+        )
+    gk = snap.gk_graph()
+    level_of = _snapshot_coverage(snap, path)
+    k = int(snap.meta.get("k", 1))
+    hierarchy = VertexHierarchy(
+        levels=[{} for _ in range(max(k - 1, 0))],
+        gk=gk,
+        level_of=level_of,
+        sizes=list(snap.meta.get("sizes") or []),
+        sigma=snap.meta.get("sigma"),
+        hints=None,
+    )
+    labels = SnapshotLabels(snap.label_table("lab"))
+    index = ISLabelIndex(
+        hierarchy=hierarchy,
+        labels=labels,
+        preds=None,
+        store=None,
+        cost_model=cost_model or CostModel(),
+        labeling_seconds=0.0,
+    )
+    _attach_snapshot_engine(index, UNDIRECTED, engine, path, gk)
+    return index
+
+
+def _load_directed_snapshot_index(
+    path: PathLike, engine: str
+) -> DirectedISLabelIndex:
+    snap = open_snapshot(path)
+    if snap.kind != KIND_DIRECTED:
+        raise StorageError(f"{path}: undirected snapshot; use load_index")
+    gk = snap.gk_graph()
+    level_of = _snapshot_coverage(snap, path)
+    k = int(snap.meta.get("k", 1))
+    hierarchy = DirectedHierarchy(
+        levels=[{} for _ in range(max(k - 1, 0))],
+        gk=gk,
+        level_of=level_of,
+        sizes=list(snap.meta.get("sizes") or []),
+        sigma=snap.meta.get("sigma"),
+        hints=None,
+    )
+    index = DirectedISLabelIndex(
+        hierarchy=hierarchy,
+        out_labels=SnapshotLabels(snap.label_table("out")),
+        in_labels=SnapshotLabels(snap.label_table("in")),
+        labeling_seconds=0.0,
+    )
+    _attach_snapshot_engine(index, DIRECTED, engine, path, gk)
+    return index
 
 
 # ----------------------------------------------------------------------

@@ -79,6 +79,29 @@ class CSRGraph:
         np.cumsum(counts, out=indptr[1:])
         self.indptr = indptr
 
+    @classmethod
+    def from_arrays(
+        cls,
+        ids: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+    ) -> "CSRGraph":
+        """Adopt prebuilt CSR arrays (heap or ``np.memmap`` views).
+
+        ``ids`` must be the sorted original vertex ids; the CSR triple must
+        follow the same conventions ``__init__`` produces.  No copies are
+        made — this is the zero-copy snapshot loading path.
+        """
+        view = cls.__new__(cls)
+        view.ids_array = ids
+        view.id_of = ids.tolist()
+        view.dense_of = {v: i for i, v in enumerate(view.id_of)}
+        view.indptr = indptr
+        view.indices = indices
+        view.weights = weights
+        return view
+
     @property
     def num_vertices(self) -> int:
         return len(self.id_of)
@@ -184,6 +207,30 @@ class CSRDiGraph:
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         return indptr
+
+    @classmethod
+    def from_arrays(
+        cls,
+        ids: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        rindptr: np.ndarray,
+        rindices: np.ndarray,
+        rweights: np.ndarray,
+    ) -> "CSRDiGraph":
+        """Adopt prebuilt forward + transposed CSR arrays (zero-copy)."""
+        view = cls.__new__(cls)
+        view.ids_array = ids
+        view.id_of = ids.tolist()
+        view.dense_of = {v: i for i, v in enumerate(view.id_of)}
+        view.indptr = indptr
+        view.indices = indices
+        view.weights = weights
+        view.rindptr = rindptr
+        view.rindices = rindices
+        view.rweights = rweights
+        return view
 
     @property
     def num_vertices(self) -> int:

@@ -21,8 +21,8 @@ from repro.graph.graph import Graph
 
 class TestRegistry:
     def test_builtin_engines_registered(self):
-        assert available_engines(UNDIRECTED) == ("dict", "fast")
-        assert available_engines(DIRECTED) == ("dict", "fast")
+        assert available_engines(UNDIRECTED) == ("dict", "fast", "mmap", "sharded")
+        assert available_engines(DIRECTED) == ("dict", "fast", "mmap", "sharded")
 
     def test_dict_resolves_to_reference_path(self):
         assert resolve_engine(UNDIRECTED, "dict") is None

@@ -1,0 +1,293 @@
+"""The zero-copy snapshot format and the mmap/sharded serving engines."""
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.index import ISLabelIndex
+from repro.core.directed import DirectedISLabelIndex
+from repro.core.serialization import (
+    load_directed_index,
+    load_index,
+    save_index,
+    save_snapshot,
+)
+from repro.core.snapshot import (
+    KIND_DIRECTED,
+    KIND_UNDIRECTED,
+    MANIFEST_NAME,
+    MmapEngine,
+    ShardedEngine,
+    SnapshotFile,
+    is_snapshot_path,
+    open_snapshot,
+)
+from repro.errors import StorageError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import ensure_connected, erdos_renyi
+from repro.graph.graph import Graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ensure_connected(erdos_renyi(70, 180, seed=31, max_weight=5), seed=31)
+
+
+@pytest.fixture(scope="module")
+def digraph():
+    import random
+
+    rng = random.Random(13)
+    dg = DiGraph()
+    for v in range(50):
+        dg.add_vertex(v)
+    for _ in range(200):
+        u, v = rng.sample(range(50), 2)
+        dg.merge_edge(u, v, rng.randint(1, 5))
+    return dg
+
+
+@pytest.fixture()
+def snapshot(graph, tmp_path):
+    index = ISLabelIndex.build(graph)
+    path = tmp_path / "g.snap"
+    save_snapshot(index, path)
+    return index, str(path)
+
+
+class TestFormat:
+    def test_sniffing(self, graph, snapshot, tmp_path):
+        index, snap_path = snapshot
+        stream = tmp_path / "g.islx"
+        save_index(index, stream)
+        assert is_snapshot_path(snap_path)
+        assert not is_snapshot_path(stream)
+        assert not is_snapshot_path(tmp_path / "missing")
+
+    def test_sections_are_aligned(self, snapshot):
+        _, path = snapshot
+        snap = SnapshotFile(path)
+        for name, entry in snap._toc.items():
+            assert entry["offset"] % 64 == 0, name
+
+    def test_kind_and_meta(self, snapshot):
+        index, path = snapshot
+        snap = open_snapshot(path)
+        assert snap.kind == KIND_UNDIRECTED
+        assert snap.meta["k"] == index.hierarchy.k
+        assert snap.meta["sizes"] == list(index.hierarchy.sizes)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.snap"
+        bogus.write_bytes(b"NOPE" + b"\0" * 64)
+        with pytest.raises(StorageError, match="magic"):
+            SnapshotFile(str(bogus))
+
+    def test_missing_section_rejected(self, snapshot):
+        _, path = snapshot
+        with pytest.raises(StorageError, match="no snapshot section"):
+            SnapshotFile(path).array("nonexistent")
+
+    def test_crash_truncated_snapshot_rejected(self, snapshot, tmp_path):
+        """A writer that died before the header patch must parse cleanly
+        as StorageError, not crash in the JSON decoder."""
+        _, path = snapshot
+        import struct
+
+        from repro.core.snapshot import _HEADER, KIND_UNDIRECTED, SNAPSHOT_MAGIC, SNAPSHOT_VERSION
+
+        data = bytearray(open(path, "rb").read())
+        data[: _HEADER.size] = _HEADER.pack(
+            SNAPSHOT_MAGIC, SNAPSHOT_VERSION, KIND_UNDIRECTED, 0, 0, 0
+        )
+        truncated = tmp_path / "truncated.snap"
+        truncated.write_bytes(bytes(data))
+        with pytest.raises(StorageError, match="truncated"):
+            SnapshotFile(str(truncated))
+
+    def test_sharded_write_refuses_foreign_directory(self, graph, tmp_path):
+        index = ISLabelIndex.build(graph)
+        target = tmp_path / "precious"
+        target.mkdir()
+        (target / "data.txt").write_text("do not delete")
+        with pytest.raises(StorageError, match="refusing to overwrite"):
+            save_snapshot(index, target, shards=3)
+        assert (target / "data.txt").read_text() == "do not delete"
+        # An existing *snapshot* directory is replaced in place.
+        ok = tmp_path / "replaceable"
+        save_snapshot(index, ok, shards=3)
+        save_snapshot(index, ok, shards=2)
+        assert is_snapshot_path(ok)
+
+    def test_layout_swap_overwrites_cleanly(self, graph, tmp_path):
+        """Single-file over sharded (and vice versa) replaces the snapshot;
+        foreign files are refused instead of clobbered."""
+        index = ISLabelIndex.build(graph)
+        target = tmp_path / "swap"
+        save_snapshot(index, target, shards=3)
+        assert target.is_dir()
+        save_snapshot(index, target)  # sharded -> single file
+        assert target.is_file() and is_snapshot_path(target)
+        save_snapshot(index, target, shards=3)  # single file -> sharded
+        assert target.is_dir() and is_snapshot_path(target)
+        precious = tmp_path / "notes.txt"
+        precious.write_text("keep me")
+        with pytest.raises(StorageError, match="refusing to overwrite"):
+            save_snapshot(index, precious, shards=3)
+        assert precious.read_text() == "keep me"
+
+    def test_sharded_layout(self, graph, tmp_path):
+        index = ISLabelIndex.build(graph)
+        shard_dir = tmp_path / "g.shards"
+        save_snapshot(index, shard_dir, shards=4)
+        assert is_snapshot_path(shard_dir)
+        manifest = json.loads((shard_dir / MANIFEST_NAME).read_text())
+        assert manifest["kind"] == KIND_UNDIRECTED
+        assert len(manifest["shards"]) >= 2
+        starts = [entry["start"] for entry in manifest["shards"]]
+        assert starts == sorted(starts)
+        # Every label key lands in exactly one shard file: the shard key
+        # counts sum to the single-file snapshot's key count.
+        single = tmp_path / "g.single.snap"
+        save_snapshot(index, single)
+        expected_keys = len(SnapshotFile(str(single)).array("lab_keys"))
+        total = 0
+        for entry in manifest["shards"]:
+            snap = SnapshotFile(str(shard_dir / entry["file"]))
+            total += len(snap.array("lab_keys"))
+        assert total == expected_keys
+
+
+class TestRoundtrip:
+    def test_every_engine_serves_the_snapshot(self, graph, snapshot):
+        index, path = snapshot
+        vertices = sorted(graph.vertices())[:15]
+        pairs = [(s, t) for s in vertices for t in vertices]
+        expected = index.distances(pairs)
+        for engine in ("mmap", "sharded", "fast", "dict"):
+            loaded = load_index(path, engine=engine)
+            assert loaded.distances(pairs) == expected, engine
+            assert loaded.distance(*pairs[5]) == expected[5], engine
+
+    def test_facade_state_survives(self, graph, snapshot):
+        index, path = snapshot
+        loaded = load_index(path, engine="mmap")
+        assert loaded.engine == "mmap"
+        assert loaded.k == index.k
+        assert loaded.stats.label_entries == index.stats.label_entries
+        v = sorted(graph.vertices())[3]
+        assert loaded.label(v) == index.label(v)
+        with pytest.raises(Exception):
+            loaded.distance(10**9, 0)  # uncovered vertex still rejected
+
+    def test_directed_kind_guard(self, digraph, graph, tmp_path):
+        dindex = DirectedISLabelIndex.build(digraph)
+        dpath = tmp_path / "d.snap"
+        save_snapshot(dindex, dpath)
+        with pytest.raises(StorageError, match="directed"):
+            load_index(dpath)
+        uindex = ISLabelIndex.build(graph)
+        upath = tmp_path / "u.snap"
+        save_snapshot(uindex, upath)
+        with pytest.raises(StorageError, match="undirected"):
+            load_directed_index(upath)
+
+    def test_dict_built_index_snapshots(self, graph, tmp_path):
+        index = ISLabelIndex.build(graph, engine="dict")
+        path = tmp_path / "dict.snap"
+        save_snapshot(index, path)
+        loaded = load_index(path, engine="mmap")
+        vertices = sorted(graph.vertices())[:10]
+        for s in vertices:
+            for t in vertices:
+                assert loaded.distance(s, t) == index.distance(s, t)
+
+    def test_disconnected_pairs(self, tmp_path):
+        g = Graph([(1, 2), (2, 3)])
+        g.add_vertex(99)  # isolated
+        index = ISLabelIndex.build(g)
+        path = tmp_path / "disc.snap"
+        save_snapshot(index, path)
+        for engine in ("mmap", "sharded"):
+            loaded = load_index(path, engine=engine)
+            assert math.isinf(loaded.distance(1, 99))
+            assert loaded.distances([(1, 99), (1, 3)]) == [math.inf, 2]
+
+
+class TestServingEngines:
+    def test_apsp_copy_on_write(self, graph, snapshot, tmp_path):
+        """Row fills after loading must not modify the snapshot file."""
+        _, path = snapshot
+        before = open(path, "rb").read()
+        loaded = load_index(path, engine="mmap")
+        vertices = sorted(graph.vertices())
+        loaded.distances([(s, t) for s in vertices[:10] for t in vertices[:10]])
+        engine = loaded._fast
+        if engine._apsp is not None:
+            assert engine._apsp_done.any() or engine._apsp_done is not None
+        assert open(path, "rb").read() == before
+
+    def test_shards_open_lazily(self, graph, tmp_path):
+        index = ISLabelIndex.build(graph)
+        shard_dir = tmp_path / "lazy.shards"
+        save_snapshot(index, shard_dir, shards=4)
+        loaded = load_index(shard_dir, engine="sharded")
+        engine = loaded._fast
+        engine.freeze()
+        table = engine.table
+        assert not any(s.opened for s in table.shards)
+        smallest = sorted(graph.vertices())[0]
+        loaded.distance(smallest, smallest + 1)
+        assert any(s.opened for s in table.shards)
+        assert not all(s.opened for s in table.shards)
+
+    def test_build_path_spills_and_cleans_up(self, graph):
+        index = ISLabelIndex.build(graph, engine="mmap")
+        engine = index._fast
+        assert isinstance(engine, MmapEngine)
+        vertices = sorted(graph.vertices())
+        d = index.distance(vertices[0], vertices[-1])
+        assert d == ISLabelIndex.build(graph).distance(vertices[0], vertices[-1])
+        spill = engine._snapshot_path
+        assert spill is not None and os.path.exists(spill)
+        engine.invalidate()  # full drop discards the temporary snapshot
+        assert engine._snapshot_path is None
+        assert not os.path.exists(spill)
+        # The engine re-freezes (and re-spills) transparently.
+        assert index.distance(vertices[0], vertices[-1]) == d
+
+    def test_sharded_build_path(self, graph):
+        index = ISLabelIndex.build(graph, engine="sharded")
+        assert isinstance(index._fast, ShardedEngine)
+        ref = ISLabelIndex.build(graph, engine="dict")
+        vertices = sorted(graph.vertices())[:12]
+        pairs = [(s, t) for s in vertices for t in vertices]
+        assert index.distances(pairs) == ref.distances(pairs)
+
+    def test_mmap_labels_are_memmap_views(self, graph, snapshot):
+        _, path = snapshot
+        loaded = load_index(path, engine="mmap")
+        engine = loaded._fast
+        engine.freeze()
+        flat = engine.table.flat
+        assert isinstance(flat.anc, np.memmap)
+        v = sorted(graph.vertices())[1]
+        label = engine.label(v)
+        assert label[0].base is not None  # a view, not a copy
+
+    def test_directed_snapshot_engines(self, digraph, tmp_path):
+        index = DirectedISLabelIndex.build(digraph)
+        path = tmp_path / "d.snap"
+        shard_dir = tmp_path / "d.shards"
+        save_snapshot(index, path)
+        save_snapshot(index, shard_dir, shards=3)
+        vertices = sorted(digraph.vertices())[:12]
+        pairs = [(s, t) for s in vertices for t in vertices]
+        expected = index.distances(pairs)
+        for source in (path, shard_dir):
+            for engine in ("mmap", "sharded"):
+                loaded = load_directed_index(source, engine=engine)
+                assert loaded.distances(pairs) == expected, (source, engine)

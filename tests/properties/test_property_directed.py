@@ -180,3 +180,36 @@ def test_directed_paths_valid_and_tight(dg):
                     sum(dg.weight(a, b) for a, b in zip(path, path[1:]))
                     == expected
                 )
+
+
+@settings(max_examples=15, deadline=None)
+@given(digraphs())
+def test_directed_snapshot_engines_agree(dg):
+    """Directed ``mmap``/``sharded`` equal the dict oracle.
+
+    Built directly (temporary-snapshot spill) and through explicit
+    snapshot→load→query roundtrips of both layouts; digraphs may be
+    unreachable in either direction, exercising ``inf`` answers.
+    """
+    from repro.core.serialization import save_snapshot
+
+    ref = DirectedISLabelIndex.build(dg, engine="dict")
+    pairs = _all_pairs(dg)
+    expected = ref.distances(pairs)
+    for name in ("mmap", "sharded"):
+        built = DirectedISLabelIndex.build(dg, engine=name)
+        assert built.engine == name
+        assert built.distances(pairs) == expected, name
+    fast = DirectedISLabelIndex.build(dg)
+    mid = len(pairs) // 2
+    with tempfile.TemporaryDirectory() as tmp:
+        single = os.path.join(tmp, "dg.snap")
+        sharded = os.path.join(tmp, "dg.shards")
+        save_snapshot(fast, single)
+        save_snapshot(fast, sharded, shards=3)
+        for path in (single, sharded):
+            for name in ("mmap", "sharded"):
+                loaded = load_directed_index(path, engine=name)
+                assert loaded.engine == name
+                assert loaded.distances(pairs) == expected, (path, name)
+                assert loaded.distance(*pairs[mid]) == expected[mid]

@@ -9,12 +9,15 @@ modes, plus the batch path.
 """
 
 import math
+import os
+import tempfile
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.dijkstra import dijkstra
 from repro.core.index import ISLabelIndex
+from repro.core.serialization import load_index, save_snapshot
 from tests.properties.strategies import connected_graphs, graphs
 
 
@@ -81,6 +84,38 @@ def test_csr_search_path_engines_agree(g):
             expected = truth.get(t, math.inf)
             assert fast.query(s, t).distance == expected, (s, t)
             assert ref.query(s, t).distance == expected, (s, t)
+
+
+@settings(max_examples=15, deadline=None)
+@given(graphs())
+def test_snapshot_engines_agree(g):
+    """``mmap``/``sharded`` equal the dict oracle on arbitrary graphs.
+
+    Covers both lifecycles: built directly (the engines spill and re-adopt
+    a temporary snapshot) and an explicit snapshot→load→query roundtrip of
+    single-file and sharded layouts.  ``graphs()`` may be disconnected, so
+    ``inf`` answers are exercised throughout.
+    """
+    ref = ISLabelIndex.build(g, engine="dict")
+    pairs = _all_pairs(g)
+    expected = ref.distances(pairs)
+    for name in ("mmap", "sharded"):
+        built = ISLabelIndex.build(g, engine=name)
+        assert built.engine == name
+        assert built.distances(pairs) == expected, name
+    fast = ISLabelIndex.build(g, engine="fast")
+    mid = len(pairs) // 2
+    with tempfile.TemporaryDirectory() as tmp:
+        single = os.path.join(tmp, "g.snap")
+        sharded = os.path.join(tmp, "g.shards")
+        save_snapshot(fast, single)
+        save_snapshot(fast, sharded, shards=3)
+        for path in (single, sharded):
+            for name in ("mmap", "sharded"):
+                loaded = load_index(path, engine=name)
+                assert loaded.engine == name
+                assert loaded.distances(pairs) == expected, (path, name)
+                assert loaded.distance(*pairs[mid]) == expected[mid]
 
 
 @settings(max_examples=30, deadline=None)
