@@ -28,6 +28,8 @@ from repro.core import (
     VertexHierarchy,
     available_engines,
     build_hierarchy,
+    engine_capabilities,
+    engines_with_capability,
     load_directed_index,
     load_dynamic_directed_index,
     load_dynamic_index,
@@ -70,6 +72,8 @@ __all__ = [
     "QueryEngine",
     "register_engine",
     "available_engines",
+    "engine_capabilities",
+    "engines_with_capability",
     "save_index",
     "load_index",
     "save_directed_index",

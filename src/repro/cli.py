@@ -8,7 +8,10 @@ stats           Show construction statistics of a saved index.
 build-directed  Build a directed (§8.2) index from a directed edge list.
 query-directed  Answer directed distance/path queries against a saved index.
 snapshot        Convert a saved index into a zero-copy serving snapshot.
-serve-bench     Load an index/snapshot and measure serving throughput + RSS.
+serve           Serve an index/snapshot over the shard wire protocol.
+serve-bench     Load an index/snapshot and measure serving throughput + RSS
+                (``--remote host:port,...`` benches a shard-worker fleet
+                through the scheduled remote engine instead).
 dataset         Generate one of the paper's dataset stand-ins as an edge list.
 example         Print the paper's Figure 1-3 walkthrough.
 
@@ -26,6 +29,8 @@ python -m repro stats google.islx
 python -m repro query google.islx 3 847 --path
 python -m repro snapshot google.islx -o google.snap --shards 4
 python -m repro serve-bench google.snap --engine sharded --workers 4
+python -m repro serve google.shards --port 7071 --owned 0,1
+python -m repro serve-bench google.shards --remote 127.0.0.1:7071
 python -m repro build-directed roads.txt -o roads.isld
 python -m repro query-directed roads.isld 3 847
 """
@@ -53,7 +58,6 @@ from repro.core.serialization import (
     save_index,
     save_snapshot,
 )
-from repro.core.snapshot import KIND_DIRECTED, is_snapshot_path, open_snapshot
 from repro.errors import ReproError
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.stats import graph_stats, human_bytes
@@ -150,6 +154,29 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of one file",
     )
 
+    p_server = commands.add_parser(
+        "serve",
+        help="serve an index or snapshot over the shard wire protocol "
+        "(one worker of a remote fleet)",
+    )
+    p_server.add_argument("index", help="stream index or snapshot (file/dir)")
+    p_server.add_argument(
+        "--engine",
+        choices=available_engines(UNDIRECTED),
+        default="sharded",
+        help="serving backend (default: sharded)",
+    )
+    p_server.add_argument("--host", default="127.0.0.1")
+    p_server.add_argument(
+        "--port", type=int, default=0, help="0 = let the OS pick a free port"
+    )
+    p_server.add_argument(
+        "--owned",
+        default=None,
+        help="comma-separated shard indices this worker owns "
+        "(default: all shards)",
+    )
+
     p_serve = commands.add_parser(
         "serve-bench",
         help="load an index or snapshot and measure cold-load time, "
@@ -175,6 +202,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--json", action="store_true", help="emit one JSON object (worker mode)"
+    )
+    p_serve.add_argument(
+        "--remote",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="bench a running shard-worker fleet through the remote "
+        "engine (queries are scheduled per shard pair and sent over "
+        "the wire; --engine is ignored for the compute).  The artifact "
+        "is still opened locally for its coverage metadata — point this "
+        "at the snapshot (lazy, O(1)) rather than a stream file, whose "
+        "parse then dominates the reported load_seconds/RSS",
     )
 
     p_stats = commands.add_parser("stats", help="show index statistics")
@@ -285,10 +323,9 @@ def _cmd_query_directed(args: argparse.Namespace) -> int:
 
 def _is_directed_artifact(path: str) -> bool:
     """Sniff whether ``path`` holds a directed index or snapshot."""
-    if is_snapshot_path(path):
-        return open_snapshot(path).kind == KIND_DIRECTED
-    with open(path, "rb") as fh:
-        return fh.read(4) == b"ISLD"
+    from repro.core.serialization import is_directed_artifact
+
+    return is_directed_artifact(path)
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
@@ -306,13 +343,35 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_bench_once(path: str, engine: str, queries: int, seed: int) -> dict:
-    """Load + query one index in this process; returns the measurements."""
+def _serve_bench_once(
+    path: str,
+    engine: str,
+    queries: int,
+    seed: int,
+    remote: Optional[str] = None,
+) -> dict:
+    """Load + query one index in this process; returns the measurements.
+
+    With ``remote`` set, the artifact is only loaded for its coverage
+    metadata (query-pair generation and vertex checks); the compute is
+    the registered ``"remote"`` engine, scheduling shard-pair buckets
+    over the given worker fleet.
+    """
     from repro.bench.harness import process_rss_kib
 
     directed = _is_directed_artifact(path)
     started = time.perf_counter()
-    if directed:
+    if remote is not None:
+        from repro.core.engines import resolve_engine
+
+        if directed:
+            index = load_directed_index(path, engine="dict")
+            factory = resolve_engine(DIRECTED, "remote")
+        else:
+            index = load_index(path, engine="dict")
+            factory = resolve_engine(UNDIRECTED, "remote")
+        index._fast = factory(addresses=remote)
+    elif directed:
         index = load_directed_index(path, engine=engine)
     else:
         index = load_index(path, engine=engine)
@@ -339,8 +398,37 @@ def _serve_bench_once(path: str, engine: str, queries: int, seed: int) -> dict:
     }
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.server import ShardServer, load_serving_index
+
+    index = load_serving_index(args.index, engine=args.engine)
+    owned = None
+    if args.owned:
+        owned = [int(x) for x in args.owned.split(",") if x.strip()]
+    server = ShardServer(index, host=args.host, port=args.port, owned=owned)
+    server.bind()
+    host, port = server.address
+    # One parseable line so fleet supervisors (and the benchmark harness)
+    # can learn the OS-assigned port before the accept loop blocks.
+    print(
+        f"SERVING {host}:{port} kind={server.kind} "
+        f"shards={max(len(server.shard_starts), 1)} "
+        f"owned={','.join(map(str, server.owned))}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    row = _serve_bench_once(args.index, args.engine, args.queries, args.seed)
+    row = _serve_bench_once(
+        args.index, args.engine, args.queries, args.seed, remote=args.remote
+    )
     if args.json:
         print(json.dumps(row))
         return 0
@@ -368,7 +456,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                     "--seed",
                     str(args.seed + i + 1),
                     "--json",
-                ],
+                ]
+                + (["--remote", args.remote] if args.remote else []),
                 stdout=subprocess.PIPE,
                 env=env,
                 text=True,
@@ -453,6 +542,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "build-directed": _cmd_build_directed,
         "query-directed": _cmd_query_directed,
         "snapshot": _cmd_snapshot,
+        "serve": _cmd_serve,
         "serve-bench": _cmd_serve_bench,
         "stats": _cmd_stats,
         "dataset": _cmd_dataset,

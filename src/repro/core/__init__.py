@@ -8,6 +8,8 @@ from repro.core.engines import (
     UNDIRECTED,
     QueryEngine,
     available_engines,
+    engine_capabilities,
+    engines_with_capability,
     register_engine,
     resolve_engine,
 )
@@ -109,6 +111,8 @@ __all__ = [
     "register_engine",
     "resolve_engine",
     "available_engines",
+    "engine_capabilities",
+    "engines_with_capability",
     "UNDIRECTED",
     "DIRECTED",
     "FastEngine",

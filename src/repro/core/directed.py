@@ -187,9 +187,12 @@ class DirectedISLabelIndex:
     @property
     def search_mode(self) -> str:
         """How the Type-2 search stage runs: ``"apsp"`` (one-way distance
-        table), ``"csr"`` (flat-array bi-Dijkstra) or ``"dict"``."""
+        table), ``"csr"`` (flat-array bi-Dijkstra), ``"dict"`` — or the
+        backend's own name for protocol-only engines (``"remote"``)."""
         if self._fast is None:
             return "dict"
+        if not hasattr(self._fast, "has_apsp"):
+            return self._fast.name
         return "apsp" if self._fast.has_apsp else "csr"
 
     def attach_fast_engine(self, engine: str = "fast") -> "DirectedISLabelIndex":

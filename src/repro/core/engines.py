@@ -41,14 +41,38 @@ __all__ = [
     "EngineFactory",
     "UNDIRECTED",
     "DIRECTED",
+    "CAP_LOCAL",
+    "CAP_SNAPSHOT",
+    "CAP_SHARDED",
+    "CAP_REMOTE",
     "register_engine",
     "resolve_engine",
     "available_engines",
+    "engine_capabilities",
+    "engines_with_capability",
 ]
 
 #: Registry kinds — one namespace per graph orientation.
 UNDIRECTED = "undirected"
 DIRECTED = "directed"
+
+# ----------------------------------------------------------------------
+# Capability flags
+# ----------------------------------------------------------------------
+#: The engine computes answers in-process over structures it holds itself
+#: (as opposed to delegating to another process over a transport).
+CAP_LOCAL = "local"
+#: The engine can adopt a zero-copy serving snapshot
+#: (:mod:`repro.core.snapshot`) instead of heap-packing entry lists.
+CAP_SNAPSHOT = "snapshot"
+#: The engine routes label lookups across vertex-id-range shards, so the
+#: shard-aware scheduler (:mod:`repro.serving.scheduler`) has locality to
+#: exploit when it buckets queries per shard pair.
+CAP_SHARDED = "sharded"
+#: The engine answers queries over the network — it needs worker
+#: addresses, not labels, and serving topology (not the facade) decides
+#: where the index actually lives.
+CAP_REMOTE = "remote"
 
 
 @runtime_checkable
@@ -94,15 +118,28 @@ class QueryEngine(Protocol):
 EngineFactory = Optional[Callable[..., QueryEngine]]
 
 _REGISTRY: Dict[str, Dict[str, EngineFactory]] = {UNDIRECTED: {}, DIRECTED: {}}
+_CAPABILITIES: Dict[str, Dict[str, frozenset]] = {UNDIRECTED: {}, DIRECTED: {}}
 
 
-def register_engine(kind: str, name: str, factory: EngineFactory) -> None:
-    """Register (or replace) the engine ``name`` under ``kind``."""
+def register_engine(
+    kind: str,
+    name: str,
+    factory: EngineFactory,
+    capabilities: Iterable[str] = (CAP_LOCAL,),
+) -> None:
+    """Register (or replace) the engine ``name`` under ``kind``.
+
+    ``capabilities`` describes what the backend can do (the ``CAP_*``
+    flags) so tooling — CLI help, the serving layer, benchmarks — can
+    select engines by trait instead of hard-coding names.  Most engines
+    are plain in-process backends, hence the :data:`CAP_LOCAL` default.
+    """
     if kind not in _REGISTRY:
         raise IndexBuildError(
             f"unknown engine kind {kind!r} (expected {UNDIRECTED!r} or {DIRECTED!r})"
         )
     _REGISTRY[kind][name] = factory
+    _CAPABILITIES[kind][name] = frozenset(capabilities)
 
 
 def resolve_engine(kind: str, name: str) -> EngineFactory:
@@ -132,9 +169,33 @@ def available_engines(kind: str) -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY[kind]))
 
 
+def engine_capabilities(kind: str, name: str) -> frozenset:
+    """Capability flags declared for engine ``name`` under ``kind``."""
+    if kind not in _REGISTRY:
+        raise IndexBuildError(
+            f"unknown engine kind {kind!r} (expected {UNDIRECTED!r} or {DIRECTED!r})"
+        )
+    table = _CAPABILITIES[kind]
+    if name not in table:
+        raise IndexBuildError(
+            f"unknown {kind} engine {name!r} "
+            f"(available: {', '.join(sorted(table))})"
+        )
+    return table[name]
+
+
+def engines_with_capability(kind: str, capability: str) -> Tuple[str, ...]:
+    """Sorted engine names under ``kind`` declaring ``capability``."""
+    return tuple(
+        name
+        for name in available_engines(kind)
+        if capability in _CAPABILITIES[kind][name]
+    )
+
+
 # The dict reference implementation is built into the index facades; its
 # registry entry exists so name validation and CLI choices have one source
 # of truth.  Fast engines self-register on import (see fastlabels.py /
 # fastdirected.py).
-register_engine(UNDIRECTED, "dict", None)
-register_engine(DIRECTED, "dict", None)
+register_engine(UNDIRECTED, "dict", None, {CAP_LOCAL})
+register_engine(DIRECTED, "dict", None, {CAP_LOCAL})

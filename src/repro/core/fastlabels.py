@@ -94,27 +94,46 @@ _EMPTY = np.empty(0, dtype=np.int64)
 #: ceiling PR 1 hard-coded as ``APSP_MAX_GK = 2048`` (2048² x 8 bytes).
 DEFAULT_APSP_BUDGET_BYTES = 32 * 1024 * 1024
 
-#: Environment override for the table budget, in megabytes (fractional
-#: values allowed).  A non-positive or unparsable value disables the table.
+#: Environment override for the table budget, in megabytes.  Accepted
+#: values: a finite, non-negative number (fractional allowed, e.g.
+#: ``"0.5"`` for half a megabyte); ``0`` disables the table.  Anything
+#: else — non-numeric text, a negative number, ``nan``/``inf`` — raises
+#: :class:`ValueError` naming the variable instead of silently disabling
+#: the table or propagating a bare parse error.
 APSP_BUDGET_ENV = "REPRO_APSP_BUDGET_MB"
+
+
+def _budget_from_env(raw: str) -> int:
+    """Validate one :data:`APSP_BUDGET_ENV` value; returns budget bytes."""
+    try:
+        megabytes = float(raw)
+    except (ValueError, OverflowError):
+        megabytes = math.nan
+    if not math.isfinite(megabytes) or megabytes < 0:
+        raise ValueError(
+            f"{APSP_BUDGET_ENV}={raw!r} is not a valid all-pairs table "
+            "budget: expected a finite, non-negative number of megabytes "
+            "(fractional values allowed; 0 disables the table)"
+        )
+    return int(megabytes * 1024 * 1024)
 
 
 def apsp_ceiling(budget_bytes: Optional[int] = None) -> int:
     """Largest ``|V_Gk|`` whose float64 all-pairs table fits ``budget_bytes``.
 
-    ``None`` resolves the budget from :data:`APSP_BUDGET_ENV` (megabytes),
-    falling back to :data:`DEFAULT_APSP_BUDGET_BYTES` — at the default
-    32 MB the ceiling is 2048 vertices, matching the PR 1 constant.
+    ``None`` resolves the budget from :data:`APSP_BUDGET_ENV` (megabytes;
+    see its docstring for the accepted range — invalid values raise
+    :class:`ValueError`), falling back to
+    :data:`DEFAULT_APSP_BUDGET_BYTES` — at the default 32 MB the ceiling
+    is 2048 vertices, matching the PR 1 constant.  An explicit
+    non-positive ``budget_bytes`` disables the table (ceiling 0).
     """
     if budget_bytes is None:
         raw = os.environ.get(APSP_BUDGET_ENV)
         if raw is None:
             budget_bytes = DEFAULT_APSP_BUDGET_BYTES
         else:
-            try:
-                budget_bytes = int(float(raw) * 1024 * 1024)
-            except (ValueError, OverflowError):  # unparsable, or "inf"
-                budget_bytes = 0
+            budget_bytes = _budget_from_env(raw)
     if budget_bytes <= 0:
         return 0
     return math.isqrt(budget_bytes // 8)
@@ -229,19 +248,22 @@ def batch_table_stage(
     candidate list — the cross product of each query's seed pairs — so a
     single fancy-indexed gather ``table[A, B]`` plus one
     ``np.minimum.reduceat`` over the query boundaries evaluates the whole
-    batch's Theorem-4 reduction at once; single-seed pairs (the common case
-    on deep hierarchies, where a label reaches ``G_k`` through one gateway)
-    contribute their arrays with no per-query numpy call at all.  Missing
-    table rows are filled on demand via ``fill_row``.
+    batch's Theorem-4 reduction at once.  The cross products themselves
+    are built by segment arithmetic over the *concatenated* seed arrays
+    (one ``arange`` + a handful of ``repeat``/gather passes for the whole
+    batch) instead of per-query ``repeat``/``tile`` calls, whose fixed
+    numpy overhead used to dominate warm batches of small labels.
+    Missing table rows are filled on demand via ``fill_row``.
     """
     q = len(seeds_f)
     out: List[float] = [math.inf] * q
     vec: List[int] = []
-    counts: List[int] = []
-    a_parts: List[np.ndarray] = []
-    b_parts: List[np.ndarray] = []
-    da_parts: List[np.ndarray] = []
-    db_parts: List[np.ndarray] = []
+    ns_list: List[int] = []
+    nt_list: List[int] = []
+    s_parts: List[np.ndarray] = []
+    t_parts: List[np.ndarray] = []
+    ds_parts: List[np.ndarray] = []
+    dt_parts: List[np.ndarray] = []
     for i in range(q):
         ids_s, d_s = seeds_f[i]
         ids_t, d_t = seeds_r[i]
@@ -263,29 +285,41 @@ def batch_table_stage(
             out[i] = int(best) if best != math.inf else best
             continue
         vec.append(i)
-        counts.append(ns * nt)
-        if ns == 1 and nt == 1:
-            a_parts.append(ids_s)
-            b_parts.append(ids_t)
-            da_parts.append(d_s)
-            db_parts.append(d_t)
-        else:
-            # Cross product in row-major order: each source seed against
-            # every target seed.
-            a_parts.append(np.repeat(ids_s, nt))
-            b_parts.append(np.tile(ids_t, ns))
-            da_parts.append(np.repeat(d_s, nt))
-            db_parts.append(np.tile(d_t, ns))
+        ns_list.append(ns)
+        nt_list.append(nt)
+        s_parts.append(ids_s)
+        t_parts.append(ids_t)
+        ds_parts.append(d_s)
+        dt_parts.append(d_t)
     if vec:
-        a_ids = np.concatenate(a_parts)
-        b_ids = np.concatenate(b_parts)
-        d_a = np.concatenate(da_parts)
-        d_b = np.concatenate(db_parts)
-        for a in np.unique(a_ids[~done[a_ids]]).tolist():
-            fill_row(a)
-        vals = table[a_ids, b_ids] + d_a + d_b
+        seed_s = np.concatenate(s_parts)
+        seed_t = np.concatenate(t_parts)
+        dist_s = np.concatenate(ds_parts)
+        dist_t = np.concatenate(dt_parts)
+        ns_arr = np.array(ns_list, dtype=np.int64)
+        nt_arr = np.array(nt_list, dtype=np.int64)
+        counts = ns_arr * nt_arr
         starts = np.zeros(len(vec), dtype=np.int64)
         np.cumsum(counts[:-1], out=starts[1:])
+        # Row-major cross product per query via segment arithmetic:
+        # candidate j of query i has local index l = j - starts[i];
+        # its source seed is l // nt_i (offset into seed_s's segment)
+        # and its target seed l % nt_i (offset into seed_t's segment).
+        local = np.arange(int(counts.sum()), dtype=np.int64) - np.repeat(
+            starts, counts
+        )
+        nt_rep = np.repeat(nt_arr, counts)
+        s_off = np.zeros(len(vec), dtype=np.int64)
+        np.cumsum(ns_arr[:-1], out=s_off[1:])
+        t_off = np.zeros(len(vec), dtype=np.int64)
+        np.cumsum(nt_arr[:-1], out=t_off[1:])
+        a_idx = np.repeat(s_off, counts) + local // nt_rep
+        b_idx = np.repeat(t_off, counts) + local % nt_rep
+        a_ids = seed_s[a_idx]
+        b_ids = seed_t[b_idx]
+        for a in np.unique(a_ids[~done[a_ids]]).tolist():
+            fill_row(a)
+        vals = table[a_ids, b_ids] + dist_s[a_idx] + dist_t[b_idx]
         mins = np.minimum.reduceat(vals, starts)
         best_all = np.minimum(mins, mu0s[vec])
         for j, i in enumerate(vec):
@@ -459,8 +493,16 @@ class LabelTable:
 
     @classmethod
     def from_flat(cls, flat: FlatLabels) -> "LabelTable":
-        """Adopt flat (possibly memmapped) arrays; views materialize lazily."""
-        return cls(flat=flat)
+        """Adopt flat (possibly memmapped) arrays; views materialize lazily.
+
+        ``np.memmap`` inputs are re-wrapped as plain ``ndarray`` views
+        (zero-copy — same mapped buffer, kept alive through ``.base``, and
+        pages still fault lazily): the memmap *subclass* carries heavy
+        ``__array_finalize__``/``__getitem__`` machinery that would
+        otherwise dominate per-label view materialization on the serving
+        hot path.
+        """
+        return cls(flat=FlatLabels(*(np.asarray(arr) for arr in flat)))
 
     # ------------------------------------------------------------------
     # Query accessors

@@ -147,10 +147,14 @@ class ISLabelIndex:
     @property
     def search_mode(self) -> str:
         """How Algorithm 1's search stage runs: ``"apsp"`` (small-``G_k``
-        distance table), ``"csr"`` (flat-array bi-Dijkstra) or ``"dict"``
-        (reference adjacency)."""
+        distance table), ``"csr"`` (flat-array bi-Dijkstra), ``"dict"``
+        (reference adjacency) — or the backend's own name for
+        protocol-only engines (e.g. ``"remote"``), whose search stage
+        runs elsewhere."""
         if self._fast is None:
             return "dict"
+        if not hasattr(self._fast, "has_apsp"):
+            return self._fast.name
         return "apsp" if self._fast.has_apsp else "csr"
 
     def attach_fast_engine(self, engine: str = "fast") -> "ISLabelIndex":
@@ -331,6 +335,19 @@ class ISLabelIndex:
         # Path reconstruction needs parent pointers, which only the
         # reference search records; everything else takes the fast path.
         if self._fast is not None and not keep_parents:
+            if not hasattr(self._fast, "eq1"):
+                # Protocol-only backend (e.g. the remote engine): it has
+                # no packed internals to stage through — delegate the
+                # whole query and time it as search cost.
+                started = time.perf_counter()
+                distance = self._fast.distance(source, target)
+                elapsed = time.perf_counter() - started
+                return (
+                    QueryResult(
+                        source, target, distance, table5_type, True, 0, 0.0, elapsed
+                    ),
+                    None,
+                )
             return self._fast_query(source, target, table5_type)
 
         ios_before = self.io_stats.block_reads

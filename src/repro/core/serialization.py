@@ -57,6 +57,13 @@ from repro.core.snapshot import (
 )
 from repro.core.updates import DynamicDirectedISLabelIndex, DynamicISLabelIndex
 from repro.errors import StorageError
+
+# Imported for its registration side effect: the serving layer registers
+# the "remote" engine for both orientations, so load_index(...,
+# engine="remote") and the CLI --engine choices see it whenever the
+# library is importable.  (repro.serving deliberately avoids importing
+# this module back; repro.serving.server does, but only at call time.)
+import repro.serving  # noqa: F401  (registration side effect)
 from repro.extmem.iomodel import CostModel
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
@@ -64,6 +71,7 @@ from repro.graph.graph import Graph
 __all__ = [
     "save_index",
     "load_index",
+    "is_directed_artifact",
     "save_directed_index",
     "load_directed_index",
     "save_snapshot",
@@ -76,6 +84,19 @@ __all__ = [
 _MAGIC = b"ISLX"
 _VERSION = 1
 
+
+def is_directed_artifact(path) -> bool:
+    """True when ``path`` holds a *directed* stream index or snapshot.
+
+    The one place the directed/undirected sniff lives (stream magic or
+    snapshot kind); the CLI and the serving layer both route through it
+    so a future format change cannot desynchronize them.
+    """
+    if is_snapshot_path(path):
+        return open_snapshot(path).kind == KIND_DIRECTED
+    with open(path, "rb") as fh:
+        return fh.read(len(_DMAGIC)) == _DMAGIC
+
 _HEADER = struct.Struct("<4sHBdq")  # magic, version, flags, sigma, k
 _COUNT = struct.Struct("<q")
 _PAIR = struct.Struct("<qq")
@@ -86,6 +107,28 @@ _NO_SIGMA = -1.0
 _NO_PRED = -(2 ** 62)
 
 PathLike = Union[str, Path]
+
+
+def _read_header_bytes(fh: BinaryIO, path: PathLike, size: int) -> bytes:
+    """Read an exact header block or raise a diagnosable StorageError.
+
+    Truncated and empty files must fail with the path and the observed
+    size — not a raw ``struct.error`` from unpacking a short buffer —
+    so a caller staring at a corrupt artifact knows *which* file is bad
+    and how short it is.
+    """
+    data = fh.read(size)
+    if len(data) == size:
+        return data
+    try:
+        observed = os.path.getsize(os.fspath(path))
+        detail = f"file is {observed} bytes"
+    except OSError:
+        detail = f"read {len(data)} bytes"
+    raise StorageError(
+        f"{path}: truncated or empty index file "
+        f"({detail}, header needs {size})"
+    )
 
 
 def save_index(index: ISLabelIndex, path: PathLike) -> int:
@@ -176,9 +219,7 @@ def _read_index(
     fh: BinaryIO, path: PathLike, cost_model: Optional[CostModel]
 ) -> ISLabelIndex:
     """Deserialize one undirected index (no engine attached) from a stream."""
-    header = fh.read(_HEADER.size)
-    if len(header) != _HEADER.size:
-        raise StorageError(f"{path}: truncated header")
+    header = _read_header_bytes(fh, path, _HEADER.size)
     magic, version, flags, sigma, k = _HEADER.unpack(header)
     if magic != _MAGIC:
         raise StorageError(f"{path}: bad magic {magic!r}")
@@ -345,9 +386,7 @@ def load_directed_index(
 
 def _read_directed_index(fh: BinaryIO, path: PathLike) -> DirectedISLabelIndex:
     """Deserialize one directed index (no engine attached) from a stream."""
-    header = fh.read(_HEADER.size)
-    if len(header) != _HEADER.size:
-        raise StorageError(f"{path}: truncated header")
+    header = _read_header_bytes(fh, path, _HEADER.size)
     magic, version, flags, sigma, k = _HEADER.unpack(header)
     if magic != _DMAGIC:
         raise StorageError(f"{path}: bad magic {magic!r} (not a directed index)")
@@ -669,9 +708,7 @@ def load_dynamic_directed_index(
 
 
 def _read_dynamic_header(fh: BinaryIO, path: PathLike, expected: bytes):
-    header = fh.read(_DYN_HEADER.size)
-    if len(header) != _DYN_HEADER.size:
-        raise StorageError(f"{path}: truncated header")
+    header = _read_header_bytes(fh, path, _DYN_HEADER.size)
     magic, version, inserts, deletes, approx = _DYN_HEADER.unpack(header)
     if magic != expected:
         raise StorageError(f"{path}: bad magic {magic!r} (not a dynamic index)")

@@ -37,6 +37,7 @@ rules.
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import shutil
@@ -47,7 +48,14 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.engines import DIRECTED, UNDIRECTED, register_engine
+from repro.core.engines import (
+    CAP_LOCAL,
+    CAP_SHARDED,
+    CAP_SNAPSHOT,
+    DIRECTED,
+    UNDIRECTED,
+    register_engine,
+)
 from repro.core.fastdirected import DirectedFastEngine
 from repro.core.fastlabels import FastEngine, FlatLabels, LabelTable
 from repro.errors import StorageError
@@ -101,6 +109,32 @@ _FLAT_FIELDS = (
 
 #: Default shard count when a sharded engine spills its own snapshot.
 DEFAULT_SHARDS = 4
+
+# ----------------------------------------------------------------------
+# Temp-spill bookkeeping: every spilled snapshot path is tracked here so
+# interpreter exit (atexit) reaps whatever GC / explicit close() missed —
+# an engine that is never invalidated must not leave repro-snap-* files
+# behind in the system temp directory.
+# ----------------------------------------------------------------------
+_LIVE_SPILLS: set = set()
+
+
+def _remove_spill_path(path: str) -> None:
+    """Best-effort removal of one spilled snapshot file or directory."""
+    if os.path.isdir(path):
+        shutil.rmtree(path, ignore_errors=True)
+    else:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+@atexit.register
+def _reap_spills() -> None:  # pragma: no cover - exercised via subprocess
+    for path in list(_LIVE_SPILLS):
+        _remove_spill_path(path)
+    _LIVE_SPILLS.clear()
 
 
 # ----------------------------------------------------------------------
@@ -159,7 +193,11 @@ class SnapshotFile:
         with open(self.path, "rb") as fh:
             header = fh.read(_HEADER.size)
             if len(header) != _HEADER.size:
-                raise StorageError(f"{path}: truncated snapshot header")
+                raise StorageError(
+                    f"{path}: truncated or empty snapshot "
+                    f"(file is {os.path.getsize(self.path)} bytes, "
+                    f"header needs {_HEADER.size})"
+                )
             magic, version, kind, _flags, toc_offset, toc_len = _HEADER.unpack(
                 header
             )
@@ -176,7 +214,11 @@ class SnapshotFile:
             fh.seek(toc_offset)
             blob = fh.read(toc_len)
             if len(blob) != toc_len:
-                raise StorageError(f"{path}: truncated snapshot TOC")
+                raise StorageError(
+                    f"{path}: truncated snapshot TOC "
+                    f"(file is {os.path.getsize(self.path)} bytes, "
+                    f"TOC claims {toc_len} bytes at offset {toc_offset})"
+                )
         try:
             toc = json.loads(blob.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -429,7 +471,18 @@ class ShardedLabelTable:
         self.shards = list(shards)
         self._starts = [s.start for s in self.shards]
 
+    @property
+    def starts(self) -> List[int]:
+        """Sorted first vertex id of each shard (the scheduler's routing
+        table: vertex ``v`` belongs to the shard whose start is the
+        rightmost one ``<= v``)."""
+        return list(self._starts)
+
     def _route(self, v: int) -> LabelTable:
+        # A bisect over the (tiny) starts list per access: deliberately
+        # not cached per vertex — the per-vertex label caches below this
+        # already grow with the touched set, and doubling that footprint
+        # to skip a bisect would fight the low-RSS serving goal.
         i = bisect_right(self._starts, v) - 1
         return self.shards[max(i, 0)].table
 
@@ -499,6 +552,15 @@ class Snapshot:
                 raise StorageError(
                     f"{path}: not a sharded snapshot ({exc})"
                 ) from None
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise StorageError(
+                    f"{manifest_path}: corrupt shard manifest ({exc})"
+                ) from None
+            if "shared" not in manifest or "shards" not in manifest:
+                raise StorageError(
+                    f"{manifest_path}: shard manifest is missing its "
+                    "'shared'/'shards' entries"
+                )
             self.shared = SnapshotFile(os.path.join(self.path, manifest["shared"]))
             self._shard_entries = [
                 (int(entry["start"]), os.path.join(self.path, entry["file"]))
@@ -513,6 +575,35 @@ class Snapshot:
     @property
     def sharded(self) -> bool:
         return self._shard_entries is not None
+
+    @property
+    def shard_starts(self) -> List[int]:
+        """Sorted first vertex id of each label shard ([] when unsharded).
+
+        The shard mapping half of the manifest: vertex ``v`` lives in the
+        shard whose start is the rightmost one ``<= v`` (ids below every
+        start route to shard 0).  :class:`repro.serving.scheduler.ShardScheduler`
+        consumes this to bucket query pairs by owning shard pair.
+        """
+        if self._shard_entries is None:
+            return []
+        return [start for start, _ in self._shard_entries]
+
+    def ownership(self) -> Dict[int, Dict[str, object]]:
+        """Shard index → ``{"start", "file"}`` ownership map of the manifest.
+
+        What a serving deployment partitions across workers: each worker
+        claims a subset of these shard indices (``repro serve --owned``),
+        and the scheduler routes each query bucket to a worker owning the
+        bucket's source shard.  Empty for single-file snapshots, which
+        have exactly one implicit shard.
+        """
+        if self._shard_entries is None:
+            return {}
+        return {
+            i: {"start": start, "file": os.path.basename(path)}
+            for i, (start, path) in enumerate(self._shard_entries)
+        }
 
     def label_table(self, prefix: str):
         """The ``prefix`` label table (``"lab"`` / ``"out"`` / ``"in"``)."""
@@ -664,14 +755,28 @@ class _SnapshotSpillMixin:
         return self
 
     def _spill(self) -> None:
-        """Heap-freeze the live entry lists and dump a temporary snapshot."""
+        """Heap-freeze the live entry lists and dump a temporary snapshot.
+
+        The temp path is tracked in the module spill registry the moment
+        it exists, and unlinked on *any* failure mid-dump — a
+        ``write_snapshot`` that raises (disk full, a killed freeze) must
+        not leave a half-written ``repro-snap-*`` orphan behind, and an
+        engine that is never explicitly invalidated is still reaped by
+        the atexit hook.
+        """
         super().freeze()
         if self._spill_shards > 1:
             path = tempfile.mkdtemp(prefix="repro-snap-")
         else:
             fd, path = tempfile.mkstemp(prefix="repro-snap-", suffix=".snap")
             os.close(fd)
-        write_snapshot(path, self, shards=self._spill_shards)
+        _LIVE_SPILLS.add(path)
+        try:
+            write_snapshot(path, self, shards=self._spill_shards)
+        except BaseException:
+            _LIVE_SPILLS.discard(path)
+            _remove_spill_path(path)
+            raise
         self._snapshot_path = path
         self._owns_snapshot = True
         self.frozen = False  # _adopt replaces the heap structures
@@ -700,15 +805,21 @@ class _SnapshotSpillMixin:
 
     def _discard_spill(self) -> None:
         if self._owns_snapshot and self._snapshot_path is not None:
-            if os.path.isdir(self._snapshot_path):
-                shutil.rmtree(self._snapshot_path, ignore_errors=True)
-            else:
-                try:
-                    os.unlink(self._snapshot_path)
-                except OSError:
-                    pass
+            _LIVE_SPILLS.discard(self._snapshot_path)
+            _remove_spill_path(self._snapshot_path)
             self._snapshot_path = None
             self._owns_snapshot = False
+
+    def close(self) -> None:
+        """Release the engine's frozen structures and any temp spill.
+
+        Explicit, deterministic teardown for serving processes: drops
+        the mapped views and deletes a spilled temporary snapshot now
+        instead of waiting for GC or interpreter exit.  The engine stays
+        usable — the next query re-freezes (and re-spills) from the
+        current entry lists or the adopted snapshot path.
+        """
+        self._drop_frozen()
 
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:
@@ -871,7 +982,21 @@ class DirectedShardedEngine(DirectedMmapEngine):
         self._spill_shards = max(2, int(shards))
 
 
-register_engine(UNDIRECTED, MmapEngine.name, MmapEngine)
-register_engine(UNDIRECTED, ShardedEngine.name, ShardedEngine)
-register_engine(DIRECTED, DirectedMmapEngine.name, DirectedMmapEngine)
-register_engine(DIRECTED, DirectedShardedEngine.name, DirectedShardedEngine)
+register_engine(
+    UNDIRECTED, MmapEngine.name, MmapEngine, {CAP_LOCAL, CAP_SNAPSHOT}
+)
+register_engine(
+    UNDIRECTED,
+    ShardedEngine.name,
+    ShardedEngine,
+    {CAP_LOCAL, CAP_SNAPSHOT, CAP_SHARDED},
+)
+register_engine(
+    DIRECTED, DirectedMmapEngine.name, DirectedMmapEngine, {CAP_LOCAL, CAP_SNAPSHOT}
+)
+register_engine(
+    DIRECTED,
+    DirectedShardedEngine.name,
+    DirectedShardedEngine,
+    {CAP_LOCAL, CAP_SNAPSHOT, CAP_SHARDED},
+)

@@ -1,0 +1,50 @@
+"""Shard-aware query scheduling and remote (network) shard serving.
+
+The serving subsystem turns the on-disk sharding of
+:mod:`repro.core.snapshot` into a multi-process architecture:
+
+* :mod:`repro.serving.scheduler` — :class:`ShardScheduler` buckets a
+  query stream by owning shard pair and dispatches each bucket as one
+  batched ``distances()`` call (policy knobs: max bucket size, max
+  latency);
+* :mod:`repro.serving.wire` — the length-prefixed JSON frame protocol;
+* :mod:`repro.serving.server` — :class:`ShardServer`, one fleet worker
+  serving its owned shard slice over the wire (``repro serve``);
+* :mod:`repro.serving.remote` — the ``"remote"`` query engine (both
+  orientations, registered through the ordinary engine registry), which
+  routes scheduled buckets to the workers owning them.
+
+Importing this package registers the remote engine.
+:mod:`repro.serving.server` is intentionally *not* imported here — it
+pulls in the serialization layer, which itself imports this package to
+perform the registration.
+"""
+
+from repro.serving.scheduler import (
+    SchedulerPolicy,
+    ShardScheduler,
+    assign_shards,
+    shard_starts_of,
+)
+from repro.serving.remote import (
+    REMOTE_ADDRS_ENV,
+    DirectedRemoteEngine,
+    RemoteEngine,
+    parse_addresses,
+)
+from repro.serving.wire import WireError, recv_frame, request, send_frame
+
+__all__ = [
+    "SchedulerPolicy",
+    "ShardScheduler",
+    "assign_shards",
+    "shard_starts_of",
+    "RemoteEngine",
+    "DirectedRemoteEngine",
+    "REMOTE_ADDRS_ENV",
+    "parse_addresses",
+    "WireError",
+    "send_frame",
+    "recv_frame",
+    "request",
+]

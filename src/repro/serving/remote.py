@@ -1,0 +1,334 @@
+"""The ``"remote"`` query engine: distance queries over a worker fleet.
+
+Registered for both orientations behind the standard
+:func:`repro.core.engines.register_engine` seam, this engine implements
+the :class:`~repro.core.engines.QueryEngine` protocol without holding a
+single label: ``freeze`` dials the configured workers
+(:class:`~repro.serving.server.ShardServer` processes), learns the shard
+layout and each worker's owned slice from the ``hello`` handshake, and
+builds a :class:`~repro.serving.scheduler.ShardScheduler` whose dispatch
+sends each shard-pair bucket as **one** ``distances`` frame to a worker
+owning the bucket's source shard.  A fleet of workers each mapping only
+its owned shard files can therefore serve an index larger than any
+single worker's RAM, while the client amortizes framing and the server
+amortizes its vectorized batch stages per bucket.
+
+Worker addresses come from the ``addresses`` constructor argument or the
+``REPRO_REMOTE_ADDRS`` environment variable (comma-separated
+``host:port``), which is what lets the ordinary facade plumbing work
+unchanged::
+
+    os.environ["REPRO_REMOTE_ADDRS"] = "10.0.0.5:7071,10.0.0.6:7071"
+    index = load_index("web.shards", engine="remote")   # no local labels
+    index.distances(pairs)                              # scheduled over the fleet
+
+Failure behavior: a worker that reports ``{"error": ...}`` raises
+:class:`~repro.errors.QueryError` (bad query) or
+:class:`~repro.errors.StorageError` (server-side fault); a dead
+connection raises :class:`~repro.serving.wire.WireError` — the engine
+performs no silent retries, answers are exact or the call fails loudly.
+``invalidate``/``close`` drop the connections; the next query redials.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.engines import (
+    CAP_REMOTE,
+    CAP_SHARDED,
+    DIRECTED,
+    UNDIRECTED,
+    register_engine,
+)
+from repro.errors import IndexBuildError, QueryError, StorageError
+from repro.serving import wire
+from repro.serving.scheduler import SchedulerPolicy, ShardScheduler
+
+__all__ = [
+    "REMOTE_ADDRS_ENV",
+    "parse_addresses",
+    "RemoteEngine",
+    "DirectedRemoteEngine",
+]
+
+#: Environment fallback for the worker fleet: comma-separated
+#: ``host:port`` entries, consulted when no ``addresses`` argument is
+#: given (the registry factory path — ``load_index(..., engine="remote")``).
+REMOTE_ADDRS_ENV = "REPRO_REMOTE_ADDRS"
+
+Address = Union[str, Tuple[str, int]]
+
+
+def parse_addresses(spec: Union[str, Sequence[Address], None]) -> List[Tuple[str, int]]:
+    """Normalize an address spec into ``[(host, port), ...]``.
+
+    Accepts a comma-separated ``host:port`` string, a sequence of such
+    strings, or a sequence of ``(host, port)`` tuples.
+    """
+    if spec is None:
+        return []
+    if isinstance(spec, str):
+        items: Sequence[Address] = [s for s in spec.split(",") if s.strip()]
+    else:
+        items = spec
+    out: List[Tuple[str, int]] = []
+    for item in items:
+        if isinstance(item, str):
+            host, sep, port = item.strip().rpartition(":")
+            if not sep or not host:
+                raise IndexBuildError(
+                    f"remote address {item!r} is not host:port"
+                )
+            try:
+                out.append((host, int(port)))
+            except ValueError:
+                raise IndexBuildError(
+                    f"remote address {item!r} has a non-numeric port"
+                ) from None
+        else:
+            host, port = item
+            out.append((str(host), int(port)))
+    return out
+
+
+class _Worker:
+    """One connected fleet member: socket + handshake facts."""
+
+    __slots__ = ("address", "sock", "owned", "shard_starts", "kind")
+
+    def __init__(self, address: Tuple[str, int], timeout: float) -> None:
+        self.address = address
+        try:
+            self.sock = socket.create_connection(address, timeout=timeout)
+        except OSError as exc:
+            raise StorageError(
+                f"cannot connect to shard worker {address[0]}:{address[1]} "
+                f"({exc})"
+            ) from None
+        try:
+            hello = wire.request(self.sock, {"op": "hello"})
+        except BaseException:
+            self.close()  # don't leak the connected socket mid-handshake
+            raise
+        if "error" in hello:
+            self.close()
+            raise StorageError(
+                f"worker {address[0]}:{address[1]} rejected the handshake: "
+                f"{hello['error']}"
+            )
+        self.kind: str = hello.get("kind", "undirected")
+        self.owned: List[int] = [int(i) for i in hello.get("owned", [])]
+        self.shard_starts: List[int] = [
+            int(s) for s in hello.get("shard_starts", [])
+        ]
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class RemoteEngineBase:
+    """Shared client machinery of the two remote engine orientations."""
+
+    name = "remote"
+    kind = UNDIRECTED
+
+    def __init__(
+        self,
+        addresses: Union[str, Sequence[Address], None],
+        policy: Optional[SchedulerPolicy],
+        timeout: float,
+    ) -> None:
+        if addresses is None:
+            addresses = os.environ.get(REMOTE_ADDRS_ENV)
+        self.addresses = parse_addresses(addresses)
+        if not self.addresses:
+            raise IndexBuildError(
+                "the remote engine needs worker addresses: pass "
+                f"addresses=[...] or set {REMOTE_ADDRS_ENV} "
+                "(comma-separated host:port)"
+            )
+        self.policy = policy
+        self.timeout = timeout
+        self.frozen = False
+        self.scheduler: Optional[ShardScheduler] = None
+        self._workers: List[_Worker] = []
+        self._owners: Dict[int, List[_Worker]] = {}
+        self._rotation: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # QueryEngine protocol
+    # ------------------------------------------------------------------
+    def freeze(self) -> "RemoteEngineBase":
+        """Dial the fleet, handshake, and build the routing scheduler."""
+        if self.frozen:
+            return self
+        workers: List[_Worker] = []
+        try:
+            for address in self.addresses:
+                workers.append(_Worker(address, self.timeout))
+        except BaseException:
+            for worker in workers:
+                worker.close()
+            raise
+        starts: List[int] = []
+        for worker in workers:
+            if worker.kind != self.kind:
+                kinds = f"{worker.kind!r} vs client {self.kind!r}"
+                for w in workers:
+                    w.close()
+                raise StorageError(
+                    f"worker {worker.address[0]}:{worker.address[1]} serves "
+                    f"a different orientation ({kinds})"
+                )
+            if worker.shard_starts:
+                if starts and worker.shard_starts != starts:
+                    for w in workers:
+                        w.close()
+                    raise StorageError(
+                        "workers disagree on the shard layout; are they "
+                        "serving the same snapshot?"
+                    )
+                starts = worker.shard_starts
+        self._workers = workers
+        self._owners = {}
+        for worker in workers:
+            for shard in worker.owned:
+                self._owners.setdefault(shard, []).append(worker)
+        self._rotation = {}
+        self.scheduler = ShardScheduler(starts, self._dispatch, self.policy)
+        self.frozen = True
+        return self
+
+    def distance(self, source: int, target: int) -> float:
+        return self.distances([(source, target)])[0]
+
+    def distances(self, pairs) -> List[float]:
+        if not self.frozen:
+            self.freeze()
+        return self.scheduler.schedule(pairs)
+
+    def invalidate(self, dirty=None) -> None:
+        """Drop the fleet connections; the next query redials.
+
+        ``dirty`` is accepted for protocol compatibility but ignored —
+        label state lives on the workers, so any invalidation means "ask
+        the fleet again".
+        """
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, bucket: Tuple[int, int]) -> _Worker:
+        """Worker for a bucket: an owner of the source shard, else of the
+        target shard, else any worker (round-robin)."""
+        for shard in bucket:
+            owners = self._owners.get(shard)
+            if owners:
+                slot = self._rotation.get(shard, 0)
+                self._rotation[shard] = (slot + 1) % len(owners)
+                return owners[slot % len(owners)]
+        slot = self._rotation.get(-1, 0)
+        self._rotation[-1] = (slot + 1) % len(self._workers)
+        return self._workers[slot % len(self._workers)]
+
+    def _dispatch(self, chunk, bucket) -> List[float]:
+        worker = self._route(bucket)
+        response = wire.request(
+            worker.sock,
+            {"op": "distances", "pairs": [[s, t] for s, t in chunk]},
+        )
+        if "error" in response:
+            message = response["error"]
+            if response.get("error_kind") == "query":
+                raise QueryError(message)
+            raise StorageError(
+                f"worker {worker.address[0]}:{worker.address[1]} failed: "
+                f"{message}"
+            )
+        answers = response.get("distances")
+        if not isinstance(answers, list):
+            raise StorageError(
+                f"worker {worker.address[0]}:{worker.address[1]} returned "
+                "no distances"
+            )
+        return [float(d) if not isinstance(d, int) else d for d in answers]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for worker in self._workers:
+            worker.close()
+        self._workers = []
+        self._owners = {}
+        self._rotation = {}
+        self.scheduler = None
+        self.frozen = False
+
+    def __enter__(self):
+        return self.freeze()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class RemoteEngine(RemoteEngineBase):
+    """Undirected ``"remote"`` engine.
+
+    The registry factory signature matches the other undirected engines
+    (``gk, entry_lists, arrays`` — all ignored: the labels live on the
+    workers); ``addresses``/``policy`` configure the fleet.
+    """
+
+    kind = UNDIRECTED
+
+    def __init__(
+        self,
+        gk=None,
+        entry_lists=None,
+        arrays=None,
+        apsp_budget_bytes=None,
+        *,
+        addresses: Union[str, Sequence[Address], None] = None,
+        policy: Optional[SchedulerPolicy] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        super().__init__(addresses, policy, timeout)
+
+
+class DirectedRemoteEngine(RemoteEngineBase):
+    """Directed ``"remote"`` engine (registry twin of :class:`RemoteEngine`)."""
+
+    kind = DIRECTED
+
+    def __init__(
+        self,
+        gk=None,
+        out_lists=None,
+        in_lists=None,
+        apsp_budget_bytes=None,
+        *,
+        addresses: Union[str, Sequence[Address], None] = None,
+        policy: Optional[SchedulerPolicy] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        super().__init__(addresses, policy, timeout)
+
+
+register_engine(UNDIRECTED, RemoteEngine.name, RemoteEngine, {CAP_REMOTE, CAP_SHARDED})
+register_engine(
+    DIRECTED, DirectedRemoteEngine.name, DirectedRemoteEngine, {CAP_REMOTE, CAP_SHARDED}
+)

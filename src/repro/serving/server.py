@@ -1,0 +1,290 @@
+"""Localhost/network shard server: one worker of a remote serving fleet.
+
+A :class:`ShardServer` wraps a loaded index (any engine; the sharded
+snapshot engine is the point of the exercise) behind the length-prefixed
+protocol of :mod:`repro.serving.wire`.  A fleet deployment runs one
+server per worker over the *same* sharded snapshot directory, each
+claiming a slice of the shard ownership map (``owned``): the sharded
+engine maps shard files lazily, so a worker that is only routed its own
+buckets faults in only its own shards — the fleet's combined page
+working set covers an index no single worker could hold, while the small
+replicated ``shared.snap`` (``G_k`` + all-pairs table) stays in the
+shared page cache.
+
+Ownership is a *routing contract*, not a hard wall: a mis-routed pair is
+still answered correctly (the engine maps the foreign shard on demand),
+it just costs locality.  The ``hello`` handshake reports the shard
+starts and owned indices so the client-side
+:class:`~repro.serving.scheduler.ShardScheduler` can honour the
+contract.
+
+Failure behavior: per-request errors (uncovered vertices, malformed
+frames' payloads) are answered as ``{"error": ...}`` and the connection
+survives; protocol violations (garbage framing) drop the connection;
+``shutdown`` stops the accept loop, closes the listening socket and
+reaps the handler threads, so a supervisor sees a clean exit.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError, ReproError, StorageError
+from repro.serving import wire
+
+__all__ = ["ShardServer", "load_serving_index"]
+
+
+def load_serving_index(path: str, engine: str = "sharded"):
+    """Load a stream index or snapshot with the right loader for its kind."""
+    from repro.core.serialization import (
+        is_directed_artifact,
+        load_directed_index,
+        load_index,
+    )
+
+    if is_directed_artifact(path):
+        return load_directed_index(path, engine=engine)
+    return load_index(path, engine=engine)
+
+
+class ShardServer:
+    """Serves one index over the wire protocol, owning a shard slice.
+
+    ``owned`` lists the shard indices this worker claims (``None`` =
+    every shard — the single-worker deployment).  ``port=0`` lets the OS
+    pick a free port; read :attr:`address` after :meth:`start`.
+
+    Usable as a context manager; :meth:`start` spawns a daemon accept
+    thread (tests, in-process fleets), :meth:`serve_forever` runs the
+    accept loop in the calling thread (the ``repro serve`` CLI).
+    """
+
+    def __init__(
+        self,
+        index,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        owned: Optional[Sequence[int]] = None,
+    ) -> None:
+        from repro.core.directed import DirectedISLabelIndex
+        from repro.serving.scheduler import shard_starts_of
+
+        self.index = index
+        self.kind = (
+            "directed" if isinstance(index, DirectedISLabelIndex) else "undirected"
+        )
+        self.shard_starts: List[int] = list(shard_starts_of(index))
+        num_shards = max(len(self.shard_starts), 1)
+        if owned is None:
+            self.owned = list(range(num_shards))
+        else:
+            self.owned = sorted({int(i) for i in owned})
+            bad = [i for i in self.owned if not 0 <= i < num_shards]
+            if bad:
+                raise StorageError(
+                    f"owned shard indices {bad} out of range for "
+                    f"{num_shards} shards"
+                )
+        self._host = host
+        self._port = port
+        self._sock: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._handlers: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
+        self._lock = threading.Lock()
+        # One query at a time per worker: the packed engines' search
+        # buffer pool is documented single-search-at-a-time, and the
+        # lazily materialized label caches are plain dicts.  Fleet
+        # parallelism comes from running more workers, not from racing
+        # handler threads through one engine.
+        self._query_lock = threading.Lock()
+        self.queries_served = 0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._sock is None:
+            raise StorageError("server is not started")
+        return self._sock.getsockname()[:2]
+
+    def bind(self) -> None:
+        """Bind the listening socket without serving (address becomes readable)."""
+        if self._sock is not None:
+            return
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self._host, self._port))
+        sock.listen(64)
+        sock.settimeout(0.2)  # lets the accept loop notice a shutdown
+        self._sock = sock
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve from a background daemon thread; returns address."""
+        self.bind()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-shard-server", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Bind (if needed) and run the accept loop in this thread."""
+        self.bind()
+        self._accept_loop()
+
+    def shutdown(self) -> None:
+        """Stop accepting, close every socket, join the handler threads.
+
+        Live client connections are closed too — an idle client blocked
+        in a handler's ``recv`` would otherwise pin its thread (and the
+        socket) until the process exits.
+        """
+        self._stop.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        if self._accept_thread is not None and self._accept_thread.is_alive():
+            self._accept_thread.join(timeout=5.0)
+        self._accept_thread = None
+        with self._lock:
+            conns = list(self._conns)
+            handlers = list(self._handlers)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in handlers:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ShardServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Accept / request loops
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            sock = self._sock
+            if sock is None:
+                break
+            try:
+                conn, _addr = sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # socket closed under us by shutdown()
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            with self._lock:
+                self._handlers.append(thread)
+                self._conns.append(conn)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    payload = wire.recv_frame(conn)
+                except wire.WireError:
+                    break  # corrupted stream: drop the connection
+                if payload is None:
+                    break  # client hung up cleanly
+                response, stop = self._handle(payload)
+                try:
+                    wire.send_frame(conn, response)
+                except OSError:
+                    break
+                if stop:
+                    self._stop.set()
+                    # Unblock the accept loop promptly (it would otherwise
+                    # only notice at the next accept timeout tick).
+                    sock = self._sock
+                    if sock is not None:
+                        try:
+                            sock.close()
+                        except OSError:
+                            pass
+                        self._sock = None
+                    break
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._lock:
+                me = threading.current_thread()
+                if me in self._handlers:
+                    self._handlers.remove(me)
+                if conn in self._conns:
+                    self._conns.remove(conn)
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _handle(self, payload: dict) -> Tuple[dict, bool]:
+        op = payload.get("op")
+        with self._lock:  # handler threads are concurrent; += is not atomic
+            self.requests_served += 1
+        try:
+            if op == "hello":
+                return (
+                    {
+                        "ok": True,
+                        "kind": self.kind,
+                        "engine": self.index.engine,
+                        "shard_starts": self.shard_starts,
+                        "owned": self.owned,
+                        "num_shards": max(len(self.shard_starts), 1),
+                    },
+                    False,
+                )
+            if op == "distances":
+                pairs = [(int(s), int(t)) for s, t in payload.get("pairs", [])]
+                with self._query_lock:
+                    answers = self.index.distances(pairs)
+                with self._lock:
+                    self.queries_served += len(pairs)
+                return {"ok": True, "distances": list(answers)}, False
+            if op == "stats":
+                return (
+                    {
+                        "ok": True,
+                        "engine": self.index.engine,
+                        "owned": self.owned,
+                        "queries_served": self.queries_served,
+                        "requests_served": self.requests_served,
+                    },
+                    False,
+                )
+            if op == "ping":
+                return {"ok": True}, False
+            if op == "shutdown":
+                return {"ok": True, "bye": True}, True
+            return {"error": f"unknown op {op!r}"}, False
+        except ReproError as exc:
+            # error_kind lets the client re-raise the right exception
+            # class without parsing the human-readable message.
+            kind = "query" if isinstance(exc, QueryError) else "storage"
+            return {"error": str(exc), "error_kind": kind}, False
+        except (TypeError, ValueError) as exc:
+            return {"error": f"malformed request: {exc}", "error_kind": "query"}, False

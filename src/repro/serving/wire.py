@@ -1,0 +1,138 @@
+"""Length-prefixed framing for the remote shard-serving protocol.
+
+One frame = a 4-byte big-endian payload length followed by a UTF-8 JSON
+object.  JSON keeps the protocol debuggable (``nc`` + eyeballs) and is
+lossless for everything the distance API moves: vertex ids and distances
+are Python ints, unreachable pairs are ``inf`` (serialized as JSON's
+``Infinity`` extension, which the :mod:`json` module emits and parses by
+default) — so remote answers stay bit-identical to local engine answers.
+
+Requests are ``{"op": <name>, ...}``; responses either carry the op's
+payload or ``{"error": <message>}``, which the client surfaces as
+:class:`~repro.errors.StorageError`.  Ops:
+
+``hello``
+    Handshake.  The server answers with its orientation (``kind``), the
+    shard layout of the snapshot it serves (``shard_starts``) and the
+    shard indices it *owns* (its slice of the deployment's ownership
+    map) — everything the client-side scheduler needs to route buckets.
+``distances``
+    ``{"pairs": [[s, t], ...]}`` → ``{"distances": [...]}``, one batched
+    engine call per frame.  This is the unit the shard scheduler
+    amortizes: one frame per shard-pair bucket.
+``stats``
+    Lightweight introspection (queries served, engine name, owned shards).
+``ping``
+    Liveness probe; echoes ``{"ok": true}``.
+``shutdown``
+    Asks the server to stop accepting connections and exit its accept
+    loop (used by tests and the benchmark harness for clean teardown).
+
+Framing failures (oversized frames, EOF mid-frame) raise
+:class:`WireError`; a clean EOF between frames returns ``None`` from
+:func:`recv_frame` so servers can tell "client hung up" from "stream
+corrupted".
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "WireError",
+    "MAX_FRAME_BYTES",
+    "send_frame",
+    "recv_frame",
+    "request",
+]
+
+#: Refuse to (de)serialize frames larger than this: a corrupt or hostile
+#: length prefix must not make a worker allocate gigabytes.  64 MiB is
+#: roomy — about two million query pairs per frame.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct("!I")
+
+
+class WireError(ReproError):
+    """The length-prefixed stream was violated (truncation, oversize)."""
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Serialize ``payload`` and send it as one length-prefixed frame."""
+    blob = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(blob) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"refusing to send a {len(blob)}-byte frame "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    try:
+        sock.sendall(_LEN.pack(len(blob)) + blob)
+    except OSError as exc:
+        raise WireError(f"send failed: {exc}") from None
+
+
+def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
+    """``size`` bytes from ``sock``; None on clean EOF at a frame edge."""
+    chunks = []
+    got = 0
+    while got < size:
+        try:
+            chunk = sock.recv(min(size - got, 1 << 20))
+        except OSError as exc:
+            raise WireError(f"receive failed: {exc}") from None
+        if not chunk:
+            if got == 0:
+                return None
+            raise WireError(
+                f"connection closed mid-frame ({got} of {size} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one frame; returns its payload, or None on clean EOF."""
+    prefix = _recv_exact(sock, _LEN.size)
+    if prefix is None:
+        return None
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(
+            f"peer announced a {length}-byte frame (limit {MAX_FRAME_BYTES})"
+        )
+    blob = _recv_exact(sock, length)
+    if blob is None:
+        raise WireError("connection closed before the announced frame")
+    try:
+        payload = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame payload ({exc})") from None
+    if not isinstance(payload, dict):
+        raise WireError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def request(sock: socket.socket, payload: dict) -> dict:
+    """One round trip: send ``payload``, receive and return the response.
+
+    Raises :class:`WireError` if the server hangs up instead of
+    answering; server-reported ``{"error": ...}`` responses are returned
+    as-is for the caller to interpret (the client engine raises them as
+    :class:`~repro.errors.StorageError`).
+    """
+    send_frame(sock, payload)
+    response = recv_frame(sock)
+    if response is None:
+        raise WireError(
+            f"server closed the connection answering {payload.get('op')!r}"
+        )
+    return response

@@ -21,8 +21,32 @@ from repro.graph.graph import Graph
 
 class TestRegistry:
     def test_builtin_engines_registered(self):
-        assert available_engines(UNDIRECTED) == ("dict", "fast", "mmap", "sharded")
-        assert available_engines(DIRECTED) == ("dict", "fast", "mmap", "sharded")
+        expected = ("dict", "fast", "mmap", "remote", "sharded")
+        assert available_engines(UNDIRECTED) == expected
+        assert available_engines(DIRECTED) == expected
+
+    def test_capability_flags(self):
+        from repro.core.engines import (
+            CAP_LOCAL,
+            CAP_REMOTE,
+            CAP_SHARDED,
+            CAP_SNAPSHOT,
+            engine_capabilities,
+            engines_with_capability,
+        )
+
+        for kind in (UNDIRECTED, DIRECTED):
+            assert CAP_LOCAL in engine_capabilities(kind, "fast")
+            assert CAP_LOCAL in engine_capabilities(kind, "dict")
+            assert engine_capabilities(kind, "mmap") >= {CAP_LOCAL, CAP_SNAPSHOT}
+            assert engine_capabilities(kind, "sharded") >= {
+                CAP_LOCAL,
+                CAP_SNAPSHOT,
+                CAP_SHARDED,
+            }
+            assert engine_capabilities(kind, "remote") == {CAP_REMOTE, CAP_SHARDED}
+            assert engines_with_capability(kind, CAP_SNAPSHOT) == ("mmap", "sharded")
+            assert engines_with_capability(kind, CAP_REMOTE) == ("remote",)
 
     def test_dict_resolves_to_reference_path(self):
         assert resolve_engine(UNDIRECTED, "dict") is None

@@ -157,8 +157,24 @@ class TestAdaptiveApspBudget:
     def test_env_var_override(self, monkeypatch):
         monkeypatch.setenv(APSP_BUDGET_ENV, "0.5")  # half a megabyte
         assert apsp_ceiling() == math.isqrt((512 * 1024) // 8)
-        monkeypatch.setenv(APSP_BUDGET_ENV, "not-a-number")
+        monkeypatch.setenv(APSP_BUDGET_ENV, "0")  # explicit disable
         assert apsp_ceiling() == 0
+
+    def test_env_var_invalid_values_raise_named_error(self, monkeypatch):
+        """Garbage in the env var must fail loudly, naming the variable
+        and the accepted range — not silently disable the table."""
+        for bad in ("not-a-number", "-3", "inf", "-inf", "nan", ""):
+            monkeypatch.setenv(APSP_BUDGET_ENV, bad)
+            with pytest.raises(ValueError, match=APSP_BUDGET_ENV) as excinfo:
+                apsp_ceiling()
+            assert "megabytes" in str(excinfo.value), bad
+
+    def test_env_var_invalid_value_fails_engine_construction(
+        self, monkeypatch, random_graph
+    ):
+        monkeypatch.setenv(APSP_BUDGET_ENV, "banana")
+        with pytest.raises(ValueError, match=APSP_BUDGET_ENV):
+            ISLabelIndex.build(random_graph)
 
     def test_constructor_budget_disables_table(self, random_graph):
         index = ISLabelIndex.build(random_graph)

@@ -101,3 +101,69 @@ class TestFailureInjection:
         path.write_bytes(bytes(data))
         with pytest.raises(StorageError):
             load_index(path)
+
+
+class TestTruncationDiagnostics:
+    """Truncated/empty artifacts must fail as StorageError naming the
+    path and the observed size — never a raw struct.error."""
+
+    def test_empty_stream_file_names_path_and_size(self, tmp_path):
+        path = tmp_path / "empty.islx"
+        path.write_bytes(b"")
+        with pytest.raises(StorageError) as excinfo:
+            load_index(path)
+        message = str(excinfo.value)
+        assert "empty.islx" in message
+        assert "0 bytes" in message
+
+    def test_short_header_names_path_and_size(self, tmp_path):
+        path = tmp_path / "short.islx"
+        path.write_bytes(b"ISLX\x01")  # 5 of the header's bytes
+        with pytest.raises(StorageError) as excinfo:
+            load_index(path)
+        message = str(excinfo.value)
+        assert "short.islx" in message and "5 bytes" in message
+
+    def test_empty_directed_file_names_path_and_size(self, tmp_path):
+        from repro.core.serialization import load_directed_index
+
+        path = tmp_path / "empty.isld"
+        path.write_bytes(b"")
+        with pytest.raises(StorageError) as excinfo:
+            load_directed_index(path)
+        assert "empty.isld" in str(excinfo.value)
+        assert "0 bytes" in str(excinfo.value)
+
+    def test_truncated_dynamic_header_names_path(self, tmp_path):
+        from repro.core.serialization import load_dynamic_index
+
+        path = tmp_path / "short.isly"
+        path.write_bytes(b"ISLY")
+        with pytest.raises(StorageError) as excinfo:
+            load_dynamic_index(path)
+        assert "short.isly" in str(excinfo.value)
+        assert "4 bytes" in str(excinfo.value)
+
+    def test_truncated_snapshot_sniff_branch_names_path_and_size(self, tmp_path):
+        # Starts with the snapshot magic, so the magic-sniff branch takes
+        # it — and must then report the truncation, not crash unpacking.
+        path = tmp_path / "short.snap"
+        path.write_bytes(b"ISNP\x01\x00")
+        with pytest.raises(StorageError) as excinfo:
+            load_index(path)
+        message = str(excinfo.value)
+        assert "short.snap" in message
+        assert "6 bytes" in message
+
+    def test_corrupt_shard_manifest_rejected(self, graph, tmp_path):
+        from repro.core.serialization import save_snapshot
+
+        index = ISLabelIndex.build(graph)
+        shard_dir = tmp_path / "m.shards"
+        save_snapshot(index, shard_dir, shards=3)
+        (shard_dir / "manifest.json").write_text("{not json")
+        with pytest.raises(StorageError, match="manifest"):
+            load_index(shard_dir)
+        (shard_dir / "manifest.json").write_text("{}")
+        with pytest.raises(StorageError, match="manifest"):
+            load_index(shard_dir)

@@ -273,10 +273,29 @@ class TestServingEngines:
         engine = loaded._fast
         engine.freeze()
         flat = engine.table.flat
-        assert isinstance(flat.anc, np.memmap)
+        # The flat arrays are plain-ndarray views over the mapped buffer
+        # (the memmap subclass overhead is shed on the hot path, but the
+        # backing is still the lazily faulted file mapping).
+        assert isinstance(flat.anc.base, np.memmap)
+        assert not isinstance(flat.anc, np.memmap)
         v = sorted(graph.vertices())[1]
         label = engine.label(v)
         assert label[0].base is not None  # a view, not a copy
+
+    def test_snapshot_ownership_map(self, graph, tmp_path):
+        index = ISLabelIndex.build(graph)
+        shard_dir = tmp_path / "own.shards"
+        save_snapshot(index, shard_dir, shards=4)
+        snap = open_snapshot(shard_dir)
+        ownership = snap.ownership()
+        assert sorted(ownership) == list(range(len(snap.shard_starts)))
+        assert [ownership[i]["start"] for i in sorted(ownership)] == snap.shard_starts
+        assert snap.shard_starts == sorted(snap.shard_starts)
+        # Single-file snapshots have one implicit shard: empty maps.
+        single = tmp_path / "own.snap"
+        save_snapshot(index, single)
+        flat = open_snapshot(single)
+        assert flat.shard_starts == [] and flat.ownership() == {}
 
     def test_directed_snapshot_engines(self, digraph, tmp_path):
         index = DirectedISLabelIndex.build(digraph)
@@ -291,3 +310,96 @@ class TestServingEngines:
             for engine in ("mmap", "sharded"):
                 loaded = load_directed_index(source, engine=engine)
                 assert loaded.distances(pairs) == expected, (source, engine)
+
+
+class TestSpillCleanup:
+    """Temporary spill snapshots must never outlive their engine."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_tempdir(self, tmp_path, monkeypatch):
+        # Route tempfile.mkstemp/mkdtemp into the test's own directory so
+        # stray repro-snap-* files are detectable (and cleaned up).
+        import tempfile
+
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        self.tmp_path = tmp_path
+
+    def _strays(self):
+        return sorted(p.name for p in self.tmp_path.glob("repro-snap-*"))
+
+    def test_close_removes_spill_and_registry_entry(self, graph):
+        from repro.core.snapshot import _LIVE_SPILLS
+
+        index = ISLabelIndex.build(graph, engine="mmap")
+        vertices = sorted(graph.vertices())
+        d = index.distance(vertices[0], vertices[-1])
+        engine = index._fast
+        spill = engine._snapshot_path
+        assert spill is not None and os.path.exists(spill)
+        assert spill in _LIVE_SPILLS
+        engine.close()
+        assert not os.path.exists(spill)
+        assert spill not in _LIVE_SPILLS
+        assert self._strays() == []
+        # close() is not fatal: the next query re-spills transparently.
+        assert index.distance(vertices[0], vertices[-1]) == d
+        engine.close()
+        assert self._strays() == []
+
+    def test_sharded_spill_directory_cleanup(self, graph):
+        index = ISLabelIndex.build(graph, engine="sharded")
+        vertices = sorted(graph.vertices())
+        index.distance(vertices[0], vertices[-1])
+        engine = index._fast
+        spill = engine._snapshot_path
+        assert os.path.isdir(spill)
+        engine.close()
+        assert self._strays() == []
+
+    def test_exception_mid_spill_unlinks_temp_path(self, graph, monkeypatch):
+        """A write_snapshot that dies must not leak the temp file (or dir)."""
+        import repro.core.snapshot as snapshot_module
+        from repro.core.snapshot import _LIVE_SPILLS
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(snapshot_module, "write_snapshot", boom)
+        for engine_name in ("mmap", "sharded"):
+            index = ISLabelIndex.build(graph, engine=engine_name)
+            vertices = sorted(graph.vertices())
+            with pytest.raises(OSError, match="disk full"):
+                index.distance(vertices[0], vertices[1])
+            assert self._strays() == [], engine_name
+            assert not any("repro-snap" in p for p in _LIVE_SPILLS)
+
+    def test_atexit_reaps_unclosed_engines(self, graph, tmp_path):
+        """An engine abandoned at interpreter exit leaves no stray spills."""
+        import subprocess
+        import sys
+
+        code = """
+import os
+from repro.core.index import ISLabelIndex
+from repro.graph.generators import ensure_connected, erdos_renyi
+
+g = ensure_connected(erdos_renyi(40, 90, seed=2, max_weight=4), seed=2)
+for engine in ("mmap", "sharded"):
+    index = ISLabelIndex.build(g, engine=engine)
+    vs = sorted(g.vertices())
+    index.distance(vs[0], vs[-1])
+    assert index._fast._snapshot_path is not None
+# neither engine is closed or invalidated: atexit must reap the spills
+"""
+        env = dict(os.environ, TMPDIR=str(tmp_path))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), str(
+                os.path.join(os.path.dirname(__file__), "..", "..", "src")
+            )) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        strays = sorted(p.name for p in tmp_path.glob("repro-snap-*"))
+        assert strays == []

@@ -185,3 +185,103 @@ def test_module_entry_point():
     )
     assert result.returncode == 0
     assert "Figure 1" in result.stdout
+
+
+class TestServeCommands:
+    """`repro serve` + `serve-bench --remote` against a live fleet."""
+
+    @pytest.fixture()
+    def sharded_snapshot(self, edge_list, tmp_path):
+        index_path = tmp_path / "srv.islx"
+        snap_path = tmp_path / "srv.shards"
+        assert main(["build", str(edge_list), "-o", str(index_path)]) == 0
+        assert (
+            main(["snapshot", str(index_path), "-o", str(snap_path), "--shards", "2"])
+            == 0
+        )
+        return index_path, snap_path
+
+    def test_serve_bench_remote_flag(self, sharded_snapshot, capsys):
+        from repro.serving.server import ShardServer, load_serving_index
+
+        index_path, snap_path = sharded_snapshot
+        with ShardServer(load_serving_index(str(snap_path))) as server:
+            host, port = server.address
+            code = main(
+                [
+                    "serve-bench",
+                    str(index_path),
+                    "--remote",
+                    f"{host}:{port}",
+                    "--queries",
+                    "50",
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "engine=remote" in out
+            assert server.queries_served >= 50
+
+    def test_serve_bench_remote_unreachable_fails_cleanly(
+        self, sharded_snapshot, capsys
+    ):
+        import socket
+
+        index_path, _ = sharded_snapshot
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        code = main(
+            ["serve-bench", str(index_path), "--remote", f"127.0.0.1:{free_port}"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_command_announces_and_shuts_down(self, sharded_snapshot):
+        import json
+        import os
+        import socket
+        import subprocess
+        import sys
+
+        from repro.serving import wire
+
+        _, snap_path = sharded_snapshot
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                str(snap_path),
+                "--owned",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("SERVING ")
+            assert "owned=0" in line and "shards=2" in line
+            host, _, port = line.split()[1].rpartition(":")
+            sock = socket.create_connection((host, int(port)), timeout=10)
+            try:
+                hello = wire.request(sock, {"op": "hello"})
+                assert hello["owned"] == [0]
+                assert wire.request(sock, {"op": "shutdown"}).get("bye")
+            finally:
+                sock.close()
+            assert proc.wait(timeout=15) == 0  # reaped, exit code clean
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            proc.stdout.close()

@@ -1,0 +1,95 @@
+"""The length-prefixed wire framing (repro.serving.wire)."""
+
+import json
+import math
+import socket
+import struct
+
+import pytest
+
+from repro.serving import wire
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_roundtrip(self, pair):
+        a, b = pair
+        wire.send_frame(a, {"op": "ping", "n": 3})
+        assert wire.recv_frame(b) == {"op": "ping", "n": 3}
+
+    def test_distances_survive_lossless(self, pair):
+        """Ints stay ints and inf stays inf — the bit-identity contract."""
+        a, b = pair
+        payload = {"distances": [0, 7, math.inf, 12345678901234]}
+        wire.send_frame(a, payload)
+        got = wire.recv_frame(b)
+        assert got["distances"] == [0, 7, math.inf, 12345678901234]
+        assert isinstance(got["distances"][0], int)
+        assert isinstance(got["distances"][1], int)
+        assert math.isinf(got["distances"][2])
+
+    def test_multiple_frames_in_sequence(self, pair):
+        a, b = pair
+        for i in range(5):
+            wire.send_frame(a, {"i": i})
+        assert [wire.recv_frame(b)["i"] for _ in range(5)] == list(range(5))
+
+    def test_clean_eof_returns_none(self, pair):
+        a, b = pair
+        a.close()
+        assert wire.recv_frame(b) is None
+
+    def test_eof_mid_frame_raises(self, pair):
+        a, b = pair
+        blob = json.dumps({"op": "x"}).encode()
+        a.sendall(struct.pack("!I", len(blob)) + blob[:2])
+        a.close()
+        with pytest.raises(wire.WireError, match="mid-frame"):
+            wire.recv_frame(b)
+
+    def test_oversized_announcement_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack("!I", wire.MAX_FRAME_BYTES + 1))
+        with pytest.raises(wire.WireError, match="limit"):
+            wire.recv_frame(b)
+
+    def test_oversized_send_rejected(self, pair):
+        a, _ = pair
+        huge = {"blob": "x" * (wire.MAX_FRAME_BYTES + 16)}
+        with pytest.raises(wire.WireError, match="refusing to send"):
+            wire.send_frame(a, huge)
+
+    def test_garbage_payload_rejected(self, pair):
+        a, b = pair
+        blob = b"\xff\xfe not json"
+        a.sendall(struct.pack("!I", len(blob)) + blob)
+        with pytest.raises(wire.WireError, match="undecodable"):
+            wire.recv_frame(b)
+
+    def test_non_object_payload_rejected(self, pair):
+        a, b = pair
+        blob = json.dumps([1, 2, 3]).encode()
+        a.sendall(struct.pack("!I", len(blob)) + blob)
+        with pytest.raises(wire.WireError, match="JSON object"):
+            wire.recv_frame(b)
+
+
+class TestRequest:
+    def test_request_roundtrip(self, pair):
+        a, b = pair
+        wire.send_frame(b, {"ok": True})  # pre-seed the response
+        assert wire.request(a, {"op": "ping"}) == {"ok": True}
+        assert wire.recv_frame(b) == {"op": "ping"}
+
+    def test_request_hangup_raises(self, pair):
+        a, b = pair
+        b.close()
+        with pytest.raises(wire.WireError):
+            wire.request(a, {"op": "ping"})
