@@ -1,0 +1,262 @@
+"""Failover under fire: kill a replicated shard worker mid-stream.
+
+Measures the fault-tolerance contract of the serving stack
+(`repro/serving/`): a fleet of three ``repro serve`` subprocesses over
+one sharded snapshot with **replication factor 2**
+(``assign_shards(..., replication=2)``), driven by the ``"remote"``
+engine while a worker is SIGKILLed mid-query-stream.
+
+* **exactness under failover** — every answer produced while the fleet
+  is dying/degraded/recovering is checked against the local fast engine;
+  one wrong or lost answer aborts the run.
+* **recovery time** — how long a bucket took from first failed dispatch
+  to a correct answer from a surviving replica, read from the engine's
+  ``failovers`` records.
+* **steady-state degradation** — best-pass QPS of the full fleet vs the
+  same stream after the kill (two survivors), as a ratio.
+* **rejoin** — the killed worker is restarted on its old port and the
+  heartbeat thread must mark it live again.
+* **clean teardown** — every child reaped, asserted hard.
+
+Emits ``BENCH_failover.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_failover.py           # full
+    PYTHONPATH=src python benchmarks/bench_failover.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.core.index import ISLabelIndex
+from repro.core.serialization import load_index, save_snapshot
+from repro.graph.generators import grid_graph
+from repro.graph.graph import Graph
+from repro.serving.chaos import FaultInjector
+from repro.serving.membership import LIVE, RetryPolicy
+from repro.serving.remote import RemoteEngine
+from repro.serving.scheduler import SchedulerPolicy, assign_shards
+from repro.workloads.datasets import load_dataset
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+FULL_DATASETS = [
+    ("grid40", lambda: grid_graph(40, 40, seed=11, max_weight=8)),
+    ("google", lambda: load_dataset("google", 1.0)),
+]
+
+QUICK_DATASETS = [
+    ("grid10", lambda: grid_graph(10, 10, seed=11, max_weight=8)),
+]
+
+SHARDS = 6
+WORKERS = 3
+REPLICATION = 2
+#: Tight backoff: the benchmark measures the failover machinery, not the
+#: politeness of its default sleeps.
+RETRY = RetryPolicy(max_attempts=4, base_delay_s=0.02, max_delay_s=0.25)
+REJOIN_TIMEOUT = 30.0
+
+
+def _query_pairs(graph: Graph, count: int, seed: int) -> List[Tuple[int, int]]:
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    return [(rng.choice(vertices), rng.choice(vertices)) for _ in range(count)]
+
+
+def _timed_pass(engine, pairs, expected, name, phase) -> float:
+    started = time.perf_counter()
+    got = engine.distances(pairs)
+    elapsed = time.perf_counter() - started
+    if got != expected:
+        raise AssertionError(f"{name}: {phase} answers disagree with fast")
+    return elapsed
+
+
+def bench_dataset(
+    name: str, graph: Graph, tmp: str, queries: int, repeats: int
+) -> Dict[str, object]:
+    built = ISLabelIndex.build(graph, engine="fast")
+    pairs = _query_pairs(graph, queries, seed=7)
+    expected = built.distances(pairs)
+    snap_path = os.path.join(tmp, f"{name}.shards")
+    save_snapshot(built, snap_path, shards=SHARDS)
+    # Double-check the oracle loads from the same artifact the fleet serves.
+    assert load_index(snap_path, engine="fast").distances(pairs[:8]) == expected[:8]
+
+    ownership = assign_shards(SHARDS, WORKERS, replication=REPLICATION)
+    fleet = FaultInjector()
+    try:
+        workers = fleet.spawn_fleet(snap_path, ownership)
+        engine = RemoteEngine(
+            addresses=fleet.addresses,
+            policy=SchedulerPolicy(max_batch=2048),
+            retry=RETRY,
+            heartbeat_s=0.25,
+        )
+        try:
+            # Steady state, full fleet.
+            steady_times = [
+                _timed_pass(engine, pairs, expected, name, "steady")
+                for _ in range(repeats)
+            ]
+            steady_best = min(steady_times)
+
+            # Kill one worker mid-stream: a timer SIGKILLs it a fraction
+            # of a steady pass into the next pass.
+            victim = workers[0]
+            killer = threading.Timer(max(steady_best * 0.2, 0.01), victim.kill)
+            killer.start()
+            kill_pass_s = _timed_pass(engine, pairs, expected, name, "kill")
+            killer.join()
+            # On tiny streams the pass can finish before the timer fires;
+            # the next pass then absorbs the (already dead) worker.
+            extra_passes = 0
+            while not engine.failovers and extra_passes < 3:
+                _timed_pass(engine, pairs, expected, name, "kill-settle")
+                extra_passes += 1
+            failovers = list(engine.failovers)
+            recovery = [f["recovery_s"] for f in failovers]
+
+            # Steady state, degraded fleet (two survivors).
+            degraded_times = [
+                _timed_pass(engine, pairs, expected, name, "degraded")
+                for _ in range(repeats)
+            ]
+            degraded_best = min(degraded_times)
+
+            # Rejoin: same identity comes back; the heartbeat must notice.
+            victim.restart()
+            rejoin_started = time.monotonic()
+            victim_client = next(
+                w for w in engine._workers if w.id == victim.worker_id
+            )
+            while victim_client.health.state != LIVE:
+                if time.monotonic() - rejoin_started > REJOIN_TIMEOUT:
+                    break
+                time.sleep(0.05)
+            rejoin_s = time.monotonic() - rejoin_started
+            rejoined = victim_client.health.state == LIVE
+            recovered_pass_s = _timed_pass(engine, pairs, expected, name, "rejoined")
+        finally:
+            engine.close()
+    finally:
+        reaped = fleet.teardown()
+
+    steady_qps = len(pairs) / steady_best if steady_best else float("inf")
+    degraded_qps = len(pairs) / degraded_best if degraded_best else float("inf")
+    return {
+        "dataset": name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "queries": len(pairs),
+        "shards": SHARDS,
+        "workers": WORKERS,
+        "replication": REPLICATION,
+        "repeats": repeats,
+        "steady_qps": steady_qps,
+        "kill_pass_seconds": kill_pass_s,
+        "failovers": len(failovers),
+        "failover_retries_max": max((f["retries"] for f in failovers), default=0),
+        "recovery_s_max": max(recovery, default=0.0),
+        "recovery_s_mean": sum(recovery) / len(recovery) if recovery else 0.0,
+        "degraded_qps": degraded_qps,
+        "degradation_ratio": (
+            degraded_qps / steady_qps if steady_qps else float("inf")
+        ),
+        "rejoined": rejoined,
+        "rejoin_s": rejoin_s,
+        "recovered_pass_seconds": recovered_pass_s,
+        "answers_exact": True,  # _timed_pass aborts otherwise
+        "workers_reaped": reaped,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny graph / few queries (CI smoke)"
+    )
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="passes per phase (best is gated)"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(REPO_ROOT / "BENCH_failover.json"),
+        help="output JSON path (default: repo root BENCH_failover.json)",
+    )
+    args = parser.parse_args(argv)
+
+    datasets = QUICK_DATASETS if args.quick else FULL_DATASETS
+    queries = args.queries or (200 if args.quick else 2000)
+
+    results = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-failover-") as tmp:
+        for name, builder in datasets:
+            row = bench_dataset(name, builder(), tmp, queries, args.repeats)
+            results.append(row)
+            print(
+                f"{name:8s} |V|={row['num_vertices']:>6} | "
+                f"steady {row['steady_qps']:>9,.0f} qps | "
+                f"degraded {row['degraded_qps']:>9,.0f} qps "
+                f"({row['degradation_ratio']:.2f}x) | "
+                f"{row['failovers']} failovers, "
+                f"recovery <= {row['recovery_s_max'] * 1000:.0f} ms | "
+                f"rejoin {row['rejoin_s']:.2f}s "
+                f"(reaped={row['workers_reaped']})"
+            )
+
+    largest = results[-1]
+    gates = {
+        "answers_exact_under_failover": all(r["answers_exact"] for r in results),
+        "failover_observed": all(r["failovers"] > 0 for r in results),
+        "recovery_under_5s": largest["recovery_s_max"] <= 5.0,
+        "degradation_at_least_third": largest["degradation_ratio"] >= 1.0 / 3.0,
+        "killed_worker_rejoins": all(r["rejoined"] for r in results),
+        "workers_reaped": all(r["workers_reaped"] for r in results),
+    }
+    report = {
+        "benchmark": "failover",
+        "mode": "quick" if args.quick else "full",
+        "queries_per_dataset": queries,
+        "workers": WORKERS,
+        "shards": SHARDS,
+        "replication": REPLICATION,
+        "datasets": results,
+        "largest_dataset": largest["dataset"],
+        "gates": gates,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    ok = all(gates.values())
+    print("gates:", gates, "->", "PASS" if ok else "FAIL")
+    if args.quick:
+        # Smoke mode gates correctness and hygiene only; the timing gates
+        # are meaningless on a tiny graph.
+        return (
+            0
+            if (
+                gates["answers_exact_under_failover"]
+                and gates["failover_observed"]
+                and gates["workers_reaped"]
+            )
+            else 1
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

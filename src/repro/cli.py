@@ -9,6 +9,8 @@ build-directed  Build a directed (§8.2) index from a directed edge list.
 query-directed  Answer directed distance/path queries against a saved index.
 snapshot        Convert a saved index into a zero-copy serving snapshot.
 serve           Serve an index/snapshot over the shard wire protocol.
+rebalance       Move a worker's shard slice to a freshly spawned worker:
+                spawn, join (epoch bump), drain the old owner.
 serve-bench     Load an index/snapshot and measure serving throughput + RSS
                 (``--remote host:port,...`` benches a shard-worker fleet
                 through the scheduled remote engine instead).
@@ -29,8 +31,9 @@ python -m repro stats google.islx
 python -m repro query google.islx 3 847 --path
 python -m repro snapshot google.islx -o google.snap --shards 4
 python -m repro serve-bench google.snap --engine sharded --workers 4
-python -m repro serve google.shards --port 7071 --owned 0,1
+python -m repro serve google.shards --port 7071 --owned 0,1 --strict
 python -m repro serve-bench google.shards --remote 127.0.0.1:7071
+python -m repro rebalance google.shards --source 127.0.0.1:7071
 python -m repro build-directed roads.txt -o roads.isld
 python -m repro query-directed roads.isld 3 847
 """
@@ -153,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write this many vertex-id-range label shards (a directory) "
         "instead of one file",
     )
+    p_snap.add_argument(
+        "--checksum",
+        action="store_true",
+        help="stamp every snapshot section with a CRC32, verified lazily "
+        "on first map (corruption loads as a loud error, not wrong answers)",
+    )
 
     p_server = commands.add_parser(
         "serve",
@@ -175,6 +184,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated shard indices this worker owns "
         "(default: all shards)",
+    )
+    p_server.add_argument(
+        "--strict",
+        action="store_true",
+        help="enforce ownership: reject buckets touching none of the "
+        "owned shards with the not_owner error kind (clients treat it "
+        "as a membership-staleness signal)",
+    )
+    p_server.add_argument(
+        "--epoch",
+        type=int,
+        default=0,
+        help="membership epoch a supervisor assigned this worker",
+    )
+
+    p_rebal = commands.add_parser(
+        "rebalance",
+        help="spawn a fresh worker for a shard slice and drain its old owner",
+    )
+    p_rebal.add_argument("index", help="stream index or snapshot (file/dir)")
+    p_rebal.add_argument(
+        "--source",
+        required=True,
+        metavar="HOST:PORT",
+        help="the worker currently owning the slice (will be drained)",
+    )
+    p_rebal.add_argument(
+        "--owned",
+        default=None,
+        help="comma-separated shard indices to move (default: everything "
+        "the source worker owns)",
+    )
+    p_rebal.add_argument(
+        "--engine",
+        choices=available_engines(UNDIRECTED),
+        default="sharded",
+        help="serving backend of the spawned worker (default: sharded)",
+    )
+    p_rebal.add_argument("--host", default="127.0.0.1")
+    p_rebal.add_argument(
+        "--port", type=int, default=0, help="0 = let the OS pick a free port"
+    )
+    p_rebal.add_argument(
+        "--strict",
+        action="store_true",
+        help="spawn the new worker in strict-ownership mode",
+    )
+    p_rebal.add_argument(
+        "--stop-source",
+        action="store_true",
+        help="shut the drained source worker down instead of leaving it "
+        "draining (it answers not_owner until then)",
     )
 
     p_serve = commands.add_parser(
@@ -333,9 +394,13 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         index = load_directed_index(args.index, engine="fast")
     else:
         index = load_index(args.index, engine="fast")
-    nbytes = save_snapshot(index, args.output, shards=args.shards)
+    nbytes = save_snapshot(
+        index, args.output, shards=args.shards, checksum=args.checksum
+    )
     kind = "directed" if isinstance(index, DirectedISLabelIndex) else "undirected"
     layout = f"{args.shards} shards" if args.shards > 1 else "single file"
+    if args.checksum:
+        layout += ", crc32"
     print(
         f"wrote {kind} snapshot {args.output} "
         f"({human_bytes(nbytes)}, {layout})"
@@ -405,7 +470,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     owned = None
     if args.owned:
         owned = [int(x) for x in args.owned.split(",") if x.strip()]
-    server = ShardServer(index, host=args.host, port=args.port, owned=owned)
+    server = ShardServer(
+        index,
+        host=args.host,
+        port=args.port,
+        owned=owned,
+        strict=args.strict,
+        epoch=args.epoch,
+    )
     server.bind()
     host, port = server.address
     # One parseable line so fleet supervisors (and the benchmark harness)
@@ -413,7 +485,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"SERVING {host}:{port} kind={server.kind} "
         f"shards={max(len(server.shard_starts), 1)} "
-        f"owned={','.join(map(str, server.owned))}",
+        f"owned={','.join(map(str, server.owned))} "
+        f"epoch={server.epoch} strict={int(server.strict)}",
         flush=True,
     )
     try:
@@ -422,6 +495,125 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.shutdown()
+    return 0
+
+
+def _fleet_request(worker_id: str, payload: dict, timeout: float = 10.0) -> dict:
+    """One wire round trip to ``host:port``-identified fleet worker."""
+    import socket
+
+    from repro.serving import wire
+
+    host, sep, port = worker_id.rpartition(":")
+    if not sep:
+        raise ReproError(f"worker id {worker_id!r} is not host:port")
+    sock = socket.create_connection((host, int(port)), timeout=timeout)
+    try:
+        return wire.request(sock, payload)
+    finally:
+        sock.close()
+
+
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    """Elastic rebalancing: spawn, hand over shards, flip epoch, drain.
+
+    Sequence (§ Failure model in ARCHITECTURE.md):
+
+    1. read the source worker's ownership + the fleet's membership view;
+    2. spawn a fresh ``repro serve`` worker over the same snapshot with
+       the moving shard slice (its own session, so it outlives this CLI);
+    3. announce the join to every fleet member (epoch bump) so strict
+       workers accept the new routes and clients can discover the worker;
+    4. announce the source worker's leave — it drains: in-flight buckets
+       complete, new non-owned buckets are answered ``not_owner``.
+    """
+    from repro.serving.remote import parse_addresses
+
+    ((src_host, src_port),) = parse_addresses(args.source)
+    source_id = f"{src_host}:{src_port}"
+    hello = _fleet_request(source_id, {"op": "hello"})
+    if "error" in hello:
+        raise ReproError(f"source worker rejected hello: {hello['error']}")
+    source_id = hello.get("worker") or source_id
+    view = _fleet_request(source_id, {"op": "membership"})
+    if "error" in view:
+        raise ReproError(f"source worker has no membership: {view['error']}")
+    epoch = int(view.get("epoch", hello.get("epoch", 0)))
+    members = view.get("members", {})
+
+    if args.owned:
+        owned = sorted({int(x) for x in args.owned.split(",") if x.strip()})
+    else:
+        owned = [int(i) for i in hello.get("owned", [])]
+    if not owned:
+        raise ReproError(
+            f"source worker {source_id} owns no shards; nothing to move"
+        )
+
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        args.index,
+        "--engine",
+        args.engine,
+        "--host",
+        args.host,
+        "--port",
+        str(args.port),
+        "--owned",
+        ",".join(map(str, owned)),
+        "--epoch",
+        str(epoch + 1),
+    ]
+    if args.strict:
+        cmd.append("--strict")
+    proc = subprocess.Popen(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        start_new_session=True,  # the worker outlives this CLI invocation
+    )
+    line = proc.stdout.readline().strip()
+    if not line.startswith("SERVING "):
+        proc.terminate()
+        raise ReproError(
+            f"spawned worker failed to announce itself (got {line!r})"
+        )
+    new_id = line.split()[1]
+
+    fleet = sorted(set(members) | {source_id, new_id})
+    join_epoch = epoch + 1
+    leave_epoch = epoch + 2
+    for worker_id in fleet:
+        try:
+            _fleet_request(
+                worker_id,
+                {"op": "join", "worker": new_id, "owned": owned,
+                 "epoch": join_epoch},
+            )
+            _fleet_request(
+                worker_id,
+                {"op": "leave", "worker": source_id, "epoch": leave_epoch},
+            )
+        except (OSError, ReproError):
+            # A dead fleet member learns the new map when it refreshes;
+            # rebalancing must not abort halfway through the announce.
+            continue
+    if args.stop_source:
+        try:
+            _fleet_request(source_id, {"op": "shutdown"})
+        except (OSError, ReproError):
+            pass
+    print(
+        f"REBALANCED {source_id} -> {new_id} "
+        f"shards={','.join(map(str, owned))} epoch={leave_epoch} "
+        f"pid={proc.pid} "
+        f"source={'stopped' if args.stop_source else 'draining'}",
+        flush=True,
+    )
     return 0
 
 
@@ -543,6 +735,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query-directed": _cmd_query_directed,
         "snapshot": _cmd_snapshot,
         "serve": _cmd_serve,
+        "rebalance": _cmd_rebalance,
         "serve-bench": _cmd_serve_bench,
         "stats": _cmd_stats,
         "dataset": _cmd_dataset,

@@ -45,6 +45,7 @@ __all__ = [
     "CAP_SNAPSHOT",
     "CAP_SHARDED",
     "CAP_REMOTE",
+    "CAP_FAULT_TOLERANT",
     "register_engine",
     "resolve_engine",
     "available_engines",
@@ -73,6 +74,11 @@ CAP_SHARDED = "sharded"
 #: addresses, not labels, and serving topology (not the facade) decides
 #: where the index actually lives.
 CAP_REMOTE = "remote"
+#: The engine survives worker faults: replica-aware retry with backoff,
+#: health-checked membership (suspect/dead/recovered), and staleness
+#: refresh on ownership rejections — a single worker's death never loses
+#: or corrupts a query when shard ownership is replicated.
+CAP_FAULT_TOLERANT = "fault_tolerant"
 
 
 @runtime_checkable

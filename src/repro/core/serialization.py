@@ -474,6 +474,7 @@ def save_snapshot(
     index: Union[ISLabelIndex, DirectedISLabelIndex],
     path: PathLike,
     shards: int = 1,
+    checksum: bool = False,
 ) -> int:
     """Write ``index`` as a zero-copy serving snapshot; returns bytes.
 
@@ -491,6 +492,10 @@ def save_snapshot(
     packed through a transient fast engine.  Path-reconstruction state
     (``with_paths``) and dynamic counters are *not* captured — snapshots
     are static serving artifacts; use the stream format for those.
+
+    ``checksum=True`` adds a CRC32 per snapshot section, verified lazily
+    on the section's first map; corruption then loads as a loud
+    :class:`StorageError` naming the section and file.
     """
     directed = isinstance(index, DirectedISLabelIndex)
     engine = index._fast
@@ -517,6 +522,7 @@ def save_snapshot(
         extra_sections={"cov_keys": cov_keys, "cov_levels": cov_levels},
         meta=meta,
         shards=shards,
+        checksum=checksum,
     )
 
 

@@ -43,6 +43,7 @@ import os
 import shutil
 import struct
 import tempfile
+import zlib
 from bisect import bisect_right
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -141,13 +142,19 @@ def _reap_spills() -> None:  # pragma: no cover - exercised via subprocess
 # Low-level file format: header + aligned sections + trailing JSON TOC
 # ----------------------------------------------------------------------
 def _write_section_file(
-    path: str, kind: int, meta: Dict, sections: Dict[str, np.ndarray]
+    path: str,
+    kind: int,
+    meta: Dict,
+    sections: Dict[str, np.ndarray],
+    checksum: bool = False,
 ) -> int:
     """Write one snapshot file; returns bytes written.
 
     ``sections`` maps name -> array; arrays are dumped raw (C order,
     native little-endian dtypes) at 64-byte-aligned offsets, and the
     closing TOC records ``{name: {dtype, shape, offset}}`` plus ``meta``.
+    ``checksum=True`` adds a ``crc32`` per TOC entry, verified lazily on
+    the section's first map (:meth:`SnapshotFile.array`).
     """
     toc_sections = []
     with open(path, "wb") as fh:
@@ -160,14 +167,15 @@ def _write_section_file(
                 fh.write(b"\0" * pad)
             offset = fh.tell()
             arr.tofile(fh)
-            toc_sections.append(
-                {
-                    "name": name,
-                    "dtype": arr.dtype.str,
-                    "shape": list(arr.shape),
-                    "offset": offset,
-                }
-            )
+            entry = {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+            }
+            if checksum:
+                entry["crc32"] = zlib.crc32(memoryview(arr).cast("B"))
+            toc_sections.append(entry)
         toc_offset = fh.tell()
         blob = json.dumps(
             {"meta": meta, "sections": toc_sections}, sort_keys=True
@@ -186,7 +194,7 @@ def _write_section_file(
 class SnapshotFile:
     """One snapshot file: parsed header/TOC plus per-section memmaps."""
 
-    __slots__ = ("path", "kind", "meta", "_toc")
+    __slots__ = ("path", "kind", "meta", "_toc", "_verified")
 
     def __init__(self, path: str) -> None:
         self.path = os.fspath(path)
@@ -226,6 +234,7 @@ class SnapshotFile:
         self.kind = kind
         self.meta: Dict = toc.get("meta", {})
         self._toc = {entry["name"]: entry for entry in toc["sections"]}
+        self._verified: set = set()
 
     def has(self, name: str) -> bool:
         return name in self._toc
@@ -235,12 +244,20 @@ class SnapshotFile:
 
         ``writable=True`` maps copy-on-write (``mode="c"``): writes land in
         private pages of the calling process; the file never changes.
+
+        Sections written with ``checksum=True`` carry a ``crc32`` TOC
+        entry, verified here lazily on the section's *first* access (a
+        streamed read over the raw bytes — the page cost is paid anyway
+        by the queries about to touch the map); a mismatch raises
+        :class:`StorageError` naming the section and the file.
         """
         entry = self._toc.get(name)
         if entry is None:
             raise StorageError(f"{self.path}: no snapshot section {name!r}")
         dtype = np.dtype(entry["dtype"])
         shape = tuple(entry["shape"])
+        if "crc32" in entry and name not in self._verified:
+            self._verify(name, entry, dtype, shape)
         if int(np.prod(shape)) == 0:
             return np.empty(shape, dtype=dtype)
         return np.memmap(
@@ -250,6 +267,32 @@ class SnapshotFile:
             offset=entry["offset"],
             shape=shape,
         )
+
+    def _verify(
+        self, name: str, entry: Dict, dtype: np.dtype, shape: Tuple[int, ...]
+    ) -> None:
+        """Stream the section's bytes and compare against the TOC crc32."""
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        crc = 0
+        with open(self.path, "rb") as fh:
+            fh.seek(entry["offset"])
+            remaining = nbytes
+            while remaining:
+                chunk = fh.read(min(remaining, 1 << 20))
+                if not chunk:
+                    raise StorageError(
+                        f"{self.path}: section {name!r} is truncated "
+                        f"({nbytes - remaining} of {nbytes} bytes)"
+                    )
+                crc = zlib.crc32(chunk, crc)
+                remaining -= len(chunk)
+        if crc != int(entry["crc32"]):
+            raise StorageError(
+                f"{self.path}: checksum mismatch in section {name!r} "
+                f"(stored crc32 {entry['crc32']}, computed {crc}) — "
+                "the snapshot is corrupt; rebuild it with save_snapshot"
+            )
+        self._verified.add(name)
 
     def flat_labels(self, prefix: str) -> FlatLabels:
         """The seven ``{prefix}_*`` sections as a :class:`FlatLabels`."""
@@ -321,6 +364,7 @@ def write_snapshot(
     extra_sections: Optional[Dict[str, np.ndarray]] = None,
     meta: Optional[Dict] = None,
     shards: int = 1,
+    checksum: bool = False,
 ) -> int:
     """Dump a frozen packed engine as a snapshot; returns bytes written.
 
@@ -331,6 +375,11 @@ def write_snapshot(
     contiguous vertex-id range of every label table.  ``extra_sections``
     and ``meta`` ride in the shared file so facades can reconstruct
     coverage information without touching the label shards.
+
+    ``checksum=True`` stamps every TOC section with a CRC32, verified
+    lazily when a reader first maps the section — bit rot or a torn copy
+    surfaces as a :class:`StorageError` naming the section instead of as
+    silently wrong distances.
     """
     kind, shared, flats = _engine_parts(engine)
     meta = dict(meta or {})
@@ -350,7 +399,7 @@ def write_snapshot(
         sections = dict(shared)
         for prefix, flat in flats.items():
             sections.update(_flat_sections(prefix, flat))
-        return _write_section_file(path, kind, meta, sections)
+        return _write_section_file(path, kind, meta, sections, checksum=checksum)
 
     # Shard boundaries: the union of every table's keys, split into
     # near-equal contiguous vertex-id ranges.
@@ -397,11 +446,15 @@ def write_snapshot(
             sections.update(_flat_sections(prefix, _slice_flat(flat, lo, hi)))
         name = f"shard-{i:04d}.snap"
         total += _write_section_file(
-            os.path.join(path, name), kind, {"shard": i, "start": start}, sections
+            os.path.join(path, name),
+            kind,
+            {"shard": i, "start": start},
+            sections,
+            checksum=checksum,
         )
         shard_entries.append({"file": name, "start": start})
     total += _write_section_file(
-        os.path.join(path, "shared.snap"), kind, meta, shared
+        os.path.join(path, "shared.snap"), kind, meta, shared, checksum=checksum
     )
     manifest = {
         "magic": SNAPSHOT_MAGIC.decode("ascii"),

@@ -1,0 +1,250 @@
+"""Cluster membership for shard fleets: who owns what, and since when.
+
+A serving deployment is a set of workers (:class:`~repro.serving.server.
+ShardServer` processes) each claiming a slice of a sharded snapshot's
+ownership map.  PR 5 fixed that assignment at spawn time; this module
+makes it a first-class, *versioned* piece of cluster state so the fleet
+can survive worker death, joins/leaves and rebalancing:
+
+* :class:`MembershipMap` — the shard→owners assignment, stamped with a
+  monotonically increasing **epoch**.  Every mutation (a worker joining,
+  leaving, or being handed shards) bumps the epoch; a client holding an
+  older epoch is *stale* and refreshes when a strict server tells it so
+  (the ``not_owner`` wire error).  Workers are identified by their
+  ``host:port`` serving address, which is also how a client dials them —
+  the map is self-contained routing state.
+* :class:`WorkerHealth` — the per-worker failure-detector state machine
+  (``live`` → ``suspect`` → ``dead`` → recovered ``live``) driven by
+  dispatch failures and ``ping`` heartbeats.
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  jitter for replica-aware dispatch: when an owner dies mid-bucket, the
+  client retries the bucket against the next live owner with the failed
+  one excluded.
+
+The robustness lens is Korman & Kutten's (*Labeling Schemes with
+Queries*): what can still be answered when some label holders are
+unavailable?  With replicated shard ownership (``assign_shards(...,
+replication=2)``) the answer is *everything, exactly* — any single
+worker's labels are also held by a surviving replica, and the shared
+``G_k``/all-pairs tier is replicated to every worker by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, NamedTuple, Optional
+
+from repro.errors import QueryError, StorageError
+
+__all__ = [
+    "LIVE",
+    "SUSPECT",
+    "DEAD",
+    "MembershipMap",
+    "WorkerHealth",
+    "RetryPolicy",
+]
+
+#: Health states of one fleet worker, as seen by a client or supervisor.
+LIVE = "live"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+
+class MembershipMap:
+    """Versioned worker → owned-shards assignment of one fleet.
+
+    The epoch is the staleness token: every mutating operation
+    (:meth:`join`, :meth:`leave`) bumps it, and wire payloads carry it so
+    two views of the fleet can be ordered (:meth:`merge` adopts the newer
+    one).  Workers are keyed by their ``host:port`` serving address.
+    """
+
+    __slots__ = ("epoch", "_members")
+
+    def __init__(
+        self,
+        epoch: int = 0,
+        members: Optional[Dict[str, Iterable[int]]] = None,
+    ) -> None:
+        self.epoch = int(epoch)
+        self._members: Dict[str, List[int]] = {}
+        for worker, shards in (members or {}).items():
+            self.set(worker, shards)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def members(self) -> Dict[str, List[int]]:
+        """``{worker: sorted owned shard indices}`` (a copy)."""
+        return {w: list(s) for w, s in self._members.items()}
+
+    def workers(self) -> List[str]:
+        return sorted(self._members)
+
+    def owned_by(self, worker: str) -> List[int]:
+        """Shards owned by ``worker`` ([] when unknown)."""
+        return list(self._members.get(worker, []))
+
+    def owners_of(self, shard: int) -> List[str]:
+        """Workers owning ``shard``, sorted (the replica set to dial)."""
+        return sorted(
+            w for w, shards in self._members.items() if shard in shards
+        )
+
+    def __contains__(self, worker: str) -> bool:
+        return worker in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    # ------------------------------------------------------------------
+    # Mutation (every change bumps the epoch)
+    # ------------------------------------------------------------------
+    def set(self, worker: str, shards: Iterable[int]) -> None:
+        """Seed/overwrite one assignment *without* bumping the epoch.
+
+        For constructing an initial map (a server registering itself at
+        bind time); runtime changes go through :meth:`join`/:meth:`leave`.
+        """
+        if not worker:
+            raise StorageError("membership worker id must be non-empty")
+        self._members[str(worker)] = sorted({int(s) for s in shards})
+
+    def _bump(self, epoch: Optional[int]) -> int:
+        self.epoch = max(self.epoch + 1, int(epoch) if epoch is not None else 0)
+        return self.epoch
+
+    def join(
+        self, worker: str, shards: Iterable[int], epoch: Optional[int] = None
+    ) -> int:
+        """Record ``worker`` (re)joining with ``shards``; returns the new epoch.
+
+        ``epoch`` (from the wire) lets a supervisor impose an ordering —
+        the map adopts ``max(self.epoch + 1, epoch)`` so replayed or
+        crossed messages cannot move the fleet backwards.
+        """
+        self.set(worker, shards)
+        return self._bump(epoch)
+
+    def leave(self, worker: str, epoch: Optional[int] = None) -> int:
+        """Remove ``worker`` from the map; returns the new epoch.
+
+        Unknown workers still bump the epoch: the *intent* ("this worker
+        is gone") is cluster state even if this view never saw it join.
+        """
+        self._members.pop(str(worker), None)
+        return self._bump(epoch)
+
+    def merge(self, other: "MembershipMap") -> bool:
+        """Adopt ``other``'s assignment iff its epoch is newer; True if adopted."""
+        if other.epoch <= self.epoch:
+            return False
+        self.epoch = other.epoch
+        self._members = {w: list(s) for w, s in other._members.items()}
+        return True
+
+    # ------------------------------------------------------------------
+    # Wire form
+    # ------------------------------------------------------------------
+    def to_wire(self) -> Dict[str, object]:
+        """JSON-safe payload of the ``membership`` op."""
+        return {"epoch": self.epoch, "members": self.members()}
+
+    @classmethod
+    def from_wire(cls, payload: Dict) -> "MembershipMap":
+        members = payload.get("members")
+        if not isinstance(members, dict):
+            raise StorageError(
+                "malformed membership payload (no 'members' object)"
+            )
+        return cls(epoch=int(payload.get("epoch", 0)), members=members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MembershipMap(epoch={self.epoch}, members={self._members})"
+
+
+class WorkerHealth:
+    """Failure-detector state of one worker: live → suspect → dead.
+
+    Driven from two places: dispatch failures (a broken connection is
+    *fatal* — the worker is dead until a reconnect succeeds) and the
+    heartbeat thread's ``ping`` probes (a missed ping makes the worker
+    *suspect*; ``dead_after`` consecutive misses make it dead).  Any
+    success resets to live — that transition is "recovered".
+    """
+
+    __slots__ = ("state", "failures", "dead_after")
+
+    def __init__(self, dead_after: int = 2) -> None:
+        if dead_after < 1:
+            raise QueryError(f"dead_after must be >= 1, got {dead_after}")
+        self.state = LIVE
+        self.failures = 0
+        self.dead_after = dead_after
+
+    def record_failure(self, fatal: bool = False) -> str:
+        """One failed probe/dispatch; returns the new state."""
+        self.failures += 1
+        if fatal or self.failures >= self.dead_after:
+            self.state = DEAD
+        elif self.state != DEAD:
+            self.state = SUSPECT
+        return self.state
+
+    def record_success(self) -> str:
+        """One successful probe/dispatch; returns the new state (live)."""
+        self.failures = 0
+        self.state = LIVE
+        return self.state
+
+    @property
+    def usable(self) -> bool:
+        """Whether dispatch should still route to this worker."""
+        return self.state != DEAD
+
+
+class RetryPolicy(NamedTuple):
+    """Replica-aware retry knobs of the remote engine.
+
+    ``max_attempts``
+        Total dispatch attempts per bucket (first try included).  Each
+        failed attempt excludes the failed owner and moves to the next
+        live replica.
+    ``base_delay_s`` / ``max_delay_s``
+        Exponential backoff between attempts: attempt ``i`` sleeps
+        ``min(base * 2**i, max)`` seconds (before jitter).  The first
+        attempt never sleeps.
+    ``jitter``
+        Fraction of each delay randomized away (``0`` = deterministic,
+        ``0.5`` = delays land in ``[0.5 d, d]``) so a fleet of clients
+        does not thunder back onto a recovering worker in lockstep.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+
+    def validate(self) -> "RetryPolicy":
+        if self.max_attempts < 1:
+            raise QueryError(
+                f"RetryPolicy.max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise QueryError("RetryPolicy delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise QueryError(
+                f"RetryPolicy.jitter must be in [0, 1], got {self.jitter}"
+            )
+        return self
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before retry number ``attempt`` (0-based, jittered)."""
+        if self.base_delay_s <= 0:
+            return 0.0
+        capped = min(self.base_delay_s * (2.0 ** max(attempt, 0)), self.max_delay_s)
+        if self.jitter <= 0:
+            return capped
+        roll = (rng or random).random()
+        return capped * (1.0 - self.jitter * roll)

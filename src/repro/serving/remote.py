@@ -5,12 +5,13 @@ Registered for both orientations behind the standard
 the :class:`~repro.core.engines.QueryEngine` protocol without holding a
 single label: ``freeze`` dials the configured workers
 (:class:`~repro.serving.server.ShardServer` processes), learns the shard
-layout and each worker's owned slice from the ``hello`` handshake, and
-builds a :class:`~repro.serving.scheduler.ShardScheduler` whose dispatch
-sends each shard-pair bucket as **one** ``distances`` frame to a worker
-owning the bucket's source shard.  A fleet of workers each mapping only
-its owned shard files can therefore serve an index larger than any
-single worker's RAM, while the client amortizes framing and the server
+layout, each worker's owned slice and the membership **epoch** from the
+``hello`` handshake, and builds a
+:class:`~repro.serving.scheduler.ShardScheduler` whose dispatch sends
+each shard-pair bucket as **one** ``distances`` frame to a worker owning
+the bucket's source shard.  A fleet of workers each mapping only its
+owned shard files can therefore serve an index larger than any single
+worker's RAM, while the client amortizes framing and the server
 amortizes its vectorized batch stages per bucket.
 
 Worker addresses come from the ``addresses`` constructor argument or the
@@ -22,21 +23,43 @@ unchanged::
     index = load_index("web.shards", engine="remote")   # no local labels
     index.distances(pairs)                              # scheduled over the fleet
 
-Failure behavior: a worker that reports ``{"error": ...}`` raises
-:class:`~repro.errors.QueryError` (bad query) or
-:class:`~repro.errors.StorageError` (server-side fault); a dead
-connection raises :class:`~repro.serving.wire.WireError` — the engine
-performs no silent retries, answers are exact or the call fails loudly.
+**Failure behavior** (the fault-tolerance contract): dispatch is
+*replica-aware*.  A connect failure, wire error or timeout marks the
+worker dead and retries the bucket against the next live owner — failed
+owners excluded, exponential backoff with jitter between attempts
+(:class:`~repro.serving.membership.RetryPolicy`).  A strict server's
+``not_owner`` answer is treated as a membership-staleness signal: the
+engine refreshes its :class:`~repro.serving.membership.MembershipMap`
+from the fleet (dialing any workers it learns about for the first time)
+and reroutes.  When every candidate is exhausted the engine attempts to
+*revive* dead workers (reconnect + re-handshake) before failing the
+bucket loudly with :class:`~repro.errors.StorageError` — answers are
+exact or the call errors, never silently wrong.  Each survived failover
+is recorded in :attr:`RemoteEngineBase.failovers` (bucket, retries,
+recovery seconds) for the benchmark harness.
+
+An optional background **heartbeat** thread (``heartbeat_s`` argument or
+``REPRO_REMOTE_HEARTBEAT_S``; default off) rides the ``ping`` op to mark
+workers suspect/dead between dispatches and to revive dead workers the
+moment they answer again.
+
+Per-query errors (``error_kind: "query"``) raise
+:class:`~repro.errors.QueryError` immediately — a bad query is the
+caller's bug and no amount of retrying fixes it.
 ``invalidate``/``close`` drop the connections; the next query redials.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import socket
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.engines import (
+    CAP_FAULT_TOLERANT,
     CAP_REMOTE,
     CAP_SHARDED,
     DIRECTED,
@@ -45,10 +68,18 @@ from repro.core.engines import (
 )
 from repro.errors import IndexBuildError, QueryError, StorageError
 from repro.serving import wire
+from repro.serving.membership import (
+    DEAD,
+    LIVE,
+    MembershipMap,
+    RetryPolicy,
+    WorkerHealth,
+)
 from repro.serving.scheduler import SchedulerPolicy, ShardScheduler
 
 __all__ = [
     "REMOTE_ADDRS_ENV",
+    "REMOTE_HEARTBEAT_ENV",
     "parse_addresses",
     "RemoteEngine",
     "DirectedRemoteEngine",
@@ -58,6 +89,9 @@ __all__ = [
 #: ``host:port`` entries, consulted when no ``addresses`` argument is
 #: given (the registry factory path — ``load_index(..., engine="remote")``).
 REMOTE_ADDRS_ENV = "REPRO_REMOTE_ADDRS"
+
+#: Environment fallback for the heartbeat interval (seconds; unset/0 = off).
+REMOTE_HEARTBEAT_ENV = "REPRO_REMOTE_HEARTBEAT_S"
 
 Address = Union[str, Tuple[str, int]]
 
@@ -95,41 +129,120 @@ def parse_addresses(spec: Union[str, Sequence[Address], None]) -> List[Tuple[str
 
 
 class _Worker:
-    """One connected fleet member: socket + handshake facts."""
+    """One fleet member: address, (re)connectable socket, handshake facts.
 
-    __slots__ = ("address", "sock", "owned", "shard_starts", "kind")
+    ``lock`` serializes wire round-trips per worker — the dispatch path
+    and the heartbeat thread share the socket, and a length-prefixed
+    stream cannot interleave two requests.
+    """
+
+    __slots__ = (
+        "address",
+        "timeout",
+        "sock",
+        "kind",
+        "owned",
+        "shard_starts",
+        "epoch",
+        "draining",
+        "health",
+        "lock",
+    )
 
     def __init__(self, address: Tuple[str, int], timeout: float) -> None:
-        self.address = address
+        self.address = (str(address[0]), int(address[1]))
+        self.timeout = timeout
+        self.sock: Optional[socket.socket] = None
+        self.kind: str = "undirected"
+        self.owned: List[int] = []
+        self.shard_starts: List[int] = []
+        self.epoch = 0
+        self.draining = False
+        self.health = WorkerHealth()
+        self.lock = threading.Lock()
+
+    @property
+    def id(self) -> str:
+        """The fleet identity (``host:port``) — also how the server names itself."""
+        return f"{self.address[0]}:{self.address[1]}"
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        """(Re)dial and handshake; raises :class:`StorageError` on failure."""
+        self.close()
         try:
-            self.sock = socket.create_connection(address, timeout=timeout)
+            sock = socket.create_connection(self.address, timeout=self.timeout)
         except OSError as exc:
             raise StorageError(
-                f"cannot connect to shard worker {address[0]}:{address[1]} "
-                f"({exc})"
+                f"cannot connect to shard worker {self.id} ({exc})"
             ) from None
         try:
-            hello = wire.request(self.sock, {"op": "hello"})
+            # A configured wire timeout overrides the dial timeout that
+            # create_connection left armed on the socket.
+            wire.apply_timeout(sock)
+        except ValueError:
+            pass
+        try:
+            hello = wire.request(sock, {"op": "hello"})
         except BaseException:
-            self.close()  # don't leak the connected socket mid-handshake
+            try:
+                sock.close()
+            except OSError:
+                pass
             raise
         if "error" in hello:
-            self.close()
+            sock.close()
             raise StorageError(
-                f"worker {address[0]}:{address[1]} rejected the handshake: "
-                f"{hello['error']}"
+                f"worker {self.id} rejected the handshake: {hello['error']}"
             )
-        self.kind: str = hello.get("kind", "undirected")
-        self.owned: List[int] = [int(i) for i in hello.get("owned", [])]
-        self.shard_starts: List[int] = [
-            int(s) for s in hello.get("shard_starts", [])
-        ]
+        self.sock = sock
+        self.apply_hello(hello)
+
+    def refresh(self) -> None:
+        """Re-run ``hello`` on the live socket (membership staleness path)."""
+        self.apply_hello(self.request({"op": "hello"}))
+
+    def apply_hello(self, hello: dict) -> None:
+        self.kind = hello.get("kind", "undirected")
+        self.owned = [int(i) for i in hello.get("owned", [])]
+        self.shard_starts = [int(s) for s in hello.get("shard_starts", [])]
+        self.epoch = int(hello.get("epoch", 0))
+        self.draining = bool(hello.get("draining", False))
+
+    def request(self, payload: dict) -> dict:
+        """One serialized round trip; connects lazily after a close."""
+        with self.lock:
+            if self.sock is None:
+                self.connect()
+            return wire.request(self.sock, payload)
 
     def close(self) -> None:
-        try:
-            self.sock.close()
-        except OSError:
-            pass
+        sock, self.sock = self.sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Worker({self.id}, {self.health.state}, owned={self.owned})"
+
+
+def _heartbeat_interval(value: Optional[float]) -> float:
+    """Resolve the heartbeat interval (argument wins over env; 0 = off)."""
+    if value is not None:
+        return max(float(value), 0.0)
+    raw = os.environ.get(REMOTE_HEARTBEAT_ENV, "").strip()
+    if not raw:
+        return 0.0
+    try:
+        return max(float(raw), 0.0)
+    except ValueError:
+        raise IndexBuildError(
+            f"{REMOTE_HEARTBEAT_ENV} must be a number of seconds, got {raw!r}"
+        ) from None
 
 
 class RemoteEngineBase:
@@ -143,6 +256,8 @@ class RemoteEngineBase:
         addresses: Union[str, Sequence[Address], None],
         policy: Optional[SchedulerPolicy],
         timeout: float,
+        retry: Optional[RetryPolicy] = None,
+        heartbeat_s: Optional[float] = None,
     ) -> None:
         if addresses is None:
             addresses = os.environ.get(REMOTE_ADDRS_ENV)
@@ -155,54 +270,72 @@ class RemoteEngineBase:
             )
         self.policy = policy
         self.timeout = timeout
+        self.retry = (retry or RetryPolicy()).validate()
+        self.heartbeat_s = _heartbeat_interval(heartbeat_s)
         self.frozen = False
         self.scheduler: Optional[ShardScheduler] = None
+        self.membership = MembershipMap()
+        #: Survived failovers, for observability and the failover bench:
+        #: ``{"bucket": [s_shard, t_shard], "retries": n, "recovery_s": t}``.
+        self.failovers: List[dict] = []
         self._workers: List[_Worker] = []
         self._owners: Dict[int, List[_Worker]] = {}
         self._rotation: Dict[int, int] = {}
+        self._starts: List[int] = []
+        self._route_lock = threading.Lock()
+        self._rng = random.Random()
+        self._hb_thread: Optional[threading.Thread] = None
+        self._hb_stop = threading.Event()
 
     # ------------------------------------------------------------------
     # QueryEngine protocol
     # ------------------------------------------------------------------
     def freeze(self) -> "RemoteEngineBase":
-        """Dial the fleet, handshake, and build the routing scheduler."""
+        """Dial the fleet, handshake, and build the routing scheduler.
+
+        Tolerates dead workers as long as at least one connects (the dead
+        ones stay in the pool for revival); a fleet where *no* worker
+        answers fails loudly.
+        """
         if self.frozen:
             return self
-        workers: List[_Worker] = []
+        workers = [_Worker(addr, self.timeout) for addr in self.addresses]
+        errors: List[str] = []
+        for worker in workers:
+            try:
+                worker.connect()
+            except StorageError as exc:
+                worker.health.record_failure(fatal=True)
+                errors.append(str(exc))
+        connected = [w for w in workers if w.sock is not None]
+        if not connected:
+            for w in workers:
+                w.close()
+            raise StorageError(
+                errors[0]
+                if len(errors) == 1
+                else "cannot connect to any shard worker: " + "; ".join(errors)
+            )
         try:
-            for address in self.addresses:
-                workers.append(_Worker(address, self.timeout))
-        except BaseException:
-            for worker in workers:
-                worker.close()
+            for worker in connected:
+                self._validate(worker, reference=connected[0])
+        except StorageError:
+            for w in workers:
+                w.close()
             raise
-        starts: List[int] = []
-        for worker in workers:
-            if worker.kind != self.kind:
-                kinds = f"{worker.kind!r} vs client {self.kind!r}"
-                for w in workers:
-                    w.close()
-                raise StorageError(
-                    f"worker {worker.address[0]}:{worker.address[1]} serves "
-                    f"a different orientation ({kinds})"
-                )
-            if worker.shard_starts:
-                if starts and worker.shard_starts != starts:
-                    for w in workers:
-                        w.close()
-                    raise StorageError(
-                        "workers disagree on the shard layout; are they "
-                        "serving the same snapshot?"
-                    )
-                starts = worker.shard_starts
+        self._starts = next(
+            (w.shard_starts for w in connected if w.shard_starts), []
+        )
         self._workers = workers
-        self._owners = {}
-        for worker in workers:
-            for shard in worker.owned:
-                self._owners.setdefault(shard, []).append(worker)
-        self._rotation = {}
-        self.scheduler = ShardScheduler(starts, self._dispatch, self.policy)
+        self.membership = MembershipMap(
+            epoch=max(w.epoch for w in connected)
+        )
+        for worker in connected:
+            self.membership.set(worker.id, worker.owned)
+        self._rebuild_routing()
+        self.scheduler = ShardScheduler(self._starts, self._dispatch, self.policy)
         self.frozen = True
+        self._start_heartbeat()
         return self
 
     def distance(self, source: int, target: int) -> float:
@@ -223,52 +356,267 @@ class RemoteEngineBase:
         self.close()
 
     # ------------------------------------------------------------------
-    # Routing
+    # Validation / routing state
     # ------------------------------------------------------------------
-    def _route(self, bucket: Tuple[int, int]) -> _Worker:
-        """Worker for a bucket: an owner of the source shard, else of the
-        target shard, else any worker (round-robin)."""
-        for shard in bucket:
-            owners = self._owners.get(shard)
-            if owners:
-                slot = self._rotation.get(shard, 0)
-                self._rotation[shard] = (slot + 1) % len(owners)
-                return owners[slot % len(owners)]
-        slot = self._rotation.get(-1, 0)
-        self._rotation[-1] = (slot + 1) % len(self._workers)
-        return self._workers[slot % len(self._workers)]
-
-    def _dispatch(self, chunk, bucket) -> List[float]:
-        worker = self._route(bucket)
-        response = wire.request(
-            worker.sock,
-            {"op": "distances", "pairs": [[s, t] for s, t in chunk]},
+    def _validate(self, worker: _Worker, reference: Optional[_Worker] = None) -> None:
+        """Check a (re)connected worker against the fleet's contract."""
+        if worker.kind != self.kind:
+            raise StorageError(
+                f"worker {worker.id} serves a different orientation "
+                f"({worker.kind!r} vs client {self.kind!r})"
+            )
+        expected = self._starts or (
+            reference.shard_starts if reference is not None else []
         )
-        if "error" in response:
-            message = response["error"]
-            if response.get("error_kind") == "query":
-                raise QueryError(message)
+        if worker.shard_starts and expected and worker.shard_starts != expected:
             raise StorageError(
-                f"worker {worker.address[0]}:{worker.address[1]} failed: "
-                f"{message}"
+                "workers disagree on the shard layout; are they "
+                "serving the same snapshot?"
             )
-        answers = response.get("distances")
-        if not isinstance(answers, list):
-            raise StorageError(
-                f"worker {worker.address[0]}:{worker.address[1]} returned "
-                "no distances"
-            )
-        return [float(d) if not isinstance(d, int) else d for d in answers]
+
+    def _rebuild_routing(self) -> None:
+        """Recompute shard → owners from worker state (callers hold no locks)."""
+        owners: Dict[int, List[_Worker]] = {}
+        for worker in self._workers:
+            if worker.sock is None and worker.health.state == DEAD:
+                continue
+            for shard in worker.owned:
+                owners.setdefault(shard, []).append(worker)
+        self._owners = owners
+
+    def _usable(self, worker: _Worker, excluded: Set[str]) -> bool:
+        return (
+            worker.id not in excluded
+            and worker.health.state != DEAD
+            and not worker.draining
+        )
+
+    def _pick(
+        self, bucket: Tuple[int, int], excluded: Set[str]
+    ) -> Optional[_Worker]:
+        """Best worker for a bucket: source-shard owners, then target-shard
+        owners, then any usable worker; live preferred over suspect;
+        round-robin within the chosen class."""
+        with self._route_lock:
+            ordered: List[_Worker] = []
+            seen: Set[str] = set()
+            for shard in bucket:
+                for worker in self._owners.get(shard, []):
+                    if worker.id not in seen:
+                        seen.add(worker.id)
+                        ordered.append(worker)
+            for worker in self._workers:
+                if worker.id not in seen:
+                    seen.add(worker.id)
+                    ordered.append(worker)
+            pool = [w for w in ordered if self._usable(w, excluded)]
+            if not pool:
+                return None
+            live = [w for w in pool if w.health.state == LIVE]
+            if live:
+                pool = live
+            slot = self._rotation.get(bucket[0], 0)
+            self._rotation[bucket[0]] = slot + 1
+            return pool[slot % len(pool)]
+
+    def _revive(self, excluded: Set[str]) -> bool:
+        """Reconnect dead/excluded workers; True if any came back."""
+        revived = False
+        for worker in self._workers:
+            if worker.health.state != DEAD and worker.id not in excluded:
+                continue
+            try:
+                worker.connect()
+                self._validate(worker)
+            except (StorageError, wire.WireError, OSError):
+                worker.close()
+                continue
+            worker.health.record_success()
+            excluded.discard(worker.id)
+            with self._route_lock:
+                self.membership.set(worker.id, worker.owned)
+            revived = True
+        if revived:
+            with self._route_lock:
+                self._rebuild_routing()
+        return revived
+
+    def _refresh_membership(self) -> None:
+        """Re-learn the fleet after a staleness signal (``not_owner``).
+
+        Re-hellos every reachable worker, adopts the newest membership
+        view any of them holds, dials workers the map names that this
+        client has never met, and rebuilds routing.
+        """
+        best: Optional[MembershipMap] = None
+        for worker in list(self._workers):
+            try:
+                worker.refresh()
+                payload = worker.request({"op": "membership"})
+            except (wire.WireError, OSError, StorageError):
+                worker.health.record_failure(fatal=True)
+                worker.close()
+                continue
+            worker.health.record_success()
+            if payload.get("ok"):
+                try:
+                    view = MembershipMap.from_wire(payload)
+                except StorageError:
+                    continue
+                if best is None or view.epoch > best.epoch:
+                    best = view
+        with self._route_lock:
+            if best is not None:
+                self.membership.merge(best)
+            known = {w.id for w in self._workers}
+            discovered = [
+                w for w in self.membership.workers() if w not in known
+            ]
+        for worker_id in discovered:
+            host, sep, port = worker_id.rpartition(":")
+            if not sep:
+                continue
+            try:
+                worker = _Worker((host, int(port)), self.timeout)
+                worker.connect()
+                self._validate(worker)
+            except (StorageError, ValueError, OSError):
+                continue
+            with self._route_lock:
+                self._workers.append(worker)
+        with self._route_lock:
+            self._rebuild_routing()
+
+    # ------------------------------------------------------------------
+    # Replica-aware dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, chunk, bucket) -> List[float]:
+        pairs = [[s, t] for s, t in chunk]
+        excluded: Set[str] = set()
+        attempt = 0
+        failed_at: Optional[float] = None
+        last_error: Optional[str] = None
+        revive_budget = 1  # one full revive sweep per bucket
+        while attempt < self.retry.max_attempts:
+            worker = self._pick(bucket, excluded)
+            if worker is None:
+                if revive_budget > 0 and self._revive(excluded):
+                    revive_budget -= 1
+                    continue
+                break
+            if attempt > 0:
+                time.sleep(self.retry.delay(attempt - 1, self._rng))
+            try:
+                response = worker.request({"op": "distances", "pairs": pairs})
+            except (wire.WireError, OSError, StorageError) as exc:
+                worker.health.record_failure(fatal=True)
+                worker.close()
+                excluded.add(worker.id)
+                last_error = f"{worker.id}: {exc}"
+                if failed_at is None:
+                    failed_at = time.monotonic()
+                attempt += 1
+                continue
+            if "error" in response:
+                error_kind = response.get("error_kind")
+                if error_kind == "not_owner":
+                    # Membership staleness, not a fault: refresh and
+                    # reroute with this worker excluded for the bucket.
+                    excluded.add(worker.id)
+                    last_error = f"{worker.id}: {response['error']}"
+                    if failed_at is None:
+                        failed_at = time.monotonic()
+                    self._refresh_membership()
+                    attempt += 1
+                    continue
+                if error_kind == "query":
+                    raise QueryError(response["error"])
+                raise StorageError(
+                    f"worker {worker.id} failed: {response['error']}"
+                )
+            worker.health.record_success()
+            answers = response.get("distances")
+            if not isinstance(answers, list) or len(answers) != len(chunk):
+                raise StorageError(
+                    f"worker {worker.id} returned "
+                    f"{'no' if not isinstance(answers, list) else len(answers)} "
+                    f"distances for {len(chunk)} queries"
+                )
+            if failed_at is not None:
+                self.failovers.append(
+                    {
+                        "bucket": [int(bucket[0]), int(bucket[1])],
+                        "retries": attempt,
+                        "recovery_s": time.monotonic() - failed_at,
+                    }
+                )
+            return [float(d) if not isinstance(d, int) else d for d in answers]
+        raise StorageError(
+            f"bucket {bucket} failed after {attempt} attempt(s) across the "
+            f"fleet (excluded: {sorted(excluded) or 'none'}; last error: "
+            f"{last_error or 'no usable worker'})"
+        )
+
+    # ------------------------------------------------------------------
+    # Heartbeat
+    # ------------------------------------------------------------------
+    def _start_heartbeat(self) -> None:
+        if self.heartbeat_s <= 0 or self._hb_thread is not None:
+            return
+        self._hb_stop.clear()
+        self._hb_thread = threading.Thread(
+            target=self._heartbeat_loop, name="repro-remote-heartbeat", daemon=True
+        )
+        self._hb_thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._hb_stop.wait(self.heartbeat_s):
+            changed = False
+            for worker in list(self._workers):
+                previous = worker.health.state
+                if not worker.lock.acquire(blocking=False):
+                    continue  # a dispatch owns the socket; it is alive
+                try:
+                    if worker.sock is None:
+                        worker.connect()  # revival probe
+                        self._validate(worker)
+                    else:
+                        ok = wire.request(worker.sock, {"op": "ping"}).get("ok")
+                        if not ok:
+                            raise StorageError("ping declined")
+                except (wire.WireError, OSError, StorageError):
+                    worker.health.record_failure()
+                    if worker.health.state == DEAD:
+                        sock, worker.sock = worker.sock, None
+                        if sock is not None:
+                            try:
+                                sock.close()
+                            except OSError:
+                                pass
+                else:
+                    worker.health.record_success()
+                finally:
+                    worker.lock.release()
+                if worker.health.state != previous:
+                    changed = True
+            if changed:
+                with self._route_lock:
+                    self._rebuild_routing()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
+        self._hb_stop.set()
+        thread, self._hb_thread = self._hb_thread, None
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
         for worker in self._workers:
             worker.close()
         self._workers = []
         self._owners = {}
         self._rotation = {}
+        self._starts = []
         self.scheduler = None
         self.frozen = False
 
@@ -290,7 +638,8 @@ class RemoteEngine(RemoteEngineBase):
 
     The registry factory signature matches the other undirected engines
     (``gk, entry_lists, arrays`` — all ignored: the labels live on the
-    workers); ``addresses``/``policy`` configure the fleet.
+    workers); ``addresses``/``policy``/``retry``/``heartbeat_s``
+    configure the fleet client.
     """
 
     kind = UNDIRECTED
@@ -305,8 +654,10 @@ class RemoteEngine(RemoteEngineBase):
         addresses: Union[str, Sequence[Address], None] = None,
         policy: Optional[SchedulerPolicy] = None,
         timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        heartbeat_s: Optional[float] = None,
     ) -> None:
-        super().__init__(addresses, policy, timeout)
+        super().__init__(addresses, policy, timeout, retry, heartbeat_s)
 
 
 class DirectedRemoteEngine(RemoteEngineBase):
@@ -324,11 +675,14 @@ class DirectedRemoteEngine(RemoteEngineBase):
         addresses: Union[str, Sequence[Address], None] = None,
         policy: Optional[SchedulerPolicy] = None,
         timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        heartbeat_s: Optional[float] = None,
     ) -> None:
-        super().__init__(addresses, policy, timeout)
+        super().__init__(addresses, policy, timeout, retry, heartbeat_s)
 
 
-register_engine(UNDIRECTED, RemoteEngine.name, RemoteEngine, {CAP_REMOTE, CAP_SHARDED})
+_REMOTE_CAPS = {CAP_REMOTE, CAP_SHARDED, CAP_FAULT_TOLERANT}
+register_engine(UNDIRECTED, RemoteEngine.name, RemoteEngine, _REMOTE_CAPS)
 register_engine(
-    DIRECTED, DirectedRemoteEngine.name, DirectedRemoteEngine, {CAP_REMOTE, CAP_SHARDED}
+    DIRECTED, DirectedRemoteEngine.name, DirectedRemoteEngine, _REMOTE_CAPS
 )

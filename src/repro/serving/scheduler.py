@@ -265,18 +265,40 @@ class ShardScheduler:
         return ticket
 
     @property
-    def pending(self) -> int:
+    def pending_count(self) -> int:
         """Queries submitted but not yet dispatched."""
         return self._pending_count
+
+    def pending(self) -> Dict[int, Tuple[int, int]]:
+        """Snapshot of submitted-but-undispatched queries: ticket → pair.
+
+        After a flush that raised, this is exactly the set of queries
+        whose buckets never dispatched — the caller can inspect, re-flush
+        or re-route them instead of blindly re-calling :meth:`flush`.
+        """
+        return {
+            ticket: (s, t)
+            for queue in self._pending.values()
+            for ticket, s, t in queue
+        }
 
     def _flush_bucket(self, bucket: Tuple[int, int]) -> None:
         queue = self._pending.get(bucket)
         if not queue:
             return
         # Dispatch before dequeuing: a failed dispatch (dead remote
-        # worker, engine error) must leave the bucket pending so the
-        # caller can retry the flush — not silently lose the queries.
-        answers = self._dispatch([(s, t) for _, s, t in queue], bucket)
+        # worker, engine error) must leave the bucket pending — not
+        # silently lose the queries.  One transient failure is retried
+        # immediately (a replica-aware dispatch has usually failed over
+        # by its second call); a second failure propagates, with the
+        # bucket still pending and visible via pending().
+        chunk = [(s, t) for _, s, t in queue]
+        try:
+            answers = self._dispatch(chunk, bucket)
+        except QueryError:
+            raise  # bad query / miscounted answers: retrying cannot help
+        except Exception:
+            answers = self._dispatch(chunk, bucket)
         del self._pending[bucket]
         self._pending_count -= len(queue)
         if self._pending_count == 0:
@@ -285,7 +307,13 @@ class ShardScheduler:
             self._results[ticket] = d
 
     def flush(self) -> None:
-        """Dispatch every pending bucket now (ascending shard-pair order)."""
+        """Dispatch every pending bucket now (ascending shard-pair order).
+
+        A bucket whose dispatch fails twice (see :meth:`_flush_bucket`)
+        raises out of the flush; it and any not-yet-flushed buckets stay
+        pending (:meth:`pending`), already-flushed buckets keep their
+        results.
+        """
         for bucket in sorted(self._pending):
             self._flush_bucket(bucket)
 
@@ -306,21 +334,42 @@ class ShardScheduler:
         return results
 
 
-def assign_shards(num_shards: int, workers: int) -> List[List[int]]:
+def assign_shards(
+    num_shards: int, workers: int, replication: int = 1
+) -> List[List[int]]:
     """Partition shard indices into ``workers`` contiguous ownership slices.
 
     The deployment-side half of the ownership map: contiguous ranges keep
     each worker's mapped files adjacent (and its page working set dense).
     Workers beyond the shard count receive empty slices rather than
     erroring, so over-provisioned fleets degrade gracefully.
+
+    ``replication`` > 1 gives every shard that many owners: worker ``w``
+    additionally owns the primary slices of the next ``replication - 1``
+    workers (ring order).  With ``replication=2`` any *single* worker's
+    death leaves every shard with a surviving owner — the fault-tolerance
+    floor the chaos suite asserts.
     """
     if workers < 1:
         raise QueryError(f"assign_shards needs >= 1 worker, got {workers}")
-    out: List[List[int]] = [[] for _ in range(workers)]
+    if not 1 <= replication <= workers:
+        raise QueryError(
+            f"assign_shards replication must be in [1, {workers} workers], "
+            f"got {replication}"
+        )
+    primary: List[List[int]] = [[] for _ in range(workers)]
     base, extra = divmod(num_shards, workers)
     cursor = 0
     for w in range(workers):
         size = base + (1 if w < extra else 0)
-        out[w] = list(range(cursor, cursor + size))
+        primary[w] = list(range(cursor, cursor + size))
         cursor += size
+    if replication == 1:
+        return primary
+    out: List[List[int]] = []
+    for w in range(workers):
+        owned = set()
+        for r in range(replication):
+            owned.update(primary[(w + r) % workers])
+        out.append(sorted(owned))
     return out

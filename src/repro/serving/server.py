@@ -11,16 +11,27 @@ working set covers an index no single worker could hold, while the small
 replicated ``shared.snap`` (``G_k`` + all-pairs table) stays in the
 shared page cache.
 
-Ownership is a *routing contract*, not a hard wall: a mis-routed pair is
-still answered correctly (the engine maps the foreign shard on demand),
-it just costs locality.  The ``hello`` handshake reports the shard
-starts and owned indices so the client-side
-:class:`~repro.serving.scheduler.ShardScheduler` can honour the
-contract.
+Ownership is by default a *routing contract*, not a hard wall: a
+mis-routed pair is still answered correctly (the engine maps the foreign
+shard on demand), it just costs locality.  ``strict=True`` turns the
+contract into a wall — a bucket whose pairs touch none of this worker's
+owned shards is rejected with the structured ``not_owner`` error kind,
+which clients treat as a membership-staleness signal (refresh the
+ownership map, reroute).  The ``hello`` handshake reports the shard
+starts, owned indices and vertex-id ranges, and the membership **epoch**
+so the client-side scheduler can honour (and version) the contract.
+
+Membership is runtime state (:mod:`repro.serving.membership`): the
+``join``/``leave`` ops update this worker's view of the fleet and bump
+the epoch.  A worker told to *leave itself* **drains** — in-flight
+requests complete, its ownership empties, and every new non-owned bucket
+is answered ``not_owner`` (even outside strict mode) so clients move to
+the new owner.  ``repro rebalance`` drives exactly that sequence.
 
 Failure behavior: per-request errors (uncovered vertices, malformed
 frames' payloads) are answered as ``{"error": ...}`` and the connection
 survives; protocol violations (garbage framing) drop the connection;
+an idle wire timeout (``REPRO_WIRE_TIMEOUT_S``) keeps the connection;
 ``shutdown`` stops the accept loop, closes the listening socket and
 reaps the handler threads, so a supervisor sees a clean exit.
 """
@@ -29,10 +40,12 @@ from __future__ import annotations
 
 import socket
 import threading
+from bisect import bisect_right
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import QueryError, ReproError, StorageError
 from repro.serving import wire
+from repro.serving.membership import MembershipMap
 
 __all__ = ["ShardServer", "load_serving_index"]
 
@@ -56,6 +69,9 @@ class ShardServer:
     ``owned`` lists the shard indices this worker claims (``None`` =
     every shard — the single-worker deployment).  ``port=0`` lets the OS
     pick a free port; read :attr:`address` after :meth:`start`.
+    ``strict`` enforces ownership (reject non-owned buckets with the
+    ``not_owner`` error kind); ``epoch`` seeds the membership epoch a
+    supervisor may have assigned this worker.
 
     Usable as a context manager; :meth:`start` spawns a daemon accept
     thread (tests, in-process fleets), :meth:`serve_forever` runs the
@@ -68,6 +84,8 @@ class ShardServer:
         host: str = "127.0.0.1",
         port: int = 0,
         owned: Optional[Sequence[int]] = None,
+        strict: bool = False,
+        epoch: int = 0,
     ) -> None:
         from repro.core.directed import DirectedISLabelIndex
         from repro.serving.scheduler import shard_starts_of
@@ -88,6 +106,13 @@ class ShardServer:
                     f"owned shard indices {bad} out of range for "
                     f"{num_shards} shards"
                 )
+        self.strict = bool(strict)
+        self.epoch = int(epoch)
+        self.draining = False
+        #: This worker's fleet identity and membership view; both exist
+        #: once the listening address is known (after :meth:`bind`).
+        self.worker_id: Optional[str] = None
+        self.membership: Optional[MembershipMap] = None
         self._host = host
         self._port = port
         self._sock: Optional[socket.socket] = None
@@ -124,6 +149,10 @@ class ShardServer:
         sock.listen(64)
         sock.settimeout(0.2)  # lets the accept loop notice a shutdown
         self._sock = sock
+        host, port = sock.getsockname()[:2]
+        self.worker_id = f"{host}:{port}"
+        self.membership = MembershipMap(epoch=self.epoch)
+        self.membership.set(self.worker_id, self.owned)
 
     def start(self) -> Tuple[str, int]:
         """Bind and serve from a background daemon thread; returns address."""
@@ -202,9 +231,17 @@ class ShardServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
+            wire.apply_timeout(conn)
+        except ValueError:
+            pass  # a malformed env knob must not kill the handler
+        try:
             while not self._stop.is_set():
                 try:
                     payload = wire.recv_frame(conn)
+                except wire.WireTimeout as exc:
+                    if exc.partial:
+                        break  # mid-frame: stream state unknown, drop
+                    continue  # idle client; keep the connection
                 except wire.WireError:
                     break  # corrupted stream: drop the connection
                 if payload is None:
@@ -239,38 +276,164 @@ class ShardServer:
                     self._conns.remove(conn)
 
     # ------------------------------------------------------------------
+    # Ownership helpers
+    # ------------------------------------------------------------------
+    def _shard_of(self, v: int) -> int:
+        if not self.shard_starts:
+            return 0
+        return max(bisect_right(self.shard_starts, v) - 1, 0)
+
+    def owned_ranges(self, owned: Optional[Sequence[int]] = None) -> List[List]:
+        """``[[lo, hi], ...]`` vertex-id ranges of the owned shards.
+
+        ``hi`` is exclusive; the last shard's ``hi`` is ``None`` (open
+        ended).  What ``hello`` publishes so a client can route without
+        re-deriving the layout.
+        """
+        if not self.shard_starts:
+            return []
+        if owned is None:
+            owned = self.owned
+        starts = self.shard_starts
+        out: List[List] = []
+        for i in sorted(owned):
+            hi = starts[i + 1] if i + 1 < len(starts) else None
+            out.append([starts[i], hi])
+        return out
+
+    def update_owned(self, owned: Sequence[int], epoch: Optional[int] = None) -> None:
+        """Replace this worker's owned slice (rebalancing); bumps the epoch."""
+        with self._lock:
+            self.owned = sorted({int(i) for i in owned})
+            self.draining = False
+            if self.membership is not None and self.worker_id is not None:
+                self.epoch = self.membership.join(self.worker_id, self.owned, epoch)
+            elif epoch is not None:
+                self.epoch = max(self.epoch + 1, int(epoch))
+
+    # ------------------------------------------------------------------
     # Request handling
     # ------------------------------------------------------------------
+    def _reject_not_owner(self, pairs) -> Optional[dict]:
+        """The ``not_owner`` rejection for a misrouted bucket, or None.
+
+        A bucket is *owned* when any pair's source or target shard is in
+        this worker's owned set (source- and target-side owners are both
+        legitimate routing choices).  Applies in strict mode and while
+        draining; unsharded snapshots have one implicit shard everyone
+        owns.
+        """
+        with self._lock:
+            strict = self.strict or self.draining
+            owned = set(self.owned)
+            epoch = self.epoch
+        if not strict or not self.shard_starts or not pairs:
+            return None
+        if any(
+            self._shard_of(s) in owned or self._shard_of(t) in owned
+            for s, t in pairs
+        ):
+            return None
+        buckets = sorted({(self._shard_of(s), self._shard_of(t)) for s, t in pairs})
+        return {
+            "error": (
+                f"worker {self.worker_id} does not own bucket(s) "
+                f"{buckets} (owned: {sorted(owned)}, epoch {epoch})"
+            ),
+            "error_kind": "not_owner",
+            "epoch": epoch,
+            "owned": sorted(owned),
+            "draining": self.draining,
+        }
+
     def _handle(self, payload: dict) -> Tuple[dict, bool]:
         op = payload.get("op")
         with self._lock:  # handler threads are concurrent; += is not atomic
             self.requests_served += 1
         try:
             if op == "hello":
+                with self._lock:
+                    owned = list(self.owned)
+                    epoch = self.epoch
+                    draining = self.draining
                 return (
                     {
                         "ok": True,
                         "kind": self.kind,
                         "engine": self.index.engine,
                         "shard_starts": self.shard_starts,
-                        "owned": self.owned,
+                        "owned": owned,
+                        "owned_ranges": self.owned_ranges(owned),
                         "num_shards": max(len(self.shard_starts), 1),
+                        "epoch": epoch,
+                        "draining": draining,
+                        "worker": self.worker_id,
                     },
                     False,
                 )
             if op == "distances":
                 pairs = [(int(s), int(t)) for s, t in payload.get("pairs", [])]
+                rejection = self._reject_not_owner(pairs)
+                if rejection is not None:
+                    return rejection, False
                 with self._query_lock:
                     answers = self.index.distances(pairs)
                 with self._lock:
                     self.queries_served += len(pairs)
                 return {"ok": True, "distances": list(answers)}, False
+            if op == "membership":
+                with self._lock:
+                    if self.membership is None:
+                        return (
+                            {"error": "server is not bound", "error_kind": "storage"},
+                            False,
+                        )
+                    body = self.membership.to_wire()
+                return {"ok": True, **body}, False
+            if op == "join":
+                worker = str(payload.get("worker") or "")
+                if not worker:
+                    return (
+                        {"error": "join needs a worker id", "error_kind": "query"},
+                        False,
+                    )
+                owned = [int(i) for i in payload.get("owned", [])]
+                wire_epoch = payload.get("epoch")
+                with self._lock:
+                    self.epoch = self.membership.join(worker, owned, wire_epoch)
+                    if worker == self.worker_id:
+                        self.owned = sorted(set(owned))
+                        self.draining = False
+                    epoch = self.epoch
+                return {"ok": True, "epoch": epoch}, False
+            if op == "leave":
+                worker = str(payload.get("worker") or "")
+                if not worker:
+                    return (
+                        {"error": "leave needs a worker id", "error_kind": "query"},
+                        False,
+                    )
+                with self._lock:
+                    self.epoch = self.membership.leave(
+                        worker, payload.get("epoch")
+                    )
+                    draining_self = worker == self.worker_id
+                    if draining_self:
+                        # Drain: in-flight requests complete (handlers are
+                        # already past the ownership check), new non-owned
+                        # buckets get the not_owner staleness signal.
+                        self.owned = []
+                        self.draining = True
+                    epoch = self.epoch
+                return {"ok": True, "epoch": epoch, "draining": draining_self}, False
             if op == "stats":
                 return (
                     {
                         "ok": True,
                         "engine": self.index.engine,
                         "owned": self.owned,
+                        "epoch": self.epoch,
+                        "draining": self.draining,
                         "queries_served": self.queries_served,
                         "requests_served": self.requests_served,
                     },
@@ -280,7 +443,7 @@ class ShardServer:
                 return {"ok": True}, False
             if op == "shutdown":
                 return {"ok": True, "bye": True}, True
-            return {"error": f"unknown op {op!r}"}, False
+            return {"error": f"unknown op {op!r}", "error_kind": "query"}, False
         except ReproError as exc:
             # error_kind lets the client re-raise the right exception
             # class without parsing the human-readable message.

@@ -23,7 +23,14 @@ payload or ``{"error": <message>}``, which the client surfaces as
 ``stats``
     Lightweight introspection (queries served, engine name, owned shards).
 ``ping``
-    Liveness probe; echoes ``{"ok": true}``.
+    Liveness probe; echoes ``{"ok": true}``.  The remote engine's
+    heartbeat thread rides this op to mark workers suspect/dead/recovered.
+``membership`` / ``join`` / ``leave``
+    Cluster membership (:mod:`repro.serving.membership`): read a worker's
+    versioned shard→owners map, announce a worker (re)joining with an
+    ownership slice, or remove one (a worker told to leave *itself*
+    drains: in-flight buckets complete, new non-owned buckets are
+    rejected with the ``not_owner`` error kind).
 ``shutdown``
     Asks the server to stop accepting connections and exit its accept
     loop (used by tests and the benchmark harness for clean teardown).
@@ -32,11 +39,23 @@ Framing failures (oversized frames, EOF mid-frame) raise
 :class:`WireError`; a clean EOF between frames returns ``None`` from
 :func:`recv_frame` so servers can tell "client hung up" from "stream
 corrupted".
+
+**Timeouts**: with ``REPRO_WIRE_TIMEOUT_S`` set (seconds, fractional
+allowed; unset/empty = off for compatibility), every send/recv on a
+socket that :func:`apply_timeout` has configured raises
+:class:`WireTimeout` instead of blocking forever — a hung or paused
+worker cannot stall a client thread indefinitely, and the client treats
+a timeout like a dead connection (fail over to the next replica).
+:class:`WireTimeout.partial` distinguishes "timed out *mid-frame*"
+(stream state unknown, drop the connection) from "timed out waiting for
+a new frame" (idle; a server keeps the connection).
 """
 
 from __future__ import annotations
 
 import json
+import math
+import os
 import socket
 import struct
 from typing import Optional
@@ -45,7 +64,11 @@ from repro.errors import ReproError
 
 __all__ = [
     "WireError",
+    "WireTimeout",
+    "WIRE_TIMEOUT_ENV",
     "MAX_FRAME_BYTES",
+    "configured_timeout",
+    "apply_timeout",
     "send_frame",
     "recv_frame",
     "request",
@@ -59,8 +82,66 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 _LEN = struct.Struct("!I")
 
 
+#: Environment knob for per-connection send/recv timeouts (seconds).
+#: Unset or empty = no timeout (the pre-timeout blocking behavior).
+WIRE_TIMEOUT_ENV = "REPRO_WIRE_TIMEOUT_S"
+
+
 class WireError(ReproError):
     """The length-prefixed stream was violated (truncation, oversize)."""
+
+
+class WireTimeout(WireError):
+    """A send/recv exceeded the configured wire timeout.
+
+    ``partial`` is True when the timeout hit *mid-frame* (or mid-send) —
+    the stream state is unknown and the connection must be dropped; False
+    means the peer simply had nothing to say yet (idle between frames).
+    """
+
+    def __init__(self, message: str, partial: bool = True) -> None:
+        super().__init__(message)
+        self.partial = partial
+
+
+def configured_timeout() -> Optional[float]:
+    """The :data:`WIRE_TIMEOUT_ENV` timeout, validated; None when off.
+
+    Raises ``ValueError`` naming the variable on non-numeric, negative or
+    non-finite values instead of silently disabling the timeout; ``0``
+    explicitly disables it.
+    """
+    raw = os.environ.get(WIRE_TIMEOUT_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{WIRE_TIMEOUT_ENV} must be a number of seconds, got {raw!r}"
+        ) from None
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(
+            f"{WIRE_TIMEOUT_ENV} must be a finite non-negative number of "
+            f"seconds, got {raw!r}"
+        )
+    return value if value > 0 else None
+
+
+def apply_timeout(
+    sock: socket.socket, timeout: Optional[float] = None
+) -> Optional[float]:
+    """Arm ``sock`` with the explicit or env-configured wire timeout.
+
+    Returns the applied timeout (None = left blocking).  Call once per
+    connection; every subsequent :func:`send_frame`/:func:`recv_frame`
+    on the socket then raises :class:`WireTimeout` instead of hanging.
+    """
+    if timeout is None:
+        timeout = configured_timeout()
+    if timeout is not None:
+        sock.settimeout(timeout)
+    return timeout
 
 
 def send_frame(sock: socket.socket, payload: dict) -> None:
@@ -73,17 +154,28 @@ def send_frame(sock: socket.socket, payload: dict) -> None:
         )
     try:
         sock.sendall(_LEN.pack(len(blob)) + blob)
+    except socket.timeout:
+        raise WireTimeout(
+            f"send of a {len(blob)}-byte frame timed out", partial=True
+        ) from None
     except OSError as exc:
         raise WireError(f"send failed: {exc}") from None
 
 
-def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
+def _recv_exact(
+    sock: socket.socket, size: int, mid_frame: bool = False
+) -> Optional[bytes]:
     """``size`` bytes from ``sock``; None on clean EOF at a frame edge."""
     chunks = []
     got = 0
     while got < size:
         try:
             chunk = sock.recv(min(size - got, 1 << 20))
+        except socket.timeout:
+            raise WireTimeout(
+                f"receive timed out ({got} of {size} bytes)",
+                partial=mid_frame or got > 0,
+            ) from None
         except OSError as exc:
             raise WireError(f"receive failed: {exc}") from None
         if not chunk:
@@ -107,7 +199,7 @@ def recv_frame(sock: socket.socket) -> Optional[dict]:
         raise WireError(
             f"peer announced a {length}-byte frame (limit {MAX_FRAME_BYTES})"
         )
-    blob = _recv_exact(sock, length)
+    blob = _recv_exact(sock, length, mid_frame=True)
     if blob is None:
         raise WireError("connection closed before the announced frame")
     try:

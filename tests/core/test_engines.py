@@ -27,6 +27,7 @@ class TestRegistry:
 
     def test_capability_flags(self):
         from repro.core.engines import (
+            CAP_FAULT_TOLERANT,
             CAP_LOCAL,
             CAP_REMOTE,
             CAP_SHARDED,
@@ -44,9 +45,14 @@ class TestRegistry:
                 CAP_SNAPSHOT,
                 CAP_SHARDED,
             }
-            assert engine_capabilities(kind, "remote") == {CAP_REMOTE, CAP_SHARDED}
+            assert engine_capabilities(kind, "remote") == {
+                CAP_REMOTE,
+                CAP_SHARDED,
+                CAP_FAULT_TOLERANT,
+            }
             assert engines_with_capability(kind, CAP_SNAPSHOT) == ("mmap", "sharded")
             assert engines_with_capability(kind, CAP_REMOTE) == ("remote",)
+            assert engines_with_capability(kind, CAP_FAULT_TOLERANT) == ("remote",)
 
     def test_dict_resolves_to_reference_path(self):
         assert resolve_engine(UNDIRECTED, "dict") is None

@@ -403,3 +403,99 @@ for engine in ("mmap", "sharded"):
         assert proc.returncode == 0, proc.stderr
         strays = sorted(p.name for p in tmp_path.glob("repro-snap-*"))
         assert strays == []
+
+
+class TestChecksums:
+    def _first_data_section(self, snap):
+        """A TOC entry with actual bytes to corrupt."""
+        import numpy as np
+
+        for name, entry in snap._toc.items():
+            nbytes = int(np.prod(entry["shape"])) * np.dtype(entry["dtype"]).itemsize
+            if nbytes > 0:
+                return name, entry, nbytes
+        raise AssertionError("snapshot has no non-empty section")
+
+    def test_checksummed_snapshot_roundtrips(self, graph, tmp_path):
+        index = ISLabelIndex.build(graph)
+        path = tmp_path / "c.snap"
+        save_snapshot(index, path, checksum=True)
+        snap = SnapshotFile(str(path))
+        assert snap._toc and all("crc32" in e for e in snap._toc.values())
+        again = load_index(str(path), engine="mmap")
+        vs = sorted(graph.vertices())
+        pairs = [(s, t) for s in vs[::9] for t in vs[::9]]
+        assert again.distances(pairs) == index.distances(pairs)
+
+    def test_default_snapshots_carry_no_checksums(self, snapshot):
+        _, path = snapshot
+        snap = SnapshotFile(path)
+        assert all("crc32" not in e for e in snap._toc.values())
+
+    def test_corrupted_section_detected_on_first_map(self, graph, tmp_path):
+        """Flip one byte inside a section's payload: the lazy verify on
+        first map must name the section and the file."""
+        index = ISLabelIndex.build(graph)
+        path = tmp_path / "corrupt.snap"
+        save_snapshot(index, path, checksum=True)
+        snap = SnapshotFile(str(path))
+        name, entry, nbytes = self._first_data_section(snap)
+        with open(path, "r+b") as fh:
+            fh.seek(entry["offset"] + nbytes // 2)
+            byte = fh.read(1)
+            fh.seek(entry["offset"] + nbytes // 2)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        fresh = SnapshotFile(str(path))
+        with pytest.raises(StorageError, match="checksum mismatch") as exc:
+            fresh.array(name)
+        assert name in str(exc.value)
+        assert "corrupt.snap" in str(exc.value)
+
+    def test_verification_runs_once_per_section(self, graph, tmp_path):
+        index = ISLabelIndex.build(graph)
+        path = tmp_path / "once.snap"
+        save_snapshot(index, path, checksum=True)
+        snap = SnapshotFile(str(path))
+        name, entry, nbytes = self._first_data_section(snap)
+        snap.array(name)
+        assert name in snap._verified
+        # Corruption after the first map goes unnoticed by design: the
+        # check guards the load boundary, not live memory.
+        with open(path, "r+b") as fh:
+            fh.seek(entry["offset"])
+            byte = fh.read(1)
+            fh.seek(entry["offset"])
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        snap.array(name)  # no re-verification, no error
+
+    def test_sharded_checksums_cover_every_file(self, graph, tmp_path):
+        index = ISLabelIndex.build(graph)
+        path = tmp_path / "c.shards"
+        save_snapshot(index, path, shards=3, checksum=True)
+        snap_files = sorted(str(p) for p in path.glob("*.snap"))
+        assert len(snap_files) >= 4  # shared + 3 shards
+        for file_path in snap_files:
+            snap = SnapshotFile(file_path)
+            assert all("crc32" in e for e in snap._toc.values()), file_path
+        again = load_index(str(path), engine="sharded")
+        vs = sorted(graph.vertices())
+        pairs = [(s, t) for s in vs[::9] for t in vs[::9]]
+        assert again.distances(pairs) == index.distances(pairs)
+
+    def test_corrupted_shard_detected_through_the_engine(self, graph, tmp_path):
+        index = ISLabelIndex.build(graph)
+        path = tmp_path / "bad.shards"
+        save_snapshot(index, path, shards=3, checksum=True)
+        shard_file = sorted(path.glob("shard-*.snap"))[0]
+        snap = SnapshotFile(str(shard_file))
+        name, entry, nbytes = self._first_data_section(snap)
+        with open(shard_file, "r+b") as fh:
+            fh.seek(entry["offset"])
+            byte = fh.read(1)
+            fh.seek(entry["offset"])
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        again = load_index(str(path), engine="sharded")
+        vs = sorted(graph.vertices())
+        pairs = [(s, t) for s in vs for t in vs]
+        with pytest.raises(StorageError, match="checksum mismatch"):
+            again.distances(pairs)  # faults in the corrupt shard lazily

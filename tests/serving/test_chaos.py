@@ -1,0 +1,257 @@
+"""Chaos suite: real worker processes dying under a live query stream.
+
+The invariant under every fault: answers are **exact** (bit-identical to
+the local fast engine) or the call errors loudly — never silently wrong,
+and with replication never lost.  Workers here are genuine ``repro
+serve`` subprocesses driven through :mod:`repro.serving.chaos`.
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.index import ISLabelIndex
+from repro.core.serialization import load_index, save_snapshot
+from repro.graph.generators import ensure_connected, erdos_renyi
+from repro.serving import wire
+from repro.serving.chaos import ChaosProxy, FaultInjector
+from repro.serving.membership import RetryPolicy
+from repro.serving.remote import RemoteEngine
+from repro.serving.scheduler import assign_shards
+from repro.serving.server import ShardServer, load_serving_index
+
+SHARDS = 6
+#: Fast backoff so a three-fault test does not sleep its way to a minute.
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay_s=0.01, max_delay_s=0.05)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ensure_connected(erdos_renyi(56, 140, seed=11, max_weight=5), seed=11)
+
+
+@pytest.fixture(scope="module")
+def snap_path(graph, tmp_path_factory):
+    index = ISLabelIndex.build(graph)
+    path = tmp_path_factory.mktemp("chaos") / "g.shards"
+    save_snapshot(index, path, shards=SHARDS)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def expected(graph, snap_path):
+    index = load_index(snap_path, engine="fast")
+    vertices = sorted(graph.vertices())[::4]
+    pairs = [(s, t) for s in vertices for t in vertices]
+    return pairs, index.distances(pairs)
+
+
+def _engine(fleet, **kwargs):
+    kwargs.setdefault("retry", FAST_RETRY)
+    return RemoteEngine(addresses=fleet.addresses, **kwargs)
+
+
+def _wire_shutdown(worker_id):
+    host, _, port = worker_id.rpartition(":")
+    sock = socket.create_connection((host, int(port)), timeout=10.0)
+    try:
+        wire.request(sock, {"op": "shutdown"})
+    finally:
+        sock.close()
+
+
+class TestKillFaults:
+    def test_killing_any_single_worker_never_loses_a_query(
+        self, snap_path, expected
+    ):
+        """RF2 fleet: SIGKILL one worker mid-stream; every answer stays
+        exact and the failover is observable.  Then bring it back and
+        kill a *different* worker — still exact."""
+        pairs, want = expected
+        ownership = assign_shards(SHARDS, 3, replication=2)
+        with FaultInjector() as fleet:
+            workers = fleet.spawn_fleet(snap_path, ownership)
+            engine = _engine(fleet)
+            try:
+                assert engine.distances(pairs[:8]) == want[:8]  # warm routes
+                workers[0].kill()
+                assert engine.distances(pairs) == want
+                assert engine.failovers, "the kill was never even noticed"
+                for record in engine.failovers:
+                    assert record["retries"] >= 1
+                    assert record["recovery_s"] >= 0.0
+                workers[0].restart()
+                workers[1].kill()
+                assert engine.distances(pairs) == want
+            finally:
+                engine.close()
+
+    def test_two_dead_workers_still_exact_without_strictness(
+        self, snap_path, expected
+    ):
+        """Non-strict survivors serve misrouted buckets correctly, so even
+        losing two of three workers degrades locality, not answers."""
+        pairs, want = expected
+        ownership = assign_shards(SHARDS, 3, replication=2)
+        with FaultInjector() as fleet:
+            workers = fleet.spawn_fleet(snap_path, ownership)
+            engine = _engine(fleet)
+            try:
+                assert engine.distances(pairs[:8]) == want[:8]
+                workers[0].kill()
+                workers[1].kill()
+                assert engine.distances(pairs) == want
+                assert engine.failovers
+            finally:
+                engine.close()
+
+    def test_paused_worker_times_out_and_fails_over(
+        self, snap_path, expected, monkeypatch
+    ):
+        """SIGSTOP is the nastiest fault: the TCP connection stays open
+        but nothing answers.  The wire timeout turns the hang into a
+        failover instead of an eternal stall."""
+        monkeypatch.setenv(wire.WIRE_TIMEOUT_ENV, "0.5")
+        pairs, want = expected
+        ownership = assign_shards(SHARDS, 3, replication=2)
+        with FaultInjector() as fleet:
+            workers = fleet.spawn_fleet(snap_path, ownership)
+            engine = _engine(fleet)
+            try:
+                assert engine.distances(pairs[:8]) == want[:8]
+                workers[2].pause()
+                started = time.monotonic()
+                assert engine.distances(pairs) == want
+                # One timeout marks the worker dead; the stream must not
+                # pay 0.5 s per bucket afterwards.
+                assert time.monotonic() - started < 30.0
+                workers[2].resume()
+            finally:
+                engine.close()
+
+
+class TestElasticRebalance:
+    def test_rebalance_hands_over_without_losing_queries(
+        self, snap_path, expected
+    ):
+        """``repro rebalance`` under a live strict fleet: the old owner
+        drains, the client follows the not_owner staleness signal to the
+        freshly spawned worker, and the stream stays exact."""
+        pairs, want = expected
+        ownership = assign_shards(SHARDS, 3, replication=2)
+        new_id = None
+        with FaultInjector() as fleet:
+            workers = fleet.spawn_fleet(snap_path, ownership, strict=True)
+            engine = _engine(fleet)
+            try:
+                assert engine.distances(pairs) == want
+                source = workers[0].worker_id
+                env = dict(
+                    os.environ,
+                    PYTHONPATH=str(Path(repro.__file__).resolve().parents[1]),
+                )
+                done = subprocess.run(
+                    [
+                        sys.executable, "-m", "repro", "rebalance", snap_path,
+                        "--source", source, "--strict",
+                    ],
+                    capture_output=True,
+                    text=True,
+                    timeout=120,
+                    env=env,
+                )
+                assert done.returncode == 0, done.stderr
+                line = next(
+                    l for l in done.stdout.splitlines()
+                    if l.startswith("REBALANCED ")
+                )
+                new_id = line.split()[3]
+                # Reset the round-robin state so the next stream
+                # deterministically routes its first bucket at the stale
+                # (now draining) owner instead of skipping it by parity.
+                engine._rotation.clear()
+                assert engine.distances(pairs) == want  # across the handover
+                # The drained owner pushed the client to refresh; the new
+                # worker was discovered from the membership map and dialed.
+                assert engine.failovers, "the drain was never even noticed"
+                assert any(w.id == new_id for w in engine._workers)
+                assert engine.membership.owned_by(new_id) == sorted(
+                    workers[0].owned
+                )
+            finally:
+                engine.close()
+                if new_id is not None:
+                    _wire_shutdown(new_id)
+
+
+class TestWireFaultsViaProxy:
+    @pytest.fixture()
+    def server(self, snap_path):
+        with ShardServer(load_serving_index(snap_path)) as srv:
+            yield srv
+
+    def test_truncated_response_is_a_wire_error(self, server):
+        with ChaosProxy(server.address) as proxy:
+            sock = socket.create_connection(proxy.address, timeout=10.0)
+            try:
+                proxy.mode = "truncate"
+                with pytest.raises(wire.WireError):
+                    wire.request(sock, {"op": "hello"})
+            finally:
+                sock.close()
+            # A clean proxy connection works again: the fault injection is
+            # per-mode, not a wedged proxy.
+            proxy.mode = None
+            sock = socket.create_connection(proxy.address, timeout=10.0)
+            try:
+                assert wire.request(sock, {"op": "ping"}) == {"ok": True}
+            finally:
+                sock.close()
+
+    def test_dropped_connection_mid_frame_is_a_wire_error(self, server):
+        with ChaosProxy(server.address) as proxy:
+            proxy.mode = "drop"
+            proxy.fault_after_bytes = 2  # inside the length prefix
+            sock = socket.create_connection(proxy.address, timeout=10.0)
+            try:
+                with pytest.raises(wire.WireError):
+                    wire.request(sock, {"op": "hello"})
+            finally:
+                sock.close()
+
+    def test_delayed_response_trips_the_wire_timeout(self, server):
+        with ChaosProxy(server.address) as proxy:
+            proxy.mode = "delay"
+            proxy.delay_s = 0.5
+            sock = socket.create_connection(proxy.address, timeout=10.0)
+            try:
+                wire.apply_timeout(sock, timeout=0.1)
+                with pytest.raises(wire.WireTimeout):
+                    wire.request(sock, {"op": "ping"})
+            finally:
+                sock.close()
+
+    def test_engine_fails_over_from_faulty_path_to_healthy_replica(
+        self, server, expected
+    ):
+        """One worker reachable both through a faulting proxy and
+        directly: when the proxy path starts tearing frames the engine
+        abandons it for the healthy path — answers stay exact."""
+        pairs, want = expected
+        with ChaosProxy(server.address) as proxy:
+            engine = RemoteEngine(
+                addresses=[proxy.address, server.address], retry=FAST_RETRY
+            )
+            try:
+                engine.freeze()  # healthy handshake through both paths
+                proxy.mode = "drop"
+                assert engine.distances(pairs) == want
+                assert engine.failovers
+            finally:
+                engine.close()

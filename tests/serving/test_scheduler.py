@@ -139,16 +139,17 @@ class TestStreaming:
             sharded_index, policy=SchedulerPolicy(max_batch=8)
         )
         tickets = [sched.submit(s, t) for s, t in pairs]
-        assert sched.pending < len(pairs)  # full buckets flushed en route
+        assert sched.pending_count < len(pairs)  # full buckets flushed en route
         results = sched.drain()
-        assert sched.pending == 0
+        assert sched.pending_count == 0
         assert [results[t] for t in tickets] == expected
 
     def test_result_flushes_on_demand(self, graph, sharded_index):
         sched = ShardScheduler.for_engine(sharded_index)
         vertices = sorted(v for v in graph.vertices() if v != 999)
         ticket = sched.submit(vertices[0], vertices[1])
-        assert sched.pending == 1
+        assert sched.pending_count == 1
+        assert sched.pending() == {ticket: (vertices[0], vertices[1])}
         got = sched.result(ticket)
         assert got == sharded_index.distance(vertices[0], vertices[1])
         with pytest.raises(QueryError, match="ticket"):
@@ -171,7 +172,7 @@ class TestStreaming:
         time.sleep(0.02)
         sched.submit(3, 4)  # the oldest query is now over the delay budget
         assert dispatched == [(1, 2), (3, 4)]
-        assert sched.pending == 0
+        assert sched.pending_count == 0
 
 
 class TestDirected:
@@ -218,3 +219,27 @@ class TestAssignShards:
     def test_bad_worker_count(self):
         with pytest.raises(QueryError):
             assign_shards(4, 0)
+
+    def test_replication_gives_every_shard_multiple_owners(self):
+        slices = assign_shards(6, 3, replication=2)
+        for shard in range(6):
+            owners = [w for w, s in enumerate(slices) if shard in s]
+            assert len(owners) == 2, (shard, slices)
+        # Killing any single worker leaves every shard owned.
+        for dead in range(3):
+            survivors = {
+                i for w, s in enumerate(slices) if w != dead for i in s
+            }
+            assert survivors == set(range(6))
+
+    def test_replication_one_is_the_plain_partition(self):
+        assert assign_shards(8, 3, replication=1) == assign_shards(8, 3)
+
+    def test_full_replication_everyone_owns_everything(self):
+        assert assign_shards(4, 2, replication=2) == [[0, 1, 2, 3]] * 2
+
+    def test_bad_replication_rejected(self):
+        with pytest.raises(QueryError, match="replication"):
+            assign_shards(4, 2, replication=3)
+        with pytest.raises(QueryError, match="replication"):
+            assign_shards(4, 2, replication=0)

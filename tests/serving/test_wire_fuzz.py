@@ -1,0 +1,226 @@
+"""Wire-level fuzzing: a worker must survive any byte stream a client
+(or the network) can throw at it, and the timeout machinery must
+classify idle vs mid-frame stalls correctly."""
+
+import json
+import random
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.core.index import ISLabelIndex
+from repro.core.serialization import save_snapshot
+from repro.graph.generators import ensure_connected, erdos_renyi
+from repro.serving import wire
+from repro.serving.server import ShardServer, load_serving_index
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    graph = ensure_connected(erdos_renyi(40, 90, seed=17, max_weight=4), seed=17)
+    index = ISLabelIndex.build(graph)
+    path = tmp_path_factory.mktemp("fuzz") / "g.shards"
+    save_snapshot(index, path, shards=2)
+    with ShardServer(load_serving_index(str(path))) as srv:
+        yield srv
+
+
+def _alive(server):
+    """The liveness probe after each attack: a fresh connection answers."""
+    sock = socket.create_connection(server.address, timeout=10.0)
+    try:
+        return wire.request(sock, {"op": "ping"}) == {"ok": True}
+    finally:
+        sock.close()
+
+
+def _send_raw(server, blob):
+    sock = socket.create_connection(server.address, timeout=10.0)
+    sock.sendall(blob)
+    return sock
+
+
+class TestServerSurvivesGarbage:
+    def test_truncated_frame_then_hangup(self, server):
+        payload = json.dumps({"op": "ping"}).encode()
+        sock = _send_raw(
+            server, struct.pack("!I", len(payload)) + payload[: len(payload) // 2]
+        )
+        sock.close()  # EOF mid-frame on the server side
+        assert _alive(server)
+
+    def test_oversized_length_prefix(self, server):
+        sock = _send_raw(server, struct.pack("!I", wire.MAX_FRAME_BYTES + 1))
+        # The server refuses the announcement and drops the connection
+        # without allocating the claimed buffer.
+        assert wire.recv_frame(sock) is None
+        sock.close()
+        assert _alive(server)
+
+    def test_maximal_length_prefix(self, server):
+        sock = _send_raw(server, struct.pack("!I", 0xFFFFFFFF))
+        assert wire.recv_frame(sock) is None
+        sock.close()
+        assert _alive(server)
+
+    def test_invalid_json_payload(self, server):
+        blob = b"\xff\xfe{not json"
+        sock = _send_raw(server, struct.pack("!I", len(blob)) + blob)
+        assert wire.recv_frame(sock) is None
+        sock.close()
+        assert _alive(server)
+
+    def test_non_object_json_payload(self, server):
+        blob = json.dumps(["op", "ping"]).encode()
+        sock = _send_raw(server, struct.pack("!I", len(blob)) + blob)
+        assert wire.recv_frame(sock) is None
+        sock.close()
+        assert _alive(server)
+
+    def test_zero_length_frame(self, server):
+        sock = _send_raw(server, struct.pack("!I", 0))
+        assert wire.recv_frame(sock) is None  # b"" is not a JSON object
+        sock.close()
+        assert _alive(server)
+
+    def test_random_garbage_streams(self, server):
+        rng = random.Random(1234)
+        for trial in range(10):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 512)))
+            sock = _send_raw(server, blob)
+            sock.close()
+        assert _alive(server)
+
+    def test_unknown_op_keeps_the_connection(self, server):
+        sock = socket.create_connection(server.address, timeout=10.0)
+        try:
+            got = wire.request(sock, {"op": "frobnicate"})
+            assert got["error_kind"] == "query"
+            # Structured rejection, not a hangup: the same connection works.
+            assert wire.request(sock, {"op": "ping"}) == {"ok": True}
+        finally:
+            sock.close()
+
+    @pytest.mark.parametrize(
+        "pairs",
+        [
+            "zzz",                 # not a list
+            [[1]],                 # arity violation
+            [["a", "b"]],          # non-numeric vertices
+            [[None, None]],        # nulls
+            [{"s": 1, "t": 2}],    # objects instead of pairs
+        ],
+    )
+    def test_malformed_distance_payloads(self, server, pairs):
+        sock = socket.create_connection(server.address, timeout=10.0)
+        try:
+            got = wire.request(sock, {"op": "distances", "pairs": pairs})
+            assert got["error_kind"] == "query"
+            assert wire.request(sock, {"op": "ping"}) == {"ok": True}
+        finally:
+            sock.close()
+
+    def test_missing_op_field(self, server):
+        sock = socket.create_connection(server.address, timeout=10.0)
+        try:
+            assert "error" in wire.request(sock, {"pairs": [[1, 2]]})
+            assert wire.request(sock, {"op": "ping"}) == {"ok": True}
+        finally:
+            sock.close()
+
+
+class TestTimeoutConfiguration:
+    def test_unset_and_zero_mean_off(self, monkeypatch):
+        monkeypatch.delenv(wire.WIRE_TIMEOUT_ENV, raising=False)
+        assert wire.configured_timeout() is None
+        monkeypatch.setenv(wire.WIRE_TIMEOUT_ENV, "0")
+        assert wire.configured_timeout() is None
+        monkeypatch.setenv(wire.WIRE_TIMEOUT_ENV, "  ")
+        assert wire.configured_timeout() is None
+
+    def test_value_parsed(self, monkeypatch):
+        monkeypatch.setenv(wire.WIRE_TIMEOUT_ENV, "2.5")
+        assert wire.configured_timeout() == 2.5
+
+    @pytest.mark.parametrize("raw", ["soon", "-1", "nan", "inf"])
+    def test_bad_values_raise_naming_the_knob(self, monkeypatch, raw):
+        monkeypatch.setenv(wire.WIRE_TIMEOUT_ENV, raw)
+        with pytest.raises(ValueError, match=wire.WIRE_TIMEOUT_ENV):
+            wire.configured_timeout()
+
+    def test_apply_timeout_arms_the_socket(self, monkeypatch):
+        a, b = socket.socketpair()
+        try:
+            monkeypatch.setenv(wire.WIRE_TIMEOUT_ENV, "1.5")
+            assert wire.apply_timeout(a) == 1.5
+            assert a.gettimeout() == 1.5
+            assert wire.apply_timeout(b, timeout=0.25) == 0.25
+            assert b.gettimeout() == 0.25
+        finally:
+            a.close()
+            b.close()
+
+
+class TestTimeoutSemantics:
+    @pytest.fixture()
+    def pair(self):
+        a, b = socket.socketpair()
+        yield a, b
+        a.close()
+        b.close()
+
+    def test_idle_timeout_is_not_partial(self, pair):
+        a, _ = pair
+        wire.apply_timeout(a, timeout=0.05)
+        with pytest.raises(wire.WireTimeout) as exc:
+            wire.recv_frame(a)
+        assert exc.value.partial is False  # nothing read: keep the connection
+
+    def test_partial_prefix_is_partial(self, pair):
+        a, b = pair
+        wire.apply_timeout(b, timeout=0.05)
+        a.sendall(b"\x00\x00")  # 2 of the 4 prefix bytes
+        with pytest.raises(wire.WireTimeout) as exc:
+            wire.recv_frame(b)
+        assert exc.value.partial is True
+
+    def test_stall_inside_payload_is_partial(self, pair):
+        a, b = pair
+        wire.apply_timeout(b, timeout=0.05)
+        a.sendall(struct.pack("!I", 64))  # full prefix, no payload
+        with pytest.raises(wire.WireTimeout) as exc:
+            wire.recv_frame(b)
+        assert exc.value.partial is True
+
+    def test_timeout_is_a_wire_error(self):
+        # Clients catch WireError for failover; a timeout must be caught
+        # by the same handler.
+        assert issubclass(wire.WireTimeout, wire.WireError)
+
+    def test_server_keeps_idle_connections_across_timeouts(
+        self, monkeypatch, server
+    ):
+        monkeypatch.setenv(wire.WIRE_TIMEOUT_ENV, "0.2")
+        sock = socket.create_connection(server.address, timeout=10.0)
+        try:
+            assert wire.request(sock, {"op": "ping"}) == {"ok": True}
+            time.sleep(0.5)  # several idle-timeout ticks on the server
+            assert wire.request(sock, {"op": "ping"}) == {"ok": True}
+        finally:
+            sock.close()
+
+    def test_server_drops_connections_stalled_mid_frame(
+        self, monkeypatch, server
+    ):
+        monkeypatch.setenv(wire.WIRE_TIMEOUT_ENV, "0.2")
+        sock = socket.create_connection(server.address, timeout=10.0)
+        try:
+            sock.sendall(struct.pack("!I", 32))  # announce, then stall
+            time.sleep(0.6)
+            # Stream state unknown: the server dropped this connection...
+            assert wire.recv_frame(sock) is None
+        finally:
+            sock.close()
+        assert _alive(server)  # ...but only this connection
