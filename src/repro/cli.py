@@ -198,6 +198,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="membership epoch a supervisor assigned this worker",
     )
+    p_server.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=1,
+        help="admission executor: searches allowed to run at once "
+        "(default 1: engine calls serialize; higher overlaps decode/"
+        "encode/socket I/O across requests)",
+    )
+    p_server.add_argument(
+        "--max-queue",
+        type=int,
+        default=128,
+        help="admission executor: searches allowed to wait before new "
+        "ones are rejected with the overloaded error kind (default 128)",
+    )
 
     p_rebal = commands.add_parser(
         "rebalance",
@@ -477,6 +492,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         owned=owned,
         strict=args.strict,
         epoch=args.epoch,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
     )
     server.bind()
     host, port = server.address
@@ -486,7 +503,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"SERVING {host}:{port} kind={server.kind} "
         f"shards={max(len(server.shard_starts), 1)} "
         f"owned={','.join(map(str, server.owned))} "
-        f"epoch={server.epoch} strict={int(server.strict)}",
+        f"epoch={server.epoch} strict={int(server.strict)} "
+        f"concurrency={server.max_concurrency} queue={server.max_queue}",
         flush=True,
     )
     try:

@@ -50,6 +50,7 @@ from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.engines import UNDIRECTED, register_engine
+from repro.envvars import read_env_float
 from repro.core.hierarchy import VertexHierarchy
 from repro.core.labels import eq1_distance_argmin
 from repro.core.query import csr_label_bidijkstra
@@ -104,17 +105,18 @@ APSP_BUDGET_ENV = "REPRO_APSP_BUDGET_MB"
 
 
 def _budget_from_env(raw: str) -> int:
-    """Validate one :data:`APSP_BUDGET_ENV` value; returns budget bytes."""
-    try:
-        megabytes = float(raw)
-    except (ValueError, OverflowError):
-        megabytes = math.nan
-    if not math.isfinite(megabytes) or megabytes < 0:
-        raise ValueError(
-            f"{APSP_BUDGET_ENV}={raw!r} is not a valid all-pairs table "
-            "budget: expected a finite, non-negative number of megabytes "
-            "(fractional values allowed; 0 disables the table)"
-        )
+    """Validate one :data:`APSP_BUDGET_ENV` value; returns budget bytes.
+
+    Unlike the other knobs a *blank* value here is invalid, not unset:
+    the caller only reaches this with a value present, and an empty
+    string must not silently disable the table.
+    """
+    megabytes = read_env_float(
+        APSP_BUDGET_ENV,
+        what="all-pairs table budget in megabytes",
+        raw=raw,
+        blank_is_unset=False,
+    )
     return int(megabytes * 1024 * 1024)
 
 

@@ -1,0 +1,67 @@
+"""One validated parser for the repo's numeric environment knobs.
+
+Three subsystems read tuning numbers from the environment — the wire
+timeout (``REPRO_WIRE_TIMEOUT_S``), the remote engine's heartbeat
+interval (``REPRO_REMOTE_HEARTBEAT_S``) and the all-pairs table budget
+(``REPRO_APSP_BUDGET_MB``) — and each used to hand-roll the same
+float-parse-and-range-check.  They share one contract:
+
+* unset or blank means "knob not set" (the caller picks its default);
+* the value must be a **finite, non-negative** number (fractional
+  allowed); ``0`` is legal and means "disabled" at every call site;
+* anything else — text, a negative number, ``nan``/``inf`` — raises
+  :class:`ValueError` **naming the variable and the offending value**,
+  instead of silently disabling the feature or leaking a bare parse
+  error with no hint of where the value came from.
+
+Call sites that must surface a different exception class (the remote
+engine raises :class:`~repro.errors.IndexBuildError` at construction)
+wrap the ``ValueError``; the message, with the variable name in it, is
+preserved.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Optional
+
+__all__ = ["read_env_float"]
+
+_UNSET = object()
+
+
+def read_env_float(
+    name: str,
+    *,
+    what: str = "number",
+    raw: object = _UNSET,
+    blank_is_unset: bool = True,
+) -> Optional[float]:
+    """Read and validate one numeric environment knob.
+
+    Returns ``None`` when the variable is unset (or blank, unless
+    ``blank_is_unset`` is False — then blank is invalid like any other
+    non-number), the parsed float otherwise.  ``what`` names the
+    quantity in the error message (e.g. ``"wire timeout in seconds"``).
+    ``raw`` lets a caller that already read the environment validate the
+    string it holds.
+    """
+    if raw is _UNSET:
+        raw = os.environ.get(name)
+    if raw is None:
+        return None
+    if not str(raw).strip():
+        if blank_is_unset:
+            return None
+        raw = ""  # normalized for the error message
+    try:
+        value = float(raw)
+    except (ValueError, OverflowError):
+        value = math.nan
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(
+            f"{name}={raw!r} is not a valid {what}: expected a finite, "
+            "non-negative number (fractional values allowed; 0 disables it)"
+        )
+    return value

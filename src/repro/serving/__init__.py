@@ -8,7 +8,9 @@ The serving subsystem turns the on-disk sharding of
   batched ``distances()`` call (policy knobs: max bucket size, max
   latency);
 * :mod:`repro.serving.wire` — the length-prefixed JSON frame protocol
-  (optional per-connection timeouts via ``REPRO_WIRE_TIMEOUT_S``);
+  (optional per-connection timeouts via ``REPRO_WIRE_TIMEOUT_S``), plus
+  :class:`PipelinedConnection`, the request-id channel that keeps many
+  requests in flight per socket (protocol v2);
 * :mod:`repro.serving.membership` — versioned cluster membership
   (epoch-stamped shard→owners map), worker health states and the
   retry/backoff policy of replica-aware dispatch;
@@ -50,7 +52,9 @@ from repro.serving.remote import (
     parse_addresses,
 )
 from repro.serving.wire import (
+    PROTOCOL_VERSION,
     WIRE_TIMEOUT_ENV,
+    PipelinedConnection,
     WireError,
     WireTimeout,
     recv_frame,
@@ -77,6 +81,8 @@ __all__ = [
     "WireError",
     "WireTimeout",
     "WIRE_TIMEOUT_ENV",
+    "PROTOCOL_VERSION",
+    "PipelinedConnection",
     "send_frame",
     "recv_frame",
     "request",

@@ -20,6 +20,7 @@ the engine.  The system under chaos is exactly the production code path.
 from __future__ import annotations
 
 import os
+import queue
 import signal
 import socket
 import subprocess
@@ -64,6 +65,7 @@ class FleetWorker:
         host: str = "127.0.0.1",
         strict: bool = False,
         extra_env: Optional[Dict[str, str]] = None,
+        serve_args: Optional[Sequence[str]] = None,
     ) -> None:
         self.snapshot = os.fspath(snapshot)
         self.owned = sorted(int(i) for i in owned)
@@ -71,6 +73,9 @@ class FleetWorker:
         self.host = host
         self.strict = strict
         self.extra_env = dict(extra_env or {})
+        #: Extra ``repro serve`` CLI flags, verbatim (admission knobs:
+        #: ``--max-concurrency``, ``--max-queue``).
+        self.serve_args = list(serve_args or [])
         self.port = 0  # pinned by the first spawn
         self.proc: Optional[subprocess.Popen] = None
         self.paused = False
@@ -119,6 +124,7 @@ class FleetWorker:
         ]
         if self.strict:
             cmd.append("--strict")
+        cmd.extend(self.serve_args)
         env = dict(os.environ, PYTHONPATH=_repo_pythonpath())
         env.update(self.extra_env)
         self.proc = subprocess.Popen(
@@ -242,6 +248,7 @@ class FaultInjector:
         engine: str = "sharded",
         strict: bool = False,
         extra_env: Optional[Dict[str, str]] = None,
+        serve_args: Optional[Sequence[str]] = None,
     ) -> List[FleetWorker]:
         """One worker per non-empty ownership slice; spawns them all."""
         try:
@@ -254,6 +261,7 @@ class FaultInjector:
                     engine=engine,
                     strict=strict,
                     extra_env=extra_env,
+                    serve_args=serve_args,
                 )
                 self.workers.append(worker)
                 worker.spawn()
@@ -286,6 +294,46 @@ class FaultInjector:
         self.teardown()
 
 
+class _LatencySender:
+    """Forwards chunks to ``dst`` a fixed delay after they arrived.
+
+    A plain ``sleep`` in the pump stacks delays chunk-on-chunk, turning
+    propagation delay into congestion; queueing ``(due, chunk)`` pairs
+    and sending from a side thread lets in-flight chunks overlap the
+    way a long real link does.  FIFO order is due order because the
+    delay is constant per sender.
+    """
+
+    def __init__(self, dst: socket.socket, latency_s: float) -> None:
+        self.dst = dst
+        self.latency_s = latency_s
+        self._queue: "queue.Queue[Optional[Tuple[float, bytes]]]" = queue.Queue()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def send(self, chunk: bytes) -> None:
+        self._queue.put((time.monotonic() + self.latency_s, chunk))
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            due, chunk = item
+            wait = due - time.monotonic()
+            if wait > 0:
+                time.sleep(wait)
+            try:
+                self.dst.sendall(chunk)
+            except OSError:
+                return  # the link died; queued bytes die with it
+
+    def close(self) -> None:
+        """Flush everything already queued, then stop the thread."""
+        self._queue.put(None)
+        self._thread.join(timeout=5.0)
+
+
 class ChaosProxy:
     """A byte-level TCP proxy injecting wire faults in front of a worker.
 
@@ -301,6 +349,16 @@ class ChaosProxy:
     ``"delay"``
         Sleep :attr:`delay_s` before forwarding each response chunk — a
         congested or wedged path (drives the wire-timeout machinery).
+        The pump blocks, so delays stack chunk-on-chunk.
+    ``"latency"``
+        Forward each response chunk :attr:`latency_s` after it arrived
+        *without* holding up later chunks — a long but uncongested link
+        (propagation delay).  In-flight responses overlap the way they
+        do over a real network, which is exactly the cost pipelining is
+        designed to hide; ``bench_async_serving.py`` gates its speedup
+        over this mode.  Don't toggle it off mid-connection: once a
+        connection has queued delayed chunks, later chunks keep routing
+        through the queue to preserve byte order.
     ``"truncate"``
         Forward only :attr:`fault_after_bytes` bytes of the next response
         chunk, then close — a torn frame with a valid length prefix.
@@ -313,6 +371,7 @@ class ChaosProxy:
         self.upstream = (str(upstream[0]), int(upstream[1]))
         self.mode: Optional[str] = None
         self.delay_s = 0.05
+        self.latency_s = 0.002
         self.fault_after_bytes = 6  # mid-frame: past the 4-byte prefix
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -355,6 +414,7 @@ class ChaosProxy:
 
     def _pump(self, src: socket.socket, dst: socket.socket, faulty: bool) -> None:
         forwarded = 0
+        sender: Optional[_LatencySender] = None
         try:
             while not self._stop.is_set():
                 try:
@@ -364,6 +424,12 @@ class ChaosProxy:
                 if not chunk:
                     break
                 mode = self.mode if faulty else None
+                if mode == "latency" or sender is not None:
+                    if sender is None:
+                        sender = _LatencySender(dst, self.latency_s)
+                    sender.send(chunk)
+                    forwarded += len(chunk)
+                    continue
                 if mode == "delay":
                     time.sleep(self.delay_s)
                 elif mode == "drop":
@@ -381,6 +447,8 @@ class ChaosProxy:
                     break
                 forwarded += len(chunk)
         finally:
+            if sender is not None:
+                sender.close()  # flushes queued chunks before the sockets go
             for sock in (src, dst):
                 try:
                     sock.shutdown(socket.SHUT_RDWR)

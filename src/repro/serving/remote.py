@@ -56,6 +56,7 @@ import random
 import socket
 import threading
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.engines import (
@@ -66,6 +67,7 @@ from repro.core.engines import (
     UNDIRECTED,
     register_engine,
 )
+from repro.envvars import read_env_float
 from repro.errors import IndexBuildError, QueryError, StorageError
 from repro.serving import wire
 from repro.serving.membership import (
@@ -129,17 +131,24 @@ def parse_addresses(spec: Union[str, Sequence[Address], None]) -> List[Tuple[str
 
 
 class _Worker:
-    """One fleet member: address, (re)connectable socket, handshake facts.
+    """One fleet member: address, (re)connectable channel, handshake facts.
 
-    ``lock`` serializes wire round-trips per worker — the dispatch path
-    and the heartbeat thread share the socket, and a length-prefixed
-    stream cannot interleave two requests.
+    The connection is a :class:`~repro.serving.wire.PipelinedConnection`:
+    one writer and one reader thread per worker over a bounded send
+    queue, so every dispatch thread (and the heartbeat) can have
+    requests in flight on the same socket concurrently — the channel
+    matches responses to futures by request id.  ``lock`` only guards
+    (re)connection now, not round trips.  Against a v1 peer (no
+    ``version`` in ``hello``) the channel caps itself to one in-flight
+    request so FIFO matching stays sound.
     """
 
     __slots__ = (
         "address",
         "timeout",
-        "sock",
+        "pipelined",
+        "max_in_flight",
+        "chan",
         "kind",
         "owned",
         "shard_starts",
@@ -149,10 +158,19 @@ class _Worker:
         "lock",
     )
 
-    def __init__(self, address: Tuple[str, int], timeout: float) -> None:
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        timeout: float,
+        *,
+        pipelined: bool = True,
+        max_in_flight: int = 32,
+    ) -> None:
         self.address = (str(address[0]), int(address[1]))
         self.timeout = timeout
-        self.sock: Optional[socket.socket] = None
+        self.pipelined = bool(pipelined)
+        self.max_in_flight = int(max_in_flight)
+        self.chan: Optional[wire.PipelinedConnection] = None
         self.kind: str = "undirected"
         self.owned: List[int] = []
         self.shard_starts: List[int] = []
@@ -165,6 +183,11 @@ class _Worker:
     def id(self) -> str:
         """The fleet identity (``host:port``) — also how the server names itself."""
         return f"{self.address[0]}:{self.address[1]}"
+
+    @property
+    def connected(self) -> bool:
+        """True while the channel exists and has not been poisoned."""
+        return self.chan is not None and not self.chan.closed
 
     # ------------------------------------------------------------------
     # Connection lifecycle
@@ -185,6 +208,9 @@ class _Worker:
         except ValueError:
             pass
         try:
+            # The handshake runs plain request/response — nothing else is
+            # in flight yet, and we need the peer's protocol version to
+            # know whether pipelining is safe before the channel exists.
             hello = wire.request(sock, {"op": "hello"})
         except BaseException:
             try:
@@ -197,11 +223,16 @@ class _Worker:
             raise StorageError(
                 f"worker {self.id} rejected the handshake: {hello['error']}"
             )
-        self.sock = sock
+        version = int(hello.get("version", 1))
+        self.chan = wire.PipelinedConnection(
+            sock,
+            max_in_flight=self.max_in_flight,
+            pipelined=self.pipelined and version >= wire.PROTOCOL_VERSION,
+        )
         self.apply_hello(hello)
 
     def refresh(self) -> None:
-        """Re-run ``hello`` on the live socket (membership staleness path)."""
+        """Re-run ``hello`` on the live channel (membership staleness path)."""
         self.apply_hello(self.request({"op": "hello"}))
 
     def apply_hello(self, hello: dict) -> None:
@@ -211,20 +242,23 @@ class _Worker:
         self.epoch = int(hello.get("epoch", 0))
         self.draining = bool(hello.get("draining", False))
 
-    def request(self, payload: dict) -> dict:
-        """One serialized round trip; connects lazily after a close."""
+    def _channel(self) -> wire.PipelinedConnection:
+        """The live channel, dialing lazily; connection is the only
+        serialized step — round trips themselves pipeline freely."""
         with self.lock:
-            if self.sock is None:
+            if not self.connected:
                 self.connect()
-            return wire.request(self.sock, payload)
+            return self.chan
+
+    def request(self, payload: dict) -> dict:
+        """One round trip over the pipelined channel (may complete out of
+        order with other in-flight requests); connects lazily."""
+        return self._channel().request(payload)
 
     def close(self) -> None:
-        sock, self.sock = self.sock, None
-        if sock is not None:
-            try:
-                sock.close()
-            except OSError:
-                pass
+        chan, self.chan = self.chan, None
+        if chan is not None:
+            chan.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"_Worker({self.id}, {self.health.state}, owned={self.owned})"
@@ -234,15 +268,15 @@ def _heartbeat_interval(value: Optional[float]) -> float:
     """Resolve the heartbeat interval (argument wins over env; 0 = off)."""
     if value is not None:
         return max(float(value), 0.0)
-    raw = os.environ.get(REMOTE_HEARTBEAT_ENV, "").strip()
-    if not raw:
-        return 0.0
     try:
-        return max(float(raw), 0.0)
-    except ValueError:
-        raise IndexBuildError(
-            f"{REMOTE_HEARTBEAT_ENV} must be a number of seconds, got {raw!r}"
-        ) from None
+        parsed = read_env_float(
+            REMOTE_HEARTBEAT_ENV, what="heartbeat interval in seconds"
+        )
+    except ValueError as exc:
+        # Engine construction surfaces IndexBuildError; the message (with
+        # the variable name in it) is the helper's.
+        raise IndexBuildError(str(exc)) from None
+    return parsed or 0.0
 
 
 class RemoteEngineBase:
@@ -258,6 +292,8 @@ class RemoteEngineBase:
         timeout: float,
         retry: Optional[RetryPolicy] = None,
         heartbeat_s: Optional[float] = None,
+        pipelined: bool = True,
+        max_in_flight: int = 32,
     ) -> None:
         if addresses is None:
             addresses = os.environ.get(REMOTE_ADDRS_ENV)
@@ -272,6 +308,18 @@ class RemoteEngineBase:
         self.timeout = timeout
         self.retry = (retry or RetryPolicy()).validate()
         self.heartbeat_s = _heartbeat_interval(heartbeat_s)
+        #: Pipelined mode (default): per-worker channels allow many
+        #: requests in flight and the scheduler dispatches buckets
+        #: concurrently over a thread pool.  ``pipelined=False`` is the
+        #: strictly serial PR 6 behavior — one bucket at a time, one
+        #: request in flight per connection — kept as the benchmark
+        #: baseline and as an escape hatch.
+        self.pipelined = bool(pipelined)
+        if max_in_flight < 1:
+            raise IndexBuildError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        self.max_in_flight = int(max_in_flight)
         self.frozen = False
         self.scheduler: Optional[ShardScheduler] = None
         self.membership = MembershipMap()
@@ -284,6 +332,7 @@ class RemoteEngineBase:
         self._starts: List[int] = []
         self._route_lock = threading.Lock()
         self._rng = random.Random()
+        self._pool: Optional[ThreadPoolExecutor] = None
         self._hb_thread: Optional[threading.Thread] = None
         self._hb_stop = threading.Event()
 
@@ -299,7 +348,15 @@ class RemoteEngineBase:
         """
         if self.frozen:
             return self
-        workers = [_Worker(addr, self.timeout) for addr in self.addresses]
+        workers = [
+            _Worker(
+                addr,
+                self.timeout,
+                pipelined=self.pipelined,
+                max_in_flight=self.max_in_flight,
+            )
+            for addr in self.addresses
+        ]
         errors: List[str] = []
         for worker in workers:
             try:
@@ -307,7 +364,7 @@ class RemoteEngineBase:
             except StorageError as exc:
                 worker.health.record_failure(fatal=True)
                 errors.append(str(exc))
-        connected = [w for w in workers if w.sock is not None]
+        connected = [w for w in workers if w.connected]
         if not connected:
             for w in workers:
                 w.close()
@@ -333,7 +390,20 @@ class RemoteEngineBase:
         for worker in connected:
             self.membership.set(worker.id, worker.owned)
         self._rebuild_routing()
-        self.scheduler = ShardScheduler(self._starts, self._dispatch, self.policy)
+        if self.pipelined:
+            # One dispatch thread per potential in-flight bucket: every
+            # worker can have a few buckets in flight, and each bucket
+            # occupies one pool thread while it waits on its future.
+            self._pool = ThreadPoolExecutor(
+                max_workers=min(32, max(4, 4 * len(workers))),
+                thread_name_prefix="repro-remote-dispatch",
+            )
+        self.scheduler = ShardScheduler(
+            self._starts,
+            self._dispatch,
+            self.policy,
+            dispatch_async=self._dispatch_async if self.pipelined else None,
+        )
         self.frozen = True
         self._start_heartbeat()
         return self
@@ -378,7 +448,7 @@ class RemoteEngineBase:
         """Recompute shard → owners from worker state (callers hold no locks)."""
         owners: Dict[int, List[_Worker]] = {}
         for worker in self._workers:
-            if worker.sock is None and worker.health.state == DEAD:
+            if not worker.connected and worker.health.state == DEAD:
                 continue
             for shard in worker.owned:
                 owners.setdefault(shard, []).append(worker)
@@ -490,6 +560,21 @@ class RemoteEngineBase:
     # ------------------------------------------------------------------
     # Replica-aware dispatch
     # ------------------------------------------------------------------
+    def _dispatch_async(self, chunk, bucket) -> "Future[List[float]]":
+        """Run one bucket dispatch on the pool: the scheduler fires all
+        buckets of a batch through this and gathers, so every worker has
+        requests in flight at once.  Each pooled dispatch keeps the full
+        replica-aware retry loop of :meth:`_dispatch` — failover is per
+        in-flight request, not per batch."""
+        if self._pool is None:
+            fut: "Future[List[float]]" = Future()
+            try:
+                fut.set_result(self._dispatch(chunk, bucket))
+            except BaseException as exc:  # noqa: BLE001 - future carries it
+                fut.set_exception(exc)
+            return fut
+        return self._pool.submit(self._dispatch, chunk, bucket)
+
     def _dispatch(self, chunk, bucket) -> List[float]:
         pairs = [[s, t] for s, t in chunk]
         excluded: Set[str] = set()
@@ -519,6 +604,14 @@ class RemoteEngineBase:
                 continue
             if "error" in response:
                 error_kind = response.get("error_kind")
+                if error_kind == "overloaded":
+                    # Admission rejection, not a fault: the worker is
+                    # healthy but saturated.  Back off (the loop-top
+                    # sleep) and retry — same fleet, nobody excluded,
+                    # no health penalty, not counted as a failover.
+                    last_error = f"{worker.id}: {response['error']}"
+                    attempt += 1
+                    continue
                 if error_kind == "not_owner":
                     # Membership staleness, not a fault: refresh and
                     # reroute with this worker excluded for the bucket.
@@ -574,29 +667,33 @@ class RemoteEngineBase:
             changed = False
             for worker in list(self._workers):
                 previous = worker.health.state
-                if not worker.lock.acquire(blocking=False):
-                    continue  # a dispatch owns the socket; it is alive
                 try:
-                    if worker.sock is None:
-                        worker.connect()  # revival probe
+                    if not worker.connected:
+                        # Revival probe.  Connection is the one step
+                        # still serialized per worker; skip rather than
+                        # block if a dispatch is already redialing.
+                        if not worker.lock.acquire(blocking=False):
+                            continue
+                        try:
+                            if not worker.connected:
+                                worker.connect()
+                        finally:
+                            worker.lock.release()
                         self._validate(worker)
                     else:
-                        ok = wire.request(worker.sock, {"op": "ping"}).get("ok")
-                        if not ok:
+                        # Ping rides the pipelined channel alongside any
+                        # in-flight dispatches — no socket stealing.
+                        chan = worker.chan
+                        if chan is None:  # closed under us: next tick probes
+                            raise StorageError("connection lost")
+                        if not chan.request({"op": "ping"}).get("ok"):
                             raise StorageError("ping declined")
                 except (wire.WireError, OSError, StorageError):
                     worker.health.record_failure()
                     if worker.health.state == DEAD:
-                        sock, worker.sock = worker.sock, None
-                        if sock is not None:
-                            try:
-                                sock.close()
-                            except OSError:
-                                pass
+                        worker.close()
                 else:
                     worker.health.record_success()
-                finally:
-                    worker.lock.release()
                 if worker.health.state != previous:
                     changed = True
             if changed:
@@ -611,6 +708,9 @@ class RemoteEngineBase:
         thread, self._hb_thread = self._hb_thread, None
         if thread is not None and thread.is_alive():
             thread.join(timeout=5.0)
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
         for worker in self._workers:
             worker.close()
         self._workers = []
@@ -656,8 +756,13 @@ class RemoteEngine(RemoteEngineBase):
         timeout: float = 30.0,
         retry: Optional[RetryPolicy] = None,
         heartbeat_s: Optional[float] = None,
+        pipelined: bool = True,
+        max_in_flight: int = 32,
     ) -> None:
-        super().__init__(addresses, policy, timeout, retry, heartbeat_s)
+        super().__init__(
+            addresses, policy, timeout, retry, heartbeat_s,
+            pipelined=pipelined, max_in_flight=max_in_flight,
+        )
 
 
 class DirectedRemoteEngine(RemoteEngineBase):
@@ -677,8 +782,13 @@ class DirectedRemoteEngine(RemoteEngineBase):
         timeout: float = 30.0,
         retry: Optional[RetryPolicy] = None,
         heartbeat_s: Optional[float] = None,
+        pipelined: bool = True,
+        max_in_flight: int = 32,
     ) -> None:
-        super().__init__(addresses, policy, timeout, retry, heartbeat_s)
+        super().__init__(
+            addresses, policy, timeout, retry, heartbeat_s,
+            pipelined=pipelined, max_in_flight=max_in_flight,
+        )
 
 
 _REMOTE_CAPS = {CAP_REMOTE, CAP_SHARDED, CAP_FAULT_TOLERANT}

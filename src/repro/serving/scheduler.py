@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import time
 from bisect import bisect_right
+from concurrent.futures import Future
 from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.errors import QueryError
@@ -74,6 +75,16 @@ def shard_starts_of(obj) -> List[int]:
 #: and the bucket key ``(source shard, target shard)``; must return one
 #: distance per pair, in order.
 Dispatch = Callable[[List[Tuple[int, int]], Tuple[int, int]], Sequence[float]]
+
+#: The pipelined dispatch seam: same arguments, but returns a
+#: :class:`concurrent.futures.Future` resolving to the answers, so the
+#: scheduler can put *every* bucket of a batch in flight before waiting
+#: on any of them.  Provided by the remote engine (a thread-pool submit
+#: over its replica-aware dispatch); optional — without it the scheduler
+#: awaits each bucket in turn, the strictly serial baseline.
+DispatchAsync = Callable[
+    [List[Tuple[int, int]], Tuple[int, int]], "Future[Sequence[float]]"
+]
 
 
 class SchedulerPolicy(NamedTuple):
@@ -115,6 +126,7 @@ class ShardScheduler:
     __slots__ = (
         "starts",
         "dispatch",
+        "dispatch_async",
         "policy",
         "dispatch_calls",
         "queries_scheduled",
@@ -130,9 +142,11 @@ class ShardScheduler:
         starts: Sequence[int],
         dispatch: Dispatch,
         policy: Optional[SchedulerPolicy] = None,
+        dispatch_async: Optional[DispatchAsync] = None,
     ) -> None:
         self.starts = sorted(int(s) for s in starts)
         self.dispatch = dispatch
+        self.dispatch_async = dispatch_async
         self.policy = policy or SchedulerPolicy()
         if self.policy.max_batch < 1:
             raise QueryError(
@@ -214,18 +228,47 @@ class ShardScheduler:
                 groups[-1] = (groups[-1][0], groups[-1][1] + positions)
             else:
                 groups.append((bucket, list(positions)))
+        jobs: List[Tuple[Tuple[int, int], List[int]]] = []
         for bucket, positions in groups:
             for lo in range(0, len(positions), cap):
-                chunk = positions[lo : lo + cap]
-                answers = self._dispatch([pairs[i] for i in chunk], bucket)
+                jobs.append((bucket, positions[lo : lo + cap]))
+        if self.dispatch_async is not None and len(jobs) > 1:
+            # Pipelined batch: every chunk goes in flight before any is
+            # awaited, so a fleet dispatch keeps all workers busy at
+            # once.  Gathering in job order keeps the accounting and the
+            # raise-first-error behavior deterministic.
+            futures: List["Future[Sequence[float]]"] = [
+                self.dispatch_async([pairs[i] for i in chunk], bucket)
+                for bucket, chunk in jobs
+            ]
+            first_error: Optional[BaseException] = None
+            for (bucket, chunk), future in zip(jobs, futures):
+                try:
+                    answers = self._record(
+                        [pairs[i] for i in chunk], bucket, future.result()
+                    )
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if first_error is None:
+                        first_error = exc
+                    continue
                 for i, d in zip(chunk, answers):
                     out[i] = d
+            if first_error is not None:
+                raise first_error
+            return out
+        for bucket, chunk in jobs:
+            answers = self._dispatch([pairs[i] for i in chunk], bucket)
+            for i, d in zip(chunk, answers):
+                out[i] = d
         return out
 
-    def _dispatch(
-        self, chunk: List[Tuple[int, int]], bucket: Tuple[int, int]
+    def _record(
+        self,
+        chunk: List[Tuple[int, int]],
+        bucket: Tuple[int, int],
+        answers: Sequence[float],
     ) -> Sequence[float]:
-        answers = self.dispatch(chunk, bucket)
+        """Validate and account one completed dispatch (either seam)."""
         if len(answers) != len(chunk):
             raise QueryError(
                 f"scheduler dispatch for bucket {bucket} returned "
@@ -234,6 +277,11 @@ class ShardScheduler:
         self.dispatch_calls += 1
         self.queries_scheduled += len(chunk)
         return answers
+
+    def _dispatch(
+        self, chunk: List[Tuple[int, int]], bucket: Tuple[int, int]
+    ) -> Sequence[float]:
+        return self._record(chunk, bucket, self.dispatch(chunk, bucket))
 
     # ------------------------------------------------------------------
     # Streaming scheduling
@@ -299,6 +347,15 @@ class ShardScheduler:
             raise  # bad query / miscounted answers: retrying cannot help
         except Exception:
             answers = self._dispatch(chunk, bucket)
+        self._complete(bucket, queue, answers)
+
+    def _complete(
+        self,
+        bucket: Tuple[int, int],
+        queue: List[Tuple[int, int, int]],
+        answers: Sequence[float],
+    ) -> None:
+        """Dequeue a successfully dispatched bucket and file its answers."""
         del self._pending[bucket]
         self._pending_count -= len(queue)
         if self._pending_count == 0:
@@ -309,13 +366,53 @@ class ShardScheduler:
     def flush(self) -> None:
         """Dispatch every pending bucket now (ascending shard-pair order).
 
-        A bucket whose dispatch fails twice (see :meth:`_flush_bucket`)
-        raises out of the flush; it and any not-yet-flushed buckets stay
-        pending (:meth:`pending`), already-flushed buckets keep their
-        results.
+        With a ``dispatch_async`` seam, all pending buckets go in flight
+        *concurrently*; transient failures get one concurrent retry
+        round, and only then does the first error propagate — failed
+        buckets stay pending (:meth:`pending`), successful ones keep
+        their results.  Without the seam (or with one bucket) buckets
+        dispatch in turn with the same retry-once semantics
+        (:meth:`_flush_bucket`).
         """
-        for bucket in sorted(self._pending):
-            self._flush_bucket(bucket)
+        if self.dispatch_async is None or len(self._pending) <= 1:
+            for bucket in sorted(self._pending):
+                self._flush_bucket(bucket)
+            return
+        first_error: Optional[BaseException] = None
+        round_buckets = sorted(self._pending)
+        for retry_round in range(2):
+            if not round_buckets:
+                break
+            chunks = {
+                bucket: [(s, t) for _, s, t in self._pending[bucket]]
+                for bucket in round_buckets
+            }
+            futures = {
+                bucket: self.dispatch_async(chunks[bucket], bucket)
+                for bucket in round_buckets
+            }
+            failed: List[Tuple[int, int]] = []
+            for bucket in round_buckets:
+                try:
+                    answers = self._record(
+                        chunks[bucket], bucket, futures[bucket].result()
+                    )
+                except QueryError as exc:
+                    # Bad query / miscounted answers: retrying cannot
+                    # help, but the other buckets still settle first.
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                except Exception as exc:  # noqa: BLE001 - retried next round
+                    if retry_round == 0:
+                        failed.append(bucket)
+                    elif first_error is None:
+                        first_error = exc
+                    continue
+                self._complete(bucket, self._pending[bucket], answers)
+            round_buckets = failed
+        if first_error is not None:
+            raise first_error
 
     def result(self, ticket: int) -> float:
         """Answer for ``ticket``; flushes pending work if still queued."""

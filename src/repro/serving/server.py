@@ -11,6 +11,24 @@ working set covers an index no single worker could hold, while the small
 replicated ``shared.snap`` (``G_k`` + all-pairs table) stays in the
 shared page cache.
 
+**Pipelining + admission control** (protocol v2): each connection's
+reader thread answers control ops (``hello``, ``ping``, ``stats``,
+membership) inline, but hands ``distances`` searches to a bounded
+**admission executor** shared by every connection — ``max_concurrency``
+worker threads over a queue capped at ``max_queue``.  Requests carry
+ids, so one connection can have many searches in flight and receive the
+answers out of order while control traffic stays responsive.  When the
+queue is full the request is rejected immediately with the structured
+``overloaded`` error kind — a client backs off and retries instead of
+timing out blind.  A client that disconnects mid-request has its queued
+searches cancelled and its in-flight answers discarded; nothing leaks.
+
+Engine access stays serialized (the packed engines' search-buffer pool
+is single-search-at-a-time), so ``max_concurrency > 1`` overlaps the
+request decode / response encode / socket I/O of one search with the
+engine stage of another rather than racing the engine itself.  Fleet
+parallelism comes from running more workers.
+
 Ownership is by default a *routing contract*, not a hard wall: a
 mis-routed pair is still answered correctly (the engine maps the foreign
 shard on demand), it just costs locality.  ``strict=True`` turns the
@@ -18,8 +36,9 @@ contract into a wall — a bucket whose pairs touch none of this worker's
 owned shards is rejected with the structured ``not_owner`` error kind,
 which clients treat as a membership-staleness signal (refresh the
 ownership map, reroute).  The ``hello`` handshake reports the shard
-starts, owned indices and vertex-id ranges, and the membership **epoch**
-so the client-side scheduler can honour (and version) the contract.
+starts, owned indices and vertex-id ranges, the membership **epoch**,
+and the protocol ``version`` so the client-side scheduler can honour
+(and version) the contract and pipeline safely.
 
 Membership is runtime state (:mod:`repro.serving.membership`): the
 ``join``/``leave`` ops update this worker's view of the fleet and bump
@@ -33,7 +52,8 @@ frames' payloads) are answered as ``{"error": ...}`` and the connection
 survives; protocol violations (garbage framing) drop the connection;
 an idle wire timeout (``REPRO_WIRE_TIMEOUT_S``) keeps the connection;
 ``shutdown`` stops the accept loop, closes the listening socket and
-reaps the handler threads, so a supervisor sees a clean exit.
+reaps the handler threads and the executor, so a supervisor sees a
+clean exit.
 """
 
 from __future__ import annotations
@@ -41,7 +61,8 @@ from __future__ import annotations
 import socket
 import threading
 from bisect import bisect_right
-from typing import List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from repro.errors import QueryError, ReproError, StorageError
 from repro.serving import wire
@@ -63,6 +84,130 @@ def load_serving_index(path: str, engine: str = "sharded"):
     return load_index(path, engine=engine)
 
 
+class _Conn:
+    """Per-connection serving state: the socket, its send lock, depth."""
+
+    __slots__ = ("sock", "send_lock", "closed", "in_flight", "peer")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.send_lock = threading.Lock()
+        self.closed = False
+        #: Admitted-but-unanswered ``distances`` requests (serving depth).
+        self.in_flight = 0
+        try:
+            host, port = sock.getpeername()[:2]
+            self.peer = f"{host}:{port}"
+        except OSError:  # pragma: no cover - peer gone before we looked
+            self.peer = "?"
+
+
+class _AdmissionExecutor:
+    """The admission-control stage: a bounded queue in front of searches.
+
+    ``workers`` threads drain a deque capped at ``max_queue`` waiting
+    entries.  :meth:`submit` never blocks — a full queue is an immediate
+    ``False`` (the server answers ``overloaded``), which is the whole
+    point: under overload clients get a structured signal *now* instead
+    of a timeout later, and the queue depth bounds worst-case latency.
+    :meth:`cancel` drops queued work for a connection that went away.
+    """
+
+    def __init__(self, workers: int, max_queue: int) -> None:
+        if workers < 1:
+            raise StorageError(
+                f"admission executor needs >= 1 worker thread, got {workers}"
+            )
+        if max_queue < 1:
+            raise StorageError(
+                f"admission queue capacity must be >= 1, got {max_queue}"
+            )
+        self.workers = workers
+        self.max_queue = max_queue
+        self._tasks: Deque[Tuple[_Conn, Callable[[], None]]] = deque()
+        self._cv = threading.Condition()
+        self._threads: List[threading.Thread] = []
+        self._stop = False
+        self.in_flight = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.executed = 0
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._run, name=f"repro-search-{i}", daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def submit(self, state: _Conn, task: Callable[[], None]) -> bool:
+        """Queue one search; False = at capacity (answer ``overloaded``)."""
+        with self._cv:
+            if self._stop:
+                return False
+            if len(self._tasks) >= self.max_queue:
+                self.rejected += 1
+                return False
+            self._tasks.append((state, task))
+            self._cv.notify()
+            return True
+
+    def cancel(self, state: _Conn) -> int:
+        """Drop queued (not yet running) work for a dead connection."""
+        with self._cv:
+            kept = [(s, t) for s, t in self._tasks if s is not state]
+            dropped = len(self._tasks) - len(kept)
+            if dropped:
+                self._tasks = deque(kept)
+                self.cancelled += dropped
+            return dropped
+
+    def depth(self) -> dict:
+        """The serving-depth counters the ``stats`` op publishes."""
+        with self._cv:
+            return {
+                "in_flight": self.in_flight,
+                "queued": len(self._tasks),
+                "rejected": self.rejected,
+                "cancelled": self.cancelled,
+                "executed": self.executed,
+                "max_concurrency": self.workers,
+                "max_queue": self.max_queue,
+            }
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._tasks and not self._stop:
+                    self._cv.wait()
+                if self._stop:
+                    return
+                _state, task = self._tasks.popleft()
+                self.in_flight += 1
+            try:
+                task()
+            finally:
+                with self._cv:
+                    self.in_flight -= 1
+                    self.executed += 1
+                    self._cv.notify()
+
+    def shutdown(self) -> None:
+        """Stop the worker threads; queued-but-unstarted work is dropped."""
+        with self._cv:
+            self._stop = True
+            self.cancelled += len(self._tasks)
+            self._tasks.clear()
+            self._cv.notify_all()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=5.0)
+        self._threads = []
+
+
 class ShardServer:
     """Serves one index over the wire protocol, owning a shard slice.
 
@@ -71,7 +216,10 @@ class ShardServer:
     pick a free port; read :attr:`address` after :meth:`start`.
     ``strict`` enforces ownership (reject non-owned buckets with the
     ``not_owner`` error kind); ``epoch`` seeds the membership epoch a
-    supervisor may have assigned this worker.
+    supervisor may have assigned this worker.  ``max_concurrency`` and
+    ``max_queue`` shape the admission executor (see the module
+    docstring): how many searches may run at once, and how many may wait
+    before new ones are rejected ``overloaded``.
 
     Usable as a context manager; :meth:`start` spawns a daemon accept
     thread (tests, in-process fleets), :meth:`serve_forever` runs the
@@ -86,6 +234,8 @@ class ShardServer:
         owned: Optional[Sequence[int]] = None,
         strict: bool = False,
         epoch: int = 0,
+        max_concurrency: int = 1,
+        max_queue: int = 128,
     ) -> None:
         from repro.core.directed import DirectedISLabelIndex
         from repro.serving.scheduler import shard_starts_of
@@ -120,13 +270,17 @@ class ShardServer:
         self._accept_thread: Optional[threading.Thread] = None
         self._handlers: List[threading.Thread] = []
         self._conns: List[socket.socket] = []
+        self._states: List[_Conn] = []
         self._lock = threading.Lock()
-        # One query at a time per worker: the packed engines' search
-        # buffer pool is documented single-search-at-a-time, and the
-        # lazily materialized label caches are plain dicts.  Fleet
-        # parallelism comes from running more workers, not from racing
-        # handler threads through one engine.
+        # The engine stage stays one-search-at-a-time: the packed
+        # engines' search buffer pool is documented single-search, and
+        # the lazily materialized label caches are plain dicts.  The
+        # executor pipelines everything *around* the engine (decode,
+        # encode, socket I/O); fleet parallelism comes from more workers.
         self._query_lock = threading.Lock()
+        self._executor = _AdmissionExecutor(max_concurrency, max_queue)
+        self.max_concurrency = self._executor.workers
+        self.max_queue = self._executor.max_queue
         self.queries_served = 0
         self.requests_served = 0
 
@@ -153,6 +307,7 @@ class ShardServer:
         self.worker_id = f"{host}:{port}"
         self.membership = MembershipMap(epoch=self.epoch)
         self.membership.set(self.worker_id, self.owned)
+        self._executor.start()
 
     def start(self) -> Tuple[str, int]:
         """Bind and serve from a background daemon thread; returns address."""
@@ -169,7 +324,7 @@ class ShardServer:
         self._accept_loop()
 
     def shutdown(self) -> None:
-        """Stop accepting, close every socket, join the handler threads.
+        """Stop accepting, close every socket, join handlers and executor.
 
         Live client connections are closed too — an idle client blocked
         in a handler's ``recv`` would otherwise pin its thread (and the
@@ -199,6 +354,7 @@ class ShardServer:
                 pass
         for thread in handlers:
             thread.join(timeout=5.0)
+        self._executor.shutdown()
 
     def __enter__(self) -> "ShardServer":
         self.start()
@@ -229,7 +385,32 @@ class ShardServer:
                 self._conns.append(conn)
             thread.start()
 
+    def _send_response(
+        self, state: _Conn, response: dict, rid: Optional[int]
+    ) -> bool:
+        """Send one response frame, echoing the request id when present.
+
+        Sends are serialized per connection (executor threads and the
+        reader thread interleave their frames, never their bytes).  A
+        failed send marks the connection closed; pending work for it is
+        discarded rather than retried — the client is gone.
+        """
+        if rid is not None:
+            response = dict(response, id=rid)
+        with state.send_lock:
+            if state.closed:
+                return False
+            try:
+                wire.send_frame(state.sock, response)
+                return True
+            except (wire.WireError, OSError):
+                state.closed = True
+                return False
+
     def _serve_connection(self, conn: socket.socket) -> None:
+        state = _Conn(conn)
+        with self._lock:
+            self._states.append(state)
         try:
             wire.apply_timeout(conn)
         except ValueError:
@@ -246,10 +427,15 @@ class ShardServer:
                     break  # corrupted stream: drop the connection
                 if payload is None:
                     break  # client hung up cleanly
-                response, stop = self._handle(payload)
-                try:
-                    wire.send_frame(conn, response)
-                except OSError:
+                rid = payload.get("id")
+                if payload.get("op") == "distances":
+                    response = self._admit_distances(state, rid, payload)
+                    if response is None:
+                        continue  # admitted; the executor answers it
+                    stop = False
+                else:
+                    response, stop = self._handle(payload)
+                if not self._send_response(state, response, rid):
                     break
                 if stop:
                     self._stop.set()
@@ -264,6 +450,11 @@ class ShardServer:
                         self._sock = None
                     break
         finally:
+            # Disconnect cleanup: nothing this connection queued may
+            # outlive it.  Queued searches are cancelled; an in-flight
+            # search discards its answer at the closed-send check.
+            state.closed = True
+            self._executor.cancel(state)
             try:
                 conn.close()
             except OSError:
@@ -274,6 +465,8 @@ class ShardServer:
                     self._handlers.remove(me)
                 if conn in self._conns:
                     self._conns.remove(conn)
+                if state in self._states:
+                    self._states.remove(state)
 
     # ------------------------------------------------------------------
     # Ownership helpers
@@ -346,6 +539,70 @@ class ShardServer:
             "draining": self.draining,
         }
 
+    def _admit_distances(
+        self, state: _Conn, rid: Optional[int], payload: dict
+    ) -> Optional[dict]:
+        """Validate, ownership-check and admit one ``distances`` request.
+
+        Returns a response to send inline (malformed / ``not_owner`` /
+        ``overloaded``), or ``None`` when the search was admitted — the
+        executor sends its answer whenever it completes, possibly after
+        later requests on the same connection (that is the pipelining).
+        """
+        with self._lock:
+            self.requests_served += 1
+        try:
+            pairs = [(int(s), int(t)) for s, t in payload.get("pairs", [])]
+        except (TypeError, ValueError) as exc:
+            return {"error": f"malformed request: {exc}", "error_kind": "query"}
+        rejection = self._reject_not_owner(pairs)
+        if rejection is not None:
+            return rejection
+        with self._lock:
+            state.in_flight += 1
+        if not self._executor.submit(
+            state, lambda: self._search_task(state, rid, pairs)
+        ):
+            with self._lock:
+                state.in_flight -= 1
+            depth = self._executor.depth()
+            return {
+                "error": (
+                    f"worker {self.worker_id} is overloaded: "
+                    f"{depth['queued']} queued (cap {depth['max_queue']}), "
+                    f"{depth['in_flight']} in flight — back off and retry"
+                ),
+                "error_kind": "overloaded",
+                "queued": depth["queued"],
+                "max_queue": depth["max_queue"],
+            }
+        return None
+
+    def _search_task(self, state: _Conn, rid: Optional[int], pairs) -> None:
+        """One admitted search: engine stage, then the (possibly late) send."""
+        try:
+            if state.closed:
+                return  # client left while we were queued: nothing to answer
+            try:
+                with self._query_lock:
+                    answers = self.index.distances(pairs)
+            except ReproError as exc:
+                kind = "query" if isinstance(exc, QueryError) else "storage"
+                response = {"error": str(exc), "error_kind": kind}
+            except (TypeError, ValueError) as exc:
+                response = {
+                    "error": f"malformed request: {exc}",
+                    "error_kind": "query",
+                }
+            else:
+                response = {"ok": True, "distances": list(answers)}
+                with self._lock:
+                    self.queries_served += len(pairs)
+            self._send_response(state, response, rid)
+        finally:
+            with self._lock:
+                state.in_flight -= 1
+
     def _handle(self, payload: dict) -> Tuple[dict, bool]:
         op = payload.get("op")
         with self._lock:  # handler threads are concurrent; += is not atomic
@@ -359,6 +616,7 @@ class ShardServer:
                 return (
                     {
                         "ok": True,
+                        "version": wire.PROTOCOL_VERSION,
                         "kind": self.kind,
                         "engine": self.index.engine,
                         "shard_starts": self.shard_starts,
@@ -371,16 +629,6 @@ class ShardServer:
                     },
                     False,
                 )
-            if op == "distances":
-                pairs = [(int(s), int(t)) for s, t in payload.get("pairs", [])]
-                rejection = self._reject_not_owner(pairs)
-                if rejection is not None:
-                    return rejection, False
-                with self._query_lock:
-                    answers = self.index.distances(pairs)
-                with self._lock:
-                    self.queries_served += len(pairs)
-                return {"ok": True, "distances": list(answers)}, False
             if op == "membership":
                 with self._lock:
                     if self.membership is None:
@@ -427,6 +675,11 @@ class ShardServer:
                     epoch = self.epoch
                 return {"ok": True, "epoch": epoch, "draining": draining_self}, False
             if op == "stats":
+                with self._lock:
+                    per_conn = [
+                        {"peer": s.peer, "in_flight": s.in_flight}
+                        for s in self._states
+                    ]
                 return (
                     {
                         "ok": True,
@@ -436,6 +689,8 @@ class ShardServer:
                         "draining": self.draining,
                         "queries_served": self.queries_served,
                         "requests_served": self.requests_served,
+                        "depth": self._executor.depth(),
+                        "connections": per_conn,
                     },
                     False,
                 )

@@ -9,13 +9,20 @@ default) — so remote answers stay bit-identical to local engine answers.
 
 Requests are ``{"op": <name>, ...}``; responses either carry the op's
 payload or ``{"error": <message>}``, which the client surfaces as
-:class:`~repro.errors.StorageError`.  Ops:
+:class:`~repro.errors.StorageError`.  Since protocol version 2
+(:data:`PROTOCOL_VERSION`) a request may carry an ``"id"`` that its
+response echoes, which is what lets :class:`PipelinedConnection` keep
+many requests in flight on one connection and complete them out of
+order; id-less requests keep the v1 strict request/response behavior,
+so old and new peers interoperate in both directions.  Ops:
 
 ``hello``
     Handshake.  The server answers with its orientation (``kind``), the
     shard layout of the snapshot it serves (``shard_starts``) and the
     shard indices it *owns* (its slice of the deployment's ownership
-    map) — everything the client-side scheduler needs to route buckets.
+    map) — everything the client-side scheduler needs to route buckets —
+    plus the protocol ``version`` it speaks, which gates client-side
+    pipelining.
 ``distances``
     ``{"pairs": [[s, t], ...]}`` → ``{"distances": [...]}``, one batched
     engine call per frame.  This is the unit the shard scheduler
@@ -54,12 +61,16 @@ a new frame" (idle; a server keeps the connection).
 from __future__ import annotations
 
 import json
-import math
-import os
 import socket
 import struct
-from typing import Optional
+import threading
+from collections import deque
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
+from queue import Queue
+from typing import Deque, Dict, Optional
 
+from repro.envvars import read_env_float
 from repro.errors import ReproError
 
 __all__ = [
@@ -67,17 +78,31 @@ __all__ = [
     "WireTimeout",
     "WIRE_TIMEOUT_ENV",
     "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
     "configured_timeout",
     "apply_timeout",
     "send_frame",
     "recv_frame",
     "request",
+    "PipelinedConnection",
 ]
 
 #: Refuse to (de)serialize frames larger than this: a corrupt or hostile
 #: length prefix must not make a worker allocate gigabytes.  64 MiB is
 #: roomy — about two million query pairs per frame.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Protocol generation, announced in the ``hello`` exchange (both ways).
+#: Version 1 (PR 5-6) is strictly request/response: one frame in flight
+#: per connection, responses in request order, no ``id`` field.  Version
+#: 2 adds **request ids**: any request may carry ``"id": <int>`` and its
+#: response echoes the same ``id``, so multiple requests can be in
+#: flight on one connection and complete out of order.  Compatibility is
+#: two-way: a v2 server answers id-less requests exactly as before (no
+#: ``id`` echoed, strict request order per request), and a v2 client
+#: talking to a peer that did not announce ``version >= 2`` caps itself
+#: at one frame in flight and matches responses FIFO.
+PROTOCOL_VERSION = 2
 
 _LEN = struct.Struct("!I")
 
@@ -111,21 +136,8 @@ def configured_timeout() -> Optional[float]:
     non-finite values instead of silently disabling the timeout; ``0``
     explicitly disables it.
     """
-    raw = os.environ.get(WIRE_TIMEOUT_ENV)
-    if raw is None or not raw.strip():
-        return None
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ValueError(
-            f"{WIRE_TIMEOUT_ENV} must be a number of seconds, got {raw!r}"
-        ) from None
-    if not math.isfinite(value) or value < 0:
-        raise ValueError(
-            f"{WIRE_TIMEOUT_ENV} must be a finite non-negative number of "
-            f"seconds, got {raw!r}"
-        )
-    return value if value > 0 else None
+    value = read_env_float(WIRE_TIMEOUT_ENV, what="wire timeout in seconds")
+    return value if value else None
 
 
 def apply_timeout(
@@ -228,3 +240,218 @@ def request(sock: socket.socket, payload: dict) -> dict:
             f"server closed the connection answering {payload.get('op')!r}"
         )
     return response
+
+
+class PipelinedConnection:
+    """Many requests in flight on one socket, completing out of order.
+
+    The protocol-v2 client transport: a dedicated **writer** thread
+    drains a send queue and a dedicated **reader** thread matches
+    response frames back to their
+    :class:`~concurrent.futures.Future` by the echoed request ``id``
+    (FIFO when a v1 peer echoes no id).  :meth:`submit` is the async
+    seam — it enqueues and returns immediately — and :meth:`request` is
+    the blocking convenience over it, so many caller threads can share
+    one connection without ever holding a lock across a round trip.
+
+    **Backpressure** is a bounded in-flight window (``max_in_flight``):
+    :meth:`submit` blocks while the window is full, so a slow or
+    overloaded server propagates pressure to the callers instead of
+    growing an unbounded client-side queue.  ``pipelined=False`` (a v1
+    peer) shrinks the window to one frame, which degenerates to the old
+    strict request/response behavior.
+
+    **Failure** is fail-fast and total: any wire error, EOF, or an idle
+    timeout *while requests are pending* poisons the connection — every
+    in-flight and still-queued future fails with the same
+    :class:`WireError`, and subsequent submits raise immediately.  (An
+    idle timeout with *nothing* pending is just a quiet peer; the reader
+    keeps waiting.)  The owner reconnects by building a fresh instance.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        max_in_flight: int = 32,
+        pipelined: bool = True,
+    ) -> None:
+        if max_in_flight < 1:
+            raise WireError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        self._sock = sock
+        self.pipelined = bool(pipelined)
+        self.max_in_flight = max_in_flight if self.pipelined else 1
+        self._window = threading.Semaphore(self.max_in_flight)
+        self._send_q: "Queue[Optional[dict]]" = Queue()
+        self._pending: Dict[int, Future] = {}
+        self._order: Deque[int] = deque()  # FIFO fallback for id-less peers
+        self._next_id = 0
+        self._lock = threading.Lock()
+        self._closed = threading.Event()
+        self._writer = threading.Thread(
+            target=self._write_loop, name="repro-wire-writer", daemon=True
+        )
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-wire-reader", daemon=True
+        )
+        self._writer.start()
+        self._reader.start()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    @property
+    def in_flight(self) -> int:
+        """Requests submitted but not yet completed."""
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, payload: dict) -> Future:
+        """Enqueue one request; the returned future completes with the
+        response payload (the echoed ``id`` stripped) or a
+        :class:`WireError`.  Blocks while the in-flight window is full.
+        """
+        while not self._window.acquire(timeout=0.1):
+            if self._closed.is_set():
+                raise WireError("connection is closed")
+        future: Future = Future()
+        with self._lock:
+            # The closed check shares the lock with _fail_all's pending
+            # sweep, so a submission either lands before the sweep (and
+            # is failed by it) or observes closed here — never neither.
+            if self._closed.is_set():
+                self._window.release()
+                raise WireError("connection is closed")
+            rid = self._next_id
+            self._next_id += 1
+            self._pending[rid] = future
+            self._order.append(rid)
+        self._send_q.put(dict(payload, id=rid))
+        return future
+
+    def request(self, payload: dict, timeout: Optional[float] = None) -> dict:
+        """Blocking round trip through the pipeline.
+
+        A ``timeout`` (seconds) bounds the wait; expiring poisons the
+        connection (the response stream can no longer be trusted to
+        line up) and raises :class:`WireTimeout`.
+        """
+        future = self.submit(payload)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeout:
+            self._fail_all(
+                WireTimeout(
+                    f"request {payload.get('op')!r} timed out", partial=True
+                )
+            )
+            raise WireTimeout(
+                f"request {payload.get('op')!r} timed out", partial=True
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Pump loops
+    # ------------------------------------------------------------------
+    def _write_loop(self) -> None:
+        while True:
+            payload = self._send_q.get()
+            if payload is None or self._closed.is_set():
+                return
+            try:
+                send_frame(self._sock, payload)
+            except (WireError, OSError) as exc:
+                self._fail_all(
+                    exc if isinstance(exc, WireError) else WireError(str(exc))
+                )
+                return
+
+    def _read_loop(self) -> None:
+        try:
+            while not self._closed.is_set():
+                # Sampled before blocking in recv: an idle timeout is only
+                # fatal when a response was already owed when the wait
+                # started (a request registered *during* the wait has not
+                # yet been owed a full timeout window).
+                owed = bool(self._pending)
+                try:
+                    frame = recv_frame(self._sock)
+                except WireTimeout as exc:
+                    if not exc.partial and not owed:
+                        continue  # idle with nothing owed: keep waiting
+                    self._fail_all(exc)
+                    return
+                except (WireError, OSError) as exc:
+                    self._fail_all(
+                        exc
+                        if isinstance(exc, WireError)
+                        else WireError(str(exc))
+                    )
+                    return
+                if frame is None:
+                    self._fail_all(
+                        WireError("peer closed the pipelined connection")
+                    )
+                    return
+                rid = frame.pop("id", None)
+                with self._lock:
+                    if rid is None:
+                        key = self._order[0] if self._order else None
+                    else:
+                        key = rid
+                    future = self._pending.pop(key, None)
+                    if future is not None:
+                        try:
+                            self._order.remove(key)
+                        except ValueError:
+                            pass
+                if future is None:
+                    self._fail_all(
+                        WireError(
+                            f"peer answered unknown request id {rid!r}"
+                        )
+                    )
+                    return
+                self._window.release()
+                future.set_result(frame)
+        finally:
+            if not self._closed.is_set():
+                self._fail_all(WireError("pipelined reader exited"))
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def _fail_all(self, exc: WireError) -> None:
+        """Poison the connection: fail every outstanding future with ``exc``."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+            self._order.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(exc)
+            self._window.release()
+        self._send_q.put(None)  # unblock the writer
+        try:
+            self._sock.close()  # unblock the reader
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Fail outstanding requests and release the socket and threads."""
+        self._fail_all(WireError("connection closed locally"))
+        me = threading.current_thread()
+        for thread in (self._writer, self._reader):
+            if thread is not me and thread.is_alive():
+                thread.join(timeout=5.0)
