@@ -43,18 +43,17 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import random
 import tempfile
-import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.core.index import ISLabelIndex
-from repro.core.serialization import load_index, save_snapshot
+from repro.core.serialization import save_snapshot
 from repro.graph.generators import grid_graph
 from repro.graph.graph import Graph
+from repro.loadgen import READ, poisson_arrivals, uniform_pairs
+from repro.loadgen.drivers import Operation, run_open_loop
 from repro.serving.chaos import ChaosProxy, FaultInjector
 from repro.serving.remote import RemoteEngine
 from repro.serving.scheduler import SchedulerPolicy, assign_shards
@@ -115,19 +114,6 @@ class _FleetLink:
             proxy.close()
 
 
-def _query_pairs(graph: Graph, count: int, seed: int) -> List[Tuple[int, int]]:
-    rng = random.Random(seed)
-    vertices = sorted(graph.vertices())
-    return [(rng.choice(vertices), rng.choice(vertices)) for _ in range(count)]
-
-
-def _percentile(sorted_values: List[float], q: float) -> float:
-    if not sorted_values:
-        return float("nan")
-    idx = min(int(q * len(sorted_values)), len(sorted_values) - 1)
-    return sorted_values[idx]
-
-
 def _closed_loop(engine, pairs, expected, repeats: int, label: str) -> float:
     """Best-of-``repeats`` wall seconds for one batched fleet pass."""
     best = float("inf")
@@ -144,51 +130,33 @@ def _closed_loop(engine, pairs, expected, repeats: int, label: str) -> float:
 def _open_loop(
     engine, pairs, expected, rate_qps: float, requests: int, label: str
 ) -> Dict[str, float]:
-    """Poisson arrivals at ``rate_qps``; per-request completion latency.
+    """Poisson arrivals at ``rate_qps`` via the shared loadgen driver.
 
-    Arrivals are scheduled on the wall clock *before* the run and never
-    wait for completions (open loop): if the engine cannot keep up, the
-    backlog shows up as queueing latency in p99 — exactly the signal a
-    capacity plan needs.  Latency is measured from the scheduled arrival,
-    so a late start counts against the server, not the client.
+    Arrivals come from :func:`repro.loadgen.poisson_arrivals` (seeded,
+    scheduled on the wall clock before the run, never waiting for
+    completions) and the firing/percentile machinery is
+    :func:`repro.loadgen.drivers.run_open_loop` — the same open-loop
+    code path as ``repro loadgen`` — so a backlog shows up as queueing
+    latency in p99, measured from the scheduled arrival.
     """
-    rng = random.Random(1234)
-    arrivals: List[float] = []
-    t = 0.0
-    for _ in range(requests):
-        t += rng.expovariate(rate_qps)
-        arrivals.append(t)
-    latencies: List[float] = [0.0] * requests
-    errors: List[BaseException] = []
-    lock = threading.Lock()
-
-    def fire(i: int, pair, scheduled: float) -> None:
-        try:
-            got = engine.distances([pair])[0]
-            done = time.perf_counter()
-            if got != expected[i]:
-                raise AssertionError(f"{label}: open-loop answer disagrees")
-            latencies[i] = done - scheduled
-        except BaseException as exc:  # noqa: BLE001 - surfaced after the run
-            with lock:
-                errors.append(exc)
-
-    with ThreadPoolExecutor(max_workers=64) as pool:
-        base = time.perf_counter()
-        for i, (pair, offset) in enumerate(zip(pairs[:requests], arrivals)):
-            now = time.perf_counter() - base
-            if offset > now:
-                time.sleep(offset - now)
-            pool.submit(fire, i, pair, base + offset)
-    if errors:
-        raise errors[0]
-    ordered = sorted(latencies)
+    ops = [
+        Operation(0, READ, i, pair) for i, pair in enumerate(pairs[:requests])
+    ]
+    offsets = poisson_arrivals(rate_qps, requests, seed=1234)
+    result = run_open_loop(
+        ops, offsets, [engine.distance], [None], [expected[:requests]]
+    )
+    if not result["bit_identical"]:
+        raise AssertionError(
+            f"{label}: open-loop answers disagree: {result['mismatches'][:1]}"
+        )
+    reads = result["reads"]
     return {
         "offered_qps": rate_qps,
         "requests": requests,
-        "p50_ms": _percentile(ordered, 0.50) * 1000.0,
-        "p99_ms": _percentile(ordered, 0.99) * 1000.0,
-        "max_ms": ordered[-1] * 1000.0,
+        "p50_ms": reads["p50_ms"],
+        "p99_ms": reads["p99_ms"],
+        "max_ms": reads["max_ms"],
     }
 
 
@@ -203,7 +171,7 @@ def bench_dataset(
     link_rtt_ms: float,
 ) -> Dict[str, object]:
     built = ISLabelIndex.build(graph, engine="fast")
-    pairs = _query_pairs(graph, queries, seed=7)
+    pairs = uniform_pairs(graph.vertices(), queries, seed=7)
     expected = built.distances(pairs)
 
     snap_path = os.path.join(tmp, f"{name}.shards")

@@ -18,6 +18,10 @@ engine while a worker is SIGKILLed mid-query-stream.
   heartbeat thread must mark it live again.
 * **clean teardown** — every child reaped, asserted hard.
 
+Query pairs, the per-query closed-loop pass and its percentiles come
+from :mod:`repro.loadgen` — the shared traffic harness every serving
+benchmark runs on.
+
 Emits ``BENCH_failover.json`` at the repo root.
 
 Usage::
@@ -31,17 +35,18 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import random
 import tempfile
 import threading
 import time
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.core.index import ISLabelIndex
 from repro.core.serialization import load_index, save_snapshot
 from repro.graph.generators import grid_graph
 from repro.graph.graph import Graph
+from repro.loadgen import READ, uniform_pairs
+from repro.loadgen.drivers import Operation, run_closed_loop
 from repro.serving.chaos import FaultInjector
 from repro.serving.membership import LIVE, RetryPolicy
 from repro.serving.remote import RemoteEngine
@@ -68,12 +73,6 @@ RETRY = RetryPolicy(max_attempts=4, base_delay_s=0.02, max_delay_s=0.25)
 REJOIN_TIMEOUT = 30.0
 
 
-def _query_pairs(graph: Graph, count: int, seed: int) -> List[Tuple[int, int]]:
-    rng = random.Random(seed)
-    vertices = sorted(graph.vertices())
-    return [(rng.choice(vertices), rng.choice(vertices)) for _ in range(count)]
-
-
 def _timed_pass(engine, pairs, expected, name, phase) -> float:
     started = time.perf_counter()
     got = engine.distances(pairs)
@@ -87,7 +86,7 @@ def bench_dataset(
     name: str, graph: Graph, tmp: str, queries: int, repeats: int
 ) -> Dict[str, object]:
     built = ISLabelIndex.build(graph, engine="fast")
-    pairs = _query_pairs(graph, queries, seed=7)
+    pairs = uniform_pairs(graph.vertices(), queries, seed=7)
     expected = built.distances(pairs)
     snap_path = os.path.join(tmp, f"{name}.shards")
     save_snapshot(built, snap_path, shards=SHARDS)
@@ -111,6 +110,19 @@ def bench_dataset(
                 for _ in range(repeats)
             ]
             steady_best = min(steady_times)
+
+            # Per-query closed-loop percentiles from the shared loadgen
+            # driver (one op in flight at a time; same pairs, verified
+            # against the same oracle) — latency the batch passes above
+            # cannot resolve.
+            ops = [Operation(0, READ, i, p) for i, p in enumerate(pairs)]
+            steady_latency = run_closed_loop(
+                ops, [engine.distance], [None], [expected]
+            )
+            if not steady_latency["bit_identical"]:
+                raise AssertionError(
+                    f"{name}: steady per-query answers disagree with fast"
+                )
 
             # Kill one worker mid-stream: a timer SIGKILLs it a fraction
             # of a steady pass into the next pass.
@@ -165,6 +177,7 @@ def bench_dataset(
         "replication": REPLICATION,
         "repeats": repeats,
         "steady_qps": steady_qps,
+        "steady_latency": steady_latency["reads"],
         "kill_pass_seconds": kill_pass_s,
         "failovers": len(failovers),
         "failover_retries_max": max((f["retries"] for f in failovers), default=0),

@@ -1,0 +1,136 @@
+"""Scenario percentiles from the shared load harness: local vs remote.
+
+Every row is one :class:`repro.loadgen.Scenario` executed by
+:func:`repro.loadgen.run_scenario` — the same code path as ``repro
+loadgen`` and the serving benchmarks — against (a) the local ``"fast"``
+engine and (b) a spawned remote fleet.  The matrix covers the traffic
+shapes the serving claims depend on:
+
+* **uniform vs Zipf(1.1) pair skew**, closed loop — how much endpoint
+  popularity skew changes p50/p99 on the same dataset (hot shard-pair
+  buckets batch better remotely; the artifact's scheduler stats show the
+  coalescing).
+* **open-loop bursts** — arrivals scheduled on the wall clock in bursts
+  of 16; queueing shows up in p99, not in a conveniently slowed client.
+
+Gates (all correctness/hygiene, so ``--quick`` keeps them):
+
+* ``answers_bit_identical`` — every read in every row matches the fast
+  oracle bit-for-bit (local and remote, under skew and bursts);
+* ``workers_reaped`` — every spawned fleet was torn down with no
+  surviving child;
+* ``latency_reported`` — each row carries finite positive p50/p99.
+
+Emits ``BENCH_loadgen.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_loadgen.py           # full
+    PYTHONPATH=src python benchmarks/bench_loadgen.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from repro.loadgen import get_scenario, run_scenario
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Scenario names in the matrix; each runs locally and against a fleet.
+SCENARIO_NAMES = ("uniform-base", "zipf-hot", "open-burst")
+
+
+def scenario_matrix(quick: bool):
+    """The (scenario, engine) rows, shrunk for CI when ``quick``."""
+    rows = []
+    for name in SCENARIO_NAMES:
+        base = get_scenario(name)
+        if quick:
+            base = base.replace(dataset="grid:10x10", num_queries=80)
+        for engine in ("fast", "remote"):
+            rows.append(base.replace(engine=engine))
+    return rows
+
+
+def run_row(scenario) -> Dict[str, object]:
+    result = run_scenario(scenario)
+    reads = result["reads"]
+    row: Dict[str, object] = {
+        "scenario": scenario.name,
+        "engine": scenario.engine,
+        "skew": scenario.skew,
+        "arrival": scenario.arrival,
+        "queries": reads["count"],
+        "p50_ms": reads["p50_ms"],
+        "p90_ms": reads["p90_ms"],
+        "p99_ms": reads["p99_ms"],
+        "throughput_qps": reads["throughput_qps"],
+        "bit_identical": result["bit_identical"],
+    }
+    if scenario.engine == "remote":
+        row["workers_reaped"] = result["workers_reaped"]
+        row["scheduler"] = result.get("scheduler")
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny graphs / few queries (CI smoke)"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(REPO_ROOT / "BENCH_loadgen.json"),
+        help="output JSON path (default: repo root BENCH_loadgen.json)",
+    )
+    args = parser.parse_args(argv)
+
+    rows: List[Dict[str, object]] = []
+    for scenario in scenario_matrix(args.quick):
+        row = run_row(scenario)
+        rows.append(row)
+        print(
+            f"{row['scenario']:14s} {row['engine']:6s} | "
+            f"{row['queries']:>5} reads | "
+            f"p50 {row['p50_ms']:8.3f} ms | p99 {row['p99_ms']:8.3f} ms | "
+            f"{row['throughput_qps']:>9,.0f} qps | "
+            f"bit_identical={row['bit_identical']}"
+        )
+
+    def finite_latency(row: Dict[str, object]) -> bool:
+        return all(
+            isinstance(row[k], float) and math.isfinite(row[k]) and row[k] > 0
+            for k in ("p50_ms", "p99_ms")
+        )
+
+    gates = {
+        "answers_bit_identical": all(r["bit_identical"] for r in rows),
+        "workers_reaped": all(
+            r.get("workers_reaped", True) for r in rows
+        ),
+        "latency_reported": all(finite_latency(r) for r in rows),
+    }
+    report = {
+        "benchmark": "loadgen",
+        "quick": args.quick,
+        "rows": rows,
+        "gates": gates,
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {args.output}")
+    for gate, ok in gates.items():
+        print(f"gate {gate}: {'PASS' if ok else 'FAIL'}")
+    return 0 if all(gates.values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

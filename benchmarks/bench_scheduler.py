@@ -13,7 +13,10 @@ PR 4 sharded snapshots:
 * **remote fleet QPS** — worker subprocesses run ``repro serve`` over the
   same sharded snapshot, each owning a contiguous shard slice; the
   ``"remote"`` engine schedules the query set over the fleet and the
-  aggregate throughput is recorded.
+  aggregate throughput is recorded.  The fleet is spawned and reaped by
+  :class:`repro.serving.chaos.FaultInjector` and the query pairs and
+  latency percentiles come from :mod:`repro.loadgen` — the same harness
+  every serving benchmark runs on.
 * **bit-identity** — naive, scheduled and remote answers are all checked
   against the fast engine's; disagreement aborts the run.
 * **clean teardown** — the fleet is shut down over the wire with a
@@ -33,20 +36,17 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import random
-import socket
-import subprocess
-import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.core.index import ISLabelIndex
 from repro.core.serialization import load_index, save_snapshot
 from repro.graph.generators import grid_graph
 from repro.graph.graph import Graph
-from repro.serving import wire
+from repro.loadgen import LatencySummary, uniform_pairs
+from repro.serving.chaos import FaultInjector
 from repro.serving.remote import RemoteEngine
 from repro.serving.scheduler import SchedulerPolicy, ShardScheduler, assign_shards
 from repro.workloads.datasets import load_dataset
@@ -67,123 +67,6 @@ QUICK_DATASETS = [
 ]
 
 SHARDS = 8
-WORKER_STARTUP_TIMEOUT = 60.0
-WORKER_REAP_TIMEOUT = 10.0
-
-
-def _query_pairs(graph: Graph, count: int, seed: int) -> List[Tuple[int, int]]:
-    rng = random.Random(seed)
-    vertices = sorted(graph.vertices())
-    return [(rng.choice(vertices), rng.choice(vertices)) for _ in range(count)]
-
-
-# ----------------------------------------------------------------------
-# Remote fleet management
-# ----------------------------------------------------------------------
-def _await_serving_line(proc: subprocess.Popen) -> str:
-    """The worker's ``SERVING host:port ...`` line, within the startup
-    timeout.
-
-    ``readline()`` blocks with no timeout of its own, so a hung worker
-    would stall the benchmark forever; reading from a joined side thread
-    makes the deadline real.
-    """
-    import threading
-
-    box: List[str] = []
-
-    def read() -> None:
-        for line in proc.stdout:
-            line = line.strip()
-            if line.startswith("SERVING "):
-                box.append(line)
-                return
-
-    thread = threading.Thread(target=read, daemon=True)
-    thread.start()
-    thread.join(timeout=WORKER_STARTUP_TIMEOUT)
-    if not box:
-        if proc.poll() is not None:
-            raise RuntimeError(
-                f"worker exited with {proc.returncode} before serving"
-            )
-        raise RuntimeError("worker did not announce its address in time")
-    return box[0]
-
-
-def _spawn_fleet(
-    snap_path: str, workers: int
-) -> Tuple[List[subprocess.Popen], List[str]]:
-    """Start ``workers`` shard servers, each owning a contiguous slice.
-
-    Workers whose slice is empty are not spawned at all — omitting
-    ``--owned`` would make them claim *every* shard and skew routing.
-    """
-    ownership = [owned for owned in assign_shards(SHARDS, workers) if owned]
-    procs: List[subprocess.Popen] = []
-    addresses: List[str] = []
-    try:
-        for owned in ownership:
-            cmd = [
-                sys.executable,
-                "-m",
-                "repro",
-                "serve",
-                snap_path,
-                "--engine",
-                "sharded",
-                "--owned",
-                ",".join(map(str, owned)),
-            ]
-            proc = subprocess.Popen(
-                cmd,
-                stdout=subprocess.PIPE,
-                text=True,
-                env=dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src")),
-            )
-            procs.append(proc)
-            addresses.append(_await_serving_line(proc).split()[1])
-    except BaseException:
-        _teardown_fleet(procs, addresses)
-        raise
-    return procs, addresses
-
-
-def _teardown_fleet(
-    procs: List[subprocess.Popen], addresses: List[str]
-) -> bool:
-    """Shut the fleet down over the wire; True iff every child was reaped.
-
-    Mirrors the ``serve-bench`` worker cleanup: polite wire shutdown, a
-    bounded wait, then terminate/kill escalation — the benchmark must
-    never leave orphaned serving processes behind.
-    """
-    for address in addresses:
-        host, _, port = address.rpartition(":")
-        try:
-            sock = socket.create_connection((host, int(port)), timeout=5.0)
-            try:
-                wire.request(sock, {"op": "shutdown"})
-            finally:
-                sock.close()
-        except OSError:
-            pass  # already gone (or never served); the wait below decides
-    reaped = True
-    for proc in procs:
-        try:
-            proc.wait(timeout=WORKER_REAP_TIMEOUT)
-        except subprocess.TimeoutExpired:
-            reaped = False
-            proc.terminate()
-            try:
-                proc.wait(timeout=5.0)
-            except subprocess.TimeoutExpired:
-                proc.kill()
-                proc.wait()
-        if proc.stdout is not None:
-            proc.stdout.close()
-    assert all(proc.poll() is not None for proc in procs), "unreaped worker"
-    return reaped
 
 
 # ----------------------------------------------------------------------
@@ -198,7 +81,7 @@ def bench_dataset(
     repeats: int,
 ) -> Dict[str, object]:
     built = ISLabelIndex.build(graph, engine="fast")
-    pairs = _query_pairs(graph, queries, seed=7)
+    pairs = uniform_pairs(graph.vertices(), queries, seed=7)
     expected = built.distances(pairs)
 
     snap_path = os.path.join(tmp, f"{name}.shards")
@@ -210,9 +93,19 @@ def bench_dataset(
     # mode is too noisy to gate a ratio on.
     served = load_index(snap_path, engine="sharded")
     naive_times = []
-    for _ in range(repeats):
+    naive_latencies = []
+    for rep in range(repeats):
         started = time.perf_counter()
-        naive = [served.distance(s, t) for s, t in pairs]
+        if rep == repeats - 1:
+            # Last pass times each query so the row carries percentiles
+            # from the shared summary implementation, not just a mean.
+            naive = []
+            for s, t in pairs:
+                q0 = time.perf_counter()
+                naive.append(served.distance(s, t))
+                naive_latencies.append(time.perf_counter() - q0)
+        else:
+            naive = [served.distance(s, t) for s, t in pairs]
         naive_times.append(time.perf_counter() - started)
         if naive != expected:
             raise AssertionError(f"{name}: naive per-query disagrees with fast")
@@ -254,14 +147,20 @@ def bench_dataset(
             else float("inf")
         ),
         "dispatch_calls_per_pass": scheduler.dispatch_calls // repeats,
+        "scheduler_stats": scheduler.stats(),
+        "naive_latency": LatencySummary.from_latencies(
+            naive_latencies, naive_times[-1]
+        ).to_dict(),
         "answers_agree": True,
     }
 
     if workers > 0:
-        procs, addresses = _spawn_fleet(snap_path, workers)
+        injector = FaultInjector()
         try:
+            injector.spawn_fleet(snap_path, assign_shards(SHARDS, workers))
             engine = RemoteEngine(
-                addresses=addresses, policy=SchedulerPolicy(max_batch=2048)
+                addresses=injector.addresses,
+                policy=SchedulerPolicy(max_batch=2048),
             )
             remote = engine.distances(pairs)
             if remote != expected:
@@ -269,15 +168,17 @@ def bench_dataset(
             started = time.perf_counter()
             engine.distances(pairs)
             remote_seconds = time.perf_counter() - started
+            remote_stats = engine.scheduler.stats() if engine.scheduler else None
             engine.close()
         finally:
-            reaped = _teardown_fleet(procs, addresses)
+            reaped = injector.teardown()
         row["fleet"] = {
             "workers": workers,
             "remote_seconds": remote_seconds,
             "remote_qps": (
                 len(pairs) / remote_seconds if remote_seconds else float("inf")
             ),
+            "scheduler_stats": remote_stats,
             "remote_bit_identical": True,
             "workers_reaped": reaped,
         }

@@ -15,6 +15,9 @@ serve-bench     Load an index/snapshot and measure serving throughput + RSS
                 (``--remote host:port,...`` benches a shard-worker fleet
                 through the scheduled remote engine instead).
 dataset         Generate one of the paper's dataset stand-ins as an edge list.
+loadgen         Run a named, seeded traffic scenario (``repro.loadgen``)
+                against a local engine or a spawned remote fleet, and
+                report p50/p90/p99/throughput (``--list`` names them).
 example         Print the paper's Figure 1-3 walkthrough.
 
 ``--engine`` on the build/query/serve commands selects the compute backend
@@ -61,6 +64,7 @@ from repro.core.serialization import (
     save_index,
     save_snapshot,
 )
+from repro.envvars import read_env_int
 from repro.errors import ReproError
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.stats import graph_stats, human_bytes
@@ -201,17 +205,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_server.add_argument(
         "--max-concurrency",
         type=int,
-        default=1,
+        default=None,
         help="admission executor: searches allowed to run at once "
         "(default 1: engine calls serialize; higher overlaps decode/"
-        "encode/socket I/O across requests)",
+        "encode/socket I/O across requests; env fallback "
+        "REPRO_SERVE_MAX_CONCURRENCY)",
     )
     p_server.add_argument(
         "--max-queue",
         type=int,
-        default=128,
+        default=None,
         help="admission executor: searches allowed to wait before new "
-        "ones are rejected with the overloaded error kind (default 128)",
+        "ones are rejected with the overloaded error kind (default 128; "
+        "env fallback REPRO_SERVE_MAX_QUEUE)",
     )
 
     p_rebal = commands.add_parser(
@@ -306,6 +312,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_dataset.add_argument("name", choices=DATASET_NAMES)
     p_dataset.add_argument("-o", "--output", required=True)
     p_dataset.add_argument("--scale", type=float, default=1.0)
+
+    p_load = commands.add_parser(
+        "loadgen",
+        help="run a named, seeded traffic scenario and report percentiles",
+    )
+    p_load.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario name (see --list); seeded and fully replayable",
+    )
+    p_load.add_argument(
+        "--list", action="store_true", help="list available scenarios and exit"
+    )
+    p_load.add_argument(
+        "--engine",
+        default=None,
+        help="override the scenario's engine (any registry name, or "
+        "'remote' to spawn a worker fleet for the run)",
+    )
+    p_load.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the remote fleet size (workers per tenant)",
+    )
+    p_load.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="override duration in seconds (0 = one pass over the "
+        "seeded stream; > 0 cycles it until the wall clock expires)",
+    )
+    p_load.add_argument(
+        "--seed", type=int, default=None, help="override the scenario seed"
+    )
+    p_load.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the JSON artifact (spec + summaries) to this path",
+    )
 
     commands.add_parser("example", help="print the Figure 1-3 walkthrough")
     return parser
@@ -478,6 +526,17 @@ def _serve_bench_once(
     }
 
 
+def _admission_knob(flag_value: Optional[int], env: str, what: str, default: int) -> int:
+    """Resolve one admission integer: flag wins, then env, then default."""
+    if flag_value is not None:
+        return flag_value
+    try:
+        parsed = read_env_int(env, what=what, minimum=1)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
+    return parsed if parsed is not None else default
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.server import ShardServer, load_serving_index
 
@@ -492,8 +551,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         owned=owned,
         strict=args.strict,
         epoch=args.epoch,
-        max_concurrency=args.max_concurrency,
-        max_queue=args.max_queue,
+        max_concurrency=_admission_knob(
+            args.max_concurrency,
+            "REPRO_SERVE_MAX_CONCURRENCY",
+            "admission concurrency",
+            1,
+        ),
+        max_queue=_admission_knob(
+            args.max_queue, "REPRO_SERVE_MAX_QUEUE", "admission queue depth", 128
+        ),
     )
     server.bind()
     host, port = server.address
@@ -743,6 +809,42 @@ def _cmd_example(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen import SCENARIOS, get_scenario, run_scenario, scenario_names
+
+    if args.list:
+        for name in scenario_names():
+            print(f"{name:14s} {SCENARIOS[name].description}")
+        return 0
+    if not args.scenario:
+        raise ReproError(
+            "scenario name required (repro loadgen --list shows them)"
+        )
+    scenario = get_scenario(args.scenario)
+    overrides = {}
+    if args.engine is not None:
+        overrides["engine"] = args.engine
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.duration is not None:
+        overrides["duration_s"] = args.duration
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        scenario = scenario.replace(**overrides)
+    result = run_scenario(scenario, artifact_path=args.output, progress=print)
+    reads = result["reads"]
+    reaped = result.get("workers_reaped", True)
+    print(
+        f"LOADGEN {scenario.name} engine={scenario.engine} "
+        f"ops={result['operations']} "
+        f"bit_identical={result['bit_identical']} "
+        f"p50={reads['p50_ms']:.3f}ms p99={reads['p99_ms']:.3f}ms "
+        f"qps={reads['throughput_qps']:,.0f} reaped={reaped}"
+    )
+    return 0 if result["bit_identical"] and reaped else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -757,6 +859,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve-bench": _cmd_serve_bench,
         "stats": _cmd_stats,
         "dataset": _cmd_dataset,
+        "loadgen": _cmd_loadgen,
         "example": _cmd_example,
     }
     try:

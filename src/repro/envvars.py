@@ -14,6 +14,13 @@ float-parse-and-range-check.  They share one contract:
   instead of silently disabling the feature or leaking a bare parse
   error with no hint of where the value came from.
 
+Integer knobs — admission control's ``REPRO_SERVE_MAX_CONCURRENCY`` /
+``REPRO_SERVE_MAX_QUEUE`` and the pipelined connection window
+``REPRO_REMOTE_MAX_IN_FLIGHT`` — follow the same contract through
+:func:`read_env_int`, except that fractional values are rejected (a
+queue depth of 2.5 is a configuration bug) and each call site states
+its own lower bound.
+
 Call sites that must surface a different exception class (the remote
 engine raises :class:`~repro.errors.IndexBuildError` at construction)
 wrap the ``ValueError``; the message, with the variable name in it, is
@@ -26,7 +33,7 @@ import math
 import os
 from typing import Optional
 
-__all__ = ["read_env_float"]
+__all__ = ["read_env_float", "read_env_int"]
 
 _UNSET = object()
 
@@ -63,5 +70,45 @@ def read_env_float(
         raise ValueError(
             f"{name}={raw!r} is not a valid {what}: expected a finite, "
             "non-negative number (fractional values allowed; 0 disables it)"
+        )
+    return value
+
+
+def read_env_int(
+    name: str,
+    *,
+    what: str = "count",
+    raw: object = _UNSET,
+    blank_is_unset: bool = True,
+    minimum: int = 0,
+) -> Optional[int]:
+    """Read and validate one *integer* environment knob.
+
+    The integer twin of :func:`read_env_float`, for knobs that count
+    things (queue depths, concurrency slots, in-flight windows) where a
+    fractional value is a configuration bug, not a tuning choice.
+    Returns ``None`` when unset (or blank, unless ``blank_is_unset`` is
+    False), the parsed int otherwise.  ``minimum`` is the smallest legal
+    value (default 0 — knobs where 0 means "disabled"; admission knobs
+    pass ``minimum=1``).  Errors name the variable and the bound, so a
+    bad deployment manifest points at itself.
+    """
+    if raw is _UNSET:
+        raw = os.environ.get(name)
+    if raw is None:
+        return None
+    text = str(raw).strip()
+    if not text:
+        if blank_is_unset:
+            return None
+        text = ""  # normalized for the error message
+    try:
+        value = int(text)
+    except ValueError:
+        value = None
+    if value is None or value < minimum:
+        raise ValueError(
+            f"{name}={raw!r} is not a valid {what}: expected an integer "
+            f">= {minimum} (fractional values are not allowed)"
         )
     return value

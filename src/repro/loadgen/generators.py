@@ -1,0 +1,189 @@
+"""Seeded traffic generators: pair skew, arrival schedules, op mixes.
+
+Real serving load is not a uniform list of ``(s, t)`` pairs handed over
+all at once.  Endpoint popularity is Zipf-skewed (a tiny set of hot
+vertices dominates — the same skew that motivates the caching tier),
+requests arrive on their own clock (open-loop Poisson, often in bursts),
+and a live deployment interleaves reads with §8.3 update waves.  The
+generators here produce each of those dimensions **deterministically
+under a seed**, so a scenario is fully replayable: same seed, same
+pairs, same arrival offsets, same read/write interleaving, on any host.
+
+Derived seeds (:func:`derive_seed`) keep the dimensions independent —
+changing the query count does not reshuffle the arrival schedule, and
+two scenarios differing only in name draw different streams.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from bisect import bisect_left
+from typing import List, Sequence, Tuple
+
+from repro.errors import QueryError
+
+__all__ = [
+    "derive_seed",
+    "zipf_weights",
+    "uniform_pairs",
+    "zipf_pairs",
+    "poisson_arrivals",
+    "burst_arrivals",
+    "operation_mix",
+    "READ",
+    "WRITE",
+]
+
+QueryPair = Tuple[int, int]
+
+#: Operation tags in a mixed stream (strings so the artifact JSON stays
+#: self-describing).
+READ = "read"
+WRITE = "write"
+
+
+def derive_seed(seed: int, *scope: object) -> int:
+    """A stable sub-seed for one generator dimension of a scenario.
+
+    CRC32 over the scope path gives a cheap, platform-stable mix; Python
+    ``hash`` is salted per process and would break replayability.
+    """
+    text = ":".join(str(part) for part in (seed, *scope))
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def zipf_weights(n: int, theta: float) -> List[float]:
+    """Normalized Zipf(θ) probabilities for ranks ``1..n``.
+
+    ``P(rank r) ∝ 1 / r^θ``; θ must be positive (θ → 0 approaches
+    uniform, θ ≈ 1 is the classic web-traffic skew).
+    """
+    if n < 1:
+        raise QueryError(f"zipf_weights needs n >= 1, got {n}")
+    if theta <= 0:
+        raise QueryError(f"Zipf exponent must be positive, got {theta}")
+    weights = [1.0 / (r ** theta) for r in range(1, n + 1)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def uniform_pairs(
+    vertices: Sequence[int], count: int, seed: int
+) -> List[QueryPair]:
+    """``count`` uniform ``(s, t)`` pairs over ``vertices`` (sorted first,
+    so the draw order is independent of the caller's container)."""
+    ordered = sorted(vertices)
+    if len(ordered) < 2:
+        raise QueryError("need at least two vertices to build query pairs")
+    rng = random.Random(seed)
+    return [
+        (rng.choice(ordered), rng.choice(ordered)) for _ in range(count)
+    ]
+
+
+def zipf_pairs(
+    vertices: Sequence[int],
+    count: int,
+    seed: int,
+    theta: float = 1.0,
+) -> List[QueryPair]:
+    """``count`` pairs with Zipf(θ)-skewed endpoint popularity.
+
+    Vertex *rank* is its position in the sorted vertex order — the
+    ranking is arbitrary but deterministic, which is what a replayable
+    scenario needs (popularity skew is about the *shape* of the traffic,
+    not which specific vertex happens to be hot).  Both endpoints draw
+    from the same distribution, so hot *pairs* emerge quadratically —
+    the regime that makes caching and bucket coalescing pay.
+    """
+    ordered = sorted(vertices)
+    if len(ordered) < 2:
+        raise QueryError("need at least two vertices to build query pairs")
+    weights = zipf_weights(len(ordered), theta)
+    cumulative: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc)
+    cumulative[-1] = 1.0  # guard float drift at the tail
+    rng = random.Random(seed)
+
+    def draw() -> int:
+        return ordered[bisect_left(cumulative, rng.random())]
+
+    return [(draw(), draw()) for _ in range(count)]
+
+
+def poisson_arrivals(rate_qps: float, count: int, seed: int) -> List[float]:
+    """Open-loop Poisson arrival offsets (seconds from run start).
+
+    Exponential inter-arrival gaps at ``rate_qps``; monotonically
+    non-decreasing, deterministic under the seed.  Arrival times never
+    depend on completions — that is the defining property of open-loop
+    load (a saturated server shows up as queueing latency, not as a
+    conveniently slowed-down client).
+    """
+    if rate_qps <= 0:
+        raise QueryError(f"open-loop rate must be positive, got {rate_qps}")
+    if count < 0:
+        raise QueryError(f"arrival count must be >= 0, got {count}")
+    rng = random.Random(seed)
+    offsets: List[float] = []
+    t = 0.0
+    for _ in range(count):
+        t += rng.expovariate(rate_qps)
+        offsets.append(t)
+    return offsets
+
+
+def burst_arrivals(
+    rate_qps: float, count: int, seed: int, burst_size: int
+) -> List[float]:
+    """Bursty open-loop arrivals: Poisson burst *starts*, coincident members.
+
+    Bursts of ``burst_size`` requests arrive at the same instant; burst
+    starts are Poisson at ``rate_qps / burst_size``, so the *average*
+    offered rate equals ``rate_qps`` while the instantaneous rate spikes
+    — the traffic shape that stresses admission queues and tail latency
+    in a way a smooth Poisson stream never does.  ``burst_size=1``
+    degenerates to :func:`poisson_arrivals` exactly (same seed, same
+    offsets).
+    """
+    if burst_size < 1:
+        raise QueryError(f"burst size must be >= 1, got {burst_size}")
+    if burst_size == 1:
+        return poisson_arrivals(rate_qps, count, seed)
+    bursts = math.ceil(count / burst_size)
+    starts = poisson_arrivals(rate_qps / burst_size, bursts, seed)
+    offsets: List[float] = []
+    for start in starts:
+        for _ in range(burst_size):
+            if len(offsets) == count:
+                return offsets
+            offsets.append(start)
+    return offsets
+
+
+def operation_mix(count: int, write_fraction: float, seed: int) -> List[str]:
+    """A deterministic :data:`READ`/:data:`WRITE` tag per operation slot.
+
+    Each slot is independently a write with probability
+    ``write_fraction`` — the §8.3 replay regime where update waves
+    interleave with serving traffic rather than arriving in one block.
+    ``0.0`` is a pure read stream (no RNG consumed: an all-read scenario
+    is byte-identical whether or not the mix dimension exists).
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise QueryError(
+            f"write fraction must be in [0, 1], got {write_fraction}"
+        )
+    if count < 0:
+        raise QueryError(f"operation count must be >= 0, got {count}")
+    if write_fraction == 0.0:
+        return [READ] * count
+    rng = random.Random(seed)
+    return [
+        WRITE if rng.random() < write_fraction else READ for _ in range(count)
+    ]

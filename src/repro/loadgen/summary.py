@@ -1,0 +1,98 @@
+"""Latency/throughput summary math shared by every perf claim.
+
+Each benchmark used to hand-roll its own ``_percentile`` and QPS
+arithmetic, which made the numbers incomparable across scripts (and the
+edge cases — empty runs, single samples — untested).  This module is the
+one implementation: drivers record per-operation latencies, hand them to
+:meth:`LatencySummary.from_latencies`, and every artifact reports the
+same p50/p90/p99/throughput fields computed the same way.
+
+Percentiles use the nearest-rank convention on the sorted sample
+(``index = min(int(q * n), n - 1)``): no interpolation, so a reported
+percentile is always a latency that actually occurred — the honest
+choice for small samples, and bit-reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, NamedTuple, Sequence
+
+__all__ = ["percentile", "LatencySummary"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample.
+
+    ``q`` is a fraction in [0, 1].  Empty input returns ``nan`` (there is
+    no latency to report, and ``nan`` poisons downstream arithmetic
+    loudly instead of pretending a zero); a single sample is every
+    percentile of itself.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1], got {q}")
+    if not sorted_values:
+        return math.nan
+    idx = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[idx]
+
+
+class LatencySummary(NamedTuple):
+    """Aggregate of one run phase: counts, wall time, latency percentiles.
+
+    Latencies are reported in milliseconds (the scale every serving
+    number in this repo is discussed at); ``seconds`` is the phase's wall
+    time and ``throughput_qps`` is ``count / seconds`` — which differs
+    from ``1 / mean latency`` whenever operations overlap (open-loop and
+    pipelined runs), so both are recorded.
+    """
+
+    count: int
+    seconds: float
+    throughput_qps: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    mean_ms: float
+    min_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_latencies(
+        cls, latencies_s: Sequence[float], wall_seconds: float
+    ) -> "LatencySummary":
+        """Summarize per-operation latencies (seconds) over a wall clock.
+
+        An empty run yields ``count=0`` with ``nan`` latency fields and
+        zero throughput — callers can emit the row without special-casing,
+        and any gate comparing against ``nan`` fails loudly.
+        """
+        ordered: List[float] = sorted(latencies_s)
+        n = len(ordered)
+        if n == 0:
+            return cls(
+                count=0,
+                seconds=float(wall_seconds),
+                throughput_qps=0.0,
+                p50_ms=math.nan,
+                p90_ms=math.nan,
+                p99_ms=math.nan,
+                mean_ms=math.nan,
+                min_ms=math.nan,
+                max_ms=math.nan,
+            )
+        return cls(
+            count=n,
+            seconds=float(wall_seconds),
+            throughput_qps=(n / wall_seconds) if wall_seconds > 0 else math.inf,
+            p50_ms=percentile(ordered, 0.50) * 1000.0,
+            p90_ms=percentile(ordered, 0.90) * 1000.0,
+            p99_ms=percentile(ordered, 0.99) * 1000.0,
+            mean_ms=sum(ordered) / n * 1000.0,
+            min_ms=ordered[0] * 1000.0,
+            max_ms=ordered[-1] * 1000.0,
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-artifact form (plain dict, field names preserved)."""
+        return dict(self._asdict())

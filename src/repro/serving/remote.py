@@ -67,7 +67,7 @@ from repro.core.engines import (
     UNDIRECTED,
     register_engine,
 )
-from repro.envvars import read_env_float
+from repro.envvars import read_env_float, read_env_int
 from repro.errors import IndexBuildError, QueryError, StorageError
 from repro.serving import wire
 from repro.serving.membership import (
@@ -82,6 +82,7 @@ from repro.serving.scheduler import SchedulerPolicy, ShardScheduler
 __all__ = [
     "REMOTE_ADDRS_ENV",
     "REMOTE_HEARTBEAT_ENV",
+    "REMOTE_MAX_IN_FLIGHT_ENV",
     "parse_addresses",
     "RemoteEngine",
     "DirectedRemoteEngine",
@@ -94,6 +95,11 @@ REMOTE_ADDRS_ENV = "REPRO_REMOTE_ADDRS"
 
 #: Environment fallback for the heartbeat interval (seconds; unset/0 = off).
 REMOTE_HEARTBEAT_ENV = "REPRO_REMOTE_HEARTBEAT_S"
+
+#: Default pipelined in-flight window per worker channel when neither the
+#: constructor argument nor the environment sets one.
+REMOTE_MAX_IN_FLIGHT_ENV = "REPRO_REMOTE_MAX_IN_FLIGHT"
+DEFAULT_MAX_IN_FLIGHT = 32
 
 Address = Union[str, Tuple[str, int]]
 
@@ -164,12 +170,14 @@ class _Worker:
         timeout: float,
         *,
         pipelined: bool = True,
-        max_in_flight: int = 32,
+        max_in_flight: Optional[int] = None,
     ) -> None:
         self.address = (str(address[0]), int(address[1]))
         self.timeout = timeout
         self.pipelined = bool(pipelined)
-        self.max_in_flight = int(max_in_flight)
+        self.max_in_flight = (
+            DEFAULT_MAX_IN_FLIGHT if max_in_flight is None else int(max_in_flight)
+        )
         self.chan: Optional[wire.PipelinedConnection] = None
         self.kind: str = "undirected"
         self.owned: List[int] = []
@@ -264,6 +272,25 @@ class _Worker:
         return f"_Worker({self.id}, {self.health.state}, owned={self.owned})"
 
 
+def _in_flight_window(value: Optional[int]) -> int:
+    """Resolve the pipelined window (argument wins over env; min 1)."""
+    if value is not None:
+        if value < 1:
+            raise IndexBuildError(f"max_in_flight must be >= 1, got {value}")
+        return int(value)
+    try:
+        parsed = read_env_int(
+            REMOTE_MAX_IN_FLIGHT_ENV,
+            what="pipelined in-flight window",
+            minimum=1,
+        )
+    except ValueError as exc:
+        # Same convention as the heartbeat knob: construction surfaces
+        # IndexBuildError, keeping the variable-naming message.
+        raise IndexBuildError(str(exc)) from None
+    return parsed if parsed is not None else DEFAULT_MAX_IN_FLIGHT
+
+
 def _heartbeat_interval(value: Optional[float]) -> float:
     """Resolve the heartbeat interval (argument wins over env; 0 = off)."""
     if value is not None:
@@ -293,7 +320,7 @@ class RemoteEngineBase:
         retry: Optional[RetryPolicy] = None,
         heartbeat_s: Optional[float] = None,
         pipelined: bool = True,
-        max_in_flight: int = 32,
+        max_in_flight: Optional[int] = None,
     ) -> None:
         if addresses is None:
             addresses = os.environ.get(REMOTE_ADDRS_ENV)
@@ -315,11 +342,7 @@ class RemoteEngineBase:
         #: request in flight per connection — kept as the benchmark
         #: baseline and as an escape hatch.
         self.pipelined = bool(pipelined)
-        if max_in_flight < 1:
-            raise IndexBuildError(
-                f"max_in_flight must be >= 1, got {max_in_flight}"
-            )
-        self.max_in_flight = int(max_in_flight)
+        self.max_in_flight = _in_flight_window(max_in_flight)
         self.frozen = False
         self.scheduler: Optional[ShardScheduler] = None
         self.membership = MembershipMap()
@@ -757,7 +780,7 @@ class RemoteEngine(RemoteEngineBase):
         retry: Optional[RetryPolicy] = None,
         heartbeat_s: Optional[float] = None,
         pipelined: bool = True,
-        max_in_flight: int = 32,
+        max_in_flight: Optional[int] = None,
     ) -> None:
         super().__init__(
             addresses, policy, timeout, retry, heartbeat_s,
@@ -783,7 +806,7 @@ class DirectedRemoteEngine(RemoteEngineBase):
         retry: Optional[RetryPolicy] = None,
         heartbeat_s: Optional[float] = None,
         pipelined: bool = True,
-        max_in_flight: int = 32,
+        max_in_flight: Optional[int] = None,
     ) -> None:
         super().__init__(
             addresses, policy, timeout, retry, heartbeat_s,

@@ -130,6 +130,7 @@ class ShardScheduler:
         "policy",
         "dispatch_calls",
         "queries_scheduled",
+        "buckets_coalesced",
         "_pending",
         "_pending_count",
         "_oldest_pending",
@@ -157,6 +158,7 @@ class ShardScheduler:
         #: the amortization ratio the benchmark reports.
         self.dispatch_calls = 0
         self.queries_scheduled = 0
+        self.buckets_coalesced = 0
         # Streaming state: bucket -> [(ticket, s, t), ...].
         self._pending: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = {}
         self._pending_count = 0
@@ -226,6 +228,7 @@ class ShardScheduler:
                 and len(groups[-1][1]) + len(positions) <= cap
             ):
                 groups[-1] = (groups[-1][0], groups[-1][1] + positions)
+                self.buckets_coalesced += 1
             else:
                 groups.append((bucket, list(positions)))
         jobs: List[Tuple[Tuple[int, int], List[int]]] = []
@@ -316,6 +319,28 @@ class ShardScheduler:
     def pending_count(self) -> int:
         """Queries submitted but not yet dispatched."""
         return self._pending_count
+
+    def stats(self) -> Dict[str, float]:
+        """Batching-efficiency counters as one snapshot dict.
+
+        ``dispatch_calls`` / ``queries_scheduled`` give the amortization
+        ratio (``avg_batch``), ``buckets_coalesced`` counts same-source
+        bucket merges, and ``pending`` is the streaming backlog.  This is
+        the observability surface the load harness and the ``stats`` wire
+        op report — callers should read it instead of monkey-patching
+        ``_dispatch``.
+        """
+        return {
+            "dispatch_calls": self.dispatch_calls,
+            "queries_scheduled": self.queries_scheduled,
+            "buckets_coalesced": self.buckets_coalesced,
+            "pending": self._pending_count,
+            "avg_batch": (
+                self.queries_scheduled / self.dispatch_calls
+                if self.dispatch_calls
+                else 0.0
+            ),
+        }
 
     def pending(self) -> Dict[int, Tuple[int, int]]:
         """Snapshot of submitted-but-undispatched queries: ticket → pair.

@@ -23,6 +23,15 @@ from repro.graph.generators import (
 from repro.graph.graph import Graph
 
 
+def pytest_configure(config):
+    # No pytest config file exists, so markers register here.  ``slow``
+    # marks long soak runs; they additionally self-skip unless REPRO_SOAK
+    # is set, keeping the tier-1 suite's runtime sane.
+    config.addinivalue_line(
+        "markers", "slow: long soak tests (opt in with REPRO_SOAK=1)"
+    )
+
+
 @pytest.fixture
 def triangle() -> Graph:
     return Graph([(1, 2, 1), (2, 3, 2), (1, 3, 4)])

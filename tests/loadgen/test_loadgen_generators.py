@@ -1,0 +1,190 @@
+"""Property tests for the workload generators.
+
+The replay guarantee of the loadgen harness — same seed, same traffic —
+and the statistical shape of each generator (Zipf rank-frequency slope,
+Poisson arrivals, Bernoulli read/write mixes) are checked here so the
+benchmarks can trust the streams they gate on.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.loadgen import (
+    READ,
+    WRITE,
+    burst_arrivals,
+    derive_seed,
+    operation_mix,
+    poisson_arrivals,
+    uniform_pairs,
+    zipf_pairs,
+    zipf_weights,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_scope_sensitive(self):
+        assert derive_seed(7, "pairs", 0) == derive_seed(7, "pairs", 0)
+        assert derive_seed(7, "pairs", 0) != derive_seed(7, "pairs", 1)
+        assert derive_seed(7, "pairs", 0) != derive_seed(8, "pairs", 0)
+        assert derive_seed(7, "pairs", 0) != derive_seed(7, "mix", 0)
+
+    @given(seed=st.integers(0, 2**31), scope=st.text(max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_always_a_nonnegative_int(self, seed, scope):
+        value = derive_seed(seed, scope)
+        assert isinstance(value, int) and value >= 0
+
+
+class TestZipfWeights:
+    def test_normalized_and_descending(self):
+        weights = zipf_weights(100, 1.1)
+        assert math.isclose(sum(weights), 1.0, rel_tol=1e-12)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    @given(
+        n=st.integers(2, 400),
+        theta=st.floats(0.3, 2.5, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rank_frequency_slope_matches_theta(self, n, theta):
+        # log(w_r) = -theta * log(r) + c exactly, by construction; the
+        # fitted log-log slope over all ranks must recover theta.
+        weights = zipf_weights(n, theta)
+        xs = [math.log(r) for r in range(1, n + 1)]
+        ys = [math.log(w) for w in weights]
+        mx = sum(xs) / n
+        my = sum(ys) / n
+        slope = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sum(
+            (x - mx) ** 2 for x in xs
+        )
+        assert slope == pytest.approx(-theta, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(QueryError):
+            zipf_weights(10, 0.0)
+        with pytest.raises(QueryError):
+            zipf_weights(10, -1.0)
+
+
+class TestPairGenerators:
+    VERTICES = list(range(64))
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_pairs_deterministic(self, seed):
+        a = uniform_pairs(self.VERTICES, 50, seed)
+        b = uniform_pairs(self.VERTICES, 50, seed)
+        assert a == b
+        assert len(a) == 50
+        assert all(s in self.VERTICES and t in self.VERTICES for s, t in a)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_zipf_pairs_deterministic(self, seed):
+        a = zipf_pairs(self.VERTICES, 50, seed, theta=1.1)
+        b = zipf_pairs(self.VERTICES, 50, seed, theta=1.1)
+        assert a == b
+        assert all(s in self.VERTICES and t in self.VERTICES for s, t in a)
+
+    def test_zipf_skews_toward_hot_vertices(self):
+        # Under theta=1.2 the hottest rank should dominate: the top-4
+        # ranks carry far more endpoint mass than 4/64 would uniformly.
+        pairs = zipf_pairs(self.VERTICES, 4000, seed=3, theta=1.2)
+        counts = Counter(v for pair in pairs for v in pair)
+        hot = sorted(counts.values(), reverse=True)[:4]
+        assert sum(hot) / (2 * 4000) > 3 * (4 / 64)
+
+    def test_zipf_empirical_slope_within_tolerance(self):
+        # Rank-frequency slope of the *sampled* stream: fit log count vs
+        # log rank over well-populated head ranks, expect roughly -theta.
+        theta = 1.0
+        pairs = zipf_pairs(list(range(200)), 20000, seed=9, theta=theta)
+        counts = Counter(v for pair in pairs for v in pair)
+        head = sorted(counts.values(), reverse=True)[:20]
+        xs = [math.log(r) for r in range(1, len(head) + 1)]
+        ys = [math.log(c) for c in head]
+        mx = sum(xs) / len(xs)
+        my = sum(ys) / len(ys)
+        slope = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sum(
+            (x - mx) ** 2 for x in xs
+        )
+        assert slope == pytest.approx(-theta, abs=0.25)
+
+    def test_too_few_vertices_raise(self):
+        with pytest.raises(QueryError):
+            uniform_pairs([1], 5, seed=0)
+        with pytest.raises(QueryError):
+            zipf_pairs([1], 5, seed=0)
+
+
+class TestArrivals:
+    @given(
+        rate=st.floats(1.0, 5000.0, allow_nan=False),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_deterministic_and_monotone(self, rate, seed):
+        a = poisson_arrivals(rate, 64, seed)
+        b = poisson_arrivals(rate, 64, seed)
+        assert a == b
+        assert all(x <= y for x, y in zip(a, a[1:]))
+        assert all(x >= 0.0 for x in a)
+
+    def test_poisson_mean_gap_near_1_over_rate(self):
+        offsets = poisson_arrivals(1000.0, 20000, seed=5)
+        mean_gap = offsets[-1] / (len(offsets) - 1)
+        assert mean_gap == pytest.approx(1.0 / 1000.0, rel=0.05)
+
+    def test_burst_size_one_degenerates_to_poisson(self):
+        assert burst_arrivals(500.0, 40, seed=2, burst_size=1) == poisson_arrivals(
+            500.0, 40, seed=2
+        )
+
+    def test_bursts_are_coincident(self):
+        offsets = burst_arrivals(500.0, 64, seed=2, burst_size=8)
+        assert len(offsets) == 64
+        # Members of each burst share an arrival instant.
+        for start in range(0, 64, 8):
+            burst = offsets[start : start + 8]
+            assert len(set(burst)) == 1
+        assert all(x <= y for x, y in zip(offsets, offsets[1:]))
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            poisson_arrivals(0.0, 10, seed=0)
+        with pytest.raises(QueryError):
+            poisson_arrivals(100.0, -1, seed=0)
+        with pytest.raises(QueryError):
+            burst_arrivals(100.0, 10, seed=0, burst_size=0)
+
+
+class TestOperationMix:
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, seed):
+        assert operation_mix(40, 0.3, seed) == operation_mix(40, 0.3, seed)
+
+    def test_ratio_on_large_n(self):
+        ops = operation_mix(20000, 0.2, seed=11)
+        writes = sum(1 for op in ops if op == WRITE)
+        assert writes / 20000 == pytest.approx(0.2, abs=0.02)
+        assert all(op in (READ, WRITE) for op in ops)
+
+    def test_zero_fraction_is_all_reads(self):
+        assert operation_mix(100, 0.0, seed=1) == [READ] * 100
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            operation_mix(10, -0.1, seed=0)
+        with pytest.raises(QueryError):
+            operation_mix(10, 1.5, seed=0)

@@ -1,0 +1,124 @@
+"""Scenario spec validation, dict round-trip and stream determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.loadgen import SCENARIOS, Scenario, get_scenario, scenario_names
+
+
+def tiny(**overrides):
+    base = dict(name="t", dataset="grid:4x4", num_queries=20)
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        s = Scenario(name="ok")
+        assert s.skew == "uniform" and s.arrival == "closed"
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"name": ""},
+            {"skew": "pareto"},
+            {"arrival": "lockstep"},
+            {"num_queries": 0},
+            {"duration_s": -1.0},
+            {"write_fraction": 1.5},
+            {"theta": 0.0},
+            {"rate_qps": 0.0},
+            {"burst_size": 0},
+            {"workers": 0},
+            {"shards": 0},
+            {"replication": 0},
+            {"tenants": 0},
+            {"scale": 0.0},
+            {"dataset": "nosuchdataset"},
+            {"dataset": "grid:1x5"},
+            {"dataset": "grid:axb"},
+            {"dataset": "grid:5"},
+        ],
+    )
+    def test_bad_field_raises_at_construction(self, overrides):
+        with pytest.raises(QueryError):
+            tiny(**overrides)
+
+    def test_replace_revalidates(self):
+        s = tiny()
+        with pytest.raises(QueryError):
+            s.replace(num_queries=-5)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            tiny().name = "other"
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        s = tiny(skew="zipf", theta=1.3, arrival="burst", write_fraction=0.1)
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_unknown_key_rejected_by_name(self):
+        with pytest.raises(QueryError, match="zipf_theta"):
+            Scenario.from_dict({"name": "x", "zipf_theta": 1.1})
+
+    def test_registry_specs_round_trip(self):
+        for scenario in SCENARIOS.values():
+            assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+
+class TestRegistry:
+    def test_names_sorted_and_resolvable(self):
+        names = scenario_names()
+        assert names == tuple(sorted(names))
+        assert "smoke" in names
+        for name in names:
+            assert get_scenario(name).name == name
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(QueryError, match="smoke"):
+            get_scenario("nope")
+
+    def test_smoke_stays_tiny(self):
+        # CI runs this one against a live fleet under a timeout.
+        smoke = get_scenario("smoke")
+        assert smoke.num_queries <= 64
+        assert smoke.dataset.startswith("grid:")
+
+
+class TestStreams:
+    def test_grid_graph_deterministic(self):
+        a = tiny().build_graph()
+        b = tiny().build_graph()
+        assert a.num_vertices == b.num_vertices == 16
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_pairs_deterministic_and_tenant_scoped(self):
+        s = tiny(skew="zipf", theta=1.1, tenants=2)
+        g = s.build_graph()
+        assert s.query_pairs(g, tenant=0) == s.query_pairs(g, tenant=0)
+        assert s.query_pairs(g, tenant=0) != s.query_pairs(g, tenant=1)
+        assert len(s.query_pairs(g)) == s.num_queries
+
+    def test_seed_changes_stream(self):
+        g = tiny().build_graph()
+        assert tiny(seed=1).query_pairs(g) != tiny(seed=2).query_pairs(g)
+
+    def test_closed_loop_has_no_offsets(self):
+        assert tiny().arrival_offsets(10) is None
+
+    def test_open_loop_offsets_deterministic(self):
+        s = tiny(arrival="poisson", rate_qps=200.0)
+        assert s.arrival_offsets(30) == s.arrival_offsets(30)
+        b = tiny(arrival="burst", rate_qps=200.0, burst_size=4)
+        offsets = b.arrival_offsets(16)
+        assert len(offsets) == 16
+        assert len(set(offsets)) == 4  # 4 coincident bursts of 4
+
+    def test_operations_respect_write_fraction_edge_cases(self):
+        assert tiny().operations(50) == ["read"] * 50
+        all_writes = tiny(write_fraction=1.0).operations(50)
+        assert all_writes == ["write"] * 50

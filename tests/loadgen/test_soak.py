@@ -1,0 +1,73 @@
+"""Opt-in soak: 30s mixed read/write against a fleet with one SIGKILL.
+
+Run with::
+
+    REPRO_SOAK=1 PYTHONPATH=src python -m pytest tests/loadgen/test_soak.py -m slow
+
+Gated twice — the ``slow`` marker and the ``REPRO_SOAK`` env var — so
+the tier-1 suite never pays for it by accident.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.loadgen import Scenario, run_scenario
+from repro.serving import chaos
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        not os.environ.get("REPRO_SOAK"),
+        reason="soak test; set REPRO_SOAK=1 to run",
+    ),
+]
+
+
+def test_soak_mixed_writes_with_worker_kill():
+    scenario = Scenario(
+        name="soak",
+        dataset="grid:10x10",
+        engine="remote",
+        skew="zipf",
+        theta=1.1,
+        num_queries=150,
+        write_fraction=0.2,
+        duration_s=30.0,
+        workers=2,
+        shards=4,
+        replication=2,
+        seed=42,
+    )
+
+    # SIGKILL one worker ~8s in; replication=2 means the survivor owns
+    # every shard, so answers must stay bit-exact through the failover.
+    original_spawn = chaos.FaultInjector.spawn_fleet
+    killers = []
+
+    def spawn_and_arm(self, *args, **kwargs):
+        workers = original_spawn(self, *args, **kwargs)
+        timer = threading.Timer(8.0, workers[0].kill)
+        timer.daemon = True
+        timer.start()
+        killers.append(timer)
+        return workers
+
+    chaos.FaultInjector.spawn_fleet = spawn_and_arm
+    try:
+        result = run_scenario(scenario, progress=print)
+    finally:
+        chaos.FaultInjector.spawn_fleet = original_spawn
+        for timer in killers:
+            timer.cancel()
+
+    assert killers, "fleet was never spawned"
+    assert result["bit_identical"], result["mismatches"]
+    assert result["workers_reaped"]
+    assert result["wall_seconds"] >= 30.0
+    assert result["reads"]["count"] > 150  # cycled the stream
+    assert result["writes"]["count"] > 0
+    assert result["failovers"] >= 1

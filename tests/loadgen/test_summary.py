@@ -1,0 +1,88 @@
+"""Unit tests for the shared percentile/throughput summary math."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.loadgen import LatencySummary, percentile
+
+
+class TestPercentile:
+    def test_known_distribution(self):
+        # 100 samples 0.00..0.99: nearest-rank picks the floor index.
+        values = [i / 100.0 for i in range(100)]
+        assert percentile(values, 0.50) == 0.50
+        assert percentile(values, 0.90) == 0.90
+        assert percentile(values, 0.99) == 0.99
+        assert percentile(values, 0.0) == 0.0
+        assert percentile(values, 1.0) == 0.99  # clamped to the last sample
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert percentile([7.25], q) == 7.25
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 0.5))
+
+    def test_fraction_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="percentile fraction"):
+            percentile([1.0], 1.5)
+        with pytest.raises(ValueError, match="percentile fraction"):
+            percentile([1.0], -0.1)
+
+    def test_nearest_rank_always_returns_observed_value(self):
+        values = sorted([0.003, 0.001, 0.1, 0.02, 0.05])
+        for q in (0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+            assert percentile(values, q) in values
+
+
+class TestLatencySummary:
+    def test_known_distribution(self):
+        latencies = [i / 1000.0 for i in range(1, 101)]  # 1ms..100ms
+        s = LatencySummary.from_latencies(latencies, wall_seconds=2.0)
+        assert s.count == 100
+        assert s.throughput_qps == 50.0
+        assert s.p50_ms == pytest.approx(51.0)
+        assert s.p90_ms == pytest.approx(91.0)
+        assert s.p99_ms == pytest.approx(100.0)
+        assert s.min_ms == pytest.approx(1.0)
+        assert s.max_ms == pytest.approx(100.0)
+        assert s.mean_ms == pytest.approx(50.5)
+
+    def test_single_sample(self):
+        s = LatencySummary.from_latencies([0.004], wall_seconds=0.004)
+        assert s.count == 1
+        assert s.p50_ms == s.p99_ms == s.min_ms == s.max_ms == pytest.approx(4.0)
+        assert s.throughput_qps == pytest.approx(250.0)
+
+    def test_all_equal(self):
+        s = LatencySummary.from_latencies([0.002] * 50, wall_seconds=1.0)
+        assert s.p50_ms == s.p90_ms == s.p99_ms == pytest.approx(2.0)
+        assert s.mean_ms == pytest.approx(2.0)
+        assert s.throughput_qps == pytest.approx(50.0)
+
+    def test_empty_run(self):
+        s = LatencySummary.from_latencies([], wall_seconds=1.5)
+        assert s.count == 0
+        assert s.throughput_qps == 0.0
+        assert s.seconds == 1.5
+        for field in ("p50_ms", "p90_ms", "p99_ms", "mean_ms", "min_ms", "max_ms"):
+            assert math.isnan(getattr(s, field))
+
+    def test_zero_wall_clock_reports_inf_not_crash(self):
+        s = LatencySummary.from_latencies([0.001], wall_seconds=0.0)
+        assert math.isinf(s.throughput_qps)
+
+    def test_unsorted_input_is_sorted_internally(self):
+        s = LatencySummary.from_latencies([0.09, 0.01, 0.05], wall_seconds=1.0)
+        assert s.min_ms == pytest.approx(10.0)
+        assert s.max_ms == pytest.approx(90.0)
+        assert s.p50_ms == pytest.approx(50.0)
+
+    def test_to_dict_roundtrips_fields(self):
+        s = LatencySummary.from_latencies([0.001, 0.002], wall_seconds=1.0)
+        d = s.to_dict()
+        assert d["count"] == 2
+        assert set(d) == set(LatencySummary._fields)

@@ -17,7 +17,7 @@ import pytest
 
 from repro.core.index import ISLabelIndex
 from repro.core.serialization import load_index, save_snapshot
-from repro.envvars import read_env_float
+from repro.envvars import read_env_float, read_env_int
 from repro.graph.generators import ensure_connected, erdos_renyi
 from repro.serving import wire
 from repro.serving.chaos import ChaosProxy, FaultInjector
@@ -321,6 +321,47 @@ class TestEnvHelper:
         monkeypatch.setenv(wire.WIRE_TIMEOUT_ENV, "never")
         with pytest.raises(ValueError, match=wire.WIRE_TIMEOUT_ENV):
             wire.configured_timeout()
+
+
+class TestEnvIntHelper:
+    def test_unset_and_blank_are_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_COUNT", raising=False)
+        assert read_env_int("REPRO_TEST_COUNT") is None
+        monkeypatch.setenv("REPRO_TEST_COUNT", "   ")
+        assert read_env_int("REPRO_TEST_COUNT") is None
+
+    def test_valid_values(self, monkeypatch):
+        for raw, want in (("0", 0), ("8", 8), ("  42 ", 42)):
+            monkeypatch.setenv("REPRO_TEST_COUNT", raw)
+            assert read_env_int("REPRO_TEST_COUNT") == want
+
+    def test_fractional_and_garbage_name_variable(self, monkeypatch):
+        for bad in ("2.5", "eight", "1e2", "inf", ""):
+            with pytest.raises(ValueError, match="REPRO_TEST_COUNT") as err:
+                read_env_int(
+                    "REPRO_TEST_COUNT",
+                    what="widget budget",
+                    raw=bad,
+                    blank_is_unset=False,
+                )
+            assert "widget budget" in str(err.value), bad
+
+    def test_minimum_enforced_with_bound_in_message(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_COUNT", "0")
+        with pytest.raises(ValueError, match=">= 1"):
+            read_env_int("REPRO_TEST_COUNT", minimum=1)
+        monkeypatch.setenv("REPRO_TEST_COUNT", "-3")
+        with pytest.raises(ValueError, match="REPRO_TEST_COUNT"):
+            read_env_int("REPRO_TEST_COUNT")
+
+    def test_in_flight_window_reads_env(self, monkeypatch):
+        from repro.serving import remote
+
+        monkeypatch.setenv(remote.REMOTE_MAX_IN_FLIGHT_ENV, "7")
+        assert remote._in_flight_window(None) == 7
+        monkeypatch.delenv(remote.REMOTE_MAX_IN_FLIGHT_ENV, raising=False)
+        assert remote._in_flight_window(None) == remote.DEFAULT_MAX_IN_FLIGHT
+        assert remote._in_flight_window(5) == 5
 
 
 class TestLatencyLink:

@@ -243,3 +243,61 @@ class TestAssignShards:
             assign_shards(4, 2, replication=3)
         with pytest.raises(QueryError, match="replication"):
             assign_shards(4, 2, replication=0)
+
+
+class TestStats:
+    def test_fresh_scheduler_reports_zeros(self):
+        sched = ShardScheduler([0, 10], lambda p, b: [0.0] * len(p))
+        assert sched.stats() == {
+            "dispatch_calls": 0,
+            "queries_scheduled": 0,
+            "buckets_coalesced": 0,
+            "pending": 0,
+            "avg_batch": 0.0,
+        }
+
+    def test_counters_track_batching(self, graph, sharded_index):
+        sched = ShardScheduler.for_engine(sharded_index)
+        pairs = _pairs(graph)
+        sched.schedule(pairs)
+        stats = sched.stats()
+        assert stats["queries_scheduled"] == len(pairs)
+        assert stats["dispatch_calls"] == sched.dispatch_calls
+        assert stats["avg_batch"] == pytest.approx(
+            len(pairs) / sched.dispatch_calls
+        )
+        assert stats["pending"] == 0
+
+    def test_coalescing_counter_increments_per_merge(self):
+        sched = ShardScheduler(
+            [0, 10],
+            lambda p, b: [0.0] * len(p),
+            SchedulerPolicy(coalesce_source=True),
+        )
+        # Source shard 0 hits both target shards: one merge per pass.
+        sched.schedule([(1, 1), (2, 12)])
+        assert sched.stats()["buckets_coalesced"] == 1
+        sched.schedule([(1, 1), (2, 12)])
+        assert sched.stats()["buckets_coalesced"] == 2
+
+    def test_no_coalescing_means_zero_merges(self):
+        sched = ShardScheduler(
+            [0, 10],
+            lambda p, b: [0.0] * len(p),
+            SchedulerPolicy(coalesce_source=False),
+        )
+        sched.schedule([(1, 1), (2, 12), (12, 1)])
+        assert sched.stats()["buckets_coalesced"] == 0
+        assert sched.stats()["dispatch_calls"] == 3
+
+    def test_streaming_backlog_visible_in_pending(self, graph, sharded_index):
+        sched = ShardScheduler.for_engine(
+            sharded_index, policy=SchedulerPolicy(max_batch=1000)
+        )
+        pairs = _pairs(graph)[:5]
+        for s, t in pairs:
+            sched.submit(s, t)
+        assert sched.stats()["pending"] == 5
+        sched.flush()
+        assert sched.stats()["pending"] == 0
+        assert sched.stats()["queries_scheduled"] == 5
