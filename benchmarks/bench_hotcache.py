@@ -1,0 +1,339 @@
+"""Hot-pair distance cache + landmark-bounded approximate tier.
+
+Measures what the ``cached:*`` read-through tier (`repro/caching/`)
+buys on skewed traffic, and proves it never lies:
+
+* **cached vs uncached throughput** — the same Zipf(θ)-skewed query
+  stream answered by the bare fast engine and by ``cached:fast``, at
+  θ ∈ {0.8, 1.1}.  The cache is warmed with one seed's draws and
+  measured on *fresh* draws from a second seed of the same
+  distribution, so the cold-pass hit rate is the honest "new traffic
+  against a warm cache" number, not a replay artifact.  Each mode then
+  runs ``repeats`` passes over the measure stream; the best pass is the
+  steady-state number the gate judges (matching ``bench_scheduler``'s
+  protocol).  The acceptance gate demands >= 3x QPS at θ = 1.1.
+* **staleness-freedom** — a ``cached:fast`` dynamic index replays mixed
+  §8.3 update waves (pendant grafts, pendant removals, and core
+  deletions that force the conservative flush path) interleaved with
+  hot reads; every single exact read is checked bit-identical against
+  the dict reference oracle.  The gate demands zero stale answers.
+* **sketch tier** — per-vertex hub sketches (top-``h`` entries by
+  hierarchy order) against the full labels they truncate.  Measured on
+  a ``full=True`` index, where every label is a complete hub set and
+  the merge-cost ratio is the real work saved per query; the gate
+  demands >= 2x reduction, and the observed exactness fraction of the
+  upper bounds is reported alongside (bounds are checked one-sided
+  against the exact answers — a violation aborts the run).
+
+Emits ``BENCH_hotcache.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotcache.py           # full
+    PYTHONPATH=src python benchmarks/bench_hotcache.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import random
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.core.index import ISLabelIndex
+from repro.core.updates import DynamicISLabelIndex
+from repro.graph.generators import grid_graph
+from repro.graph.graph import Graph
+from repro.loadgen import LatencySummary
+from repro.loadgen.generators import derive_seed, zipf_pairs
+from repro.workloads.datasets import load_dataset
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+THETAS = (0.8, 1.1)
+GATE_THETA = 1.1
+
+
+# ----------------------------------------------------------------------
+# Cached vs uncached throughput on Zipf traffic
+# ----------------------------------------------------------------------
+def _timed_passes(
+    answer, pairs: List[Tuple[int, int]], repeats: int
+) -> Tuple[List[float], List[float]]:
+    """Wall time per pass plus per-query latencies from the last pass."""
+    times: List[float] = []
+    latencies: List[float] = []
+    for rep in range(repeats):
+        started = time.perf_counter()
+        if rep == repeats - 1:
+            for s, t in pairs:
+                q0 = time.perf_counter()
+                answer([(s, t)])
+                latencies.append(time.perf_counter() - q0)
+        else:
+            answer(pairs)
+        times.append(time.perf_counter() - started)
+    return times, latencies
+
+
+def bench_theta(
+    graph: Graph, theta: float, queries: int, repeats: int, seed: int
+) -> Dict[str, object]:
+    vertices = sorted(graph.vertices())
+    warm_pairs = zipf_pairs(
+        vertices, queries, derive_seed(seed, "warm", theta), theta=theta
+    )
+    measure_pairs = zipf_pairs(
+        vertices, queries, derive_seed(seed, "measure", theta), theta=theta
+    )
+
+    uncached = ISLabelIndex.build(graph, engine="fast")
+    expected = uncached.distances(measure_pairs)
+    uncached_times, uncached_lat = _timed_passes(
+        uncached.distances, measure_pairs, repeats
+    )
+
+    cached = ISLabelIndex.build(graph, engine="cached:fast")
+    cached.distances(warm_pairs)  # warm with a *different* seed's draws
+    cached._fast.cache.reset_counters()
+    answers = cached.distances(measure_pairs)
+    if answers != expected:
+        raise AssertionError(f"theta={theta}: cached disagrees with fast")
+    cold_hit_rate = cached._fast.cache.hit_rate
+    cached_times, cached_lat = _timed_passes(
+        cached.distances, measure_pairs, repeats
+    )
+
+    uncached_best = min(uncached_times)
+    cached_best = min(cached_times)
+    return {
+        "theta": theta,
+        "queries": queries,
+        "repeats": repeats,
+        "uncached_qps": queries / uncached_best if uncached_best else math.inf,
+        "cached_qps": queries / cached_best if cached_best else math.inf,
+        "cached_speedup": (
+            uncached_best / cached_best if cached_best else math.inf
+        ),
+        "warm_hit_rate": cold_hit_rate,
+        "steady_hit_rate": cached._fast.cache.hit_rate,
+        "uncached_latency": LatencySummary.from_latencies(
+            uncached_lat, uncached_times[-1]
+        ).to_dict(),
+        "cached_latency": LatencySummary.from_latencies(
+            cached_lat, cached_times[-1]
+        ).to_dict(),
+        "cache_stats": cached._fast.cache.stats(),
+        "bit_identical": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# Staleness-freedom under mixed §8.3 update waves
+# ----------------------------------------------------------------------
+def bench_staleness(
+    graph: Graph, waves: int, reads_per_wave: int, seed: int
+) -> Dict[str, object]:
+    rng = random.Random(derive_seed(seed, "staleness"))
+    cached = DynamicISLabelIndex(graph, engine="cached:fast")
+    oracle = DynamicISLabelIndex(graph, engine="dict")
+    next_id = 1_000_000
+    grafts: List[int] = []
+    stale = 0
+    reads = 0
+    for wave in range(waves):
+        vertices = sorted(cached.graph.vertices())
+        roll = rng.random()
+        if roll < 0.55 or len(vertices) <= 3:
+            # Pendant graft — the targeted-eviction fast path.
+            anchor = rng.choice(vertices)
+            adjacency = {anchor: rng.randint(1, 6)}
+            for dyn in (cached, oracle):
+                dyn.insert_vertex(next_id, dict(adjacency))
+            grafts.append(next_id)
+            next_id += 1
+        elif roll < 0.8 and grafts:
+            victim = grafts.pop()
+            for dyn in (cached, oracle):
+                dyn.delete_vertex(victim)
+        else:
+            # Core deletion — must trip the conservative flush path.
+            victim = rng.choice(vertices)
+            grafts = [g for g in grafts if g != victim]
+            for dyn in (cached, oracle):
+                dyn.delete_vertex(victim)
+        vertices = sorted(cached.graph.vertices())
+        # Hot read mix: half the reads repeat a small working set so the
+        # wave's evictions are actually exercised against warm entries.
+        hot = vertices[: max(2, len(vertices) // 20)]
+        pairs = []
+        for _ in range(reads_per_wave):
+            pool = hot if rng.random() < 0.5 else vertices
+            pairs.append((rng.choice(pool), rng.choice(pool)))
+        got = cached.distances(pairs)
+        want = [oracle.distance(s, t) for s, t in pairs]
+        stale += sum(1 for g, w in zip(got, want) if g != w)
+        reads += len(pairs)
+    stats = cached.index._fast.cache.stats()
+    return {
+        "waves": waves,
+        "reads": reads,
+        "stale_answers": stale,
+        "hit_rate": stats["hit_rate"],
+        "flushes": stats["flushes"],
+        "targeted_evictions": stats["invalidated"],
+        "cache_stats": stats,
+    }
+
+
+# ----------------------------------------------------------------------
+# Sketch tier: merge-cost reduction + observed exactness
+# ----------------------------------------------------------------------
+def bench_sketch(
+    graph: Graph, h: int, queries: int, seed: int
+) -> Dict[str, object]:
+    # full=True gives complete hub labels (empty G_k search stage), so
+    # the sketch's top-h truncation is measured against the real per-
+    # query merge work rather than the trivial partial-hierarchy labels.
+    index = ISLabelIndex.build(graph, engine="fast", full=True)
+    vertices = sorted(graph.vertices())
+    rng = random.Random(derive_seed(seed, "sketch"))
+    pairs = [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(queries)
+    ]
+    exact = index.distances(pairs)
+
+    sketch = index.hub_sketch(h=h)
+    started = time.perf_counter()
+    bounds = index.distances(pairs, approx=True)
+    sketch_seconds = time.perf_counter() - started
+
+    violations = sum(1 for b, e in zip(bounds, exact) if b < e - 1e-9)
+    if violations:
+        raise AssertionError(
+            f"sketch produced {violations} bounds below the exact distance"
+        )
+    finite = [
+        (b, e) for b, e in zip(bounds, exact) if not math.isinf(e)
+    ]
+    exact_hits = sum(1 for b, e in finite if b == e)
+    stats = sketch.stats()
+    return {
+        "h": h,
+        "queries": queries,
+        "label_entries_full": stats["full_entries_merged"],
+        "label_entries_sketch": stats["sketch_entries_merged"],
+        "merge_cost_reduction": stats["merge_cost_reduction"],
+        "claimed_exact_fraction": stats["exact_known_fraction"],
+        "observed_exact_fraction": (
+            exact_hits / len(finite) if finite else 1.0
+        ),
+        "bound_violations": violations,
+        "sketch_seconds": sketch_seconds,
+        "sketch_qps": (
+            queries / sketch_seconds if sketch_seconds else math.inf
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny graphs / few queries (CI smoke)"
+    )
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="passes per mode (best is gated)"
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(REPO_ROOT / "BENCH_hotcache.json"),
+        help="output JSON path (default: repo root BENCH_hotcache.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        graph = grid_graph(12, 12, seed=11, max_weight=8)
+        sketch_graph = grid_graph(10, 10, seed=11, max_weight=8)
+        queries = args.queries or 300
+        waves, reads_per_wave = 12, 30
+        sketch_queries = 300
+    else:
+        graph = load_dataset("google", 1.0)
+        sketch_graph = load_dataset("google", 0.3)
+        queries = args.queries or 4000
+        waves, reads_per_wave = 40, 100
+        sketch_queries = 2000
+
+    zipf_rows = []
+    for theta in THETAS:
+        row = bench_theta(graph, theta, queries, args.repeats, args.seed)
+        zipf_rows.append(row)
+        print(
+            f"theta={theta:3.1f} | uncached {row['uncached_qps']:>10,.0f} qps | "
+            f"cached {row['cached_qps']:>10,.0f} qps "
+            f"({row['cached_speedup']:5.1f}x steady) | "
+            f"warm hit rate {row['warm_hit_rate']:.2f}"
+        )
+
+    staleness = bench_staleness(graph, waves, reads_per_wave, args.seed)
+    print(
+        f"staleness  | {staleness['reads']} reads over {staleness['waves']} "
+        f"waves | stale={staleness['stale_answers']} | "
+        f"hit rate {staleness['hit_rate']:.2f} | "
+        f"flushes={staleness['flushes']} "
+        f"targeted={staleness['targeted_evictions']}"
+    )
+
+    sketch = bench_sketch(sketch_graph, h=4, queries=sketch_queries, seed=args.seed)
+    print(
+        f"sketch h={sketch['h']} | merge cost /{sketch['merge_cost_reduction']:.1f} | "
+        f"exact {sketch['observed_exact_fraction']:.2f} observed "
+        f"({sketch['claimed_exact_fraction']:.2f} claimed) | "
+        f"violations={sketch['bound_violations']}"
+    )
+
+    gate_row = next(r for r in zipf_rows if r["theta"] == GATE_THETA)
+    gates = {
+        "cached_at_least_3x_uncached": gate_row["cached_speedup"] >= 3.0,
+        "zero_stale_answers": staleness["stale_answers"] == 0,
+        "answers_bit_identical": all(r["bit_identical"] for r in zipf_rows),
+        "sketch_merge_cost_at_least_2x": sketch["merge_cost_reduction"] >= 2.0,
+        "sketch_bounds_one_sided": sketch["bound_violations"] == 0,
+    }
+    report = {
+        "benchmark": "hotcache",
+        "mode": "quick" if args.quick else "full",
+        "queries": queries,
+        "gate_theta": GATE_THETA,
+        "zipf": zipf_rows,
+        "staleness": staleness,
+        "sketch": sketch,
+        "gates": gates,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    ok = all(gates.values())
+    print("gates:", gates, "->", "PASS" if ok else "FAIL")
+    if args.quick:
+        # Smoke mode keeps the correctness gates (staleness, bit-identity,
+        # one-sided bounds) alive; timing ratios are meaningless on tiny
+        # graphs under CI noise.
+        return (
+            0
+            if gates["zero_stale_answers"]
+            and gates["answers_bit_identical"]
+            and gates["sketch_bounds_one_sided"]
+            else 1
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -114,6 +114,10 @@ def bench_dataset(
     scheduler = ShardScheduler.for_engine(served)
     scheduled_times = []
     for _ in range(repeats):
+        # Per-pass counters: stats() totals are lifetime numbers and
+        # drain() deliberately leaves them alone, so each measured pass
+        # starts from zero instead of accumulating across repeats.
+        scheduler.reset()
         started = time.perf_counter()
         scheduled = scheduler.schedule(pairs)
         scheduled_times.append(time.perf_counter() - started)
@@ -146,7 +150,7 @@ def bench_dataset(
             if scheduled_times[0]
             else float("inf")
         ),
-        "dispatch_calls_per_pass": scheduler.dispatch_calls // repeats,
+        "dispatch_calls_per_pass": scheduler.dispatch_calls,
         "scheduler_stats": scheduler.stats(),
         "naive_latency": LatencySummary.from_latencies(
             naive_latencies, naive_times[-1]

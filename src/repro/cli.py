@@ -51,7 +51,7 @@ import random
 import subprocess
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.directed import DirectedISLabelIndex
 from repro.core.engines import DIRECTED, UNDIRECTED, available_engines
@@ -64,7 +64,7 @@ from repro.core.serialization import (
     save_index,
     save_snapshot,
 )
-from repro.envvars import read_env_int
+from repro.envvars import read_env_bool, read_env_int
 from repro.errors import ReproError
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.stats import graph_stats, human_bytes
@@ -104,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--path", action="store_true", help="print the shortest path too"
     )
     p_query.add_argument(
+        "--approx",
+        action="store_true",
+        help="answer from the hub-sketch tier: an upper bound on the "
+        "true distance (frequently exact, flagged when provably so) "
+        "computed from the top-h label entries with no search stage",
+    )
+    p_query.add_argument(
         "--engine",
         choices=available_engines(UNDIRECTED),
         default="fast",
@@ -140,6 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_dquery.add_argument("target", type=int)
     p_dquery.add_argument(
         "--path", action="store_true", help="print the shortest directed path too"
+    )
+    p_dquery.add_argument(
+        "--approx",
+        action="store_true",
+        help="answer from the directed hub-sketch tier (upper bound; "
+        "see `repro query --approx`)",
     )
     p_dquery.add_argument(
         "--engine",
@@ -218,6 +231,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission executor: searches allowed to wait before new "
         "ones are rejected with the overloaded error kind (default 128; "
         "env fallback REPRO_SERVE_MAX_QUEUE)",
+    )
+    p_server.add_argument(
+        "--cache-entries",
+        type=int,
+        default=None,
+        help="enable the server-side hot-pair cache with this entry "
+        "budget (env fallbacks: REPRO_CACHE_ENTRIES for the budget, "
+        "REPRO_CACHE_ENABLE=true to turn the tier on without a flag)",
+    )
+    p_server.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        help="seconds a cached answer may be served before expiring "
+        "(0 = no TTL; env fallback REPRO_CACHE_TTL_S); implies the "
+        "cache is enabled",
     )
 
     p_rebal = commands.add_parser(
@@ -395,6 +424,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         else:
             print(f"dist({args.source}, {args.target}) = {dist}")
             print(" -> ".join(str(v) for v in path))
+    elif args.approx:
+        bound, exact = index.hub_sketch().bound(args.source, args.target)
+        rendered = "inf" if math.isinf(bound) else str(bound)
+        note = "exact" if exact else "upper bound"
+        print(f"dist({args.source}, {args.target}) <= {rendered} ({note})")
     else:
         dist = index.distance(args.source, args.target)
         rendered = "inf" if math.isinf(dist) else str(dist)
@@ -438,6 +472,11 @@ def _cmd_query_directed(args: argparse.Namespace) -> int:
         else:
             print(f"dist({args.source}, {args.target}) = {dist}")
             print(" -> ".join(str(v) for v in path))
+    elif args.approx:
+        bound, exact = index.hub_sketch().bound(args.source, args.target)
+        rendered = "inf" if math.isinf(bound) else str(bound)
+        note = "exact" if exact else "upper bound"
+        print(f"dist({args.source}, {args.target}) <= {rendered} ({note})")
     else:
         dist = index.distance(args.source, args.target)
         rendered = "inf" if math.isinf(dist) else str(dist)
@@ -537,6 +576,39 @@ def _admission_knob(flag_value: Optional[int], env: str, what: str, default: int
     return parsed if parsed is not None else default
 
 
+def _serve_cache_knobs(
+    args: argparse.Namespace,
+) -> Tuple[Optional[int], Optional[float]]:
+    """Resolve the server-side cache tier: flags > environment > off.
+
+    The tier is on when either flag is given, or when
+    ``REPRO_CACHE_ENABLE`` parses true (then the budget and TTL come
+    from ``REPRO_CACHE_ENTRIES`` / ``REPRO_CACHE_TTL_S`` or their
+    defaults).  All three env knobs go through the strict
+    :mod:`repro.envvars` parsers, so a typo'd manifest fails loudly.
+    """
+    from repro.caching.engine import (
+        DEFAULT_CACHE_ENTRIES,
+        ENV_CACHE_ENABLE,
+        cache_entries_from_env,
+        cache_ttl_from_env,
+    )
+
+    try:
+        enabled = read_env_bool(ENV_CACHE_ENABLE, what="cache enable flag")
+        env_entries = cache_entries_from_env()
+        env_ttl = cache_ttl_from_env()
+    except (ValueError, ReproError) as exc:
+        raise ReproError(str(exc)) from None
+    entries = args.cache_entries if args.cache_entries is not None else env_entries
+    ttl = args.cache_ttl if args.cache_ttl is not None else env_ttl
+    if ttl == 0:
+        ttl = None  # 0 means "no TTL" on the flag, like the env knob
+    if args.cache_entries is None and args.cache_ttl is None and not enabled:
+        return None, None
+    return (entries if entries is not None else DEFAULT_CACHE_ENTRIES), ttl
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.server import ShardServer, load_serving_index
 
@@ -544,6 +616,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     owned = None
     if args.owned:
         owned = [int(x) for x in args.owned.split(",") if x.strip()]
+    cache_entries, cache_ttl = _serve_cache_knobs(args)
     server = ShardServer(
         index,
         host=args.host,
@@ -560,6 +633,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=_admission_knob(
             args.max_queue, "REPRO_SERVE_MAX_QUEUE", "admission queue depth", 128
         ),
+        cache_entries=cache_entries,
+        cache_ttl_s=cache_ttl,
     )
     server.bind()
     host, port = server.address
@@ -570,7 +645,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"shards={max(len(server.shard_starts), 1)} "
         f"owned={','.join(map(str, server.owned))} "
         f"epoch={server.epoch} strict={int(server.strict)} "
-        f"concurrency={server.max_concurrency} queue={server.max_queue}",
+        f"concurrency={server.max_concurrency} queue={server.max_queue} "
+        f"cache={server.cache.max_entries if server.cache is not None else 'off'}",
         flush=True,
     )
     try:

@@ -178,6 +178,9 @@ class DirectedISLabelIndex:
         self._in_preds = in_preds
         self._labeling_seconds = labeling_seconds
         self._fast = fast
+        # Lazily built directed hub sketch (the approximate tier);
+        # dropped whenever labels change so it can never serve stale bounds.
+        self._sketch = None
 
     @property
     def engine(self) -> str:
@@ -220,6 +223,7 @@ class DirectedISLabelIndex:
         labels (or fall back to a full re-freeze).  No-op on the dict
         reference path.
         """
+        self._sketch = None  # sketches are built from labels; never stale
         if self._fast is not None:
             self._fast.invalidate(dirty)
 
@@ -304,17 +308,47 @@ class DirectedISLabelIndex:
             return self._fast.distance(source, target)
         return self._query(source, target, keep_parents=False)[0]
 
-    def distances(self, pairs: Iterable[Tuple[int, int]]) -> List[float]:
+    def hub_sketch(self, h: Optional[int] = None):
+        """The lazily built directed approximate tier
+        (:class:`repro.caching.sketch.DirectedHubSketch`); dropped by
+        :meth:`invalidate_labels` so it can never serve stale bounds.
+        ``h`` pins the entries kept per vertex (a different ``h``
+        rebuilds); ``h=None`` reuses the current sketch, falling back
+        to the default on first use."""
+        from repro.caching.sketch import DEFAULT_SKETCH_H, DirectedHubSketch
+
+        if h is None:
+            if self._sketch is None:
+                self._sketch = DirectedHubSketch.from_index(
+                    self, h=DEFAULT_SKETCH_H
+                )
+        elif self._sketch is None or self._sketch.out_table.h != h:
+            self._sketch = DirectedHubSketch.from_index(self, h=h)
+        return self._sketch
+
+    def distances(
+        self, pairs: Iterable[Tuple[int, int]], approx: bool = False
+    ) -> List[float]:
         """Batch form of :meth:`distance` over an iterable of (s, t) pairs.
 
         On the fast engine this is a true batch path: one vectorized
         Equation-1 pass over the stacked out/in label arrays, then the
         pooled CSR search (or table reduction) per remaining pair.
+
+        ``approx=True`` answers from the directed hub-sketch tier —
+        upper bounds from the top-``h`` out/in label entries (see
+        :mod:`repro.caching.sketch`), cached under the ``"approx"``
+        namespace on ``cached:*`` engines.
         """
         pairs = list(pairs)
         for s, t in pairs:
             self._check_vertex(s)
             self._check_vertex(t)
+        if approx:
+            sketch = self.hub_sketch()
+            if self._fast is not None and hasattr(self._fast, "distances_via"):
+                return self._fast.distances_via(pairs, sketch.bounds)
+            return sketch.bounds(pairs)
         if self._fast is not None:
             return self._fast.distances(pairs)
         return [self._query(s, t, keep_parents=False)[0] for s, t in pairs]

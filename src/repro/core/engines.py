@@ -46,6 +46,8 @@ __all__ = [
     "CAP_SHARDED",
     "CAP_REMOTE",
     "CAP_FAULT_TOLERANT",
+    "CAP_CACHED",
+    "CACHED_PREFIX",
     "register_engine",
     "resolve_engine",
     "available_engines",
@@ -79,6 +81,15 @@ CAP_REMOTE = "remote"
 #: refresh on ownership rejections — a single worker's death never loses
 #: or corrupts a query when shard ownership is replicated.
 CAP_FAULT_TOLERANT = "fault_tolerant"
+#: The engine fronts its compute with the hot-pair distance cache
+#: (:mod:`repro.caching`): batch queries are partitioned into hits and
+#: misses and only the misses reach the inner backend.
+CAP_CACHED = "cached"
+
+#: Name prefix of the cache decorator: ``cached:fast`` resolves the
+#: ``fast`` factory and wraps whatever it builds in a read-through
+#: :class:`~repro.caching.engine.CachedEngine`.
+CACHED_PREFIX = "cached:"
 
 
 @runtime_checkable
@@ -148,44 +159,97 @@ def register_engine(
     _CAPABILITIES[kind][name] = frozenset(capabilities)
 
 
+def _wrap_cached(kind: str, base: str) -> EngineFactory:
+    """Factory for ``cached:<base>``: resolve the base, decorate the build.
+
+    The import is lazy — :mod:`repro.caching` pulls in numpy-heavy sketch
+    code that nothing should pay for unless a cached engine is requested —
+    and it also avoids a cycle (caching imports this module's constants).
+    """
+    base_factory = _REGISTRY[kind][base]
+    if base_factory is None:
+        raise IndexBuildError(
+            f"engine {CACHED_PREFIX}{base!r} is not cacheable: the dict "
+            "reference path has no engine object to wrap"
+        )
+    from repro.caching.engine import cached_factory
+
+    return cached_factory(base_factory, directed=(kind == DIRECTED))
+
+
 def resolve_engine(kind: str, name: str) -> EngineFactory:
     """Factory registered for ``name``; raises on unknown names.
 
     A ``None`` return means the reference dict path: the caller keeps its
-    built-in structures and attaches no engine object.
+    built-in structures and attaches no engine object.  Names of the form
+    ``cached:<base>`` resolve ``<base>`` and wrap its factory in the
+    read-through cache decorator.
     """
     if kind not in _REGISTRY:
         raise IndexBuildError(
             f"unknown engine kind {kind!r} (expected {UNDIRECTED!r} or {DIRECTED!r})"
         )
     table = _REGISTRY[kind]
+    if name.startswith(CACHED_PREFIX):
+        base = name[len(CACHED_PREFIX) :]
+        if base not in table:
+            raise IndexBuildError(
+                f"unknown {kind} engine {name!r} "
+                f"(available: {', '.join(available_engines(kind))})"
+            )
+        return _wrap_cached(kind, base)
     if name not in table:
         raise IndexBuildError(
-            f"unknown {kind} engine {name!r} (available: {', '.join(sorted(table))})"
+            f"unknown {kind} engine {name!r} "
+            f"(available: {', '.join(available_engines(kind))})"
         )
     return table[name]
 
 
 def available_engines(kind: str) -> Tuple[str, ...]:
-    """Sorted names registered under ``kind`` (for CLI choices and docs)."""
+    """Sorted names resolvable under ``kind`` (for CLI choices and docs).
+
+    Includes a ``cached:<base>`` variant for every wrappable base (every
+    registered engine except the dict reference path, which has no engine
+    object to decorate).
+    """
     if kind not in _REGISTRY:
         raise IndexBuildError(
             f"unknown engine kind {kind!r} (expected {UNDIRECTED!r} or {DIRECTED!r})"
         )
-    return tuple(sorted(_REGISTRY[kind]))
+    names = list(_REGISTRY[kind])
+    names.extend(
+        f"{CACHED_PREFIX}{base}"
+        for base, factory in _REGISTRY[kind].items()
+        if factory is not None
+    )
+    return tuple(sorted(names))
 
 
 def engine_capabilities(kind: str, name: str) -> frozenset:
-    """Capability flags declared for engine ``name`` under ``kind``."""
+    """Capability flags declared for engine ``name`` under ``kind``.
+
+    ``cached:<base>`` engines report the base's capabilities plus
+    :data:`CAP_CACHED` — the decorator is transparent to everything the
+    inner engine can do.
+    """
     if kind not in _REGISTRY:
         raise IndexBuildError(
             f"unknown engine kind {kind!r} (expected {UNDIRECTED!r} or {DIRECTED!r})"
         )
     table = _CAPABILITIES[kind]
+    if name.startswith(CACHED_PREFIX):
+        base = name[len(CACHED_PREFIX) :]
+        if base not in table or _REGISTRY[kind][base] is None:
+            raise IndexBuildError(
+                f"unknown {kind} engine {name!r} "
+                f"(available: {', '.join(available_engines(kind))})"
+            )
+        return table[base] | {CAP_CACHED}
     if name not in table:
         raise IndexBuildError(
             f"unknown {kind} engine {name!r} "
-            f"(available: {', '.join(sorted(table))})"
+            f"(available: {', '.join(available_engines(kind))})"
         )
     return table[name]
 
@@ -195,7 +259,7 @@ def engines_with_capability(kind: str, capability: str) -> Tuple[str, ...]:
     return tuple(
         name
         for name in available_engines(kind)
-        if capability in _CAPABILITIES[kind][name]
+        if capability in engine_capabilities(kind, name)
     )
 
 

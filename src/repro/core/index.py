@@ -138,6 +138,9 @@ class ISLabelIndex:
         self._labeling_seconds = labeling_seconds
         self.io_stats = store.stats if store is not None else IOStats()
         self._fast = fast
+        # Lazily built hub sketch (the approximate tier); dropped whenever
+        # labels change so it can never serve stale bounds.
+        self._sketch = None
 
     @property
     def engine(self) -> str:
@@ -184,6 +187,7 @@ class ISLabelIndex:
         No-op on the dict reference path, whose structures *are* the
         mutable ones.
         """
+        self._sketch = None  # sketches are built from labels; never stale
         if self._fast is not None:
             self._fast.invalidate(dirty)
 
@@ -279,7 +283,26 @@ class ISLabelIndex:
         """Exact ``dist_G(source, target)`` (``inf`` when disconnected)."""
         return self.query(source, target).distance
 
-    def distances(self, pairs) -> List[float]:
+    def hub_sketch(self, h: Optional[int] = None):
+        """The lazily built approximate tier (:mod:`repro.caching.sketch`).
+
+        One instance per label generation — :meth:`invalidate_labels`
+        drops it, so §8.3 updates rebuild it from current labels before
+        the next approximate query.  ``h`` pins the entries kept per
+        vertex (a different ``h`` rebuilds); ``h=None`` reuses whatever
+        sketch is already built, falling back to
+        :data:`~repro.caching.sketch.DEFAULT_SKETCH_H` on first use.
+        """
+        from repro.caching.sketch import DEFAULT_SKETCH_H, HubSketch
+
+        if h is None:
+            if self._sketch is None:
+                self._sketch = HubSketch.from_index(self, h=DEFAULT_SKETCH_H)
+        elif self._sketch is None or self._sketch.table.h != h:
+            self._sketch = HubSketch.from_index(self, h=h)
+        return self._sketch
+
+    def distances(self, pairs, approx: bool = False) -> List[float]:
         """Batch form of :meth:`distance` over an iterable of (s, t) pairs.
 
         On the fast engine this is a real batch path: Equation 1 runs once,
@@ -287,7 +310,21 @@ class ISLabelIndex:
         CSR search shares one set of pooled buffers, and the per-query
         :class:`QueryResult` and timing bookkeeping are skipped (I/O
         accounting in disk mode is preserved).
+
+        ``approx=True`` answers from the hub-sketch tier instead: each
+        result is an *upper bound* on the true distance (frequently
+        exact — see :mod:`repro.caching.sketch` for the error contract)
+        computed from the top-``h`` label entries only, with no label
+        I/O and no search stage.  On a ``cached:*`` engine the bounds are
+        cached under the ``"approx"`` namespace, never visible to exact
+        queries.
         """
+        if approx:
+            pairs = list(pairs)
+            sketch = self.hub_sketch()
+            if self._fast is not None and hasattr(self._fast, "distances_via"):
+                return self._fast.distances_via(pairs, sketch.bounds)
+            return sketch.bounds(pairs)
         if self._fast is None:
             return [self.query(s, t).distance for s, t in pairs]
         # Facade duties before delegating the compute: vertex coverage and

@@ -37,7 +37,7 @@ from typing import BinaryIO, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.directed import DirectedHierarchy, DirectedISLabelIndex
-from repro.core.engines import DIRECTED, UNDIRECTED, resolve_engine
+from repro.core.engines import CACHED_PREFIX, DIRECTED, UNDIRECTED, resolve_engine
 from repro.core.fastdirected import DirectedFastEngine
 from repro.core.fastlabels import FastEngine, PackedEngineBase
 from repro.core.hierarchy import VertexHierarchy
@@ -540,7 +540,26 @@ def _snapshot_coverage(snap: Snapshot, path: PathLike) -> Dict[int, int]:
 def _attach_snapshot_engine(index, kind: str, engine: str, path, gk) -> None:
     """Attach the requested backend to a snapshot-loaded facade."""
     factory = resolve_engine(kind, engine)  # validates the name
-    if engine == "mmap":
+    if engine.startswith(CACHED_PREFIX):
+        # Attach the base engine by recursion, then decorate whatever it
+        # produced — the cached tier is orthogonal to how labels load.
+        from repro.caching.engine import CachedEngine, cache_entries_from_env
+        from repro.caching.engine import cache_ttl_from_env
+
+        base = engine[len(CACHED_PREFIX) :]
+        _attach_snapshot_engine(index, kind, base, path, gk)
+        # A remote inner serves a fleet whose index can drift away from
+        # this client's static snapshot G_k — the invalidation token
+        # would never see the delta, so hand it no G_k at all and every
+        # dirty invalidation degrades to the (sound) full flush.
+        index._fast = CachedEngine(
+            index._fast,
+            gk=None if base == "remote" else gk,
+            directed=(kind == DIRECTED),
+            max_entries=cache_entries_from_env(),
+            ttl_s=cache_ttl_from_env(),
+        )
+    elif engine == "mmap":
         cls = MmapEngine if kind == UNDIRECTED else DirectedMmapEngine
         index._fast = cls.from_snapshot(gk, os.fspath(path))
     elif engine == "sharded":

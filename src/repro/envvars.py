@@ -21,6 +21,12 @@ Integer knobs — admission control's ``REPRO_SERVE_MAX_CONCURRENCY`` /
 queue depth of 2.5 is a configuration bug) and each call site states
 its own lower bound.
 
+Boolean knobs — the caching tier's ``REPRO_CACHE_ENABLE`` — go through
+:func:`read_env_bool`: strictly ``true``/``false``/``1``/``0``
+(case-insensitive), because the classic truthiness trap
+(``REPRO_CACHE_ENABLE=no`` silently enabling the feature) is exactly
+the kind of deployment bug this module exists to make loud.
+
 Call sites that must surface a different exception class (the remote
 engine raises :class:`~repro.errors.IndexBuildError` at construction)
 wrap the ``ValueError``; the message, with the variable name in it, is
@@ -33,7 +39,7 @@ import math
 import os
 from typing import Optional
 
-__all__ = ["read_env_float", "read_env_int"]
+__all__ = ["read_env_bool", "read_env_float", "read_env_int"]
 
 _UNSET = object()
 
@@ -112,3 +118,40 @@ def read_env_int(
             f">= {minimum} (fractional values are not allowed)"
         )
     return value
+
+
+_BOOL_VALUES = {"true": True, "1": True, "false": False, "0": False}
+
+
+def read_env_bool(
+    name: str,
+    *,
+    what: str = "flag",
+    raw: object = _UNSET,
+    blank_is_unset: bool = True,
+) -> Optional[bool]:
+    """Read and validate one *boolean* environment knob.
+
+    Strict by design: only ``true``/``false``/``1``/``0`` (case
+    insensitive, surrounding whitespace ignored) parse.  ``yes``, ``on``
+    and friends are rejected — a deployment manifest that writes
+    ``REPRO_CACHE_ENABLE=no`` must fail loudly, not silently pick
+    whichever truthiness convention this process happens to use.
+    Returns ``None`` when unset (or blank, unless ``blank_is_unset`` is
+    False), the parsed bool otherwise; errors name the variable.
+    """
+    if raw is _UNSET:
+        raw = os.environ.get(name)
+    if raw is None:
+        return None
+    text = str(raw).strip().lower()
+    if not text:
+        if blank_is_unset:
+            return None
+        text = ""  # normalized for the error message
+    if text not in _BOOL_VALUES:
+        raise ValueError(
+            f"{name}={raw!r} is not a valid {what}: expected one of "
+            "true/false/1/0 (case-insensitive)"
+        )
+    return _BOOL_VALUES[text]

@@ -275,24 +275,47 @@ def build_operations(scenario: Scenario, graph) -> Tuple[
     return ops, pairs
 
 
+def _base_engine(engine: str) -> str:
+    """The engine name behind an optional ``cached:`` decorator."""
+    return engine.split(":", 1)[1] if engine.startswith("cached:") else engine
+
+
 def _local_reader(
-    scenario: Scenario, graph, oracle: ISLabelIndex, tmp: str, tenant: int
-) -> Callable[[int, int], float]:
-    """A ``distance(s, t)`` callable for one tenant on a local engine."""
+    scenario: Scenario,
+    graph,
+    oracle: ISLabelIndex,
+    tmp: str,
+    tenant: int,
+    writer: Optional[_PendantWriter],
+) -> Tuple[Callable[[int, int], float], Optional[object]]:
+    """``(distance(s, t) callable, cache-or-None)`` for one local tenant."""
     engine = scenario.engine
-    if engine in ("mmap", "sharded"):
+    base = _base_engine(engine)
+    if base in ("mmap", "sharded"):
         # Snapshot-served engines: publish the oracle's frozen state and
         # serve it zero-copy (mmap wants one file, sharded a directory).
+        # A cached: prefix survives — load_index wraps the snapshot
+        # engine in the read-through tier.
         snap = os.path.join(tmp, f"tenant{tenant}.snap")
-        shards = 1 if engine == "mmap" else scenario.shards
+        shards = 1 if base == "mmap" else scenario.shards
         save_snapshot(oracle, snap, shards=shards)
-        return load_index(snap, engine=engine).distance
+        served = load_index(snap, engine=engine)
+        return served.distance, getattr(served._fast, "cache", None)
+    if writer is not None and engine.startswith("cached:"):
+        # Mixed read/write on a cached engine: read from the *ingest
+        # twin's* index so the §8.3 pendant waves drive real dirty-label
+        # invalidations through the cache mid-run (the whole point of
+        # the zipf-hot-cached scenario).  Pendant waves are
+        # answer-preserving, so the oracle check stays bit-exact.
+        index = writer.twin.index
+        index.attach_fast_engine(engine)
+        return index.distance, index._fast.cache
     served = (
         oracle
         if engine == oracle.engine and tenant == 0
         else ISLabelIndex.build(graph, engine=engine)
     )
-    return served.distance
+    return served.distance, getattr(served._fast, "cache", None)
 
 
 def run_scenario(
@@ -333,16 +356,19 @@ def run_scenario(
         ]
 
     offsets = scenario.arrival_offsets(len(ops))
+    base_engine = _base_engine(scenario.engine)
+    is_cached = scenario.engine.startswith("cached:")
     result: Dict[str, object] = {
         "scenario": scenario.to_dict(),
-        "target": "remote" if scenario.engine == "remote" else "local",
+        "target": "remote" if base_engine == "remote" else "local",
     }
 
     injector: Optional[FaultInjector] = None
     engines: List[RemoteEngine] = []
+    caches: List[Optional[object]] = []
     try:
         with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
-            if scenario.engine == "remote":
+            if base_engine == "remote":
                 note(
                     f"spawning fleet: {scenario.tenants} tenant(s) x "
                     f"{scenario.workers} worker(s), {scenario.shards} shards"
@@ -365,12 +391,26 @@ def run_scenario(
                         policy=SchedulerPolicy(max_batch=256),
                     )
                     engines.append(engine)
-                    readers.append(engine.distance)
+                    if is_cached:
+                        # Client-side hot-pair tier: hits never touch
+                        # the wire; the raw engine stays on the close/
+                        # stats path below.
+                        from repro.caching.engine import CachedEngine
+
+                        wrapped = CachedEngine(engine)
+                        caches.append(wrapped.cache)
+                        readers.append(wrapped.distance)
+                    else:
+                        caches.append(None)
+                        readers.append(engine.distance)
             else:
-                readers = [
-                    _local_reader(scenario, graph, oracle, tmp, tenant)
-                    for tenant in range(scenario.tenants)
-                ]
+                readers = []
+                for tenant in range(scenario.tenants):
+                    reader, cache = _local_reader(
+                        scenario, graph, oracle, tmp, tenant, writers[tenant]
+                    )
+                    readers.append(reader)
+                    caches.append(cache)
 
             note(
                 f"running {scenario.arrival} loop: {len(ops)} ops"
@@ -394,6 +434,11 @@ def run_scenario(
                 result["failovers"] = sum(
                     len(engine.failovers) for engine in engines
                 )
+            if any(cache is not None for cache in caches):
+                result["cache"] = [
+                    cache.stats() if cache is not None else None
+                    for cache in caches
+                ]
     finally:
         for engine in engines:
             engine.close()

@@ -216,6 +216,20 @@ SCENARIOS: Dict[str, Scenario] = {
             num_queries=400,
         ),
         Scenario(
+            name="zipf-hot-cached",
+            description=(
+                "zipf-hot replayed through the cached:fast read-through "
+                "tier with a 20% §8.3 update mix (invalidation soak)"
+            ),
+            dataset="google",
+            scale=0.15,
+            engine="cached:fast",
+            skew="zipf",
+            theta=1.1,
+            num_queries=400,
+            write_fraction=0.2,
+        ),
+        Scenario(
             name="open-burst",
             description="open-loop bursty arrivals at 500 qps, bursts of 16",
             dataset="google",

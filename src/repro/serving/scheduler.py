@@ -449,11 +449,28 @@ class ShardScheduler:
             raise QueryError(f"unknown or already-collected ticket {ticket}")
 
     def drain(self) -> Dict[int, float]:
-        """Flush everything and hand back (and clear) collected answers."""
+        """Flush everything and hand back (and clear) collected answers.
+
+        Deliberately does *not* touch the batching counters — they are
+        lifetime totals.  A caller that wants per-run numbers (benchmarks
+        running several phases in one process) snapshots :meth:`stats`
+        deltas or calls :meth:`reset` between phases.
+        """
         self.flush()
         results = self._results
         self._results = {}
         return results
+
+    def reset(self) -> None:
+        """Zero the batching-efficiency counters (pending work is kept).
+
+        ``drain()`` never resets them, so repeated measurement phases in
+        one process would otherwise report cumulative totals; benchmarks
+        call this (or diff :meth:`stats` snapshots) between phases.
+        """
+        self.dispatch_calls = 0
+        self.queries_scheduled = 0
+        self.buckets_coalesced = 0
 
 
 def assign_shards(

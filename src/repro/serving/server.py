@@ -236,6 +236,8 @@ class ShardServer:
         epoch: int = 0,
         max_concurrency: int = 1,
         max_queue: int = 128,
+        cache_entries: Optional[int] = None,
+        cache_ttl_s: Optional[float] = None,
     ) -> None:
         from repro.core.directed import DirectedISLabelIndex
         from repro.serving.scheduler import shard_starts_of
@@ -244,6 +246,21 @@ class ShardServer:
         self.kind = (
             "directed" if isinstance(index, DirectedISLabelIndex) else "undirected"
         )
+        # Optional server-side hot-pair tier: a read-through
+        # DistanceCache in front of the engine stage, so repeated pairs
+        # skip both the query lock contention and the label merge.  The
+        # snapshot an index serves is read-only, so staleness is purely
+        # TTL-governed (cache_ttl_s); counters surface via the ``stats``
+        # wire op.
+        self.cache = None
+        if cache_entries is not None or cache_ttl_s is not None:
+            from repro.caching.cache import DistanceCache
+
+            self.cache = DistanceCache(
+                max_entries=cache_entries or 65536,
+                ttl_s=cache_ttl_s,
+                directed=(self.kind == "directed"),
+            )
         self.shard_starts: List[int] = list(shard_starts_of(index))
         num_shards = max(len(self.shard_starts), 1)
         if owned is None:
@@ -584,8 +601,19 @@ class ShardServer:
             if state.closed:
                 return  # client left while we were queued: nothing to answer
             try:
-                with self._query_lock:
-                    answers = self.index.distances(pairs)
+                if self.cache is not None:
+                    # Hot-pair tier: only the misses take the query lock
+                    # and reach the engine; hits are answered lock-free.
+                    def engine_stage(misses):
+                        with self._query_lock:
+                            return self.index.distances(misses)
+
+                    answers = self.cache.read_through(
+                        [(int(s), int(t)) for s, t in pairs], engine_stage
+                    )
+                else:
+                    with self._query_lock:
+                        answers = self.index.distances(pairs)
             except ReproError as exc:
                 kind = "query" if isinstance(exc, QueryError) else "storage"
                 response = {"error": str(exc), "error_kind": kind}
@@ -691,6 +719,9 @@ class ShardServer:
                         "requests_served": self.requests_served,
                         "depth": self._executor.depth(),
                         "connections": per_conn,
+                        "cache": (
+                            self.cache.stats() if self.cache is not None else None
+                        ),
                     },
                     False,
                 )

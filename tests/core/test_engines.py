@@ -21,7 +21,14 @@ from repro.graph.graph import Graph
 
 class TestRegistry:
     def test_builtin_engines_registered(self):
-        expected = ("dict", "fast", "mmap", "remote", "sharded")
+        bases = ("dict", "fast", "mmap", "remote", "sharded")
+        # Every base with a real engine object also gets a cached:* wrap;
+        # "dict" is the reference path with nothing to wrap.
+        expected = tuple(
+            sorted(
+                bases + tuple(f"cached:{b}" for b in bases if b != "dict")
+            )
+        )
         assert available_engines(UNDIRECTED) == expected
         assert available_engines(DIRECTED) == expected
 
@@ -50,9 +57,35 @@ class TestRegistry:
                 CAP_SHARDED,
                 CAP_FAULT_TOLERANT,
             }
-            assert engines_with_capability(kind, CAP_SNAPSHOT) == ("mmap", "sharded")
-            assert engines_with_capability(kind, CAP_REMOTE) == ("remote",)
-            assert engines_with_capability(kind, CAP_FAULT_TOLERANT) == ("remote",)
+            assert engines_with_capability(kind, CAP_SNAPSHOT) == (
+                "cached:mmap",
+                "cached:sharded",
+                "mmap",
+                "sharded",
+            )
+            assert engines_with_capability(kind, CAP_REMOTE) == (
+                "cached:remote",
+                "remote",
+            )
+            assert engines_with_capability(kind, CAP_FAULT_TOLERANT) == (
+                "cached:remote",
+                "remote",
+            )
+
+    def test_cached_capabilities_extend_base(self):
+        from repro.core.engines import CAP_CACHED, CAP_LOCAL, engine_capabilities
+
+        for kind in (UNDIRECTED, DIRECTED):
+            assert engine_capabilities(kind, "cached:fast") == (
+                engine_capabilities(kind, "fast") | {CAP_CACHED}
+            )
+            assert CAP_LOCAL in engine_capabilities(kind, "cached:mmap")
+
+    def test_cached_dict_rejected(self):
+        with pytest.raises(IndexBuildError, match="not cacheable"):
+            resolve_engine(UNDIRECTED, "cached:dict")
+        with pytest.raises(IndexBuildError, match="unknown"):
+            resolve_engine(DIRECTED, "cached:vroom")
 
     def test_dict_resolves_to_reference_path(self):
         assert resolve_engine(UNDIRECTED, "dict") is None

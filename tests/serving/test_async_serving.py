@@ -364,6 +364,58 @@ class TestEnvIntHelper:
         assert remote._in_flight_window(5) == 5
 
 
+class TestEnvBoolHelper:
+    def test_unset_and_blank_are_none(self, monkeypatch):
+        from repro.envvars import read_env_bool
+
+        monkeypatch.delenv("REPRO_TEST_FLAG", raising=False)
+        assert read_env_bool("REPRO_TEST_FLAG") is None
+        monkeypatch.setenv("REPRO_TEST_FLAG", "  ")
+        assert read_env_bool("REPRO_TEST_FLAG") is None
+
+    def test_strict_vocabulary(self, monkeypatch):
+        from repro.envvars import read_env_bool
+
+        for raw, want in (
+            ("true", True),
+            ("TRUE", True),
+            ("1", True),
+            ("false", False),
+            (" False ", False),
+            ("0", False),
+        ):
+            monkeypatch.setenv("REPRO_TEST_FLAG", raw)
+            assert read_env_bool("REPRO_TEST_FLAG") is want, raw
+        # yes/on/no/off must fail loudly, naming variable and quantity.
+        for bad in ("yes", "no", "on", "off", "2", "t"):
+            monkeypatch.setenv("REPRO_TEST_FLAG", bad)
+            with pytest.raises(ValueError, match="REPRO_TEST_FLAG") as err:
+                read_env_bool("REPRO_TEST_FLAG", what="cache enable flag")
+            assert "cache enable flag" in str(err.value), bad
+
+    def test_cache_knobs_route_through_envvars(self, monkeypatch):
+        from repro.caching.engine import (
+            ENV_CACHE_ENTRIES,
+            ENV_CACHE_TTL_S,
+            cache_entries_from_env,
+            cache_ttl_from_env,
+        )
+        from repro.errors import IndexBuildError
+
+        monkeypatch.setenv(ENV_CACHE_ENTRIES, "4096")
+        assert cache_entries_from_env() == 4096
+        monkeypatch.setenv(ENV_CACHE_ENTRIES, "0")
+        with pytest.raises(IndexBuildError, match=ENV_CACHE_ENTRIES):
+            cache_entries_from_env()
+        monkeypatch.setenv(ENV_CACHE_TTL_S, "2.5")
+        assert cache_ttl_from_env() == 2.5
+        monkeypatch.setenv(ENV_CACHE_TTL_S, "0")
+        assert cache_ttl_from_env() is None  # 0 means "no TTL"
+        monkeypatch.setenv(ENV_CACHE_TTL_S, "soon")
+        with pytest.raises(IndexBuildError, match=ENV_CACHE_TTL_S):
+            cache_ttl_from_env()
+
+
 class TestLatencyLink:
     """ChaosProxy ``"latency"`` mode: a long but uncongested link."""
 

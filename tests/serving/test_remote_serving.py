@@ -336,3 +336,47 @@ class TestReviewRegressions:
         assert results == {t1: 42.0, t1 + 1: 42.0}
         assert sched.pending_count == 0
         assert sched.pending() == {}
+
+
+class TestServerCacheTier:
+    def test_cache_off_by_default(self, server):
+        assert server.cache is None
+        host, port = server.address
+        with socket.create_connection((host, port)) as sock:
+            stats = wire.request(sock, {"op": "stats"})
+        assert stats["cache"] is None
+
+    def test_cached_server_bit_identical_and_counted(self, shard_path, expected):
+        pairs, want = expected
+        with ShardServer(
+            load_serving_index(shard_path, engine="sharded"),
+            cache_entries=4096,
+        ) as srv:
+            engine = RemoteEngine(addresses=[srv.address])
+            try:
+                assert engine.distances(pairs) == want
+                assert engine.distances(pairs) == want  # replay: cache hits
+            finally:
+                engine.close()
+            assert srv.cache is not None
+            host, port = srv.address
+            with socket.create_connection((host, port)) as sock:
+                stats = wire.request(sock, {"op": "stats"})
+        cache = stats["cache"]
+        assert cache["hits"] >= len(want)
+        assert cache["entries"] >= 1
+
+    def test_cached_remote_through_load_index(
+        self, server, shard_path, expected, monkeypatch
+    ):
+        host, port = server.address
+        monkeypatch.setenv(REMOTE_ADDRS_ENV, f"{host}:{port}")
+        index = load_index(shard_path, engine="cached:remote")
+        assert index.engine == "cached:remote"
+        pairs, want = expected
+        assert index.distances(pairs) == want
+        assert index.distances(pairs) == want
+        assert index._fast.cache.stats()["hits"] >= len(want)
+        # No G_k in hand on the client: dirty invalidation must flush.
+        index._fast.invalidate({1})
+        assert len(index._fast.cache) == 0
