@@ -1,0 +1,32 @@
+"""Project-invariant static analysis + runtime lock instrumentation.
+
+``repro analyze`` runs the rule packs in this package over a source
+tree; :mod:`repro.analysis.lockcheck` is the runtime complement that
+validates the static lock-order model against real executions.
+"""
+
+from repro.analysis.engine import (
+    Finding,
+    Report,
+    Rule,
+    available_rules,
+    register_rule,
+    run_analysis,
+)
+
+# Importing the rule packs registers them with the engine.
+from repro.analysis import (  # noqa: F401  (registration side effects)
+    rules_env,
+    rules_locks,
+    rules_protocol,
+    rules_threads,
+)
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Rule",
+    "available_rules",
+    "register_rule",
+    "run_analysis",
+]

@@ -1,0 +1,462 @@
+"""Rule-based AST static analysis over the repro source tree.
+
+The serving stack's correctness rests on conventions that no runtime
+test can enforce globally: env knobs must route through
+:mod:`repro.envvars`, registered engines must implement the full
+:class:`~repro.core.engines.QueryEngine` protocol, every wire op needs
+both a client emitter and a :class:`~repro.serving.server.ShardServer`
+handler, and the thread-heavy serving layer must never block on the wire
+while holding a lock.  This module is the enforcement machinery; the
+convention-specific logic lives in the rule packs (``rules_env``,
+``rules_locks``, ``rules_protocol``, ``rules_threads``), which register
+themselves here.
+
+Design: one parse pass builds a :class:`Project` — every scanned module's
+AST plus a cross-file symbol table (classes, base-class references
+resolved through import aliases, module-level constants) — then each
+rule walks the modules (:meth:`Rule.visit_module`) and gets a whole-
+project hook (:meth:`Rule.finalize`) for checks that need to see both
+sides of a contract (emitter vs handler, use vs declaration).  Findings
+are structured (path, line, rule id, message, fix hint) so the CLI can
+render text or JSON and CI can gate on the count.
+
+False positives are silenced *in the code under analysis*, never in the
+tool: a ``# repro-lint: disable=RULE`` (or ``disable=all``) comment on
+the offending line suppresses findings of that rule on that line, which
+keeps every accepted exception visible and greppable at the site that
+needs it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "Report",
+    "register_rule",
+    "available_rules",
+    "run_analysis",
+    "dotted_text",
+]
+
+#: ``# repro-lint: disable=rule-a,rule-b`` — line-level suppression.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured lint finding, anchored to a source line."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def sort_key(self) -> Tuple[str, int, str, str]:
+        return (self.path, self.line, self.rule, self.message)
+
+    def to_dict(self) -> dict:
+        out = {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+
+def dotted_text(node: ast.AST) -> Optional[str]:
+    """Render a ``Name``/``Attribute`` chain as ``a.b.c``; None otherwise."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """Signature facts of one function/method definition."""
+
+    name: str
+    args: Tuple[str, ...]  # positional params, ``self`` stripped for methods
+    defaults: int  # how many trailing positional params have defaults
+    has_vararg: bool
+    has_kwarg: bool
+    lineno: int
+    node: ast.AST = field(repr=False, default=None)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: bases (as dotted reference text) + methods."""
+
+    name: str
+    bases: Tuple[str, ...]
+    methods: Dict[str, FunctionInfo]
+    lineno: int
+
+
+def _function_info(node: ast.AST, *, method: bool) -> FunctionInfo:
+    a = node.args
+    names = [arg.arg for arg in a.posonlyargs + a.args]
+    if method and names:
+        names = names[1:]  # drop self/cls
+    return FunctionInfo(
+        name=node.name,
+        args=tuple(names),
+        defaults=len(a.defaults),
+        has_vararg=a.vararg is not None,
+        has_kwarg=a.kwarg is not None,
+        lineno=node.lineno,
+        node=node,
+    )
+
+
+def _module_name_of(path: Path) -> str:
+    """Dotted module name by walking up through ``__init__.py`` packages."""
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts))
+
+
+class ModuleInfo:
+    """One parsed source file plus its per-file symbol facts."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.stem = path.stem
+        self.name = _module_name_of(path)
+        #: line -> rule ids suppressed on that line ("all" = every rule).
+        self.suppressions: Dict[int, Set[str]] = {}
+        #: local name -> dotted origin (``from a.b import C as D`` -> D: a.b.C).
+        self.imports: Dict[str, str] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: module-level simple assignments (name -> value expression).
+        self.constants: Dict[str, ast.AST] = {}
+        self._index()
+
+    def _index(self) -> None:
+        for lineno, line in enumerate(self.source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+                if rules:
+                    self.suppressions[lineno] = rules
+        for node in self.tree.body:
+            self._index_statement(node)
+        # Imports may also appear inside functions (lazy imports); record
+        # those aliases too so base classes resolved lazily still map.
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._index_import(node)
+
+    def _index_statement(self, node: ast.AST) -> None:
+        if isinstance(node, ast.ClassDef):
+            methods = {}
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods[item.name] = _function_info(item, method=True)
+            bases = tuple(
+                b for b in (dotted_text(base) for base in node.bases) if b
+            )
+            self.classes[node.name] = ClassInfo(
+                name=node.name, bases=bases, methods=methods, lineno=node.lineno
+            )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.functions[node.name] = _function_info(node, method=False)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                self.constants[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                self.constants[node.target.id] = node.value
+
+    def _index_import(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                self.imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                self.imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        return bool(rules) and (rule in rules or "all" in rules)
+
+
+class Project:
+    """All scanned modules plus cross-file resolution helpers."""
+
+    def __init__(self, modules: Sequence[ModuleInfo], roots: Sequence[Path]) -> None:
+        self.modules: List[ModuleInfo] = list(modules)
+        self.roots: List[Path] = list(roots)
+        self.by_path: Dict[str, ModuleInfo] = {
+            str(m.path): m for m in self.modules
+        }
+        #: dotted name -> module.  Exact names win; bare stems are a
+        #: fallback so fixture trees without packages still resolve.
+        self.by_name: Dict[str, ModuleInfo] = {}
+        for module in self.modules:
+            self.by_name.setdefault(module.name, module)
+            self.by_name.setdefault(module.stem, module)
+
+    def module_named(self, dotted: str) -> Optional[ModuleInfo]:
+        found = self.by_name.get(dotted)
+        if found is not None:
+            return found
+        # ``repro.core.fastlabels`` vs a scan rooted below ``repro``.
+        tail = dotted.split(".")[-1]
+        return self.by_name.get(tail)
+
+    def resolve_class(
+        self, module: ModuleInfo, ref: str
+    ) -> Optional[Tuple[ModuleInfo, ClassInfo]]:
+        """Resolve a class reference (``Name`` or ``mod.Name``) seen in
+        ``module`` to its defining module, following import aliases."""
+        if "." not in ref:
+            if ref in module.classes:
+                return module, module.classes[ref]
+            origin = module.imports.get(ref)
+            if origin is None:
+                return None
+            mod_name, _, cls_name = origin.rpartition(".")
+            target = self.module_named(mod_name) if mod_name else None
+            if target is not None and cls_name in target.classes:
+                return target, target.classes[cls_name]
+            return None
+        head, _, rest = ref.partition(".")
+        origin = module.imports.get(head, head)
+        target = self.module_named(origin)
+        if target is not None and rest in target.classes:
+            return target, target.classes[rest]
+        return None
+
+    def class_methods(
+        self, module: ModuleInfo, class_name: str, _seen: Optional[Set[str]] = None
+    ) -> Dict[str, FunctionInfo]:
+        """Methods of a class including inherited ones (cross-file MRO
+        approximation: depth-first over base references, first hit wins)."""
+        seen = _seen if _seen is not None else set()
+        key = f"{module.name}:{class_name}"
+        if key in seen:
+            return {}
+        seen.add(key)
+        info = module.classes.get(class_name)
+        if info is None:
+            return {}
+        methods = dict(info.methods)
+        for base_ref in info.bases:
+            resolved = self.resolve_class(module, base_ref)
+            if resolved is None:
+                continue
+            base_module, base_info = resolved
+            for name, func in self.class_methods(
+                base_module, base_info.name, seen
+            ).items():
+                methods.setdefault(name, func)
+        return methods
+
+    def find_upwards(self, filename: str, max_levels: int = 6) -> Optional[Path]:
+        """Locate ``filename`` at or above any scan root (README finder)."""
+        for root in self.roots:
+            probe = root if root.is_dir() else root.parent
+            for _ in range(max_levels):
+                candidate = probe / filename
+                if candidate.exists():
+                    return candidate
+                if probe.parent == probe:
+                    break
+                probe = probe.parent
+        return None
+
+
+class Rule:
+    """Base class of a lint rule; subclasses register via :func:`register_rule`.
+
+    ``visit_module`` runs once per scanned file; ``finalize`` runs once
+    after every module has been visited, for whole-project contracts.
+    Rule instances are created fresh per run, so per-run accumulation in
+    instance state is safe.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def visit_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    _RULES[cls.id] = cls
+    return cls
+
+
+def available_rules() -> Dict[str, str]:
+    """Registered rule ids -> one-line descriptions (sorted)."""
+    return {rid: _RULES[rid].description for rid in sorted(_RULES)}
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run."""
+
+    findings: List[Finding]
+    files: int
+    suppressed: int
+    rules: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files": self.files,
+            "suppressed": self.suppressed,
+            "rules": list(self.rules),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files} file(s) "
+            f"({self.suppressed} suppressed; rules: {', '.join(self.rules)})"
+        )
+        return "\n".join(lines)
+
+
+def _collect_files(paths: Sequence) -> Tuple[List[Path], List[Path]]:
+    roots: List[Path] = []
+    files: List[Path] = []
+    seen: Set[str] = set()
+    for entry in paths:
+        root = Path(entry)
+        roots.append(root)
+        if root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        else:
+            candidates = [root]
+        for path in candidates:
+            if "__pycache__" in path.parts:
+                continue
+            if any(part.startswith(".") and part not in (".", "..") for part in path.parts):
+                continue
+            key = str(path.resolve())
+            if key not in seen:
+                seen.add(key)
+                files.append(path)
+    return files, roots
+
+
+def run_analysis(
+    paths: Sequence, rules: Optional[Sequence[str]] = None
+) -> Report:
+    """Scan ``paths`` (files or directories) with the selected rules.
+
+    ``rules`` is a sequence of registered rule ids (default: all).
+    Unknown ids raise ``ValueError`` naming the known ones.
+    """
+    # Import for side effects: the built-in rule packs register on import.
+    from repro.analysis import rules_env, rules_locks, rules_protocol, rules_threads  # noqa: F401
+
+    if rules is None:
+        rule_ids = sorted(_RULES)
+    else:
+        rule_ids = list(rules)
+        unknown = [r for r in rule_ids if r not in _RULES]
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s) {', '.join(unknown)} "
+                f"(available: {', '.join(sorted(_RULES))})"
+            )
+    files, roots = _collect_files(paths)
+    modules: List[ModuleInfo] = []
+    findings: List[Finding] = []
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(
+                Finding(str(path), 0, "syntax-error", f"unreadable file: {exc}")
+            )
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    str(path),
+                    exc.lineno or 0,
+                    "syntax-error",
+                    f"cannot parse: {exc.msg}",
+                )
+            )
+            continue
+        modules.append(ModuleInfo(path, source, tree))
+    project = Project(modules, roots)
+    instances = [_RULES[rid]() for rid in rule_ids]
+    for rule in instances:
+        for module in modules:
+            findings.extend(rule.visit_module(module, project))
+        findings.extend(rule.finalize(project))
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        module = project.by_path.get(finding.path)
+        if module is not None and module.suppressed(finding.rule, finding.line):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    return Report(
+        findings=kept,
+        files=len(files),
+        suppressed=suppressed,
+        rules=tuple(rule_ids),
+    )

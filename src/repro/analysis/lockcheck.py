@@ -1,0 +1,285 @@
+"""Runtime lock-order detector: the dynamic twin of the ``lock-order`` rule.
+
+With ``REPRO_LOCKCHECK=1`` set, every serving-layer lock created through
+:func:`create_lock`/:func:`create_rlock` is a :class:`CheckedLock`:
+acquisitions and releases feed a process-global recorder that maintains
+per-thread held-lock stacks and a global acquisition-order graph keyed
+by lock *role name* (``shard-server.state``, ``remote.worker-dial``, …)
+— the same normalization the static rule uses, so the observed graph is
+directly comparable to the statically derived one.
+
+Two failure modes are loud:
+
+* acquiring lock ``B`` while holding ``A`` when the graph already
+  contains a path ``B -> … -> A`` is an **order inversion** — the
+  canonical two-thread deadlock shape, caught even when the interleaving
+  that would actually deadlock never happens in this run.  The inversion
+  is recorded and raised as :class:`LockOrderError` at the acquire site
+  (the lock is released first, so the raise cannot itself deadlock the
+  process).  Inside a chaos fleet the raise surfaces as a failed query,
+  which fails the suite.
+* re-acquiring a **non-reentrant** lock the same thread already holds —
+  detected *before* the inner ``acquire`` would block forever.
+
+Without the env flag, :func:`create_lock` returns plain
+``threading.Lock`` objects — zero overhead in production.  The serving
+and chaos test suites run with the flag in CI
+(``tests/serving/conftest.py`` additionally asserts a clean graph after
+every test), which is how the static lock-order rule's model is
+validated against real executions.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.envvars import read_env_bool
+from repro.errors import ReproError
+
+__all__ = [
+    "LOCKCHECK_ENV",
+    "LockOrderError",
+    "CheckedLock",
+    "enabled",
+    "create_lock",
+    "create_rlock",
+    "recorder",
+    "reset",
+    "report",
+    "assert_no_inversions",
+]
+
+#: Boolean env knob turning the instrumented locks on (default off).
+LOCKCHECK_ENV = "REPRO_LOCKCHECK"
+
+
+class LockOrderError(ReproError):
+    """An observed lock-order inversion or illegal re-acquisition."""
+
+
+def enabled() -> bool:
+    """True when :data:`LOCKCHECK_ENV` asks for instrumented locks."""
+    return bool(
+        read_env_bool(LOCKCHECK_ENV, what="runtime lock-order detector flag")
+    )
+
+
+def _call_site() -> str:
+    """``file:line`` of the acquire call, skipping this module's frames."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename == __file__:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - only if called at module top
+        return "?"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+class _Recorder:
+    """Process-global acquisition recorder (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()  # guards edges/inversions, never exported
+        self._local = threading.local()
+        #: (outer role, inner role) -> first observed acquire site.
+        self._edges: Dict[Tuple[str, str], str] = {}
+        self._inversions: List[dict] = []
+
+    # -- per-thread state ---------------------------------------------
+    def _held(self) -> List[Tuple[str, "CheckedLock"]]:
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = []
+            self._local.held = held
+        return held
+
+    # -- events --------------------------------------------------------
+    def check_reacquire(self, lock: "CheckedLock") -> None:
+        """Raise before a same-thread re-acquire of a non-reentrant lock
+        would block forever on the inner ``threading.Lock``."""
+        if lock.reentrant:
+            return
+        if any(handle is lock for _, handle in self._held()):
+            entry = {
+                "kind": "reacquire",
+                "lock": lock.name,
+                "site": _call_site(),
+                "held": [name for name, _ in self._held()],
+            }
+            with self._mu:
+                self._inversions.append(entry)
+            raise LockOrderError(
+                f"thread {threading.current_thread().name} re-acquired "
+                f"non-reentrant lock {lock.name!r} at {entry['site']} "
+                f"(held: {entry['held']})"
+            )
+
+    def acquired(self, lock: "CheckedLock") -> None:
+        """Record a successful acquire; raise on an order inversion."""
+        held = self._held()
+        site = _call_site()
+        inversion: Optional[dict] = None
+        with self._mu:
+            for outer_name, _ in held:
+                if outer_name == lock.name:
+                    # Sibling instances of the same role (e.g. two
+                    # connections' send locks) impose no order.
+                    continue
+                edge = (outer_name, lock.name)
+                if edge not in self._edges:
+                    self._edges[edge] = site
+                    if inversion is None and self._path(lock.name, outer_name):
+                        inversion = {
+                            "kind": "inversion",
+                            "edge": list(edge),
+                            "site": site,
+                            "reverse_path": self._trace(lock.name, outer_name),
+                            "held": [name for name, _ in held],
+                        }
+            if inversion is not None:
+                self._inversions.append(inversion)
+        if inversion is not None:
+            # Not appended to the held stack: the caller releases the
+            # inner lock and re-raises, so the acquire never happened.
+            raise LockOrderError(
+                f"lock-order inversion: acquired {lock.name!r} while "
+                f"holding {inversion['held']} at {site}, but the observed "
+                f"order graph already has "
+                f"{' -> '.join(inversion['reverse_path'])}"
+            )
+        held.append((lock.name, lock))
+
+    def released(self, lock: "CheckedLock") -> None:
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index][1] is lock:
+                del held[index]
+                return
+
+    # -- graph ---------------------------------------------------------
+    def _path(self, src: str, dst: str) -> bool:
+        """True when ``src -> … -> dst`` exists (callers hold ``_mu``)."""
+        return self._trace(src, dst) is not None
+
+    def _trace(self, src: str, dst: str) -> Optional[List[str]]:
+        adjacency: Dict[str, List[str]] = {}
+        for outer, inner in self._edges:
+            adjacency.setdefault(outer, []).append(inner)
+        stack = [(src, [src])]
+        seen = {src}
+        while stack:
+            node, path = stack.pop()
+            for nxt in adjacency.get(node, ()):
+                if nxt == dst:
+                    return path + [dst]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    # -- reporting -----------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._mu:
+            return {
+                "edges": [
+                    {"outer": outer, "inner": inner, "site": site}
+                    for (outer, inner), site in sorted(self._edges.items())
+                ],
+                "inversions": [dict(entry) for entry in self._inversions],
+            }
+
+    def reset(self) -> None:
+        with self._mu:
+            self._edges.clear()
+            self._inversions.clear()
+        # Per-thread stacks live in threading.local; only the calling
+        # thread's can be dropped here (enough for test isolation).
+        self._local.held = []
+
+
+_RECORDER = _Recorder()
+
+
+def recorder() -> _Recorder:
+    """The process-global recorder (one graph per process)."""
+    return _RECORDER
+
+
+class CheckedLock:
+    """A named, order-checked lock with the ``threading.Lock`` surface."""
+
+    def __init__(self, name: str, *, reentrant: bool = False) -> None:
+        self.name = str(name)
+        self.reentrant = bool(reentrant)
+        self._inner: Union[threading.Lock, threading.RLock]
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        _RECORDER.check_reacquire(self)
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            try:
+                _RECORDER.acquired(self)
+            except LockOrderError:
+                # Release before raising so the failed acquire cannot
+                # strand the lock and wedge unrelated threads.
+                self._inner.release()
+                raise
+        return ok
+
+    def release(self) -> None:
+        _RECORDER.released(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        inner = self._inner
+        if hasattr(inner, "locked"):
+            return inner.locked()
+        return False  # pragma: no cover - RLock before 3.14
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CheckedLock({self.name!r}, reentrant={self.reentrant})"
+
+
+def create_lock(name: str):
+    """A serving-layer lock: plain ``threading.Lock`` unless
+    :data:`LOCKCHECK_ENV` turns the instrumented wrapper on."""
+    if enabled():
+        return CheckedLock(name)
+    return threading.Lock()
+
+
+def create_rlock(name: str):
+    """Reentrant twin of :func:`create_lock`."""
+    if enabled():
+        return CheckedLock(name, reentrant=True)
+    return threading.RLock()
+
+
+def reset() -> None:
+    """Drop the recorded graph (test isolation)."""
+    _RECORDER.reset()
+
+
+def report() -> dict:
+    """The observed order graph + any recorded inversions."""
+    return _RECORDER.snapshot()
+
+
+def assert_no_inversions() -> None:
+    """Raise :class:`LockOrderError` if any inversion was recorded."""
+    snap = _RECORDER.snapshot()
+    if snap["inversions"]:
+        lines = [
+            f"- {entry.get('kind')}: {entry}" for entry in snap["inversions"]
+        ]
+        raise LockOrderError(
+            "observed lock-order violations:\n" + "\n".join(lines)
+        )

@@ -1,0 +1,168 @@
+"""``env-discipline``: every env knob routes through :mod:`repro.envvars`.
+
+Two invariants, both learned the hard way (three raw ``os.environ``
+reads leaked past the shared parser between PR 7 and PR 9):
+
+* ``os.environ`` may only be touched inside ``envvars.py``.  Everything
+  else goes through the validated readers (``read_env_float`` /
+  ``read_env_int`` / ``read_env_bool`` / ``read_env_str``), which share
+  the unset/blank contract and raise errors naming the variable.
+  Whole-environment copies handed to subprocesses are a legitimate
+  exception — suppressed at the site with ``# repro-lint:
+  disable=env-discipline`` so each one stays visible.
+* every ``REPRO_*`` name that appears anywhere must be declared in the
+  ``ENV_VARS`` registry of ``envvars.py`` (so there is one catalog of
+  knobs) and documented in the README (so operators can find it).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    dotted_text,
+    register_rule,
+)
+
+__all__ = ["EnvDisciplineRule", "ENV_NAME_RE"]
+
+ENV_NAME_RE = re.compile(r"^REPRO_[A-Z0-9_]+$")
+
+#: The one file allowed to touch ``os.environ`` and the place knobs are
+#: declared.  Matched by stem so fixture trees can carry their own.
+_REGISTRY_STEM = "envvars"
+
+
+def _declared_names(module: ModuleInfo) -> Set[str]:
+    """Knob names declared in an ``envvars`` module.
+
+    Prefers the keys of a literal ``ENV_VARS`` dict; falls back to every
+    ``REPRO_*`` string literal in the file (pre-registry layouts).
+    """
+    env_vars = module.constants.get("ENV_VARS")
+    if isinstance(env_vars, ast.Dict):
+        names = {
+            key.value
+            for key in env_vars.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+        if names:
+            return names
+    return {
+        node.value
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and ENV_NAME_RE.match(node.value)
+    }
+
+
+@register_rule
+class EnvDisciplineRule(Rule):
+    id = "env-discipline"
+    description = (
+        "os.environ stays inside envvars.py; every REPRO_* knob is "
+        "declared in ENV_VARS and documented in README"
+    )
+
+    def __init__(self) -> None:
+        self._declared: Optional[Set[str]] = None
+        self._uses: List[Tuple[ModuleInfo, str, int]] = []
+
+    def visit_module(self, module: ModuleInfo, project: Project):
+        findings: List[Finding] = []
+        is_registry = module.stem == _REGISTRY_STEM
+        if is_registry:
+            declared = _declared_names(module)
+            if self._declared is None:
+                self._declared = declared
+            else:
+                self._declared |= declared
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "environ":
+                if dotted_text(node) == "os.environ" and not is_registry:
+                    findings.append(
+                        Finding(
+                            str(module.path),
+                            node.lineno,
+                            self.id,
+                            "os.environ accessed outside envvars.py",
+                            "route the knob through a repro.envvars reader "
+                            "(read_env_float/int/bool/str)",
+                        )
+                    )
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and module.imports.get(node.id) == "os.environ"
+                and not is_registry
+            ):
+                findings.append(
+                    Finding(
+                        str(module.path),
+                        node.lineno,
+                        self.id,
+                        "os.environ (imported as a name) accessed outside "
+                        "envvars.py",
+                        "route the knob through a repro.envvars reader",
+                    )
+                )
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and ENV_NAME_RE.match(node.value)
+            ):
+                self._uses.append((module, node.value, node.lineno))
+        return findings
+
+    def finalize(self, project: Project):
+        findings: List[Finding] = []
+        declared = self._declared
+        if declared is None:
+            # Partial scan without envvars.py in the tree: consult the
+            # installed registry so `repro analyze src/repro/serving`
+            # still checks declarations.
+            try:
+                from repro.envvars import ENV_VARS
+
+                declared = set(ENV_VARS)
+            except ImportError:  # pragma: no cover - repro always importable here
+                declared = None
+        readme = project.find_upwards("README.md")
+        readme_text = (
+            readme.read_text(encoding="utf-8") if readme is not None else None
+        )
+        first_use: Dict[str, Tuple[ModuleInfo, int]] = {}
+        for module, name, line in self._uses:
+            if name not in first_use:
+                first_use[name] = (module, line)
+        for name, (module, line) in sorted(first_use.items()):
+            if declared is not None and name not in declared:
+                findings.append(
+                    Finding(
+                        str(module.path),
+                        line,
+                        self.id,
+                        f"{name} is not declared in envvars.py",
+                        "add it to the ENV_VARS registry with a one-line "
+                        "description",
+                    )
+                )
+                continue
+            if readme_text is not None and name not in readme_text:
+                findings.append(
+                    Finding(
+                        str(module.path),
+                        line,
+                        self.id,
+                        f"{name} is not documented in README.md",
+                        "add it to the environment-knob catalog",
+                    )
+                )
+        return findings

@@ -1,0 +1,468 @@
+"""``lock-discipline`` + ``lock-order``: the serving layer's lock rules.
+
+Scope: files with a ``serving`` path segment — the thread-heavy layer
+(:mod:`repro.serving`) where a blocking call under a lock turns one slow
+peer into a stalled worker, and where two locks taken in opposite orders
+on different threads is a latent deadlock.
+
+``lock-discipline`` builds a per-function approximation of what runs
+while a ``threading.Lock``/``RLock`` is held: ``with <lock>:`` regions
+plus ``<lock>.acquire()`` … ``<lock>.release()`` spans tracked in source
+order.  Inside a held region it flags
+
+* *direct* blocking primitives — socket traffic (``sendall``/``recv``/
+  ``connect``/``accept``/``create_connection``), wire framing
+  (``send_frame``/``recv_frame``/``request``), ``Future.result``,
+  ``join``, ``subprocess`` calls, ``sleep`` and bare ``wait`` (except a
+  condition variable waiting on *itself*, which releases the lock); and
+* *one-level reachable* blocking — a call to a ``self.`` method or a
+  module-local function whose own body contains a direct blocking call
+  (the intraprocedural call-approximation; one level deep, resolved
+  through the cross-file class table for inherited methods).
+
+``lock-order`` records an acquisition-order edge ``A -> B`` whenever
+``B`` is taken while ``A`` is held (including one level through local
+calls) and reports every cycle in the resulting global graph as a
+potential deadlock.  Lock nodes are *named roles*, not instances:
+``self.X`` inside a class becomes ``ClassName.X``, other receivers are
+qualified by module stem — the same normalization the runtime detector
+(:mod:`repro.analysis.lockcheck`) uses, so the static graph and the
+observed graph are comparable.
+
+Deliberate, bounded blocking-under-lock sites (a connection's send lock
+around exactly one frame; a worker's dial lock around ``connect``) are
+suppressed in place with ``# repro-lint: disable=lock-discipline`` and a
+justification comment — the rule keeps every such exception explicit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    dotted_text,
+    register_rule,
+)
+
+__all__ = ["LockDisciplineRule", "LockOrderRule", "BLOCKING_CALLS"]
+
+#: Final attribute names of calls considered blocking in the serving
+#: layer.  ``wait`` is special-cased (a condition waiting on itself is a
+#: release, not a block); queue ``put``/``get`` are excluded (the send
+#: queues are unbounded by design).
+BLOCKING_CALLS = frozenset(
+    {
+        "sendall",
+        "send",
+        "recv",
+        "recv_into",
+        "accept",
+        "connect",
+        "connect_ex",
+        "create_connection",
+        "getaddrinfo",
+        "send_frame",
+        "recv_frame",
+        "request",
+        "result",
+        "join",
+        "wait",
+        "sleep",
+        "communicate",
+    }
+)
+
+#: Calls whose dotted path starts with one of these are blocking no
+#: matter the final attribute (process spawn + wait helpers).
+_BLOCKING_PREFIXES = ("subprocess.",)
+
+_LOCK_FACTORY_CALLS = {"Lock", "RLock", "Condition", "create_lock", "create_rlock"}
+
+
+def _is_lock_factory(call: ast.Call) -> Optional[bool]:
+    """True when ``call`` constructs a lock; None when it is no factory.
+
+    Returns True for plain locks, False for ``threading.Condition`` —
+    conditions are tracked (they embed a lock) but get the self-``wait``
+    exemption.
+    """
+    text = dotted_text(call.func)
+    if text is None:
+        return None
+    tail = text.split(".")[-1]
+    if tail not in _LOCK_FACTORY_CALLS:
+        return None
+    return tail != "Condition"
+
+
+def _looks_like_lock(text: str, known: Set[str]) -> bool:
+    tail = text.split(".")[-1]
+    return tail in known or "lock" in tail.lower()
+
+
+@dataclass
+class _FunctionFacts:
+    """What one function does, for the one-level call approximation."""
+
+    qualname: str
+    class_name: Optional[str]
+    #: Direct blocking calls anywhere in the body: (call text, line).
+    blocking: List[Tuple[str, int]] = field(default_factory=list)
+    #: Lock roles acquired anywhere in the body.
+    acquires: List[str] = field(default_factory=list)
+
+
+@dataclass
+class _ModuleLockFacts:
+    """Everything the two rules need from one scanned serving module."""
+
+    module: ModuleInfo
+    #: Blocking call observed while a lock was held:
+    #: (lock role, call text, line).
+    direct: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: Call to a possibly-resolvable local/method callee under a lock:
+    #: (lock role, callee ref, class context, line).
+    calls_under_lock: List[Tuple[str, str, Optional[str], int]] = field(
+        default_factory=list
+    )
+    #: Observed acquisition-order edges: (outer role, inner role, line).
+    edges: List[Tuple[str, str, int]] = field(default_factory=list)
+    functions: Dict[str, _FunctionFacts] = field(default_factory=dict)
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    return "serving" in module.path.parts
+
+
+def _lock_role(text: str, class_name: Optional[str], module: ModuleInfo) -> str:
+    """Normalize a lock receiver into a role name for the order graph."""
+    if text.startswith("self.") and class_name:
+        return f"{class_name}.{text[len('self.'):]}"
+    if "." in text:
+        return f"{module.stem}.{text.split('.')[-1]}"
+    return f"{module.stem}.{text}"
+
+
+class _FunctionScanner:
+    """Source-order walk of one function body with a held-lock stack."""
+
+    def __init__(
+        self,
+        facts: _ModuleLockFacts,
+        module: ModuleInfo,
+        known_locks: Set[str],
+        class_name: Optional[str],
+        func_facts: _FunctionFacts,
+    ) -> None:
+        self.facts = facts
+        self.module = module
+        self.known_locks = known_locks
+        self.class_name = class_name
+        self.func = func_facts
+        #: Stack of (receiver text, role) — ``with`` regions.
+        self.held: List[Tuple[str, str]] = []
+        #: Manual ``acquire()`` spans still open: receiver text -> role.
+        self.manual: Dict[str, str] = {}
+
+    # -- helpers -------------------------------------------------------
+    def _role(self, text: str) -> str:
+        return _lock_role(text, self.class_name, self.module)
+
+    def _all_held(self) -> List[Tuple[str, str]]:
+        return self.held + [(t, r) for t, r in self.manual.items()]
+
+    def _record_acquire(self, text: str, line: int) -> str:
+        role = self._role(text)
+        self.func.acquires.append(role)
+        for _, outer in self._all_held():
+            if outer != role:
+                self.facts.edges.append((outer, role, line))
+        return role
+
+    def _on_call(self, node: ast.Call) -> None:
+        text = dotted_text(node.func)
+        if text is None:
+            return
+        tail = text.split(".")[-1]
+        receiver = text.rpartition(".")[0]
+        if tail == "acquire" and receiver and _looks_like_lock(
+            receiver, self.known_locks
+        ):
+            self.manual[receiver] = self._record_acquire(receiver, node.lineno)
+            return
+        if tail == "release" and receiver in self.manual:
+            del self.manual[receiver]
+            return
+        blocking = tail in BLOCKING_CALLS or text.startswith(_BLOCKING_PREFIXES)
+        if blocking and tail == "join" and len(node.args) + len(node.keywords) > 1:
+            # Thread/process join takes at most a timeout; a join() with
+            # more arguments is a domain method (e.g. membership.join).
+            blocking = False
+        if blocking and tail == "wait" and receiver:
+            # A condition variable waiting on itself releases the lock.
+            if any(t == receiver for t, _ in self._all_held()):
+                blocking = False
+        if blocking:
+            self.func.blocking.append((text, node.lineno))
+            for _, role in self._all_held():
+                self.facts.direct.append((role, text, node.lineno))
+        elif self._all_held() and (
+            text.startswith("self.") and text.count(".") == 1 or "." not in text
+        ):
+            # Possibly-resolvable local callee: defer to the one-level
+            # expansion in finalize.
+            for _, role in self._all_held():
+                self.facts.calls_under_lock.append(
+                    (role, text, self.class_name, node.lineno)
+                )
+
+    # -- walk ----------------------------------------------------------
+    def walk(self, nodes) -> None:
+        for node in nodes:
+            self.visit(node)
+
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # deferred execution: not part of this body's timeline
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            pushed = 0
+            for item in node.items:
+                text = dotted_text(item.context_expr)
+                if text and _looks_like_lock(text, self.known_locks):
+                    role = self._record_acquire(text, item.context_expr.lineno)
+                    self.held.append((text, role))
+                    pushed += 1
+                else:
+                    self.visit(item.context_expr)
+            self.walk(node.body)
+            for _ in range(pushed):
+                self.held.pop()
+            return
+        if isinstance(node, ast.Call):
+            self._on_call(node)
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+
+def _scan_module(module: ModuleInfo) -> _ModuleLockFacts:
+    cached = getattr(module, "_lock_facts", None)
+    if cached is not None:
+        return cached
+    known: Set[str] = set()
+    for node in ast.walk(module.tree):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not isinstance(value, ast.Call):
+            continue
+        is_plain = _is_lock_factory(value)
+        if is_plain is None:
+            continue
+        for target in targets:
+            text = dotted_text(target)
+            if text is None:
+                continue
+            known.add(text.split(".")[-1])
+    facts = _ModuleLockFacts(module=module)
+    for class_name, class_info in module.classes.items():
+        for method in class_info.methods.values():
+            func_facts = _FunctionFacts(
+                qualname=f"{class_name}.{method.name}", class_name=class_name
+            )
+            facts.functions[func_facts.qualname] = func_facts
+            scanner = _FunctionScanner(
+                facts, module, known, class_name, func_facts
+            )
+            scanner.walk(method.node.body)
+    for func in module.functions.values():
+        func_facts = _FunctionFacts(qualname=func.name, class_name=None)
+        facts.functions[func_facts.qualname] = func_facts
+        scanner = _FunctionScanner(facts, module, known, None, func_facts)
+        scanner.walk(func.node.body)
+    module._lock_facts = facts
+    return facts
+
+
+def _mro_pairs(
+    project: Project,
+    module: ModuleInfo,
+    class_name: str,
+    _seen: Optional[Set[Tuple[str, str]]] = None,
+) -> List[Tuple[ModuleInfo, object]]:
+    """The class plus its resolvable bases, depth-first, cross-file."""
+    seen = _seen if _seen is not None else set()
+    key = (module.name, class_name)
+    if key in seen:
+        return []
+    seen.add(key)
+    info = module.classes.get(class_name)
+    if info is None:
+        return []
+    out: List[Tuple[ModuleInfo, object]] = [(module, info)]
+    for base_ref in info.bases:
+        resolved = project.resolve_class(module, base_ref)
+        if resolved is not None:
+            out.extend(_mro_pairs(project, resolved[0], resolved[1].name, seen))
+    return out
+
+
+def _resolve_callee(
+    project: Project,
+    module: ModuleInfo,
+    facts: _ModuleLockFacts,
+    callee: str,
+    class_name: Optional[str],
+) -> Optional[_FunctionFacts]:
+    """One-level callee resolution: ``self.m`` (incl. inherited) or a
+    module-local function."""
+    if callee.startswith("self."):
+        name = callee[len("self.") :]
+        if class_name is None:
+            return None
+        for mod, cinfo in _mro_pairs(project, module, class_name):
+            if name in cinfo.methods:
+                if not _in_scope(mod):
+                    return None  # defined outside the serving layer
+                mod_facts = facts if mod is module else _scan_module(mod)
+                return mod_facts.functions.get(f"{cinfo.name}.{name}")
+        return None
+    return facts.functions.get(callee)
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    description = (
+        "no blocking call (wire, socket, join, result, subprocess) while "
+        "a serving-layer lock is held"
+    )
+
+    def visit_module(self, module: ModuleInfo, project: Project):
+        if not _in_scope(module):
+            return ()
+        facts = _scan_module(module)
+        findings = [
+            Finding(
+                str(module.path),
+                line,
+                self.id,
+                f"blocking call {call}() while holding {role}",
+                "move the call outside the lock, or suppress with a "
+                "justification if the wait is deliberately bounded",
+            )
+            for role, call, line in facts.direct
+        ]
+        for role, callee, class_name, line in facts.calls_under_lock:
+            resolved = _resolve_callee(project, module, facts, callee, class_name)
+            if resolved is None or not resolved.blocking:
+                continue
+            call_text, _ = resolved.blocking[0]
+            findings.append(
+                Finding(
+                    str(module.path),
+                    line,
+                    self.id,
+                    f"call to {callee}() while holding {role} reaches "
+                    f"blocking {call_text}()",
+                    "move the call outside the lock, or suppress with a "
+                    "justification if the wait is deliberately bounded",
+                )
+            )
+        return findings
+
+
+@register_rule
+class LockOrderRule(Rule):
+    id = "lock-order"
+    description = (
+        "the global lock-acquisition-order graph of the serving layer "
+        "must stay acyclic"
+    )
+
+    def __init__(self) -> None:
+        #: (outer, inner) -> first site "path:line".
+        self._edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+
+    def visit_module(self, module: ModuleInfo, project: Project):
+        if not _in_scope(module):
+            return ()
+        facts = _scan_module(module)
+        for outer, inner, line in facts.edges:
+            self._edges.setdefault((outer, inner), (str(module.path), line))
+        # One level through local calls: holding A and calling a function
+        # that takes B at its top level is an A -> B edge too.
+        for role, callee, class_name, line in facts.calls_under_lock:
+            resolved = _resolve_callee(project, module, facts, callee, class_name)
+            if resolved is None:
+                continue
+            for inner in resolved.acquires:
+                if inner != role:
+                    self._edges.setdefault(
+                        (role, inner), (str(module.path), line)
+                    )
+        return ()
+
+    def finalize(self, project: Project):
+        adjacency: Dict[str, Set[str]] = {}
+        for outer, inner in self._edges:
+            adjacency.setdefault(outer, set()).add(inner)
+        cycles = _find_cycles(adjacency)
+        findings: List[Finding] = []
+        for cycle in cycles:
+            edges = list(zip(cycle, cycle[1:] + cycle[:1]))
+            sites = [
+                f"{a}->{b} at {self._edges[(a, b)][0]}:{self._edges[(a, b)][1]}"
+                for a, b in edges
+                if (a, b) in self._edges
+            ]
+            path, line = self._edges.get(edges[0], ("", 0))
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    self.id,
+                    "lock-order cycle (potential deadlock): "
+                    + " -> ".join(cycle + [cycle[0]]),
+                    "pick one global order for these locks; edges: "
+                    + "; ".join(sites),
+                )
+            )
+        return findings
+
+
+def _find_cycles(adjacency: Dict[str, Set[str]]) -> List[List[str]]:
+    """Elementary cycles via iterative DFS; canonicalized + deduplicated."""
+    cycles: List[List[str]] = []
+    seen: Set[Tuple[str, ...]] = set()
+
+    def dfs(start: str) -> None:
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            for nxt in sorted(adjacency.get(node, ())):
+                if nxt == start and len(path) >= 1:
+                    cycle = path[:]
+                    # canonical rotation so each cycle reports once
+                    pivot = cycle.index(min(cycle))
+                    canon = tuple(cycle[pivot:] + cycle[:pivot])
+                    if canon not in seen:
+                        seen.add(canon)
+                        cycles.append(list(canon))
+                elif nxt not in path and len(path) < 8:
+                    stack.append((nxt, path + [nxt]))
+
+    for start in sorted(adjacency):
+        dfs(start)
+    return cycles

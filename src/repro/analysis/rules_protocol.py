@@ -1,0 +1,340 @@
+"""``protocol-conformance``: registered engines + wire ops stay matched.
+
+Engine side: every ``register_engine(kind, name, Factory, capabilities)``
+call is resolved to its factory class (through the cross-file class
+table, so snapshot engines inheriting ``distances`` three modules away
+still check) and verified against the protocol spec that
+:mod:`repro.core.engines` publishes as machine-readable metadata
+(``PROTOCOL_METHODS``): every required method present, with parameters
+compatible with the spec's names.  Capability flags must be *declared
+explicitly* at the registration site (the silent ``CAP_LOCAL`` default
+hid two engines with no declared traits) and drawn from
+``KNOWN_CAPABILITIES``.
+
+Wire side: every ``{"op": ...}`` payload emitted by a client module must
+have a matching handler in the server module (a class with a ``_handle``
+method, i.e. :class:`~repro.serving.server.ShardServer`), and every op
+the server handles must have at least one emitter — a handler nobody can
+reach is dead protocol surface, an emitter nobody answers is a runtime
+error waiting for a fleet.  Both checks only run when the scanned tree
+contains both sides, so partial scans don't produce phantom findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    dotted_text,
+    register_rule,
+)
+
+__all__ = ["ProtocolConformanceRule"]
+
+#: Fallback spec, used when the scanned tree does not include an
+#: ``engines`` module publishing ``PROTOCOL_METHODS`` (partial scans).
+_DEFAULT_PROTOCOL: Dict[str, Tuple[str, ...]] = {
+    "freeze": (),
+    "distance": ("source", "target"),
+    "distances": ("pairs",),
+    "invalidate": ("dirty",),
+}
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _name_set(node: ast.AST) -> Optional[Set[str]]:
+    """Names inside a set/frozenset/tuple/list literal of Names."""
+    if isinstance(node, ast.Call) and dotted_text(node.func) in (
+        "frozenset",
+        "set",
+    ):
+        if len(node.args) == 1:
+            return _name_set(node.args[0])
+        return set()
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        out: Set[str] = set()
+        for element in node.elts:
+            text = dotted_text(element)
+            if text is not None:
+                out.add(text.split(".")[-1])
+            else:
+                value = _const_str(element)
+                if value is not None:
+                    out.add(value)
+        return out
+    return None
+
+
+@register_rule
+class ProtocolConformanceRule(Rule):
+    id = "protocol-conformance"
+    description = (
+        "registered engines implement the full QueryEngine protocol with "
+        "declared capabilities; client wire ops and server handlers match"
+    )
+
+    def __init__(self) -> None:
+        #: (module, line, factory ref or None, caps declared?, caps names or None)
+        self._registrations: List[
+            Tuple[ModuleInfo, int, Optional[str], bool, Optional[Set[str]]]
+        ] = []
+        self._protocol: Optional[Dict[str, Tuple[str, ...]]] = None
+        self._known_caps: Optional[Set[str]] = None
+        #: op -> first emit site (module, line)
+        self._emitted: Dict[str, Tuple[ModuleInfo, int]] = {}
+        #: op -> first handler site (module, line)
+        self._handled: Dict[str, Tuple[ModuleInfo, int]] = {}
+        self._saw_server = False
+        self._saw_client = False
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def visit_module(self, module: ModuleInfo, project: Project):
+        self._collect_metadata(module)
+        is_server = any(
+            "_handle" in cls.methods for cls in module.classes.values()
+        )
+        if is_server:
+            self._saw_server = True
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                self._maybe_registration(module, node)
+            if is_server:
+                self._maybe_handler(module, node)
+            else:
+                self._maybe_emitter(module, node)
+        return ()
+
+    def _collect_metadata(self, module: ModuleInfo) -> None:
+        spec_node = module.constants.get("PROTOCOL_METHODS")
+        if isinstance(spec_node, ast.Dict):
+            spec: Dict[str, Tuple[str, ...]] = {}
+            for key, value in zip(spec_node.keys, spec_node.values):
+                method = _const_str(key)
+                if method is None:
+                    continue
+                args: List[str] = []
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    for element in value.elts:
+                        arg = _const_str(element)
+                        if arg is not None:
+                            args.append(arg)
+                spec[method] = tuple(args)
+            if spec:
+                self._protocol = spec
+        caps_node = module.constants.get("KNOWN_CAPABILITIES")
+        if caps_node is not None:
+            names = _name_set(caps_node)
+            if names:
+                self._known_caps = names
+
+    def _maybe_registration(self, module: ModuleInfo, node: ast.Call) -> None:
+        func = dotted_text(node.func)
+        if func is None or func.split(".")[-1] != "register_engine":
+            return
+        if len(node.args) < 3:
+            return
+        factory_node = node.args[2]
+        factory_ref: Optional[str]
+        if isinstance(factory_node, ast.Constant) and factory_node.value is None:
+            factory_ref = None  # built-in reference path (dict engine)
+        else:
+            factory_ref = dotted_text(factory_node)
+        caps_node: Optional[ast.AST] = None
+        if len(node.args) >= 4:
+            caps_node = node.args[3]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "capabilities":
+                    caps_node = keyword.value
+        caps_names: Optional[Set[str]] = None
+        if caps_node is not None:
+            caps_names = _name_set(caps_node)
+            if caps_names is None:
+                # A module-level constant like _REMOTE_CAPS: resolve it.
+                ref = dotted_text(caps_node)
+                if ref is not None and ref in module.constants:
+                    caps_names = _name_set(module.constants[ref])
+        self._registrations.append(
+            (module, node.lineno, factory_ref, caps_node is not None, caps_names)
+        )
+
+    def _maybe_handler(self, module: ModuleInfo, node: ast.AST) -> None:
+        if not isinstance(node, ast.Compare) or len(node.comparators) != 1:
+            return
+        if not isinstance(node.ops[0], (ast.Eq, ast.In)):
+            return
+        sides = [node.left, node.comparators[0]]
+        op_side = None
+        for side in sides:
+            text = dotted_text(side)
+            if text is not None and text.split(".")[-1] == "op":
+                op_side = side
+            elif (
+                isinstance(side, ast.Call)
+                and isinstance(side.func, ast.Attribute)
+                and side.func.attr == "get"
+                and side.args
+                and _const_str(side.args[0]) == "op"
+            ):
+                op_side = side
+        if op_side is None:
+            return
+        for side in sides:
+            if side is op_side:
+                continue
+            value = _const_str(side)
+            if value is not None:
+                self._handled.setdefault(value, (module, side.lineno))
+            elif isinstance(side, (ast.Tuple, ast.Set, ast.List)):
+                for element in side.elts:
+                    op = _const_str(element)
+                    if op is not None:
+                        self._handled.setdefault(op, (module, element.lineno))
+
+    def _maybe_emitter(self, module: ModuleInfo, node: ast.AST) -> None:
+        if not isinstance(node, ast.Dict):
+            return
+        for key, value in zip(node.keys, node.values):
+            if _const_str(key) == "op":
+                op = _const_str(value)
+                if op is not None:
+                    self._saw_client = True
+                    self._emitted.setdefault(op, (module, node.lineno))
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    def finalize(self, project: Project):
+        findings: List[Finding] = []
+        findings.extend(self._check_engines(project))
+        findings.extend(self._check_ops())
+        return findings
+
+    def _spec(self) -> Dict[str, Tuple[str, ...]]:
+        return self._protocol if self._protocol is not None else _DEFAULT_PROTOCOL
+
+    def _check_engines(self, project: Project):
+        findings: List[Finding] = []
+        spec = self._spec()
+        for module, line, factory_ref, has_caps, caps_names in self._registrations:
+            if not has_caps:
+                findings.append(
+                    Finding(
+                        str(module.path),
+                        line,
+                        self.id,
+                        "engine registered without declared capability flags",
+                        "pass an explicit capabilities set (the CAP_* "
+                        "constants in repro.core.engines)",
+                    )
+                )
+            elif caps_names is not None and self._known_caps:
+                unknown = sorted(caps_names - self._known_caps)
+                if unknown:
+                    findings.append(
+                        Finding(
+                            str(module.path),
+                            line,
+                            self.id,
+                            "engine registered with unknown capability "
+                            f"flag(s): {', '.join(unknown)}",
+                            "use the CAP_* constants listed in "
+                            "KNOWN_CAPABILITIES",
+                        )
+                    )
+            if factory_ref is None:
+                continue  # dict reference path, or an unresolvable expression
+            resolved = project.resolve_class(module, factory_ref)
+            if resolved is None:
+                continue  # factory defined outside the scanned tree
+            def_module, _cls = resolved
+            methods = project.class_methods(def_module, _cls.name)
+            for method_name, required in spec.items():
+                info = methods.get(method_name)
+                if info is None:
+                    findings.append(
+                        Finding(
+                            str(module.path),
+                            line,
+                            self.id,
+                            f"engine {factory_ref} does not implement "
+                            f"{method_name}()",
+                            "every registered engine must satisfy the full "
+                            "QueryEngine protocol",
+                        )
+                    )
+                    continue
+                if info.has_vararg or info.has_kwarg:
+                    continue  # accepts anything the protocol sends
+                if len(info.args) < len(required):
+                    findings.append(
+                        Finding(
+                            str(module.path),
+                            line,
+                            self.id,
+                            f"engine {factory_ref}.{method_name}() takes "
+                            f"{len(info.args)} parameter(s), protocol needs "
+                            f"{len(required)} ({', '.join(required)})",
+                            "match the QueryEngine protocol signature",
+                        )
+                    )
+                    continue
+                extra = len(info.args) - len(required)
+                if extra > info.defaults:
+                    findings.append(
+                        Finding(
+                            str(module.path),
+                            line,
+                            self.id,
+                            f"engine {factory_ref}.{method_name}() has "
+                            f"{extra} extra required parameter(s) beyond the "
+                            f"protocol ({', '.join(required) or 'no args'})",
+                            "give extra parameters defaults so protocol "
+                            "callers can invoke it",
+                        )
+                    )
+        return findings
+
+    def _check_ops(self):
+        findings: List[Finding] = []
+        if not (self._saw_server and self._saw_client):
+            return findings  # one-sided scan: no op contract to check
+        for op in sorted(set(self._emitted) - set(self._handled)):
+            module, line = self._emitted[op]
+            findings.append(
+                Finding(
+                    str(module.path),
+                    line,
+                    self.id,
+                    f"wire op {op!r} is emitted but no server handler "
+                    "matches it",
+                    "add the op to the server's _handle dispatch (or drop "
+                    "the emitter)",
+                )
+            )
+        for op in sorted(set(self._handled) - set(self._emitted)):
+            module, line = self._handled[op]
+            findings.append(
+                Finding(
+                    str(module.path),
+                    line,
+                    self.id,
+                    f"wire op {op!r} has a server handler but nothing "
+                    "emits it",
+                    "add a client emitter (CLI command or engine path) or "
+                    "remove the dead handler",
+                )
+            )
+        return findings

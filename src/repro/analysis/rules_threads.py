@@ -1,0 +1,133 @@
+"""``thread-hygiene``: every thread's lifetime is an explicit decision.
+
+The serving stack runs a dozen thread kinds (accept loops, per-connection
+handlers, admission workers, wire writer/readers, heartbeats, chaos
+pumps).  Each must either declare ``daemon=`` at construction (the
+decision "this thread may be abandoned at exit" made visibly) or have a
+reap path — a ``join()`` on the same variable/attribute, or an explicit
+``.daemon =`` assignment — somewhere in the module.  A thread with
+neither is the classic leak: it pins its target's state, survives
+``shutdown()`` paths, and turns test teardown flaky.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    dotted_text,
+    register_rule,
+)
+
+__all__ = ["ThreadHygieneRule"]
+
+
+def _is_thread_call(node: ast.Call, module: ModuleInfo) -> bool:
+    text = dotted_text(node.func)
+    if text is None:
+        return False
+    if text == "threading.Thread" or text.endswith(".Thread"):
+        return True
+    return text == "Thread" and module.imports.get("Thread", "").endswith(
+        "threading.Thread"
+    )
+
+
+@register_rule
+class ThreadHygieneRule(Rule):
+    id = "thread-hygiene"
+    description = (
+        "threads declare daemon= explicitly or have a join/reap path"
+    )
+
+    def visit_module(self, module: ModuleInfo, project: Project):
+        findings: List[Finding] = []
+        joined: Set[str] = set()
+        daemon_set: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+            ):
+                receiver = dotted_text(node.func.value)
+                if receiver is not None:
+                    joined.add(receiver)
+                    joined.add(receiver.split(".")[-1])
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "daemon"
+                    ):
+                        receiver = dotted_text(target.value)
+                        if receiver is not None:
+                            daemon_set.add(receiver)
+                            daemon_set.add(receiver.split(".")[-1])
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            call = node.value
+            if not _is_thread_call(call, module):
+                continue
+            if any(kw.arg == "daemon" for kw in call.keywords):
+                continue
+            target_text = self._target_text(node)
+            if target_text is not None and self._reaped(
+                target_text, joined, daemon_set
+            ):
+                continue
+            findings.append(self._finding(module, call, target_text))
+        # Fire-and-forget: a Thread(...) constructed outside an assignment
+        # (e.g. ``threading.Thread(...).start()``) with no daemon=.
+        assigned_calls = {
+            id(node.value)
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Assign)
+        }
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and id(node) not in assigned_calls
+                and _is_thread_call(node, module)
+                and not any(kw.arg == "daemon" for kw in node.keywords)
+            ):
+                findings.append(self._finding(module, node, None))
+        return findings
+
+    @staticmethod
+    def _target_text(node: ast.Assign) -> Optional[str]:
+        if len(node.targets) != 1:
+            return None
+        return dotted_text(node.targets[0])
+
+    @staticmethod
+    def _reaped(target: str, joined: Set[str], daemon_set: Set[str]) -> bool:
+        tail = target.split(".")[-1]
+        return (
+            target in joined
+            or tail in joined
+            or target in daemon_set
+            or tail in daemon_set
+        )
+
+    def _finding(
+        self, module: ModuleInfo, call: ast.Call, target: Optional[str]
+    ) -> Finding:
+        what = f"thread {target!r}" if target else "unassigned thread"
+        return Finding(
+            str(module.path),
+            call.lineno,
+            self.id,
+            f"{what} created without an explicit daemon= decision or a "
+            "join/reap path",
+            "pass daemon=True/False at construction, or join the thread "
+            "on the shutdown path",
+        )

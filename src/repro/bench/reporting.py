@@ -8,9 +8,10 @@ be assembled from real runs.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
+
+from repro.envvars import read_env_str
 
 __all__ = ["render_table", "emit", "results_dir", "fmt_ms", "fmt_bytes", "fmt_count"]
 
@@ -38,7 +39,7 @@ def render_table(
 
 def results_dir() -> Path:
     """Where rendered benchmark tables are saved (created on demand)."""
-    override = os.environ.get("REPRO_RESULTS_DIR")
+    override = read_env_str("REPRO_RESULTS_DIR")
     if override:
         path = Path(override)
     else:

@@ -384,6 +384,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON artifact (spec + summaries) to this path",
     )
 
+    p_fstats = commands.add_parser(
+        "fleet-stats",
+        help="ask one fleet worker for its serving statistics",
+    )
+    p_fstats.add_argument(
+        "worker", metavar="HOST:PORT", help="the worker to interrogate"
+    )
+    p_fstats.add_argument(
+        "--timeout", type=float, default=10.0, help="wire timeout in seconds"
+    )
+
+    p_analyze = commands.add_parser(
+        "analyze",
+        help="run the project-invariant static analysis (lint) rules",
+    )
+    p_analyze.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    p_analyze.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    p_analyze.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="findings as human-readable lines or one JSON document",
+    )
+    p_analyze.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+
     commands.add_parser("example", help="print the Figure 1-3 walkthrough")
     return parser
 
@@ -792,7 +831,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"private-rss={rss}"
     )
     if args.workers > 0:
-        env = dict(os.environ)
+        # Deliberate whole-environment copy for worker subprocesses.
+        env = dict(os.environ)  # repro-lint: disable=env-discipline
         procs = [
             subprocess.Popen(
                 [
@@ -878,6 +918,48 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_stats(args: argparse.Namespace) -> int:
+    """One ``stats`` round trip to a fleet worker, printed as JSON.
+
+    The operator-facing emitter of the wire ``stats`` op: serving depth,
+    admission counters and cache hit rates of a live worker, without
+    attaching a remote engine to the fleet.
+    """
+    response = _fleet_request(
+        args.worker, {"op": "stats"}, timeout=args.timeout
+    )
+    if "error" in response:
+        raise ReproError(
+            f"worker {args.worker} rejected stats: {response['error']}"
+        )
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import available_rules, run_analysis
+
+    if args.list_rules:
+        for rule_id, description in sorted(available_rules().items()):
+            print(f"{rule_id}: {description}")
+        return 0
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = sorted(set(rules) - set(available_rules()))
+        if unknown:
+            raise ReproError(
+                f"unknown rule id(s): {', '.join(unknown)} "
+                f"(repro analyze --list-rules shows the registry)"
+            )
+    report = run_analysis(args.paths, rules=rules)
+    if args.fmt == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_example(_: argparse.Namespace) -> int:
     from repro.workloads.paper_example import render_walkthrough
 
@@ -936,6 +1018,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": _cmd_stats,
         "dataset": _cmd_dataset,
         "loadgen": _cmd_loadgen,
+        "fleet-stats": _cmd_fleet_stats,
+        "analyze": _cmd_analyze,
         "example": _cmd_example,
     }
     try:

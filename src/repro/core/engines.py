@@ -47,6 +47,8 @@ __all__ = [
     "CAP_REMOTE",
     "CAP_FAULT_TOLERANT",
     "CAP_CACHED",
+    "KNOWN_CAPABILITIES",
+    "PROTOCOL_METHODS",
     "CACHED_PREFIX",
     "register_engine",
     "resolve_engine",
@@ -90,6 +92,31 @@ CAP_CACHED = "cached"
 #: ``fast`` factory and wraps whatever it builds in a read-through
 #: :class:`~repro.caching.engine.CachedEngine`.
 CACHED_PREFIX = "cached:"
+
+#: Every capability flag an engine may declare.  Registration validates
+#: against this set, and the ``protocol-conformance`` rule of
+#: ``repro analyze`` reads it as machine-readable metadata.
+KNOWN_CAPABILITIES = frozenset(
+    {
+        CAP_LOCAL,
+        CAP_SNAPSHOT,
+        CAP_SHARDED,
+        CAP_REMOTE,
+        CAP_FAULT_TOLERANT,
+        CAP_CACHED,
+    }
+)
+
+#: The :class:`QueryEngine` protocol as data: method name -> required
+#: parameter names (beyond ``self``).  Kept in lockstep with the Protocol
+#: below; ``repro analyze`` checks every registered factory class against
+#: this spec, including methods inherited across modules.
+PROTOCOL_METHODS = {
+    "freeze": (),
+    "distance": ("source", "target"),
+    "distances": ("pairs",),
+    "invalidate": ("dirty",),
+}
 
 
 @runtime_checkable
@@ -155,8 +182,15 @@ def register_engine(
         raise IndexBuildError(
             f"unknown engine kind {kind!r} (expected {UNDIRECTED!r} or {DIRECTED!r})"
         )
+    caps = frozenset(capabilities)
+    unknown = caps - KNOWN_CAPABILITIES
+    if unknown:
+        raise IndexBuildError(
+            f"engine {name!r} declares unknown capability flag(s) "
+            f"{sorted(unknown)}; known: {sorted(KNOWN_CAPABILITIES)}"
+        )
     _REGISTRY[kind][name] = factory
-    _CAPABILITIES[kind][name] = frozenset(capabilities)
+    _CAPABILITIES[kind][name] = caps
 
 
 def _wrap_cached(kind: str, base: str) -> EngineFactory:

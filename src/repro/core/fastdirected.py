@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.engines import DIRECTED, register_engine
+from repro.core.engines import CAP_LOCAL, DIRECTED, register_engine
 from repro.core.fastlabels import (
     ArrayLabel,
     LabelArrayPool,
@@ -304,4 +304,4 @@ class DirectedFastEngine(PackedEngineBase):
         return total
 
 
-register_engine(DIRECTED, DirectedFastEngine.name, DirectedFastEngine)
+register_engine(DIRECTED, DirectedFastEngine.name, DirectedFastEngine, {CAP_LOCAL})

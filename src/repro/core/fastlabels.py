@@ -44,12 +44,11 @@ from __future__ import annotations
 
 import heapq
 import math
-import os
 from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.engines import UNDIRECTED, register_engine
+from repro.core.engines import CAP_LOCAL, UNDIRECTED, register_engine
 from repro.envvars import read_env_float
 from repro.core.hierarchy import VertexHierarchy
 from repro.core.labels import eq1_distance_argmin
@@ -104,22 +103,6 @@ DEFAULT_APSP_BUDGET_BYTES = 32 * 1024 * 1024
 APSP_BUDGET_ENV = "REPRO_APSP_BUDGET_MB"
 
 
-def _budget_from_env(raw: str) -> int:
-    """Validate one :data:`APSP_BUDGET_ENV` value; returns budget bytes.
-
-    Unlike the other knobs a *blank* value here is invalid, not unset:
-    the caller only reaches this with a value present, and an empty
-    string must not silently disable the table.
-    """
-    megabytes = read_env_float(
-        APSP_BUDGET_ENV,
-        what="all-pairs table budget in megabytes",
-        raw=raw,
-        blank_is_unset=False,
-    )
-    return int(megabytes * 1024 * 1024)
-
-
 def apsp_ceiling(budget_bytes: Optional[int] = None) -> int:
     """Largest ``|V_Gk|`` whose float64 all-pairs table fits ``budget_bytes``.
 
@@ -129,13 +112,21 @@ def apsp_ceiling(budget_bytes: Optional[int] = None) -> int:
     :data:`DEFAULT_APSP_BUDGET_BYTES` — at the default 32 MB the ceiling
     is 2048 vertices, matching the PR 1 constant.  An explicit
     non-positive ``budget_bytes`` disables the table (ceiling 0).
+
+    Unlike the other knobs a *blank* env value here is invalid, not
+    unset: an operator who set the variable to an empty string must get
+    an error, not a silently disabled table.
     """
     if budget_bytes is None:
-        raw = os.environ.get(APSP_BUDGET_ENV)
-        if raw is None:
+        megabytes = read_env_float(
+            APSP_BUDGET_ENV,
+            what="all-pairs table budget in megabytes",
+            blank_is_unset=False,
+        )
+        if megabytes is None:
             budget_bytes = DEFAULT_APSP_BUDGET_BYTES
         else:
-            budget_bytes = _budget_from_env(raw)
+            budget_bytes = int(megabytes * 1024 * 1024)
     if budget_bytes <= 0:
         return 0
     return math.isqrt(budget_bytes // 8)
@@ -1386,4 +1377,4 @@ class FastEngine(PackedEngineBase):
         return total
 
 
-register_engine(UNDIRECTED, FastEngine.name, FastEngine)
+register_engine(UNDIRECTED, FastEngine.name, FastEngine, {CAP_LOCAL})

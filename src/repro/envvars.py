@@ -27,10 +27,20 @@ Boolean knobs — the caching tier's ``REPRO_CACHE_ENABLE`` — go through
 (``REPRO_CACHE_ENABLE=no`` silently enabling the feature) is exactly
 the kind of deployment bug this module exists to make loud.
 
+String knobs — worker address lists (``REPRO_REMOTE_ADDRS``), result
+directories (``REPRO_RESULTS_DIR``) — go through :func:`read_env_str`,
+which only normalizes the unset/blank contract; interpretation stays at
+the call site.
+
 Call sites that must surface a different exception class (the remote
 engine raises :class:`~repro.errors.IndexBuildError` at construction)
 wrap the ``ValueError``; the message, with the variable name in it, is
 preserved.
+
+This module is the **only** place allowed to touch ``os.environ`` (the
+``env-discipline`` rule of ``repro analyze`` enforces it), and
+:data:`ENV_VARS` below is the registry every ``REPRO_*`` name must
+appear in — one catalog of knobs, each documented in the README.
 """
 
 from __future__ import annotations
@@ -39,7 +49,33 @@ import math
 import os
 from typing import Optional
 
-__all__ = ["read_env_bool", "read_env_float", "read_env_int"]
+__all__ = [
+    "ENV_VARS",
+    "read_env_bool",
+    "read_env_float",
+    "read_env_int",
+    "read_env_str",
+]
+
+#: Registry of every environment knob the project reads, with a
+#: one-line description.  ``repro analyze`` fails if a ``REPRO_*`` name
+#: appears anywhere in the source tree without being declared here (and
+#: documented in the README's knob catalog).
+ENV_VARS = {
+    "REPRO_APSP_BUDGET_MB": "all-pairs snapshot table budget, megabytes",
+    "REPRO_CACHE_ENABLE": "hot-pair distance cache on/off",
+    "REPRO_CACHE_ENTRIES": "hot-pair cache capacity, entries",
+    "REPRO_CACHE_TTL_S": "hot-pair cache entry time-to-live, seconds",
+    "REPRO_LOCKCHECK": "runtime lock-order detector in the serving layer",
+    "REPRO_REMOTE_ADDRS": "comma-separated shard worker addresses",
+    "REPRO_REMOTE_HEARTBEAT_S": "remote engine heartbeat interval, seconds",
+    "REPRO_REMOTE_MAX_IN_FLIGHT": "pipelined connection window, requests",
+    "REPRO_RESULTS_DIR": "benchmark results directory override",
+    "REPRO_SERVE_MAX_CONCURRENCY": "admission control concurrency slots",
+    "REPRO_SERVE_MAX_QUEUE": "admission control queue depth",
+    "REPRO_SOAK": "enable long-running soak tests",
+    "REPRO_WIRE_TIMEOUT_S": "wire protocol socket timeout, seconds",
+}
 
 _UNSET = object()
 
@@ -155,3 +191,28 @@ def read_env_bool(
             "true/false/1/0 (case-insensitive)"
         )
     return _BOOL_VALUES[text]
+
+
+def read_env_str(
+    name: str,
+    *,
+    raw: object = _UNSET,
+    blank_is_unset: bool = True,
+) -> Optional[str]:
+    """Read one *string* environment knob.
+
+    Only the unset/blank contract is applied here — ``None`` when the
+    variable is unset (or blank/whitespace, unless ``blank_is_unset`` is
+    False), the stripped string otherwise.  Interpretation (address
+    parsing, path handling) stays at the call site, which also owns the
+    error it raises; this reader exists so string knobs share the same
+    front door as the validated numeric ones.
+    """
+    if raw is _UNSET:
+        raw = os.environ.get(name)
+    if raw is None:
+        return None
+    text = str(raw).strip()
+    if not text and blank_is_unset:
+        return None
+    return text

@@ -30,6 +30,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.lockcheck import create_lock
 from repro.errors import StorageError
 from repro.serving import wire
 
@@ -125,7 +126,9 @@ class FleetWorker:
         if self.strict:
             cmd.append("--strict")
         cmd.extend(self.serve_args)
-        env = dict(os.environ, PYTHONPATH=_repo_pythonpath())
+        # Deliberate whole-environment copy: worker subprocesses inherit
+        # the test run's REPRO_* knobs (REPRO_LOCKCHECK included).
+        env = dict(os.environ, PYTHONPATH=_repo_pythonpath())  # repro-lint: disable=env-discipline
         env.update(self.extra_env)
         self.proc = subprocess.Popen(
             cmd, stdout=subprocess.PIPE, text=True, env=env
@@ -381,7 +384,7 @@ class ChaosProxy:
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
         self._conns: List[socket.socket] = []
-        self._lock = threading.Lock()
+        self._lock = create_lock("chaos.proxy")
         self._accept = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept.start()
 

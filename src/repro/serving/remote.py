@@ -51,7 +51,6 @@ caller's bug and no amount of retrying fixes it.
 
 from __future__ import annotations
 
-import os
 import random
 import socket
 import threading
@@ -67,7 +66,8 @@ from repro.core.engines import (
     UNDIRECTED,
     register_engine,
 )
-from repro.envvars import read_env_float, read_env_int
+from repro.analysis.lockcheck import create_lock
+from repro.envvars import read_env_float, read_env_int, read_env_str
 from repro.errors import IndexBuildError, QueryError, StorageError
 from repro.serving import wire
 from repro.serving.membership import (
@@ -185,7 +185,7 @@ class _Worker:
         self.epoch = 0
         self.draining = False
         self.health = WorkerHealth()
-        self.lock = threading.Lock()
+        self.lock = create_lock("remote.worker-dial")
 
     @property
     def id(self) -> str:
@@ -255,7 +255,9 @@ class _Worker:
         serialized step — round trips themselves pipeline freely."""
         with self.lock:
             if not self.connected:
-                self.connect()
+                # Deliberate: dialing is the one serialized step per
+                # worker; the dial lock exists to bound it to one thread.
+                self.connect()  # repro-lint: disable=lock-discipline
             return self.chan
 
     def request(self, payload: dict) -> dict:
@@ -323,7 +325,7 @@ class RemoteEngineBase:
         max_in_flight: Optional[int] = None,
     ) -> None:
         if addresses is None:
-            addresses = os.environ.get(REMOTE_ADDRS_ENV)
+            addresses = read_env_str(REMOTE_ADDRS_ENV)
         self.addresses = parse_addresses(addresses)
         if not self.addresses:
             raise IndexBuildError(
@@ -353,7 +355,7 @@ class RemoteEngineBase:
         self._owners: Dict[int, List[_Worker]] = {}
         self._rotation: Dict[int, int] = {}
         self._starts: List[int] = []
-        self._route_lock = threading.Lock()
+        self._route_lock = create_lock("remote.route")
         self._rng = random.Random()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._hb_thread: Optional[threading.Thread] = None
@@ -699,7 +701,9 @@ class RemoteEngineBase:
                             continue
                         try:
                             if not worker.connected:
-                                worker.connect()
+                                # Deliberate: revival dial under the
+                                # non-blockingly acquired dial lock.
+                                worker.connect()  # repro-lint: disable=lock-discipline
                         finally:
                             worker.lock.release()
                         self._validate(worker)

@@ -64,6 +64,7 @@ from bisect import bisect_right
 from collections import deque
 from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
+from repro.analysis.lockcheck import create_lock
 from repro.errors import QueryError, ReproError, StorageError
 from repro.serving import wire
 from repro.serving.membership import MembershipMap
@@ -91,7 +92,7 @@ class _Conn:
 
     def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
-        self.send_lock = threading.Lock()
+        self.send_lock = create_lock("shard-server.conn-send")
         self.closed = False
         #: Admitted-but-unanswered ``distances`` requests (serving depth).
         self.in_flight = 0
@@ -288,13 +289,13 @@ class ShardServer:
         self._handlers: List[threading.Thread] = []
         self._conns: List[socket.socket] = []
         self._states: List[_Conn] = []
-        self._lock = threading.Lock()
+        self._lock = create_lock("shard-server.state")
         # The engine stage stays one-search-at-a-time: the packed
         # engines' search buffer pool is documented single-search, and
         # the lazily materialized label caches are plain dicts.  The
         # executor pipelines everything *around* the engine (decode,
         # encode, socket I/O); fleet parallelism comes from more workers.
-        self._query_lock = threading.Lock()
+        self._query_lock = create_lock("shard-server.query")
         self._executor = _AdmissionExecutor(max_concurrency, max_queue)
         self.max_concurrency = self._executor.workers
         self.max_queue = self._executor.max_queue
@@ -418,7 +419,9 @@ class ShardServer:
             if state.closed:
                 return False
             try:
-                wire.send_frame(state.sock, response)
+                # Deliberate: the send lock serializes exactly one frame
+                # per holder so concurrent responses don't interleave.
+                wire.send_frame(state.sock, response)  # repro-lint: disable=lock-discipline
                 return True
             except (wire.WireError, OSError):
                 state.closed = True

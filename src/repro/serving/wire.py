@@ -70,6 +70,8 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from queue import Queue
 from typing import Deque, Dict, Optional
 
+from repro.analysis.lockcheck import create_lock
+
 from repro.envvars import read_env_float
 from repro.errors import ReproError
 
@@ -288,7 +290,7 @@ class PipelinedConnection:
         self._pending: Dict[int, Future] = {}
         self._order: Deque[int] = deque()  # FIFO fallback for id-less peers
         self._next_id = 0
-        self._lock = threading.Lock()
+        self._lock = create_lock("wire.pipeline")
         self._closed = threading.Event()
         self._writer = threading.Thread(
             target=self._write_loop, name="repro-wire-writer", daemon=True

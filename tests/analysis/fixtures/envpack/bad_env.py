@@ -1,0 +1,20 @@
+"""Fixture module violating every env-discipline invariant once."""
+
+import os
+from os import environ as env_alias
+
+
+def direct_access():
+    return os.environ.get("REPRO_FIX_UNDECLARED")
+
+
+def aliased_access():
+    return env_alias.get("REPRO_FIX_DOCUMENTED")
+
+
+def undocumented_use():
+    return "REPRO_FIX_UNDOCUMENTED"
+
+
+def suppressed_access():
+    return os.environ.get("REPRO_FIX_DOCUMENTED")  # repro-lint: disable=env-discipline

@@ -1,0 +1,12 @@
+"""Fixture registry: the one file allowed to touch os.environ."""
+
+import os
+
+ENV_VARS = {
+    "REPRO_FIX_DOCUMENTED": "declared and documented: the clean case",
+    "REPRO_FIX_UNDOCUMENTED": "declared here but missing from README",
+}
+
+
+def read(name):
+    return os.environ.get(name)

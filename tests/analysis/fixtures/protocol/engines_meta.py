@@ -1,0 +1,14 @@
+"""Fixture protocol spec: the machine-readable contract the rule reads."""
+
+PROTOCOL_METHODS = {
+    "freeze": (),
+    "distance": ("source", "target"),
+    "distances": ("pairs",),
+    "invalidate": ("dirty",),
+}
+
+KNOWN_CAPABILITIES = frozenset({"CAP_LOCAL", "CAP_REMOTE"})
+
+
+def register_engine(kind, name, factory, capabilities=None):
+    return None

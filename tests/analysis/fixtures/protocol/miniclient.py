@@ -1,0 +1,9 @@
+"""Fixture client: emits ``ping`` (handled) and ``missing`` (not)."""
+
+
+def ping():
+    return {"op": "ping"}
+
+
+def misroute():
+    return {"op": "missing", "payload": []}

@@ -1,0 +1,11 @@
+"""Fixture server: handles ``ping`` and an op nothing ever emits."""
+
+
+class MiniServer:
+    def _handle(self, payload):
+        op = payload.get("op")
+        if op == "ping":
+            return {"ok": True}
+        if op == "orphaned":
+            return {"ok": True}
+        return {"error": f"unknown op {op!r}"}

@@ -1,0 +1,43 @@
+"""Fixture registrations: one conforming engine, several broken ones."""
+
+from engines_meta import register_engine
+
+CAP_LOCAL = "local"
+CAP_BOGUS = "bogus"
+
+
+class GoodEngine:
+    name = "good"
+    frozen = False
+
+    def freeze(self):
+        return self
+
+    def distance(self, source, target):
+        return 0.0
+
+    def distances(self, pairs):
+        return [0.0 for _ in pairs]
+
+    def invalidate(self, dirty=None):
+        return None
+
+
+class BadEngine:
+    name = "bad"
+    frozen = False
+
+    def freeze(self):
+        return self
+
+    def distance(self, source):
+        return 0.0
+
+    def distances(self, pairs, batch):
+        return [0.0 for _ in pairs]
+
+
+register_engine("undirected", "good", GoodEngine, {CAP_LOCAL})
+register_engine("undirected", "bad", BadEngine, {CAP_LOCAL})
+register_engine("undirected", "nocaps", GoodEngine)
+register_engine("undirected", "weird", GoodEngine, {CAP_BOGUS})

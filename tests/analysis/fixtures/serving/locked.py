@@ -1,0 +1,30 @@
+"""Fixture: blocking calls under a held lock, direct and one level deep."""
+
+import socket
+import threading
+
+
+class Sender:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.sock = socket.socket()
+
+    def bad_direct(self, data):
+        with self.lock:
+            self.sock.sendall(data)
+
+    def _dial(self):
+        self.sock.connect(("127.0.0.1", 1))
+
+    def bad_indirect(self):
+        with self.lock:
+            self._dial()
+
+    def ok_outside(self, data):
+        with self.lock:
+            pending = bytes(data)
+        self.sock.sendall(pending)
+
+    def ok_suppressed(self, data):
+        with self.lock:
+            self.sock.sendall(data)  # repro-lint: disable=lock-discipline

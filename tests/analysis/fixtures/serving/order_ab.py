@@ -1,0 +1,18 @@
+"""Fixture: two locks taken in opposite orders — a lock-order cycle."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def forward():
+    with lock_a:
+        with lock_b:
+            return 1
+
+
+def backward():
+    with lock_b:
+        with lock_a:
+            return 2

@@ -1,0 +1,25 @@
+"""Fixture: one leaked thread, one fire-and-forget, two clean ones."""
+
+import threading
+
+
+def leak():
+    worker = threading.Thread(target=print)
+    worker.start()
+    return worker
+
+
+def fire_and_forget():
+    threading.Thread(target=print).start()
+
+
+def daemonized():
+    thread = threading.Thread(target=print, daemon=True)
+    thread.start()
+    return thread
+
+
+def reaped():
+    thread = threading.Thread(target=print)
+    thread.start()
+    thread.join()

@@ -1,0 +1,108 @@
+"""Engine mechanics: scanning, suppression, rule selection, rendering."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import available_rules, run_analysis
+from repro.analysis.engine import Finding
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestRunAnalysis:
+    def test_unknown_rule_id_raises(self, tmp_path):
+        (tmp_path / "m.py").write_text("x = 1\n")
+        with pytest.raises(ValueError, match="no-such-rule"):
+            run_analysis([tmp_path], rules=["no-such-rule"])
+
+    def test_rule_selection_limits_the_run(self):
+        report = run_analysis(
+            [FIXTURES / "envpack"], rules=["thread-hygiene"]
+        )
+        assert report.rules == ("thread-hygiene",)
+        assert report.findings == []
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = run_analysis([tmp_path])
+        assert not report.ok
+        assert [f.rule for f in report.findings] == ["syntax-error"]
+        assert report.findings[0].path == str(bad)
+
+    def test_pycache_and_dot_dirs_are_skipped(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("def f(:\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "junk.py").write_text("def f(:\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        report = run_analysis([tmp_path])
+        assert report.ok
+        assert report.files == 1
+
+    def test_single_file_path_scans_exactly_that_file(self):
+        report = run_analysis([FIXTURES / "envpack" / "envvars.py"])
+        assert report.files == 1
+
+    def test_available_rules_lists_the_builtin_packs(self):
+        rules = available_rules()
+        for expected in (
+            "env-discipline",
+            "lock-discipline",
+            "lock-order",
+            "protocol-conformance",
+            "thread-hygiene",
+        ):
+            assert expected in rules
+            assert rules[expected]  # every rule carries a description
+
+
+class TestSuppression:
+    def test_line_suppression_silences_one_rule(self, tmp_path):
+        (tmp_path / "m.py").write_text(
+            "import threading\n"
+            "t = threading.Thread(target=print)  "
+            "# repro-lint: disable=thread-hygiene\n"
+        )
+        report = run_analysis([tmp_path], rules=["thread-hygiene"])
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_disable_all_silences_every_rule(self, tmp_path):
+        (tmp_path / "m.py").write_text(
+            "import threading\n"
+            "t = threading.Thread(target=print)  # repro-lint: disable=all\n"
+        )
+        report = run_analysis([tmp_path])
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_suppression_on_another_line_does_not_leak(self, tmp_path):
+        (tmp_path / "m.py").write_text(
+            "import threading\n"
+            "x = 1  # repro-lint: disable=thread-hygiene\n"
+            "t = threading.Thread(target=print)\n"
+        )
+        report = run_analysis([tmp_path], rules=["thread-hygiene"])
+        assert not report.ok
+
+
+class TestReport:
+    def test_findings_sort_by_path_then_line(self):
+        report = run_analysis([FIXTURES / "envpack"])
+        keys = [(f.path, f.line) for f in report.findings]
+        assert keys == sorted(keys)
+
+    def test_to_dict_round_trips_the_essentials(self):
+        report = run_analysis([FIXTURES / "envpack"])
+        data = report.to_dict()
+        assert data["ok"] is False
+        assert data["files"] == report.files
+        assert len(data["findings"]) == len(report.findings)
+        for entry in data["findings"]:
+            assert set(entry) >= {"path", "line", "rule", "message"}
+
+    def test_render_is_path_line_rule_message(self):
+        finding = Finding("a.py", 3, "some-rule", "it broke", "fix it")
+        assert finding.render() == "a.py:3: [some-rule] it broke (hint: fix it)"

@@ -1,0 +1,154 @@
+"""Runtime lock-order detector: inversions, re-acquisition, passthrough."""
+
+import threading
+
+import pytest
+
+from repro.analysis import lockcheck
+from repro.analysis.lockcheck import CheckedLock, LockOrderError
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    lockcheck.reset()
+    yield
+    lockcheck.reset()
+
+
+class TestCheckedLock:
+    def test_lock_surface(self):
+        lock = CheckedLock("t.surface")
+        assert lock.acquire()
+        assert lock.locked()
+        lock.release()
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+
+    def test_acquire_edges_are_recorded(self):
+        a, b = CheckedLock("t.a"), CheckedLock("t.b")
+        with a:
+            with b:
+                pass
+        edges = lockcheck.report()["edges"]
+        assert [(e["outer"], e["inner"]) for e in edges] == [("t.a", "t.b")]
+
+    def test_consistent_order_never_raises(self):
+        a, b = CheckedLock("t.a"), CheckedLock("t.b")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert lockcheck.report()["inversions"] == []
+        lockcheck.assert_no_inversions()
+
+    def test_inversion_raises_at_the_acquire_site(self):
+        a, b = CheckedLock("t.a"), CheckedLock("t.b")
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderError, match=r"t\.a -> t\.b"):
+                a.acquire()
+        # The failed acquire released the inner lock: not stranded.
+        assert a.acquire(blocking=False)
+        a.release()
+        with pytest.raises(LockOrderError):
+            lockcheck.assert_no_inversions()
+
+    def test_transitive_inversion_is_caught(self):
+        a, b, c = CheckedLock("t.a"), CheckedLock("t.b"), CheckedLock("t.c")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with pytest.raises(LockOrderError):
+                a.acquire()
+
+    def test_same_role_siblings_impose_no_order(self):
+        # Two instances of the same role (e.g. two connections' send
+        # locks) may nest freely without creating self-edges.
+        first, second = CheckedLock("t.conn-send"), CheckedLock("t.conn-send")
+        with first:
+            with second:
+                pass
+        assert lockcheck.report()["edges"] == []
+
+    def test_plain_reacquire_raises_instead_of_deadlocking(self):
+        lock = CheckedLock("t.plain")
+        with lock:
+            with pytest.raises(LockOrderError, match="re-acquired"):
+                lock.acquire()
+        with pytest.raises(LockOrderError):
+            lockcheck.assert_no_inversions()
+
+    def test_rlock_reacquire_is_fine(self):
+        lock = CheckedLock("t.re", reentrant=True)
+        with lock:
+            with lock:
+                pass
+        lockcheck.assert_no_inversions()
+
+    def test_inversion_across_threads_is_caught(self):
+        a, b = CheckedLock("t.a"), CheckedLock("t.b")
+
+        def ordered():
+            with a:
+                with b:
+                    pass
+
+        worker = threading.Thread(target=ordered, daemon=True)
+        worker.start()
+        worker.join()
+        caught = []
+
+        def inverted():
+            try:
+                with b:
+                    with a:
+                        pass
+            except LockOrderError as exc:
+                caught.append(exc)
+
+        worker = threading.Thread(target=inverted, daemon=True)
+        worker.start()
+        worker.join()
+        assert len(caught) == 1
+
+
+class TestFactories:
+    def test_disabled_returns_plain_locks(self, monkeypatch):
+        monkeypatch.delenv(lockcheck.LOCKCHECK_ENV, raising=False)
+        assert not lockcheck.enabled()
+        lock = lockcheck.create_lock("t.off")
+        assert not isinstance(lock, CheckedLock)
+        with lock:
+            pass
+        assert lockcheck.report()["edges"] == []
+
+    def test_enabled_returns_checked_locks(self, monkeypatch):
+        monkeypatch.setenv(lockcheck.LOCKCHECK_ENV, "1")
+        lock = lockcheck.create_lock("t.on")
+        assert isinstance(lock, CheckedLock)
+        assert not lock.reentrant
+        rlock = lockcheck.create_rlock("t.on-re")
+        assert isinstance(rlock, CheckedLock)
+        assert rlock.reentrant
+
+    def test_invalid_flag_value_raises_naming_the_variable(self, monkeypatch):
+        monkeypatch.setenv(lockcheck.LOCKCHECK_ENV, "maybe")
+        with pytest.raises(ValueError, match=lockcheck.LOCKCHECK_ENV):
+            lockcheck.enabled()
+
+    def test_report_names_the_first_acquire_site(self, monkeypatch):
+        monkeypatch.setenv(lockcheck.LOCKCHECK_ENV, "true")
+        a = lockcheck.create_lock("t.site-a")
+        b = lockcheck.create_lock("t.site-b")
+        with a:
+            with b:
+                pass
+        (edge,) = lockcheck.report()["edges"]
+        assert __file__ in edge["site"]

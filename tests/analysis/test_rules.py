@@ -1,0 +1,226 @@
+"""Each rule pack proves at least one true finding on its fixture tree."""
+
+from pathlib import Path
+
+from repro.analysis import run_analysis
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _by_rule(report, rule_id):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+class TestEnvDiscipline:
+    def _report(self):
+        return run_analysis([FIXTURES / "envpack"], rules=["env-discipline"])
+
+    def test_direct_os_environ_access_is_flagged(self):
+        report = self._report()
+        bad = str(FIXTURES / "envpack" / "bad_env.py")
+        direct = [
+            f
+            for f in report.findings
+            if f.path == bad and "os.environ accessed" in f.message
+        ]
+        assert len(direct) == 1
+        assert direct[0].line == 8
+
+    def test_aliased_environ_import_is_flagged(self):
+        report = self._report()
+        assert any(
+            "imported as a name" in f.message for f in report.findings
+        )
+
+    def test_envvars_module_itself_is_exempt(self):
+        report = self._report()
+        registry = str(FIXTURES / "envpack" / "envvars.py")
+        assert not [f for f in report.findings if f.path == registry]
+
+    def test_undeclared_name_is_flagged(self):
+        report = self._report()
+        assert any(
+            "REPRO_FIX_UNDECLARED is not declared" in f.message
+            for f in report.findings
+        )
+
+    def test_declared_but_undocumented_name_is_flagged(self):
+        report = self._report()
+        assert any(
+            "REPRO_FIX_UNDOCUMENTED is not documented" in f.message
+            for f in report.findings
+        )
+
+    def test_declared_and_documented_name_is_clean(self):
+        report = self._report()
+        assert not any(
+            "REPRO_FIX_DOCUMENTED " in f.message for f in report.findings
+        )
+
+    def test_suppressed_site_is_counted_not_reported(self):
+        report = self._report()
+        assert report.suppressed >= 1
+        assert not any(f.line == 20 for f in report.findings)
+
+
+class TestLockDiscipline:
+    def _report(self):
+        return run_analysis(
+            [FIXTURES / "serving"], rules=["lock-discipline"]
+        )
+
+    def test_direct_blocking_call_under_lock(self):
+        report = self._report()
+        locked = str(FIXTURES / "serving" / "locked.py")
+        direct = [
+            f
+            for f in report.findings
+            if f.path == locked and "self.sock.sendall()" in f.message
+        ]
+        assert len(direct) == 1
+        assert direct[0].line == 14
+        assert "Sender.lock" in direct[0].message
+
+    def test_one_level_reachable_blocking_call(self):
+        report = self._report()
+        reach = [
+            f for f in report.findings if "self._dial()" in f.message
+        ]
+        assert len(reach) == 1
+        assert "reaches blocking" in reach[0].message
+        assert "self.sock.connect()" in reach[0].message
+
+    def test_blocking_outside_the_lock_is_clean(self):
+        report = self._report()
+        assert not any(f.line == 26 for f in report.findings)
+
+    def test_suppression_with_justification_works(self):
+        report = self._report()
+        assert report.suppressed >= 1
+        assert not any(f.line == 30 for f in report.findings)
+
+    def test_scope_is_serving_only(self):
+        # The same blocking-under-lock code outside a ``serving`` path
+        # segment is out of scope for the rule.
+        report = run_analysis(
+            [FIXTURES / "threads"], rules=["lock-discipline"]
+        )
+        assert report.ok
+
+
+class TestLockOrder:
+    def test_opposite_acquisition_orders_report_a_cycle(self):
+        report = run_analysis([FIXTURES / "serving"], rules=["lock-order"])
+        cycles = [f for f in report.findings if "lock-order cycle" in f.message]
+        assert len(cycles) == 1
+        message = cycles[0].message
+        assert "order_ab.lock_a" in message
+        assert "order_ab.lock_b" in message
+        assert "order_ab.py" in cycles[0].hint  # edge sites in the hint
+
+    def test_consistent_order_is_clean(self):
+        report = run_analysis(
+            [FIXTURES / "serving" / "locked.py"], rules=["lock-order"]
+        )
+        assert report.ok
+
+
+class TestProtocolConformance:
+    def _report(self):
+        return run_analysis(
+            [FIXTURES / "protocol"], rules=["protocol-conformance"]
+        )
+
+    def test_conforming_engine_is_clean(self):
+        report = self._report()
+        assert not any("GoodEngine" in f.message for f in report.findings)
+
+    def test_missing_protocol_method_is_flagged(self):
+        report = self._report()
+        assert any(
+            "BadEngine does not implement invalidate()" in f.message
+            for f in report.findings
+        )
+
+    def test_wrong_arity_is_flagged(self):
+        report = self._report()
+        assert any(
+            "BadEngine.distance()" in f.message and "protocol needs 2" in f.message
+            for f in report.findings
+        )
+
+    def test_extra_required_parameter_is_flagged(self):
+        report = self._report()
+        assert any(
+            "BadEngine.distances()" in f.message
+            and "extra required parameter" in f.message
+            for f in report.findings
+        )
+
+    def test_registration_without_capabilities_is_flagged(self):
+        report = self._report()
+        nocaps = [
+            f
+            for f in report.findings
+            if "without declared capability flags" in f.message
+        ]
+        assert len(nocaps) == 1
+        assert nocaps[0].line == 42
+
+    def test_unknown_capability_flag_is_flagged(self):
+        report = self._report()
+        assert any(
+            "unknown capability flag(s): CAP_BOGUS" in f.message
+            for f in report.findings
+        )
+
+    def test_emitted_op_without_handler_is_flagged(self):
+        report = self._report()
+        missing = [
+            f for f in report.findings if "wire op 'missing'" in f.message
+        ]
+        assert len(missing) == 1
+        assert "no server handler" in missing[0].message
+        assert missing[0].path.endswith("miniclient.py")
+
+    def test_handled_op_without_emitter_is_flagged(self):
+        report = self._report()
+        orphaned = [
+            f for f in report.findings if "wire op 'orphaned'" in f.message
+        ]
+        assert len(orphaned) == 1
+        assert "nothing" in orphaned[0].message
+        assert orphaned[0].path.endswith("miniserver.py")
+
+    def test_matched_op_is_clean(self):
+        report = self._report()
+        assert not any("'ping'" in f.message for f in report.findings)
+
+    def test_one_sided_scan_skips_the_op_contract(self):
+        report = run_analysis(
+            [FIXTURES / "protocol" / "miniclient.py"],
+            rules=["protocol-conformance"],
+        )
+        assert report.ok
+
+
+class TestThreadHygiene:
+    def _report(self):
+        return run_analysis([FIXTURES / "threads"], rules=["thread-hygiene"])
+
+    def test_leaked_thread_is_flagged(self):
+        report = self._report()
+        leaked = [f for f in report.findings if "'worker'" in f.message]
+        assert len(leaked) == 1
+        assert leaked[0].line == 7
+
+    def test_fire_and_forget_thread_is_flagged(self):
+        report = self._report()
+        assert any(
+            "unassigned thread" in f.message and f.line == 13
+            for f in report.findings
+        )
+
+    def test_daemonized_and_reaped_threads_are_clean(self):
+        report = self._report()
+        assert len(report.findings) == 2

@@ -1,0 +1,21 @@
+"""Serving-suite guard: with ``REPRO_LOCKCHECK=1`` every test doubles as
+a lock-order check.
+
+When the flag is off (the default tier-1 run) the wrapper locks are
+plain ``threading.Lock`` objects, the recorder stays empty and this
+fixture is a no-op.  CI additionally runs this directory with the flag
+on: serving-layer locks are then instrumented, and a test that drives
+an acquisition-order inversion — or leaves one recorded by a background
+thread — fails here with the observed order graph in the message.
+"""
+
+import pytest
+
+from repro.analysis import lockcheck
+
+
+@pytest.fixture(autouse=True)
+def _lockcheck_guard():
+    lockcheck.reset()
+    yield
+    lockcheck.assert_no_inversions()
